@@ -1,0 +1,784 @@
+//! Name resolution: `fgac-sql` AST → bound [`Plan`].
+//!
+//! * View references in `FROM` are expanded inline (recursively), so a
+//!   bound plan mentions only base tables — which is what the DAG and the
+//!   inference rules want.
+//! * `$` session parameters are substituted with values from the
+//!   [`ParamScope`] during binding; binding a parameterized authorization
+//!   view with a session's parameters yields the paper's *instantiated
+//!   authorization view* (Section 2).
+//! * `$$` access-pattern parameters survive as
+//!   [`ScalarExpr::AccessParam`] opaque constants (Section 6).
+
+use crate::expr::{AggExpr, AggFunc, ArithOp, CmpOp, ScalarExpr};
+use crate::plan::{OrderKey, Plan};
+use fgac_sql::{self as sql, BinaryOp, SelectItem, UnaryOp};
+use fgac_storage::Catalog;
+use fgac_types::{Error, Ident, Result, Value};
+use std::collections::BTreeMap;
+
+/// Session parameter values (`$user_id`, `$time`, ...). Section 2: "Given
+/// a particular access to the database (by a particular user), the
+/// parameters would be fixed".
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ParamScope {
+    values: BTreeMap<String, Value>,
+}
+
+impl ParamScope {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scope with just `$user_id` set — the common case.
+    pub fn with_user(user_id: impl Into<Value>) -> Self {
+        let mut s = Self::new();
+        s.set("user_id", user_id);
+        s
+    }
+
+    pub fn set(&mut self, name: impl AsRef<str>, value: impl Into<Value>) -> &mut Self {
+        self.values
+            .insert(name.as_ref().to_ascii_lowercase(), value.into());
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// A fully bound query: plan + presentation (names, order, limit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundQuery {
+    pub plan: Plan,
+    pub output_names: Vec<Ident>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+}
+
+/// Binds `query` against `catalog`, substituting `$` parameters from
+/// `params`.
+pub fn bind_query(catalog: &Catalog, query: &sql::Query, params: &ParamScope) -> Result<BoundQuery> {
+    bind_query_depth(catalog, query, params, 0)
+}
+
+const MAX_VIEW_DEPTH: usize = 32;
+
+fn bind_query_depth(
+    catalog: &Catalog,
+    query: &sql::Query,
+    params: &ParamScope,
+    depth: usize,
+) -> Result<BoundQuery> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(Error::Bind("view expansion too deep (cycle?)".into()));
+    }
+    let binder = Binder { catalog, params };
+    binder.bind(query, depth)
+}
+
+/// Binds one expression over a single table's row (offsets into the
+/// table schema). Used for DML filters/assignments, `AUTHORIZE`
+/// conditions, and inclusion-dependency filters — all of which are
+/// predicates over one relation (Section 4.4: update authorization "only
+/// requires evaluation of a (fully instantiated) predicate").
+pub fn bind_table_expr(
+    catalog: &Catalog,
+    table: &Ident,
+    expr: &sql::Expr,
+    params: &ParamScope,
+) -> Result<ScalarExpr> {
+    let meta = catalog.table_required(table)?;
+    let item = FromItem {
+        binding: table.clone(),
+        columns: meta.schema.columns().iter().map(|c| c.name.clone()).collect(),
+        offset: 0,
+        plan: Plan::scan(meta.name.clone(), meta.schema.clone()),
+    };
+    let binder = Binder { catalog, params };
+    binder.bind_scalar(expr, std::slice::from_ref(&item))
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    params: &'a ParamScope,
+}
+
+/// One entry of the FROM scope.
+struct FromItem {
+    binding: Ident,
+    columns: Vec<Ident>,
+    offset: usize,
+    plan: Plan,
+}
+
+impl<'a> Binder<'a> {
+    fn bind(&self, query: &sql::Query, depth: usize) -> Result<BoundQuery> {
+        if query.from.is_empty() {
+            return Err(Error::Unsupported(
+                "queries without a FROM clause are not supported".into(),
+            ));
+        }
+
+        // 1. FROM scope: flatten table refs + JOIN chains.
+        let mut items: Vec<FromItem> = Vec::new();
+        let mut join_conjuncts_ast: Vec<sql::Expr> = Vec::new();
+        for tref in &query.from {
+            self.push_from_item(&mut items, &tref.name, tref.alias.as_ref(), depth)?;
+            for join in &tref.joins {
+                self.push_from_item(&mut items, &join.table, join.alias.as_ref(), depth)?;
+                join_conjuncts_ast.push(join.on.clone());
+            }
+        }
+
+        // 2. Cross-join the items left-deep.
+        let mut plan = items[0].plan.clone();
+        for item in &items[1..] {
+            plan = plan.join(item.plan.clone(), vec![]);
+        }
+
+        // 3. WHERE + ON conjuncts.
+        let mut conjuncts = Vec::new();
+        for on in &join_conjuncts_ast {
+            conjuncts.push(self.bind_scalar(on, &items)?);
+        }
+        if let Some(w) = &query.selection {
+            conjuncts.push(self.bind_scalar(w, &items)?);
+        }
+        if !conjuncts.is_empty() {
+            plan = plan.select(conjuncts);
+        }
+
+        // 4. Projection (+ optional aggregation).
+        let needs_agg = !query.group_by.is_empty()
+            || query.having.is_some()
+            || query
+                .projection
+                .iter()
+                .any(|item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
+
+        let (plan, output_names) = if needs_agg {
+            self.bind_aggregate_projection(plan, query, &items)?
+        } else {
+            self.bind_plain_projection(plan, query, &items)?
+        };
+        let mut plan = plan;
+
+        // 5. DISTINCT.
+        if query.distinct {
+            plan = plan.distinct();
+        }
+
+        // 6. ORDER BY: resolve against output columns (by alias/name or
+        //    by matching the bound expression against projection items).
+        let mut order_by = Vec::new();
+        for ob in &query.order_by {
+            let col = self.resolve_order_key(&ob.expr, &output_names)?;
+            order_by.push(OrderKey { col, asc: ob.asc });
+        }
+
+        Ok(BoundQuery {
+            plan,
+            output_names,
+            order_by,
+            limit: query.limit,
+        })
+    }
+
+    fn push_from_item(
+        &self,
+        items: &mut Vec<FromItem>,
+        name: &Ident,
+        alias: Option<&Ident>,
+        depth: usize,
+    ) -> Result<()> {
+        let binding = alias.cloned().unwrap_or_else(|| name.clone());
+        if items.iter().any(|i| i.binding == binding) {
+            return Err(Error::Bind(format!(
+                "duplicate table binding `{binding}` in FROM (use aliases)"
+            )));
+        }
+        let offset = items.iter().map(|i| i.columns.len()).sum();
+        if let Some(meta) = self.catalog.table(name) {
+            items.push(FromItem {
+                binding,
+                columns: meta.schema.columns().iter().map(|c| c.name.clone()).collect(),
+                offset,
+                plan: Plan::scan(meta.name.clone(), meta.schema.clone()),
+            });
+            return Ok(());
+        }
+        if let Some(view) = self.catalog.view(name) {
+            let bound = bind_query_depth(self.catalog, &view.query.clone(), self.params, depth + 1)?;
+            if bound.limit.is_some() {
+                return Err(Error::Unsupported(format!(
+                    "view {name} has a LIMIT clause and cannot be referenced in FROM"
+                )));
+            }
+            items.push(FromItem {
+                binding,
+                columns: bound.output_names,
+                offset,
+                plan: bound.plan,
+            });
+            return Ok(());
+        }
+        Err(Error::Bind(format!("unknown table or view `{name}`")))
+    }
+
+    fn bind_plain_projection(
+        &self,
+        input: Plan,
+        query: &sql::Query,
+        items: &[FromItem],
+    ) -> Result<(Plan, Vec<Ident>)> {
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &query.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for fi in items {
+                        for (i, col) in fi.columns.iter().enumerate() {
+                            exprs.push(ScalarExpr::Col(fi.offset + i));
+                            names.push(col.clone());
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let fi = items
+                        .iter()
+                        .find(|i| &i.binding == q)
+                        .ok_or_else(|| Error::Bind(format!("unknown table alias `{q}.*`")))?;
+                    for (i, col) in fi.columns.iter().enumerate() {
+                        exprs.push(ScalarExpr::Col(fi.offset + i));
+                        names.push(col.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(self.bind_scalar(expr, items)?);
+                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+                }
+            }
+        }
+        Ok((input.project(exprs), names))
+    }
+
+    fn bind_aggregate_projection(
+        &self,
+        input: Plan,
+        query: &sql::Query,
+        items: &[FromItem],
+    ) -> Result<(Plan, Vec<Ident>)> {
+        // Bind group-by expressions over the from-row.
+        let group_by: Vec<ScalarExpr> = query
+            .group_by
+            .iter()
+            .map(|e| self.bind_scalar(e, items))
+            .collect::<Result<_>>()?;
+
+        // Collect aggregates from projection + having, assigning output
+        // slots after the group columns.
+        let mut aggs: Vec<AggExpr> = Vec::new();
+
+        let mut top_exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &query.projection {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(Error::Bind(
+                        "wildcards are not allowed with GROUP BY / aggregates".into(),
+                    ));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let rebased = self.rebase_over_groups(expr, items, &group_by, &mut aggs)?;
+                    top_exprs.push(rebased);
+                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr)));
+                }
+            }
+        }
+
+        let having = query
+            .having
+            .as_ref()
+            .map(|h| self.rebase_over_groups(h, items, &group_by, &mut aggs))
+            .transpose()?;
+
+        let mut plan = input.aggregate(group_by, aggs);
+        if let Some(h) = having {
+            plan = plan.select(vec![h]);
+        }
+        let plan = plan.project(top_exprs);
+        Ok((plan, names))
+    }
+
+    /// Expresses `expr` over the aggregate output row: group expressions
+    /// become `Col(i)`, aggregates become `Col(group_len + j)` (allocating
+    /// new slots as needed), and anything else must decompose into those.
+    fn rebase_over_groups(
+        &self,
+        expr: &sql::Expr,
+        items: &[FromItem],
+        group_by: &[ScalarExpr],
+        aggs: &mut Vec<AggExpr>,
+    ) -> Result<ScalarExpr> {
+        // An aggregate function call?
+        if let sql::Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } = expr
+        {
+            let func = agg_func(name).ok_or_else(|| {
+                Error::Bind(format!("unknown function `{name}` (expected an aggregate)"))
+            })?;
+            let agg = if *star {
+                if func != AggFunc::Count {
+                    return Err(Error::Bind(format!("{name}(*) is not valid")));
+                }
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                }
+            } else {
+                if args.len() != 1 {
+                    return Err(Error::Bind(format!("{name} expects exactly one argument")));
+                }
+                if contains_aggregate(&args[0]) {
+                    return Err(Error::Bind("nested aggregates are not allowed".into()));
+                }
+                AggExpr {
+                    func,
+                    arg: Some(self.bind_scalar(&args[0], items)?),
+                    distinct: *distinct,
+                }
+            };
+            let idx = match aggs.iter().position(|a| a == &agg) {
+                Some(i) => i,
+                None => {
+                    aggs.push(agg);
+                    aggs.len() - 1
+                }
+            };
+            return Ok(ScalarExpr::Col(group_by.len() + idx));
+        }
+
+        // Exactly a group-by expression?
+        if let Ok(bound) = self.bind_scalar(expr, items) {
+            if let Some(i) = group_by.iter().position(|g| g == &bound) {
+                return Ok(ScalarExpr::Col(i));
+            }
+            if bound.is_constant() {
+                return Ok(bound);
+            }
+        }
+
+        // Recurse structurally.
+        match expr {
+            sql::Expr::Binary { left, op, right } => {
+                let l = self.rebase_over_groups(left, items, group_by, aggs)?;
+                let r = self.rebase_over_groups(right, items, group_by, aggs)?;
+                combine_binary(*op, l, r)
+            }
+            sql::Expr::Unary { op, expr: inner } => {
+                let e = self.rebase_over_groups(inner, items, group_by, aggs)?;
+                Ok(match op {
+                    UnaryOp::Not => ScalarExpr::Not(Box::new(e)),
+                    UnaryOp::Neg => ScalarExpr::Neg(Box::new(e)),
+                })
+            }
+            sql::Expr::IsNull { expr: inner, negated } => {
+                let e = self.rebase_over_groups(inner, items, group_by, aggs)?;
+                Ok(ScalarExpr::IsNull {
+                    expr: Box::new(e),
+                    negated: *negated,
+                })
+            }
+            _ => Err(Error::Bind(format!(
+                "expression `{}` must appear in GROUP BY or be an aggregate",
+                fgac_sql::printer::print_expr(expr)
+            ))),
+        }
+    }
+
+    /// Binds a scalar AST expression over the from-row.
+    fn bind_scalar(&self, expr: &sql::Expr, items: &[FromItem]) -> Result<ScalarExpr> {
+        match expr {
+            sql::Expr::Column { qualifier, name } => {
+                let offset = self.resolve_column(qualifier.as_ref(), name, items)?;
+                Ok(ScalarExpr::Col(offset))
+            }
+            sql::Expr::Literal(v) => Ok(ScalarExpr::Lit(v.clone())),
+            sql::Expr::Param(p) => match self.params.get(p) {
+                Some(v) => Ok(ScalarExpr::Lit(v.clone())),
+                None => Err(Error::Bind(format!("unbound session parameter ${p}"))),
+            },
+            sql::Expr::AccessParam(p) => Ok(ScalarExpr::AccessParam(p.clone())),
+            sql::Expr::Unary { op, expr: inner } => {
+                let e = self.bind_scalar(inner, items)?;
+                Ok(match op {
+                    UnaryOp::Not => ScalarExpr::Not(Box::new(e)),
+                    UnaryOp::Neg => ScalarExpr::Neg(Box::new(e)),
+                })
+            }
+            sql::Expr::Binary { left, op, right } => {
+                let l = self.bind_scalar(left, items)?;
+                let r = self.bind_scalar(right, items)?;
+                combine_binary(*op, l, r)
+            }
+            sql::Expr::IsNull { expr: inner, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.bind_scalar(inner, items)?),
+                negated: *negated,
+            }),
+            sql::Expr::Function { name, .. } => Err(Error::Bind(format!(
+                "aggregate/function `{name}` is not allowed here"
+            ))),
+        }
+    }
+
+    fn resolve_column(
+        &self,
+        qualifier: Option<&Ident>,
+        name: &Ident,
+        items: &[FromItem],
+    ) -> Result<usize> {
+        match qualifier {
+            Some(q) => {
+                let fi = items
+                    .iter()
+                    .find(|i| &i.binding == q)
+                    .ok_or_else(|| Error::Bind(format!("unknown table alias `{q}`")))?;
+                let idx = fi
+                    .columns
+                    .iter()
+                    .position(|c| c == name)
+                    .ok_or_else(|| Error::Bind(format!("no column `{name}` in `{q}`")))?;
+                Ok(fi.offset + idx)
+            }
+            None => {
+                let mut hit = None;
+                for fi in items {
+                    if let Some(idx) = fi.columns.iter().position(|c| c == name) {
+                        if hit.is_some() {
+                            return Err(Error::Bind(format!("ambiguous column `{name}`")));
+                        }
+                        hit = Some(fi.offset + idx);
+                    }
+                }
+                hit.ok_or_else(|| Error::Bind(format!("unknown column `{name}`")))
+            }
+        }
+    }
+
+    fn resolve_order_key(&self, expr: &sql::Expr, output_names: &[Ident]) -> Result<usize> {
+        if let sql::Expr::Column { qualifier: None, name } = expr {
+            let matches: Vec<usize> = output_names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| *n == name)
+                .map(|(i, _)| i)
+                .collect();
+            match matches.as_slice() {
+                [one] => return Ok(*one),
+                [] => {}
+                _ => return Err(Error::Bind(format!("ambiguous ORDER BY column `{name}`"))),
+            }
+        }
+        if let sql::Expr::Literal(Value::Int(n)) = expr {
+            let idx = *n as usize;
+            if idx >= 1 && idx <= output_names.len() {
+                return Ok(idx - 1);
+            }
+            return Err(Error::Bind(format!("ORDER BY position {n} out of range")));
+        }
+        Err(Error::Unsupported(
+            "ORDER BY must name an output column or use a 1-based position".into(),
+        ))
+    }
+}
+
+fn combine_binary(op: BinaryOp, l: ScalarExpr, r: ScalarExpr) -> Result<ScalarExpr> {
+    Ok(match op {
+        BinaryOp::And => ScalarExpr::And(vec![l, r]),
+        BinaryOp::Or => ScalarExpr::Or(vec![l, r]),
+        BinaryOp::Eq => ScalarExpr::cmp(CmpOp::Eq, l, r),
+        BinaryOp::NotEq => ScalarExpr::cmp(CmpOp::NotEq, l, r),
+        BinaryOp::Lt => ScalarExpr::cmp(CmpOp::Lt, l, r),
+        BinaryOp::LtEq => ScalarExpr::cmp(CmpOp::LtEq, l, r),
+        BinaryOp::Gt => ScalarExpr::cmp(CmpOp::Gt, l, r),
+        BinaryOp::GtEq => ScalarExpr::cmp(CmpOp::GtEq, l, r),
+        BinaryOp::Add => arith(ArithOp::Add, l, r),
+        BinaryOp::Sub => arith(ArithOp::Sub, l, r),
+        BinaryOp::Mul => arith(ArithOp::Mul, l, r),
+        BinaryOp::Div => arith(ArithOp::Div, l, r),
+        BinaryOp::Mod => arith(ArithOp::Mod, l, r),
+    })
+}
+
+fn arith(op: ArithOp, l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith {
+        op,
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+fn agg_func(name: &Ident) -> Option<AggFunc> {
+    Some(match name.as_str() {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "avg" => AggFunc::Avg,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        _ => return None,
+    })
+}
+
+fn contains_aggregate(e: &sql::Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let sql::Expr::Function { name, .. } = x {
+            if agg_func(name).is_some() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn derive_name(e: &sql::Expr) -> Ident {
+    match e {
+        sql::Expr::Column { name, .. } => name.clone(),
+        sql::Expr::Function { name, .. } => name.clone(),
+        _ => Ident::new("expr"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_sql::parse_query;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        c.add_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        c
+    }
+
+    fn bind(sql_text: &str) -> BoundQuery {
+        let q = parse_query(sql_text).unwrap();
+        bind_query(&catalog(), &q, &ParamScope::with_user("11")).unwrap()
+    }
+
+    fn bind_err(sql_text: &str) -> Error {
+        let q = parse_query(sql_text).unwrap();
+        bind_query(&catalog(), &q, &ParamScope::with_user("11")).unwrap_err()
+    }
+
+    #[test]
+    fn binds_select_star() {
+        let b = bind("select * from grades");
+        assert_eq!(b.plan.arity(), 3);
+        assert_eq!(
+            b.output_names,
+            vec![
+                Ident::new("student_id"),
+                Ident::new("course_id"),
+                Ident::new("grade")
+            ]
+        );
+    }
+
+    #[test]
+    fn binds_parameter() {
+        let b = bind("select grade from grades where student_id = $user_id");
+        // Parameter must be gone, replaced by the literal '11'.
+        let mut saw_lit = false;
+        b.plan.visit(&mut |p| {
+            if let Plan::Select { conjuncts, .. } = p {
+                for c in conjuncts {
+                    c.walk(&mut |e| {
+                        if e == &ScalarExpr::Lit(Value::Str("11".into())) {
+                            saw_lit = true;
+                        }
+                    });
+                }
+            }
+        });
+        assert!(saw_lit);
+    }
+
+    #[test]
+    fn unbound_parameter_errors() {
+        let q = parse_query("select * from grades where student_id = $nope").unwrap();
+        let err = bind_query(&catalog(), &q, &ParamScope::with_user("11")).unwrap_err();
+        assert!(err.to_string().contains("$nope"));
+    }
+
+    #[test]
+    fn binds_comma_join_with_qualifiers() {
+        let b = bind(
+            "select g.grade from grades g, registered r \
+             where g.course_id = r.course_id and r.student_id = '11'",
+        );
+        assert_eq!(b.plan.arity(), 1);
+        // Join of two scans underneath.
+        let tables = b.plan.scanned_tables();
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn join_on_desugars_to_conjunct() {
+        let a = bind(
+            "select s.name from students s join registered r on s.student_id = r.student_id",
+        );
+        let b = bind(
+            "select s.name from students s, registered r where s.student_id = r.student_id",
+        );
+        assert_eq!(crate::normalize(&a.plan), crate::normalize(&b.plan));
+    }
+
+    #[test]
+    fn alias_invariance_after_normalize() {
+        let a = bind("select g.grade from grades g where g.student_id = '11'");
+        let b = bind("select grades.grade from grades where grades.student_id = '11'");
+        assert_eq!(crate::normalize(&a.plan), crate::normalize(&b.plan));
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let err = bind_err("select * from grades, grades");
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let err = bind_err("select student_id from grades g, registered r");
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn binds_aggregate_query() {
+        let b = bind("select course_id, avg(grade) from grades group by course_id");
+        assert_eq!(b.plan.arity(), 2);
+        assert!(b.plan.has_aggregate());
+        assert_eq!(b.output_names[1], Ident::new("avg"));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let b = bind("select avg(grade) from grades");
+        let Plan::Project { input, .. } = &b.plan else {
+            panic!()
+        };
+        let Plan::Aggregate { group_by, aggs, .. } = &**input else {
+            panic!("expected aggregate, got {input:?}")
+        };
+        assert!(group_by.is_empty());
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].func, AggFunc::Avg);
+    }
+
+    #[test]
+    fn having_binds_over_aggregates() {
+        let b = bind(
+            "select course_id from grades group by course_id having count(*) > 2",
+        );
+        // Project over Select over Aggregate.
+        let Plan::Project { input, .. } = &b.plan else {
+            panic!()
+        };
+        assert!(matches!(**input, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let err = bind_err("select name from students group by type");
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn view_expansion_inlines_base_tables() {
+        let mut c = catalog();
+        c.add_view(fgac_storage::ViewDef {
+            name: Ident::new("mygrades"),
+            authorization: true,
+            query: parse_query("select * from grades where student_id = $user_id").unwrap(),
+        })
+        .unwrap();
+        let q = parse_query("select grade from mygrades").unwrap();
+        let b = bind_query(&c, &q, &ParamScope::with_user("11")).unwrap();
+        assert_eq!(b.plan.scanned_tables(), vec![Ident::new("grades")]);
+    }
+
+    #[test]
+    fn order_by_name_and_position() {
+        let b = bind("select name, type from students order by type desc, 1");
+        assert_eq!(
+            b.order_by,
+            vec![OrderKey { col: 1, asc: false }, OrderKey { col: 0, asc: true }]
+        );
+    }
+
+    #[test]
+    fn distinct_adds_operator() {
+        let b = bind("select distinct name from students");
+        assert!(matches!(b.plan, Plan::Distinct { .. }));
+    }
+
+    #[test]
+    fn access_param_survives_binding() {
+        let q = parse_query("select * from grades where student_id = $$1").unwrap();
+        let b = bind_query(&catalog(), &q, &ParamScope::new()).unwrap();
+        assert!(b.plan.has_access_params());
+    }
+
+    #[test]
+    fn count_distinct_binds() {
+        let b = bind("select count(distinct grade) from grades");
+        let Plan::Project { input, .. } = &b.plan else {
+            panic!()
+        };
+        let Plan::Aggregate { aggs, .. } = &**input else {
+            panic!()
+        };
+        assert!(aggs[0].distinct);
+    }
+
+    #[test]
+    fn arithmetic_over_group_exprs() {
+        let b = bind("select grade + 1 from grades group by grade");
+        assert_eq!(b.plan.arity(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Human-readable plan and expression rendering (for EXPLAIN-style
+//! output, error messages, and the bench report).
+
+use crate::expr::{ArithOp, ScalarExpr};
+use crate::plan::Plan;
+use std::fmt;
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                ScalarExpr::Col(i) => write!(f, "#{i}"),
+                ScalarExpr::Lit(v) => write!(f, "{v}"),
+                ScalarExpr::AccessParam(p) => write!(f, "$${p}"),
+                ScalarExpr::Cmp { op, left, right } => write!(f, "({left} {op} {right})"),
+                ScalarExpr::And(es) => {
+                    write!(f, "(")?;
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " AND ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")
+                }
+                ScalarExpr::Or(es) => {
+                    write!(f, "(")?;
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " OR ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")
+                }
+                ScalarExpr::Not(e) => write!(f, "NOT ({e})"),
+                ScalarExpr::Neg(e) => write!(f, "-({e})"),
+                ScalarExpr::IsNull { expr, negated } => {
+                    write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+                }
+                ScalarExpr::Arith { op, left, right } => {
+                    let s = match op {
+                        ArithOp::Add => "+",
+                        ArithOp::Sub => "-",
+                        ArithOp::Mul => "*",
+                        ArithOp::Div => "/",
+                        ArithOp::Mod => "%",
+                    };
+                    write!(f, "({left} {s} {right})")
+                }
+            }
+        }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn indent(plan: &Plan, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match plan {
+                Plan::Scan { table, .. } => writeln!(f, "{pad}Scan {table}"),
+                Plan::Select { input, conjuncts } => {
+                    write!(f, "{pad}Select ")?;
+                    for (i, c) in conjuncts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " AND ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    writeln!(f)?;
+                    indent(input, f, depth + 1)
+                }
+                Plan::Project { input, exprs } => {
+                    write!(f, "{pad}Project ")?;
+                    for (i, e) in exprs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    writeln!(f)?;
+                    indent(input, f, depth + 1)
+                }
+                Plan::Distinct { input } => {
+                    writeln!(f, "{pad}Distinct")?;
+                    indent(input, f, depth + 1)
+                }
+                Plan::Join {
+                    left,
+                    right,
+                    conjuncts,
+                } => {
+                    write!(f, "{pad}Join")?;
+                    if !conjuncts.is_empty() {
+                        write!(f, " ON ")?;
+                        for (i, c) in conjuncts.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, " AND ")?;
+                            }
+                            write!(f, "{c}")?;
+                        }
+                    }
+                    writeln!(f)?;
+                    indent(left, f, depth + 1)?;
+                    indent(right, f, depth + 1)
+                }
+                Plan::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    write!(f, "{pad}Aggregate group=[")?;
+                    for (i, g) in group_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{g}")?;
+                    }
+                    write!(f, "] aggs=[")?;
+                    for (i, a) in aggs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        match (&a.func, &a.arg) {
+                            (func, Some(arg)) => write!(
+                                f,
+                                "{func}({}{arg})",
+                                if a.distinct { "DISTINCT " } else { "" }
+                            )?,
+                            (func, None) => write!(f, "{func}")?,
+                        }
+                    }
+                    writeln!(f, "]")?;
+                    indent(input, f, depth + 1)
+                }
+            }
+        }
+        indent(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use fgac_types::{Column, DataType, Schema};
+
+    #[test]
+    fn renders_plan_tree() {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
+        let p = Plan::scan("t", schema)
+            .select(vec![ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(1),
+            )])
+            .project(vec![ScalarExpr::col(1)]);
+        let s = p.to_string();
+        assert!(s.contains("Project #1"));
+        assert!(s.contains("Select (#0 = 1)"));
+        assert!(s.contains("Scan t"));
+    }
+}

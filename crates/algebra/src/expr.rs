@@ -1,0 +1,296 @@
+//! Bound scalar expressions.
+
+use fgac_types::Value;
+
+/// Comparison operators over values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+
+    /// The negated comparison (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::NotEq,
+            CmpOp::NotEq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::GtEq,
+            CmpOp::LtEq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::LtEq,
+            CmpOp::GtEq => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on an ordering.
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::NotEq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::LtEq => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::GtEq => ord != Less,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A bound scalar expression. Columns are referenced by *offset* into the
+/// operator's input row (for joins, the concatenation left ++ right).
+///
+/// `$` session parameters never appear here — the binder substitutes
+/// their values (Section 2: validity is always tested against
+/// *instantiated* authorization views). `$$` access-pattern parameters
+/// survive binding as [`ScalarExpr::AccessParam`], treated as opaque
+/// constants by inference (Section 6: "our inference procedures can be
+/// used by simply treating $$ parameters as constants").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarExpr {
+    /// Input column by offset.
+    Col(usize),
+    /// Literal constant.
+    Lit(Value),
+    /// Access-pattern parameter (`$$k`), an opaque constant.
+    AccessParam(String),
+    /// Comparison between two scalars (SQL three-valued logic).
+    Cmp {
+        op: CmpOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// Conjunction (n-ary, flattened and sorted by `normalize`).
+    And(Vec<ScalarExpr>),
+    /// Disjunction (n-ary, flattened and sorted by `normalize`).
+    Or(Vec<ScalarExpr>),
+    Not(Box<ScalarExpr>),
+    IsNull {
+        expr: Box<ScalarExpr>,
+        negated: bool,
+    },
+    /// Arithmetic.
+    Arith {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    Neg(Box<ScalarExpr>),
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ScalarExpr {
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::cmp(CmpOp::Eq, left, right)
+    }
+
+    /// Visits all nodes pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&ScalarExpr)) {
+        f(self);
+        match self {
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            ScalarExpr::And(es) | ScalarExpr::Or(es) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            ScalarExpr::Not(e) | ScalarExpr::IsNull { expr: e, .. } | ScalarExpr::Neg(e) => {
+                e.walk(f)
+            }
+            _ => {}
+        }
+    }
+
+    /// The set of input offsets this expression reads.
+    pub fn referenced_cols(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| {
+            if let ScalarExpr::Col(i) = e {
+                cols.push(*i);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Rewrites every column offset through `f`.
+    pub fn map_cols(&self, f: &impl Fn(usize) -> usize) -> ScalarExpr {
+        self.transform(&|e| match e {
+            ScalarExpr::Col(i) => Some(ScalarExpr::Col(f(*i))),
+            _ => None,
+        })
+    }
+
+    /// Structure-preserving rewrite: `f` returns `Some(replacement)` to
+    /// substitute a node (children of replaced nodes are not revisited).
+    pub fn transform(&self, f: &impl Fn(&ScalarExpr) -> Option<ScalarExpr>) -> ScalarExpr {
+        if let Some(replaced) = f(self) {
+            return replaced;
+        }
+        match self {
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            ScalarExpr::And(es) => ScalarExpr::And(es.iter().map(|e| e.transform(f)).collect()),
+            ScalarExpr::Or(es) => ScalarExpr::Or(es.iter().map(|e| e.transform(f)).collect()),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.transform(f))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.transform(f))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated: *negated,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// True if this is a constant (no column references).
+    pub fn is_constant(&self) -> bool {
+        self.referenced_cols().is_empty() && !self.has_access_params()
+    }
+
+    /// True if any `$$` access-pattern parameter appears.
+    pub fn has_access_params(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, ScalarExpr::AccessParam(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One aggregate in an `Aggregate` operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Argument expression; `None` only for `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+    pub distinct: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::GtEq);
+        assert!(CmpOp::LtEq.test(std::cmp::Ordering::Equal));
+        assert!(!CmpOp::Lt.test(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn referenced_cols_dedups() {
+        let e = ScalarExpr::And(vec![
+            ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::col(1)),
+            ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::lit(5)),
+        ]);
+        assert_eq!(e.referenced_cols(), vec![1, 3]);
+    }
+
+    #[test]
+    fn map_cols_rewrites() {
+        let e = ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(2));
+        let shifted = e.map_cols(&|i| i + 10);
+        assert_eq!(shifted.referenced_cols(), vec![10, 12]);
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(ScalarExpr::lit(1).is_constant());
+        assert!(!ScalarExpr::col(0).is_constant());
+        assert!(!ScalarExpr::AccessParam("1".into()).is_constant());
+    }
+}

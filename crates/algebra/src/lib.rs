@@ -1,0 +1,44 @@
+//! # fgac-algebra
+//!
+//! The relational algebra IR shared by the executor, the Volcano
+//! optimizer, and the validity-inference engine:
+//!
+//! * [`ScalarExpr`] — *bound* scalar/predicate expressions referencing
+//!   input columns by offset (no names, no aliases), so structurally
+//!   identical queries written with different aliases produce identical
+//!   IR — a prerequisite for AND-OR-DAG unification (Section 5.6.1).
+//! * [`Plan`] — logical plans with SQL **multiset semantics**:
+//!   duplicate-preserving `Project` is distinct from `Distinct`
+//!   (Definition 4.1 is multiset equivalence; Example 5.1 turns on this
+//!   difference).
+//! * [`bind_query`] — name resolution from `fgac-sql` ASTs against a
+//!   catalog, including inline expansion of view references and
+//!   instantiation of `$` parameters (Section 2's *instantiated
+//!   authorization views*).
+//! * [`normalize`] — canonicalization (conjunct flattening/sorting,
+//!   comparison orientation, constant folding) so that syntactic
+//!   variants of the same query unify in the DAG.
+//! * [`implication`] — a sound prover for conjunctive comparison
+//!   predicates, used by subsumption derivations (σ from weaker σ,
+//!   Section 5.6.1) and the constraint-matching side conditions of rules
+//!   U3a–U3c.
+//! * [`provenance`] — per-output-column lineage to base-table columns,
+//!   used by the core/remainder splits of rules U3 and C3.
+
+mod binder;
+mod display;
+mod expr;
+pub mod implication;
+mod normalize;
+mod plan;
+mod provenance;
+mod spj;
+
+pub use binder::{bind_query, bind_table_expr, BoundQuery, ParamScope};
+pub use expr::{AggExpr, AggFunc, ArithOp, CmpOp, ScalarExpr};
+pub use normalize::{
+    is_identity_projection, normalize, normalize_conjuncts, normalize_expr, substitute_cols,
+};
+pub use plan::{OrderKey, Plan};
+pub use provenance::{provenance, ColOrigin};
+pub use spj::SpjBlock;

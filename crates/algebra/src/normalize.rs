@@ -1,0 +1,364 @@
+//! Canonicalization of expressions and plans.
+//!
+//! The AND-OR DAG unifies plans by structural identity (Section 5.6.1's
+//! unification of common subexpressions), so syntactic variants must
+//! normalize to the same shape first:
+//!
+//! * `AND`/`OR` are flattened, sorted, and deduplicated;
+//! * comparisons are oriented canonically (lower column offset on the
+//!   left; literals on the right);
+//! * comparisons between literals are folded;
+//! * stacked σ merge, empty σ disappear, identity π disappear, δ∘δ = δ.
+
+use crate::expr::ScalarExpr;
+use crate::plan::Plan;
+use fgac_types::Value;
+
+/// Normalizes a plan bottom-up.
+pub fn normalize(plan: &Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, conjuncts } => {
+            let input = normalize(input);
+            let conjuncts = normalize_conjuncts(conjuncts);
+            if conjuncts.is_empty() {
+                return input;
+            }
+            // Merge with a child Select.
+            if let Plan::Select {
+                input: inner,
+                conjuncts: inner_conj,
+            } = input
+            {
+                let mut all = inner_conj;
+                all.extend(conjuncts);
+                return Plan::Select {
+                    input: inner,
+                    conjuncts: normalize_conjuncts(&all),
+                };
+            }
+            Plan::Select {
+                input: Box::new(input),
+                conjuncts,
+            }
+        }
+        Plan::Project { input, exprs } => {
+            let input = normalize(input);
+            let exprs: Vec<ScalarExpr> = exprs.iter().map(normalize_expr).collect();
+            if is_identity_projection(&exprs, input.arity()) {
+                return input;
+            }
+            // Collapse Project over Project by inlining.
+            if let Plan::Project {
+                input: inner,
+                exprs: inner_exprs,
+            } = &input
+            {
+                let composed: Vec<ScalarExpr> = exprs
+                    .iter()
+                    .map(|e| substitute_cols(e, inner_exprs))
+                    .collect();
+                return normalize(&Plan::Project {
+                    input: inner.clone(),
+                    exprs: composed,
+                });
+            }
+            Plan::Project {
+                input: Box::new(input),
+                exprs,
+            }
+        }
+        Plan::Distinct { input } => {
+            let input = normalize(input);
+            if matches!(input, Plan::Distinct { .. }) {
+                return input;
+            }
+            Plan::Distinct {
+                input: Box::new(input),
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            conjuncts,
+        } => Plan::Join {
+            left: Box::new(normalize(left)),
+            right: Box::new(normalize(right)),
+            conjuncts: normalize_conjuncts(conjuncts),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(normalize(input)),
+            group_by: group_by.iter().map(normalize_expr).collect(),
+            aggs: aggs
+                .iter()
+                .map(|a| crate::AggExpr {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(normalize_expr),
+                    distinct: a.distinct,
+                })
+                .collect(),
+        },
+    }
+}
+
+/// True if `exprs` is exactly `Col(0), Col(1), ..., Col(arity-1)`.
+pub fn is_identity_projection(exprs: &[ScalarExpr], arity: usize) -> bool {
+    exprs.len() == arity
+        && exprs
+            .iter()
+            .enumerate()
+            .all(|(i, e)| matches!(e, ScalarExpr::Col(j) if *j == i))
+}
+
+/// Rewrites `e`'s column references through a projection list: `Col(i)`
+/// becomes `projection[i]`.
+pub fn substitute_cols(e: &ScalarExpr, projection: &[ScalarExpr]) -> ScalarExpr {
+    e.transform(&|node| match node {
+        ScalarExpr::Col(i) => Some(projection[*i].clone()),
+        _ => None,
+    })
+}
+
+/// Normalizes a conjunct list: normalize each member, flatten `AND`s,
+/// drop `TRUE`, sort and deduplicate.
+pub fn normalize_conjuncts(conjuncts: &[ScalarExpr]) -> Vec<ScalarExpr> {
+    let mut flat = Vec::new();
+    for c in conjuncts {
+        flatten_and(&normalize_expr(c), &mut flat);
+    }
+    flat.retain(|c| c != &ScalarExpr::Lit(Value::Bool(true)));
+    flat.sort();
+    flat.dedup();
+    flat
+}
+
+fn flatten_and(e: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    match e {
+        ScalarExpr::And(es) => {
+            for x in es {
+                flatten_and(x, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Normalizes one expression.
+pub fn normalize_expr(e: &ScalarExpr) -> ScalarExpr {
+    match e {
+        ScalarExpr::And(es) => {
+            let mut flat = Vec::new();
+            for x in es {
+                flatten_and(&normalize_expr(x), &mut flat);
+            }
+            flat.retain(|c| c != &ScalarExpr::Lit(Value::Bool(true)));
+            flat.sort();
+            flat.dedup();
+            if flat.iter().any(|c| c == &ScalarExpr::Lit(Value::Bool(false))) {
+                return ScalarExpr::Lit(Value::Bool(false));
+            }
+            match flat.len() {
+                0 => ScalarExpr::Lit(Value::Bool(true)),
+                1 => flat.pop().expect("len checked"),
+                _ => ScalarExpr::And(flat),
+            }
+        }
+        ScalarExpr::Or(es) => {
+            let mut flat = Vec::new();
+            for x in es {
+                let n = normalize_expr(x);
+                if let ScalarExpr::Or(inner) = n {
+                    flat.extend(inner);
+                } else {
+                    flat.push(n);
+                }
+            }
+            flat.retain(|c| c != &ScalarExpr::Lit(Value::Bool(false)));
+            flat.sort();
+            flat.dedup();
+            if flat.iter().any(|c| c == &ScalarExpr::Lit(Value::Bool(true))) {
+                return ScalarExpr::Lit(Value::Bool(true));
+            }
+            match flat.len() {
+                0 => ScalarExpr::Lit(Value::Bool(false)),
+                1 => flat.pop().expect("len checked"),
+                _ => ScalarExpr::Or(flat),
+            }
+        }
+        ScalarExpr::Cmp { op, left, right } => {
+            let l = normalize_expr(left);
+            let r = normalize_expr(right);
+            // Fold literal-vs-literal comparisons (NULL ⇒ leave alone:
+            // three-valued logic is the evaluator's business).
+            if let (ScalarExpr::Lit(a), ScalarExpr::Lit(b)) = (&l, &r) {
+                if let Some(ord) = a.sql_cmp(b) {
+                    return ScalarExpr::Lit(Value::Bool(op.test(ord)));
+                }
+            }
+            // Orient: smaller operand (by the derived Ord) on the left.
+            if operand_rank(&r) < operand_rank(&l) || (operand_rank(&r) == operand_rank(&l) && r < l)
+            {
+                ScalarExpr::Cmp {
+                    op: op.flip(),
+                    left: Box::new(r),
+                    right: Box::new(l),
+                }
+            } else {
+                ScalarExpr::Cmp {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+        }
+        ScalarExpr::Not(inner) => {
+            let n = normalize_expr(inner);
+            match n {
+                // Push negation through comparisons.
+                ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                    op: op.negate(),
+                    left,
+                    right,
+                },
+                ScalarExpr::Not(e) => *e,
+                ScalarExpr::Lit(Value::Bool(b)) => ScalarExpr::Lit(Value::Bool(!b)),
+                ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                    expr,
+                    negated: !negated,
+                },
+                other => ScalarExpr::Not(Box::new(other)),
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(normalize_expr(expr)),
+            negated: *negated,
+        },
+        ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+            op: *op,
+            left: Box::new(normalize_expr(left)),
+            right: Box::new(normalize_expr(right)),
+        },
+        ScalarExpr::Neg(inner) => ScalarExpr::Neg(Box::new(normalize_expr(inner))),
+        other => other.clone(),
+    }
+}
+
+/// Ranks operands for canonical comparison orientation: columns before
+/// access-params before literals before compound expressions.
+fn operand_rank(e: &ScalarExpr) -> u8 {
+    match e {
+        ScalarExpr::Col(_) => 0,
+        ScalarExpr::AccessParam(_) => 1,
+        ScalarExpr::Lit(_) => 2,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn sch(n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| Column::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conjunct_order_is_canonical() {
+        let a = ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1));
+        let b = ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::lit(2));
+        assert_eq!(
+            normalize_conjuncts(&[a.clone(), b.clone()]),
+            normalize_conjuncts(&[b, a.clone(), a])
+        );
+    }
+
+    #[test]
+    fn comparison_is_oriented() {
+        // 5 > c0  normalizes to  c0 < 5.
+        let e = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::lit(5), ScalarExpr::col(0));
+        assert_eq!(
+            normalize_expr(&e),
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::lit(5))
+        );
+        // c3 = c1 normalizes to c1 = c3.
+        let e = ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::col(1));
+        assert_eq!(
+            normalize_expr(&e),
+            ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(3))
+        );
+    }
+
+    #[test]
+    fn literal_comparisons_fold() {
+        let e = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::lit(1), ScalarExpr::lit(2));
+        assert_eq!(normalize_expr(&e), ScalarExpr::lit(true));
+    }
+
+    #[test]
+    fn not_pushes_through_cmp() {
+        let e = ScalarExpr::Not(Box::new(ScalarExpr::cmp(
+            CmpOp::Lt,
+            ScalarExpr::col(0),
+            ScalarExpr::lit(5),
+        )));
+        assert_eq!(
+            normalize_expr(&e),
+            ScalarExpr::cmp(CmpOp::GtEq, ScalarExpr::col(0), ScalarExpr::lit(5))
+        );
+    }
+
+    #[test]
+    fn select_merging_and_identity_projection() {
+        let scan = Plan::scan("t", sch(2));
+        let p = scan
+            .clone()
+            .select(vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1))])
+            .select(vec![ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::lit(2))])
+            .project(vec![ScalarExpr::col(0), ScalarExpr::col(1)]);
+        let n = normalize(&p);
+        // Project is identity → dropped; selects merged.
+        let Plan::Select { input, conjuncts } = &n else {
+            panic!("expected select, got {n:?}");
+        };
+        assert_eq!(conjuncts.len(), 2);
+        assert!(matches!(**input, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn project_over_project_composes() {
+        let scan = Plan::scan("t", sch(3));
+        let p = scan
+            .project(vec![ScalarExpr::col(2), ScalarExpr::col(0)])
+            .project(vec![ScalarExpr::col(1)]);
+        let n = normalize(&p);
+        let Plan::Project { exprs, .. } = &n else {
+            panic!("expected project");
+        };
+        assert_eq!(exprs, &vec![ScalarExpr::col(0)]);
+    }
+
+    #[test]
+    fn distinct_idempotent() {
+        let p = Plan::scan("t", sch(1)).distinct().distinct();
+        assert_eq!(normalize(&p), Plan::scan("t", sch(1)).distinct());
+    }
+
+    #[test]
+    fn and_short_circuits_false() {
+        let e = ScalarExpr::And(vec![
+            ScalarExpr::lit(false),
+            ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1)),
+        ]);
+        assert_eq!(normalize_expr(&e), ScalarExpr::lit(false));
+    }
+}

@@ -1,0 +1,258 @@
+//! Logical plans with multiset semantics.
+
+use crate::expr::{AggExpr, ScalarExpr};
+use fgac_types::Ident;
+use fgac_types::Schema;
+
+/// A logical query plan.
+///
+/// Multiset semantics throughout: `Project` preserves duplicates;
+/// duplicate elimination is the explicit [`Plan::Distinct`] operator.
+/// `Join` is inner join with an (optionally empty ⇒ cross product)
+/// conjunction of predicates over the concatenated input row.
+///
+/// `ORDER BY`/`LIMIT` are presentation-level and live on
+/// [`crate::BoundQuery`], not in the plan: they are irrelevant to the
+/// paper's (multiset-based) validity notions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Plan {
+    /// Base-table scan. The schema is captured at bind time so plan
+    /// arities are self-contained.
+    Scan { table: Ident, schema: Schema },
+    /// σ: keeps rows on which *all* conjuncts evaluate to TRUE.
+    Select {
+        input: Box<Plan>,
+        conjuncts: Vec<ScalarExpr>,
+    },
+    /// π (duplicate-preserving): one output row per input row.
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<ScalarExpr>,
+    },
+    /// δ: duplicate elimination.
+    Distinct { input: Box<Plan> },
+    /// ⋈: inner join; `conjuncts` over the concatenated row
+    /// (left columns first). Empty conjuncts = cross product.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        conjuncts: Vec<ScalarExpr>,
+    },
+    /// γ: grouping + aggregation. Output row = group-by values followed
+    /// by aggregate values. With empty `group_by`, produces exactly one
+    /// row (global aggregate).
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<ScalarExpr>,
+        aggs: Vec<AggExpr>,
+    },
+}
+
+/// Sort key for `ORDER BY`: output column offset + direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    pub col: usize,
+    pub asc: bool,
+}
+
+impl Plan {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        match self {
+            Plan::Scan { schema, .. } => schema.len(),
+            Plan::Select { input, .. } | Plan::Distinct { input } => input.arity(),
+            Plan::Project { exprs, .. } => exprs.len(),
+            Plan::Join { left, right, .. } => left.arity() + right.arity(),
+            Plan::Aggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+        }
+    }
+
+    /// Direct children.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// All base tables scanned (with multiplicity, pre-order).
+    pub fn scanned_tables(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Plan::Scan { table, .. } = p {
+                out.push(table.clone());
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&Plan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Total number of plan nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// True if an `Aggregate` appears anywhere.
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |p| {
+            if matches!(p, Plan::Aggregate { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if any `$$` access-pattern parameter appears in any
+    /// predicate/projection of the plan.
+    pub fn has_access_params(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |p| {
+            let check = |es: &[ScalarExpr], found: &mut bool| {
+                for e in es {
+                    if e.has_access_params() {
+                        *found = true;
+                    }
+                }
+            };
+            match p {
+                Plan::Select { conjuncts, .. } | Plan::Join { conjuncts, .. } => {
+                    check(conjuncts, &mut found)
+                }
+                Plan::Project { exprs, .. } => check(exprs, &mut found),
+                Plan::Aggregate { group_by, aggs, .. } => {
+                    check(group_by, &mut found);
+                    for a in aggs {
+                        if let Some(arg) = &a.arg {
+                            if arg.has_access_params() {
+                                found = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+        found
+    }
+
+    // ---- builder helpers (used heavily in tests and benches) ----
+
+    pub fn scan(table: impl Into<Ident>, schema: Schema) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            schema,
+        }
+    }
+
+    pub fn select(self, conjuncts: Vec<ScalarExpr>) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            conjuncts,
+        }
+    }
+
+    pub fn project(self, exprs: Vec<ScalarExpr>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    pub fn join(self, right: Plan, conjuncts: Vec<ScalarExpr>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            conjuncts,
+        }
+    }
+
+    pub fn aggregate(self, group_by: Vec<ScalarExpr>, aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, CmpOp};
+    use fgac_types::{Column, DataType};
+
+    fn grades_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("student_id", DataType::Str),
+            Column::new("course_id", DataType::Str),
+            Column::new("grade", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn arity_propagates() {
+        let scan = Plan::scan("grades", grades_schema());
+        assert_eq!(scan.arity(), 3);
+        let sel = scan.clone().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("11"),
+        )]);
+        assert_eq!(sel.arity(), 3);
+        let proj = sel.project(vec![ScalarExpr::col(2)]);
+        assert_eq!(proj.arity(), 1);
+        let join = scan.clone().join(
+            scan,
+            vec![ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::col(1),
+                ScalarExpr::col(4),
+            )],
+        );
+        assert_eq!(join.arity(), 6);
+        let agg = join.aggregate(
+            vec![ScalarExpr::col(1)],
+            vec![AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(ScalarExpr::col(2)),
+                distinct: false,
+            }],
+        );
+        assert_eq!(agg.arity(), 2);
+    }
+
+    #[test]
+    fn node_count_and_scans() {
+        let s = Plan::scan("grades", grades_schema());
+        let p = s.clone().join(s, vec![]).distinct();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.scanned_tables().len(), 2);
+        assert!(!p.has_aggregate());
+    }
+
+    #[test]
+    fn access_param_detection() {
+        let p = Plan::scan("grades", grades_schema()).select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::AccessParam("1".into()),
+        )]);
+        assert!(p.has_access_params());
+    }
+}

@@ -1,0 +1,126 @@
+//! Column provenance: mapping plan output columns back to base-table
+//! columns.
+//!
+//! Rules U3a–U3c and C3a/C3b (Sections 5.3–5.4) partition a query's
+//! relations into *core* and *remainder* and reason about which output
+//! attributes come from which side; that requires knowing, for every
+//! output offset, which scan instance and base column produced it.
+
+use crate::plan::Plan;
+use fgac_types::Ident;
+
+/// The origin of one output column: the `instance`-th scan (numbered in
+/// left-to-right scan order) of `table`, column `column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColOrigin {
+    pub table: Ident,
+    pub instance: usize,
+    pub column: Ident,
+}
+
+/// Computes per-output-column provenance. `None` marks computed columns
+/// (literals, arithmetic, aggregates) with no single base-column origin.
+pub fn provenance(plan: &Plan) -> Vec<Option<ColOrigin>> {
+    let mut next_instance = 0;
+    walk(plan, &mut next_instance)
+}
+
+fn walk(plan: &Plan, next_instance: &mut usize) -> Vec<Option<ColOrigin>> {
+    match plan {
+        Plan::Scan { table, schema } => {
+            let instance = *next_instance;
+            *next_instance += 1;
+            schema
+                .columns()
+                .iter()
+                .map(|c| {
+                    Some(ColOrigin {
+                        table: table.clone(),
+                        instance,
+                        column: c.name.clone(),
+                    })
+                })
+                .collect()
+        }
+        Plan::Select { input, .. } | Plan::Distinct { input } => walk(input, next_instance),
+        Plan::Project { input, exprs } => {
+            let inner = walk(input, next_instance);
+            exprs
+                .iter()
+                .map(|e| match e {
+                    crate::ScalarExpr::Col(i) => inner.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect()
+        }
+        Plan::Join { left, right, .. } => {
+            let mut cols = walk(left, next_instance);
+            cols.extend(walk(right, next_instance));
+            cols
+        }
+        Plan::Aggregate {
+            input, group_by, aggs, ..
+        } => {
+            let inner = walk(input, next_instance);
+            let mut cols: Vec<Option<ColOrigin>> = group_by
+                .iter()
+                .map(|e| match e {
+                    crate::ScalarExpr::Col(i) => inner.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            cols.extend(std::iter::repeat_n(None, aggs.len()));
+            cols
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, AggFunc, ScalarExpr};
+    use fgac_types::{Column, DataType, Schema};
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Column::new(*n, DataType::Str)).collect())
+    }
+
+    #[test]
+    fn join_numbers_instances_left_to_right() {
+        let a = Plan::scan("t", schema(&["x"]));
+        let b = Plan::scan("t", schema(&["x"]));
+        let j = a.join(b, vec![]);
+        let p = provenance(&j);
+        assert_eq!(p[0].as_ref().unwrap().instance, 0);
+        assert_eq!(p[1].as_ref().unwrap().instance, 1);
+        assert_eq!(p[0].as_ref().unwrap().table, Ident::new("t"));
+    }
+
+    #[test]
+    fn project_traces_simple_cols_only() {
+        let s = Plan::scan("g", schema(&["a", "b"]));
+        let p = s.project(vec![
+            ScalarExpr::col(1),
+            ScalarExpr::lit(1),
+        ]);
+        let prov = provenance(&p);
+        assert_eq!(prov[0].as_ref().unwrap().column, Ident::new("b"));
+        assert!(prov[1].is_none());
+    }
+
+    #[test]
+    fn aggregate_outputs() {
+        let s = Plan::scan("g", schema(&["a", "b"]));
+        let agg = s.aggregate(
+            vec![ScalarExpr::col(0)],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                arg: Some(ScalarExpr::col(1)),
+                distinct: false,
+            }],
+        );
+        let prov = provenance(&agg);
+        assert_eq!(prov[0].as_ref().unwrap().column, Ident::new("a"));
+        assert!(prov[1].is_none());
+    }
+}

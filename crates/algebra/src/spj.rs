@@ -1,0 +1,238 @@
+//! SPJ-block decomposition.
+//!
+//! Rules U3a–U3c and C3a/C3b (Sections 5.3–5.4) are stated over queries
+//! of the form `SELECT [DISTINCT] A FROM R WHERE P`: a set of relations,
+//! a conjunctive predicate, and a projection. [`SpjBlock`] is that view
+//! of a [`Plan`]: scans in flat column order, all selection/join
+//! conjuncts lifted to the flat row, the projection, and a distinct flag.
+
+use crate::expr::ScalarExpr;
+use crate::normalize::normalize_conjuncts;
+use crate::plan::Plan;
+use fgac_types::{Ident, Schema};
+
+/// A select-project-join block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpjBlock {
+    /// Scan instances, in flat column order.
+    pub scans: Vec<(Ident, Schema)>,
+    /// All conjuncts (selections + join predicates) over the flat row.
+    pub conjuncts: Vec<ScalarExpr>,
+    /// Projection over the flat row.
+    pub projection: Vec<ScalarExpr>,
+    /// Whether the block ends in duplicate elimination.
+    pub distinct: bool,
+}
+
+impl SpjBlock {
+    /// Total width of the flat row.
+    pub fn flat_arity(&self) -> usize {
+        self.scans.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Flat-offset range `[start, end)` of scan instance `idx`.
+    pub fn scan_range(&self, idx: usize) -> (usize, usize) {
+        let start: usize = self.scans[..idx].iter().map(|(_, s)| s.len()).sum();
+        (start, start + self.scans[idx].1.len())
+    }
+
+    /// Which scan instance owns flat offset `col`.
+    pub fn owner(&self, col: usize) -> usize {
+        let mut acc = 0;
+        for (i, (_, s)) in self.scans.iter().enumerate() {
+            acc += s.len();
+            if col < acc {
+                return i;
+            }
+        }
+        panic!("offset {col} out of range");
+    }
+
+    /// Rebuilds the equivalent plan: `[Distinct](Project(Select(J)))` with
+    /// a left-deep cross-join and all conjuncts in one selection.
+    pub fn to_plan(&self) -> Plan {
+        let mut it = self.scans.iter();
+        let (t0, s0) = it.next().expect("at least one scan");
+        let mut plan = Plan::scan(t0.clone(), s0.clone());
+        for (t, s) in it {
+            plan = plan.join(Plan::scan(t.clone(), s.clone()), vec![]);
+        }
+        if !self.conjuncts.is_empty() {
+            plan = plan.select(normalize_conjuncts(&self.conjuncts));
+        }
+        plan = plan.project(self.projection.clone());
+        if self.distinct {
+            plan = plan.distinct();
+        }
+        crate::normalize(&plan)
+    }
+
+    /// Decomposes a plan into an SPJ block if it has the right shape:
+    /// `[Distinct]([Project]([Select](join tree of scans/selects)))`.
+    /// Aggregates and nested projections make it non-SPJ (`None`).
+    pub fn decompose(plan: &Plan) -> Option<SpjBlock> {
+        let mut distinct = false;
+        let mut cursor = plan;
+        if let Plan::Distinct { input } = cursor {
+            distinct = true;
+            cursor = input;
+        }
+        let (projection_opt, below_project) = match cursor {
+            Plan::Project { input, exprs } => (Some(exprs.clone()), &**input),
+            other => (None, other),
+        };
+        let (top_conjuncts, tree) = match below_project {
+            Plan::Select { input, conjuncts } => (conjuncts.clone(), &**input),
+            other => (Vec::new(), other),
+        };
+        let mut scans = Vec::new();
+        let mut conjuncts = Vec::new();
+        flatten(tree, 0, &mut scans, &mut conjuncts)?;
+        conjuncts.extend(top_conjuncts);
+        let flat: usize = scans.iter().map(|(_, s): &(Ident, Schema)| s.len()).sum();
+        let projection =
+            projection_opt.unwrap_or_else(|| (0..flat).map(ScalarExpr::Col).collect());
+        Some(SpjBlock {
+            scans,
+            conjuncts: normalize_conjuncts(&conjuncts),
+            projection,
+            distinct,
+        })
+    }
+}
+
+/// Flattens a join tree of scans/selects, shifting conjunct offsets to
+/// the global flat row. Returns `None` on non-SPJ operators.
+fn flatten(
+    plan: &Plan,
+    base: usize,
+    scans: &mut Vec<(Ident, Schema)>,
+    conjuncts: &mut Vec<ScalarExpr>,
+) -> Option<usize> {
+    match plan {
+        Plan::Scan { table, schema } => {
+            scans.push((table.clone(), schema.clone()));
+            Some(schema.len())
+        }
+        Plan::Select {
+            input,
+            conjuncts: cs,
+        } => {
+            let width = flatten(input, base, scans, conjuncts)?;
+            for c in cs {
+                conjuncts.push(c.map_cols(&|i| i + base));
+            }
+            Some(width)
+        }
+        Plan::Join {
+            left,
+            right,
+            conjuncts: cs,
+        } => {
+            let lw = flatten(left, base, scans, conjuncts)?;
+            let rw = flatten(right, base + lw, scans, conjuncts)?;
+            for c in cs {
+                conjuncts.push(c.map_cols(&|i| i + base));
+            }
+            Some(lw + rw)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use fgac_types::{Column, DataType};
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Column::new(*n, DataType::Str)).collect())
+    }
+
+    fn grades() -> Plan {
+        Plan::scan("grades", schema(&["sid", "cid", "grade"]))
+    }
+
+    fn registered() -> Plan {
+        Plan::scan("registered", schema(&["sid", "cid"]))
+    }
+
+    #[test]
+    fn decomposes_co_student_grades_shape() {
+        // π_{0,1,2}(σ_{reg.sid='11' ∧ g.cid=reg.cid}(G × R))
+        let p = grades()
+            .join(registered(), vec![])
+            .select(vec![
+                ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::lit("11")),
+                ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(4)),
+            ])
+            .project(vec![
+                ScalarExpr::col(0),
+                ScalarExpr::col(1),
+                ScalarExpr::col(2),
+            ]);
+        let block = SpjBlock::decompose(&p).unwrap();
+        assert_eq!(block.scans.len(), 2);
+        assert_eq!(block.conjuncts.len(), 2);
+        assert_eq!(block.projection.len(), 3);
+        assert!(!block.distinct);
+        assert_eq!(block.flat_arity(), 5);
+        assert_eq!(block.scan_range(1), (3, 5));
+        assert_eq!(block.owner(4), 1);
+    }
+
+    #[test]
+    fn lifts_nested_selects_with_offsets() {
+        // σ inside the right side of a join must shift by the left width.
+        let p = grades().join(
+            registered().select(vec![ScalarExpr::eq(
+                ScalarExpr::col(0),
+                ScalarExpr::lit("11"),
+            )]),
+            vec![ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(4))],
+        );
+        let block = SpjBlock::decompose(&p).unwrap();
+        // reg.sid is flat offset 3.
+        assert!(block
+            .conjuncts
+            .contains(&ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::lit("11"))));
+        // Implicit projection is identity over 5 columns.
+        assert_eq!(block.projection.len(), 5);
+    }
+
+    #[test]
+    fn aggregate_is_not_spj() {
+        let p = grades().aggregate(
+            vec![ScalarExpr::col(1)],
+            vec![crate::AggExpr {
+                func: crate::AggFunc::Count,
+                arg: Some(ScalarExpr::col(2)),
+                distinct: false,
+            }],
+        );
+        assert!(SpjBlock::decompose(&p).is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_to_plan() {
+        let p = grades()
+            .select(vec![ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit("50"),
+            )])
+            .project(vec![ScalarExpr::col(0)])
+            .distinct();
+        let block = SpjBlock::decompose(&crate::normalize(&p)).unwrap();
+        let rebuilt = block.to_plan();
+        assert_eq!(rebuilt, crate::normalize(&p));
+    }
+
+    #[test]
+    fn distinct_flag_detected() {
+        let p = grades().project(vec![ScalarExpr::col(0)]).distinct();
+        let block = SpjBlock::decompose(&p).unwrap();
+        assert!(block.distinct);
+    }
+}

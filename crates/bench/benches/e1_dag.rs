@@ -1,0 +1,49 @@
+//! E1 — AND-OR DAG construction and expansion (Figure 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgac_algebra::{Plan, ScalarExpr};
+use fgac_optimizer::{expand, Dag, ExpandOptions};
+use fgac_types::{Column, DataType, Schema};
+
+fn chain_join(n: usize) -> Plan {
+    let schema = Schema::new(vec![
+        Column::new("x", DataType::Int),
+        Column::new("y", DataType::Int),
+    ]);
+    let mut plan = Plan::scan("t0", schema.clone());
+    for i in 1..n {
+        let off = 2 * i;
+        plan = plan.join(
+            Plan::scan(format!("t{i}").as_str(), schema.clone()),
+            vec![ScalarExpr::eq(
+                ScalarExpr::col(off - 1),
+                ScalarExpr::col(off),
+            )],
+        );
+    }
+    plan
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_dag");
+    for n in [2usize, 3, 4, 5] {
+        let plan = chain_join(n);
+        group.bench_with_input(BenchmarkId::new("insert", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut dag = Dag::new();
+                dag.insert_plan(p)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("expand", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut dag = Dag::new();
+                dag.insert_plan(p);
+                expand(&mut dag, &ExpandOptions::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

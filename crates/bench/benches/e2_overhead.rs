@@ -1,0 +1,58 @@
+//! E2 — validity-check overhead vs plain optimization (§5.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgac_bench::{pick_triple, university};
+use fgac_core::{CheckOptions, Session, Validator};
+use fgac_optimizer::{expand, extract_best, CostModel, Dag, ExpandOptions, TableStats};
+
+fn bench(c: &mut Criterion) {
+    let uni = university(200);
+    let (student, reg, _) = pick_triple(&uni);
+    let session = Session::new(student.clone());
+    let db = uni.engine.database();
+    let cases = [
+        (
+            "point",
+            format!("select grade from grades where student_id = '{student}'"),
+        ),
+        (
+            "aggregate",
+            format!("select avg(grade) from grades where course_id = '{reg}'"),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("e2_overhead");
+    for (label, sql) in &cases {
+        let parsed = fgac_sql::parse_query(sql).unwrap();
+        let bound = fgac_algebra::bind_query(db.catalog(), &parsed, session.params()).unwrap();
+
+        group.bench_function(format!("{label}/optimize_only"), |b| {
+            b.iter(|| {
+                let mut dag = Dag::new();
+                let root = dag.insert_plan(&bound.plan);
+                expand(&mut dag, &ExpandOptions::default());
+                let model = CostModel::new(TableStats::from_database(db));
+                extract_best(&dag, root, &model)
+            });
+        });
+        group.bench_function(format!("{label}/check_basic"), |b| {
+            b.iter(|| {
+                Validator::new(db, uni.engine.grants())
+                    .with_options(CheckOptions::basic_only())
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+        group.bench_function(format!("{label}/check_full"), |b| {
+            b.iter(|| {
+                Validator::new(db, uni.engine.grants())
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

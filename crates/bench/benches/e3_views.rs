@@ -1,0 +1,57 @@
+//! E3 — scaling with the number of authorization views (§5.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgac_bench::pick_triple;
+use fgac_core::{CheckOptions, Session, Validator};
+use fgac_workload::querygen::synthetic_view_family;
+use fgac_workload::university::{build, UniversityConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_views");
+    group.sample_size(15);
+    for n in [8usize, 32, 128] {
+        let mut uni = build(UniversityConfig::default().with_students(100)).unwrap();
+        // A few relevant views plus (n-4) irrelevant join views that
+        // pruning can discard (see the report binary's E3).
+        for (name, body) in synthetic_view_family(4) {
+            uni.engine.admin_script(&body).unwrap();
+            uni.engine.grant_view("student", &name);
+        }
+        for i in 0..n.saturating_sub(4) {
+            let noise = format!(
+                "create authorization view noise{i} as \
+                 select s.name, c.name from students s, courses c \
+                 where s.type = 'FullTime' and c.course_id = 'c{:04}'",
+                i % 10
+            );
+            uni.engine.admin_script(&noise).unwrap();
+            uni.engine.grant_view("student", &format!("noise{i}"));
+        }
+        let (student, _, _) = pick_triple(&uni);
+        let sql = format!("select grade from grades where student_id = '{student}'");
+        let session = Session::new(student.clone());
+
+        group.bench_with_input(BenchmarkId::new("no_prune", n), &sql, |b, sql| {
+            b.iter(|| {
+                Validator::new(uni.engine.database(), uni.engine.grants())
+                    .with_options(CheckOptions {
+                        prune_irrelevant_views: false,
+                        ..Default::default()
+                    })
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("prune", n), &sql, |b, sql| {
+            b.iter(|| {
+                Validator::new(uni.engine.database(), uni.engine.grants())
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

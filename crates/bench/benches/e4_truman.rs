@@ -1,0 +1,40 @@
+//! E4 — Truman-rewritten vs Non-Truman-original execution (§3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgac_bench::{pick_triple, university};
+use fgac_core::truman::TrumanPolicy;
+use fgac_core::Session;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_truman");
+    group.sample_size(15);
+    for students in [500usize, 4_000] {
+        let uni = university(students);
+        let (student, reg, _) = pick_triple(&uni);
+        let session = Session::new(student.clone());
+        let sql = format!("select grade from grades where course_id = '{reg}'");
+        let policy = TrumanPolicy::new().substitute_view("grades", "costudentgrades");
+
+        group.bench_with_input(
+            BenchmarkId::new("truman_rewritten", students),
+            &sql,
+            |b, sql| {
+                b.iter(|| uni.engine.truman_execute(&policy, &session, sql).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("original_unmodified", students),
+            &sql,
+            |b, sql| {
+                b.iter(|| {
+                    fgac_exec::run_query_sql(uni.engine.database(), sql, session.params())
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — validity-check caching for repeated/prepared queries (§5.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgac_bench::{pick_triple, university};
+use fgac_core::{Session, Validator};
+
+fn bench(c: &mut Criterion) {
+    let uni = university(500);
+    let (student, _, _) = pick_triple(&uni);
+    let session = Session::new(student.clone());
+    let sql = format!("select grade from grades where student_id = '{student}'");
+
+    let mut group = c.benchmark_group("e5_cache");
+    group.bench_function("cold_check", |b| {
+        // Bypass the engine cache: run the validator directly.
+        b.iter(|| {
+            Validator::new(uni.engine.database(), uni.engine.grants())
+                .check_sql(&session, &sql)
+                .unwrap()
+        });
+    });
+    // Warm the cache, then measure the cached path.
+    uni.engine.check(&session, &sql).unwrap();
+    group.bench_function("cached_check", |b| {
+        b.iter(|| uni.engine.check(&session, &sql).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

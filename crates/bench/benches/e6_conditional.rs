@@ -1,0 +1,43 @@
+//! E6 — the cost of conditional-validity (C3) checks, which include a
+//! database probe of the instantiated remainder (§4.3, §5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgac_bench::{pick_triple, university};
+use fgac_core::{CheckOptions, Session, Validator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_conditional");
+    group.sample_size(15);
+    for students in [200usize, 2_000] {
+        let uni = university(students);
+        let (student, reg, _) = pick_triple(&uni);
+        let session = Session::new(student.clone());
+        // Conditionally valid: needs the C3 path end-to-end.
+        let sql = format!("select * from grades where course_id = '{reg}'");
+
+        group.bench_with_input(BenchmarkId::new("c3_check", students), &sql, |b, sql| {
+            b.iter(|| {
+                Validator::new(uni.engine.database(), uni.engine.grants())
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+        // For comparison: the same machinery with C3 disabled (rejects
+        // fast after exhausting the unconditional rules).
+        group.bench_with_input(BenchmarkId::new("no_c3", students), &sql, |b, sql| {
+            b.iter(|| {
+                Validator::new(uni.engine.database(), uni.engine.grants())
+                    .with_options(CheckOptions {
+                        enable_c3: false,
+                        ..Default::default()
+                    })
+                    .check_sql(&session, sql)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

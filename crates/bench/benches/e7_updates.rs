@@ -1,0 +1,44 @@
+//! E7 — per-tuple update-authorization throughput (§4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgac_core::{Engine, Session};
+
+fn fresh_engine() -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(
+        "create table registered (student_id varchar not null, \
+         course_id varchar not null);",
+    )
+    .unwrap();
+    e.grant_update_sql(
+        "u",
+        "authorize insert on registered where student_id = $user_id",
+    )
+    .unwrap();
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_updates");
+    group.sample_size(20);
+    for batch in [100usize, 1_000] {
+        let session = Session::new("u");
+        let values: Vec<String> = (0..batch).map(|i| format!("('u', 'c{i}')")).collect();
+        let sql = format!("insert into registered values {}", values.join(", "));
+        group.bench_with_input(
+            BenchmarkId::new("authorized_insert", batch),
+            &sql,
+            |b, sql| {
+                b.iter_batched(
+                    fresh_engine,
+                    |mut e| e.execute(&session, sql).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! # fgac-bench
+//!
+//! Shared scenario setup and measurement helpers for the experiment
+//! harness. The experiments themselves live in:
+//!
+//! * `src/bin/report.rs` — regenerates every experiment table (E1–E8;
+//!   see DESIGN.md §4 and EXPERIMENTS.md);
+//! * `benches/e*.rs` — Criterion microbenchmarks per experiment.
+
+use fgac_core::{CheckOptions, Session, Validator, Verdict};
+use fgac_workload::university::{build, University, UniversityConfig};
+use std::time::{Duration, Instant};
+
+/// Median wall time of `iters` runs of `f`.
+pub fn median_time<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Builds the standard university of the given size.
+pub fn university(students: usize) -> University {
+    build(UniversityConfig::default().with_students(students)).expect("workload builds")
+}
+
+/// A (student, registered-course, unregistered-course) triple from the
+/// generated data — the inputs the query mix needs.
+pub fn pick_triple(uni: &University) -> (String, String, String) {
+    let student = uni.student(0);
+    let reg = uni
+        .registrations
+        .iter()
+        .find(|(s, _)| s == &student)
+        .map(|(_, c)| c.clone())
+        .expect("student registers");
+    let unreg = (0..uni.config.courses)
+        .map(|i| uni.course(i))
+        .find(|c| !uni.is_registered(&student, c))
+        .expect("unregistered course exists");
+    (student, reg, unreg)
+}
+
+/// Runs one validity check with the given options; returns the verdict.
+pub fn check_with(uni: &University, options: CheckOptions, user: &str, sql: &str) -> Verdict {
+    Validator::new(uni.engine.database(), uni.engine.grants())
+        .with_options(options)
+        .check_sql(&Session::new(user), sql)
+        .expect("check runs")
+        .verdict
+}
+
+/// Formats a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a row of a fixed-width table.
+pub fn row(cells: &[&str], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work_end_to_end() {
+        let uni = university(20);
+        let (s, reg, unreg) = pick_triple(&uni);
+        assert_ne!(reg, unreg);
+        let v = check_with(
+            &uni,
+            CheckOptions::default(),
+            &s,
+            &format!("select * from grades where student_id = '{s}'"),
+        );
+        assert_eq!(v, Verdict::Unconditional);
+        let d = median_time(3, || 1 + 1);
+        assert!(d < std::time::Duration::from_secs(1));
+    }
+}

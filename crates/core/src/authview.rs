@@ -1,0 +1,191 @@
+//! Authorization views (Section 2).
+
+use fgac_algebra::{bind_query, BoundQuery, ParamScope};
+use fgac_sql::{Expr, Query};
+use fgac_storage::Catalog;
+use fgac_types::{Error, Ident, Result};
+
+/// An authorization view: a (possibly parameterized) view definition used
+/// purely for access control. Three flavors per Section 2:
+///
+/// * plain relational views (no parameters);
+/// * *parameterized* views mentioning `$user_id`, `$time`, ... — one
+///   definition expresses a policy across all users;
+/// * *access-pattern* views mentioning `$$k` parameters that the accessor
+///   may bind to any value (e.g. `SingleGrade`: a secretary can look up
+///   any one student's grades but cannot list all students).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthorizationView {
+    pub name: Ident,
+    pub query: Query,
+}
+
+impl AuthorizationView {
+    pub fn new(name: impl Into<Ident>, query: Query) -> Self {
+        AuthorizationView {
+            name: name.into(),
+            query,
+        }
+    }
+
+    /// Parses a `CREATE AUTHORIZATION VIEW` statement.
+    pub fn parse(sql: &str) -> Result<Self> {
+        match fgac_sql::parse_statement(sql)? {
+            fgac_sql::Statement::CreateView(v) if v.authorization => {
+                Ok(AuthorizationView::new(v.name, v.query))
+            }
+            _ => Err(Error::Parse(
+                "expected a CREATE AUTHORIZATION VIEW statement".into(),
+            )),
+        }
+    }
+
+    /// The `$` session parameters this view mentions.
+    pub fn session_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk_exprs(&mut |e| {
+            if let Expr::Param(p) = e {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// The `$$` access-pattern parameters this view mentions. Non-empty
+    /// makes this an access-pattern view (handled by Section 6 logic).
+    pub fn access_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk_exprs(&mut |e| {
+            if let Expr::AccessParam(p) = e {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        });
+        out
+    }
+
+    pub fn is_access_pattern(&self) -> bool {
+        !self.access_params().is_empty()
+    }
+
+    /// Instantiates the view for a session: binds the definition with the
+    /// session's parameter values, producing the *instantiated
+    /// authorization view* plan (Section 2). `$$` parameters survive as
+    /// opaque constants.
+    pub fn instantiate(&self, catalog: &Catalog, params: &ParamScope) -> Result<BoundQuery> {
+        bind_query(catalog, &self.query, params)
+    }
+
+    fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        fn walk_query(q: &Query, f: &mut impl FnMut(&Expr)) {
+            for item in &q.projection {
+                if let fgac_sql::SelectItem::Expr { expr, .. } = item {
+                    expr.walk(f);
+                }
+            }
+            for t in &q.from {
+                for j in &t.joins {
+                    j.on.walk(f);
+                }
+            }
+            if let Some(w) = &q.selection {
+                w.walk(f);
+            }
+            for g in &q.group_by {
+                g.walk(f);
+            }
+            if let Some(h) = &q.having {
+                h.walk(f);
+            }
+        }
+        walk_query(&self.query, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_and_classifies_parameterized_view() {
+        let v = AuthorizationView::parse(
+            "create authorization view MyGrades as \
+             select * from grades where student_id = $user_id",
+        )
+        .unwrap();
+        assert_eq!(v.session_params(), vec!["user_id".to_string()]);
+        assert!(!v.is_access_pattern());
+    }
+
+    #[test]
+    fn classifies_access_pattern_view() {
+        let v = AuthorizationView::parse(
+            "create authorization view SingleGrade as \
+             select * from grades where student_id = $$1",
+        )
+        .unwrap();
+        assert!(v.is_access_pattern());
+        assert_eq!(v.access_params(), vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn instantiation_substitutes_parameters() {
+        let v = AuthorizationView::parse(
+            "create authorization view MyGrades as \
+             select * from grades where student_id = $user_id",
+        )
+        .unwrap();
+        let bound = v
+            .instantiate(&catalog(), &ParamScope::with_user("11"))
+            .unwrap();
+        // Same plan as binding the literal query.
+        let direct = fgac_algebra::bind_query(
+            &catalog(),
+            &fgac_sql::parse_query("select * from grades where student_id = '11'").unwrap(),
+            &ParamScope::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            fgac_algebra::normalize(&bound.plan),
+            fgac_algebra::normalize(&direct.plan)
+        );
+    }
+
+    #[test]
+    fn rejects_non_authorization_statements() {
+        assert!(AuthorizationView::parse("select * from grades").is_err());
+        assert!(AuthorizationView::parse(
+            "create view V as select * from grades"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn instantiation_fails_on_missing_param() {
+        let v = AuthorizationView::parse(
+            "create authorization view TimeBound as \
+             select * from grades where grade > $threshold",
+        )
+        .unwrap();
+        assert!(v.instantiate(&catalog(), &ParamScope::with_user("11")).is_err());
+    }
+}

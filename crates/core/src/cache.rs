@@ -1,0 +1,191 @@
+//! Validity-check caching (the Section 5.6 optimizations).
+//!
+//! "Most uses of a database are from application programs, which execute
+//! the same queries repeatedly ... If the same query is reissued multiple
+//! times in a session, we can cache the results of the validity check
+//! (assuming no underlying data on which it depends changes during the
+//! session)."
+//!
+//! Keyed on `(user, fingerprint of the normalized bound plan)`, so the
+//! cache naturally covers prepared statements re-executed with the same
+//! parameter values, and re-binding with different `$user_id` produces a
+//! different fingerprint (a different instantiated query).
+//!
+//! Conditional verdicts (rule C3) depend on the database *state*, so
+//! they carry the data version they were computed at and expire on any
+//! mutation; unconditional verdicts and rejections survive data changes
+//! (they quantify over all states) but not authorization/schema changes,
+//! which bump the policy epoch and clear everything.
+
+use crate::nontruman::Verdict;
+use fgac_algebra::Plan;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Cache lookup result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit(Verdict),
+    Miss,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    verdict: Verdict,
+    data_version: u64,
+}
+
+/// A concurrent validity cache.
+#[derive(Debug, Default)]
+pub struct ValidityCache {
+    entries: Mutex<HashMap<(String, u64), Entry>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl ValidityCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fingerprint of a normalized bound plan.
+    pub fn fingerprint(plan: &Plan) -> u64 {
+        let mut h = DefaultHasher::new();
+        plan.hash(&mut h);
+        h.finish()
+    }
+
+    /// Fingerprint of a bound plan *in a session context*. Verdicts
+    /// depend on every session parameter (views like `... where $hour
+    /// >= 9` instantiate differently per session), so the parameters are
+    /// part of the key — not just the user.
+    pub fn fingerprint_in_session(plan: &Plan, params: &fgac_algebra::ParamScope) -> u64 {
+        let mut h = DefaultHasher::new();
+        plan.hash(&mut h);
+        params.hash(&mut h);
+        h.finish()
+    }
+
+    /// Looks up a verdict for (user, plan) at the given data version.
+    pub fn lookup(&self, user: &str, fingerprint: u64, data_version: u64) -> CacheOutcome {
+        let entries = self.entries.lock();
+        match entries.get(&(user.to_string(), fingerprint)) {
+            Some(e) => {
+                // Conditional verdicts are state-dependent.
+                if e.verdict == Verdict::Conditional && e.data_version != data_version {
+                    *self.misses.lock() += 1;
+                    return CacheOutcome::Miss;
+                }
+                // Invalid verdicts may become Conditional after inserts
+                // (the C3 probe can flip from empty to non-empty), so
+                // they are also state-pinned.
+                if e.verdict == Verdict::Invalid && e.data_version != data_version {
+                    *self.misses.lock() += 1;
+                    return CacheOutcome::Miss;
+                }
+                *self.hits.lock() += 1;
+                CacheOutcome::Hit(e.verdict)
+            }
+            None => {
+                *self.misses.lock() += 1;
+                CacheOutcome::Miss
+            }
+        }
+    }
+
+    /// Records a verdict.
+    pub fn store(&self, user: &str, fingerprint: u64, data_version: u64, verdict: Verdict) {
+        self.entries.lock().insert(
+            (user.to_string(), fingerprint),
+            Entry {
+                verdict,
+                data_version,
+            },
+        );
+    }
+
+    /// Clears everything — required when views, grants, or schema change
+    /// (a new policy epoch).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// (hits, misses) counters — experiment E5 instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::Schema;
+
+    fn plan(table: &str) -> Plan {
+        Plan::scan(table, Schema::new(vec![]))
+    }
+
+    #[test]
+    fn unconditional_survives_data_changes() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, Verdict::Unconditional);
+        assert_eq!(c.lookup("11", fp, 99), CacheOutcome::Hit(Verdict::Unconditional));
+    }
+
+    #[test]
+    fn conditional_expires_on_data_change() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, Verdict::Conditional);
+        assert_eq!(c.lookup("11", fp, 1), CacheOutcome::Hit(Verdict::Conditional));
+        assert_eq!(c.lookup("11", fp, 2), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn invalid_expires_on_data_change() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, Verdict::Invalid);
+        assert_eq!(c.lookup("11", fp, 2), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn per_user_keys() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, Verdict::Unconditional);
+        assert_eq!(c.lookup("12", fp, 1), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn distinct_plans_have_distinct_fingerprints() {
+        assert_ne!(
+            ValidityCache::fingerprint(&plan("a")),
+            ValidityCache::fingerprint(&plan("b"))
+        );
+    }
+
+    #[test]
+    fn clear_and_stats() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, Verdict::Unconditional);
+        assert_eq!(c.len(), 1);
+        let _ = c.lookup("11", fp, 1);
+        let _ = c.lookup("11", fp + 1, 1);
+        assert_eq!(c.stats(), (1, 1));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

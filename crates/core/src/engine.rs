@@ -1,0 +1,431 @@
+//! The engine façade: the object a downstream application talks to.
+//!
+//! Wires together the database, grants, the Non-Truman validator (with
+//! caching), per-tuple update authorization, and the Truman baseline.
+//! DDL and grant management run through `admin_*` methods (the DBA
+//! path); `execute` is the user path and enforces access control.
+
+use crate::cache::{CacheOutcome, ValidityCache};
+use crate::grants::Grants;
+use crate::nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
+use crate::session::Session;
+use crate::truman::TrumanPolicy;
+use crate::updates::UpdateAuthorizer;
+use fgac_exec::QueryResult;
+use fgac_sql::Statement;
+use fgac_storage::{Database, ForeignKey, InclusionDependency, ViewDef};
+use fgac_types::{Error, Ident, Result, Row, Schema};
+
+/// Response from [`Engine::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineResponse {
+    /// A validated query's result (the query ran **unmodified**).
+    Rows(QueryResult),
+    /// DML outcome: number of affected tuples.
+    Affected(usize),
+}
+
+impl EngineResponse {
+    pub fn rows(&self) -> Option<&QueryResult> {
+        match self {
+            EngineResponse::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            EngineResponse::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// The fine-grained access control engine.
+pub struct Engine {
+    db: Database,
+    grants: Grants,
+    cache: ValidityCache,
+    options: CheckOptions,
+    /// Bumped on every successful DML — versions conditional verdicts.
+    data_version: u64,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            db: Database::new(),
+            grants: Grants::new(),
+            cache: ValidityCache::new(),
+            options: CheckOptions::default(),
+            data_version: 0,
+        }
+    }
+
+    /// Replaces the checker options (e.g. `CheckOptions::basic_only()`).
+    pub fn with_check_options(mut self, options: CheckOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn grants(&self) -> &Grants {
+        &self.grants
+    }
+
+    pub fn cache(&self) -> &ValidityCache {
+        &self.cache
+    }
+
+    pub fn data_version(&self) -> u64 {
+        self.data_version
+    }
+
+    // ---------------- DBA path ----------------
+
+    /// Runs a DDL/DML script with no access checks (the DBA loads
+    /// schema, constraints, views, and seed data this way).
+    pub fn admin_script(&mut self, sql: &str) -> Result<()> {
+        for stmt in fgac_sql::parse_statements(sql)? {
+            self.admin_statement(&stmt)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one admin statement.
+    pub fn admin_statement(&mut self, stmt: &Statement) -> Result<()> {
+        match stmt {
+            Statement::CreateTable(t) => {
+                let schema = Schema::new(
+                    t.columns
+                        .iter()
+                        .map(|c| {
+                            let mut col = fgac_types::Column::new(c.name.clone(), c.ty);
+                            if c.nullable {
+                                col = col.nullable();
+                            }
+                            col
+                        })
+                        .collect(),
+                );
+                self.db
+                    .create_table(t.name.clone(), schema, t.primary_key.clone())?;
+                for (i, fk) in t.foreign_keys.iter().enumerate() {
+                    self.db.add_foreign_key(ForeignKey {
+                        name: Ident::new(format!("fk_{}_{i}", t.name)),
+                        child_table: t.name.clone(),
+                        child_columns: fk.columns.clone(),
+                        parent_table: fk.parent_table.clone(),
+                        parent_columns: fk.parent_columns.clone(),
+                    })?;
+                }
+            }
+            Statement::CreateView(v) => {
+                self.db.add_view(ViewDef {
+                    name: v.name.clone(),
+                    authorization: v.authorization,
+                    query: v.query.clone(),
+                })?;
+                self.cache.clear();
+            }
+            Statement::CreateInclusionDependency(d) => {
+                self.db.add_inclusion_dependency(InclusionDependency {
+                    name: d.name.clone(),
+                    src_table: d.src_table.clone(),
+                    src_columns: d.src_columns.clone(),
+                    src_filter: d.src_filter.clone(),
+                    dst_table: d.dst_table.clone(),
+                    dst_columns: d.dst_columns.clone(),
+                    dst_filter: d.dst_filter.clone(),
+                })?;
+                self.cache.clear();
+            }
+            Statement::Insert(i) => {
+                let n = fgac_exec::execute_insert(
+                    &mut self.db,
+                    i,
+                    &fgac_algebra::ParamScope::new(),
+                )?;
+                let _ = n;
+                self.bump();
+            }
+            Statement::Update(u) => {
+                fgac_exec::execute_update(&mut self.db, u, &fgac_algebra::ParamScope::new())?;
+                self.bump();
+            }
+            Statement::Delete(d) => {
+                fgac_exec::execute_delete(&mut self.db, d, &fgac_algebra::ParamScope::new())?;
+                self.bump();
+            }
+            Statement::Authorize(_) => {
+                return Err(Error::Unsupported(
+                    "AUTHORIZE statements are granted to principals: use grant_update_sql".into(),
+                ))
+            }
+            Statement::Query(_) => {
+                return Err(Error::Unsupported(
+                    "admin_script does not run queries; use execute".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct (unchecked) row insertion for loaders/benches.
+    pub fn admin_insert(&mut self, table: &Ident, row: Row) -> Result<()> {
+        self.db.insert(table, row)?;
+        self.bump();
+        Ok(())
+    }
+
+    /// Bulk load without per-row constraint checks.
+    pub fn admin_load(&mut self, table: &Ident, rows: Vec<Row>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.db.insert_unchecked(table, row)?;
+            n += 1;
+        }
+        self.bump();
+        Ok(n)
+    }
+
+    /// Grants an authorization view to a principal.
+    pub fn grant_view(&mut self, principal: &str, view: &str) {
+        self.grants.grant_view(principal, view);
+        self.cache.clear();
+    }
+
+    /// Makes an integrity constraint visible to a principal (U3a
+    /// condition 2).
+    pub fn grant_constraint(&mut self, principal: &str, name: &str) {
+        self.grants.grant_constraint(principal, name);
+        self.cache.clear();
+    }
+
+    /// Grants an `AUTHORIZE ...` update authorization (SQL text).
+    pub fn grant_update_sql(&mut self, principal: &str, sql: &str) -> Result<()> {
+        match fgac_sql::parse_statement(sql)? {
+            Statement::Authorize(a) => {
+                self.grants.grant_update(principal, a);
+                Ok(())
+            }
+            _ => Err(Error::Parse("expected an AUTHORIZE statement".into())),
+        }
+    }
+
+    /// Adds a user to a role.
+    pub fn add_role(&mut self, user: &str, role: &str) {
+        self.grants.add_role(user, role);
+        self.cache.clear();
+    }
+
+    /// Delegates a view grant between users (Section 6). The delegator
+    /// must hold the view.
+    pub fn delegate_view(&mut self, from: &str, to: &str, view: &str) -> Result<()> {
+        self.grants.delegate_view(from, to, &Ident::new(view))?;
+        self.cache.clear();
+        Ok(())
+    }
+
+    // ---------------- user path ----------------
+
+    /// Executes a statement under the **Non-Truman model**: queries are
+    /// validity-checked and run unmodified or rejected; DML is authorized
+    /// per tuple (Section 4.4).
+    pub fn execute(&mut self, session: &Session, sql: &str) -> Result<EngineResponse> {
+        let stmt = fgac_sql::parse_statement(sql)?;
+        self.execute_statement(session, &stmt)
+    }
+
+    /// Executes an already-parsed statement (the prepared-statement
+    /// path; see [`crate::Prepared`]).
+    pub fn execute_statement(
+        &mut self,
+        session: &Session,
+        stmt: &Statement,
+    ) -> Result<EngineResponse> {
+        match stmt {
+            Statement::Query(q) => {
+                let report = self.check_cached(session, q)?;
+                if !report.is_valid() {
+                    return Err(Error::Unauthorized(report.reason.unwrap_or_else(|| {
+                        "query rejected by the Non-Truman validity check".into()
+                    })));
+                }
+                // Valid: execute the ORIGINAL query, unmodified.
+                let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
+                let rows = fgac_exec::execute_bound(&self.db, &bound)?;
+                Ok(EngineResponse::Rows(QueryResult {
+                    names: bound.output_names,
+                    rows,
+                }))
+            }
+            Statement::Insert(i) => {
+                let auth = UpdateAuthorizer::new(&self.grants);
+                let n = auth.insert(&mut self.db, session, i)?;
+                self.bump();
+                Ok(EngineResponse::Affected(n))
+            }
+            Statement::Update(u) => {
+                let auth = UpdateAuthorizer::new(&self.grants);
+                let n = auth.update(&mut self.db, session, u)?;
+                self.bump();
+                Ok(EngineResponse::Affected(n))
+            }
+            Statement::Delete(d) => {
+                let auth = UpdateAuthorizer::new(&self.grants);
+                let n = auth.delete(&mut self.db, session, d)?;
+                self.bump();
+                Ok(EngineResponse::Affected(n))
+            }
+            _ => Err(Error::Unauthorized(
+                "DDL requires the admin interface".into(),
+            )),
+        }
+    }
+
+    /// The validity check alone (with caching) — what the optimizer
+    /// would run at prepare time.
+    pub fn check(&self, session: &Session, sql: &str) -> Result<ValidityReport> {
+        let q = fgac_sql::parse_query(sql)?;
+        self.check_cached(session, &q)
+    }
+
+    fn check_cached(&self, session: &Session, q: &fgac_sql::Query) -> Result<ValidityReport> {
+        let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
+        let plan = fgac_algebra::normalize(&bound.plan);
+        let fp = ValidityCache::fingerprint_in_session(&plan, session.params());
+        if let CacheOutcome::Hit(verdict) = self.cache.lookup(session.user(), fp, self.data_version)
+        {
+            return Ok(ValidityReport {
+                verdict,
+                rules: vec!["validity cache hit".into()],
+                reason: if verdict == Verdict::Invalid {
+                    Some("query rejected (cached verdict)".into())
+                } else {
+                    None
+                },
+                dag_stats: Default::default(),
+                views_considered: 0,
+            });
+        }
+        let report = Validator::new(&self.db, &self.grants)
+            .with_options(self.options.clone())
+            .check_plan(session, &plan)?;
+        self.cache
+            .store(session.user(), fp, self.data_version, report.verdict);
+        Ok(report)
+    }
+
+    /// Executes under the **Truman model** baseline for comparison.
+    pub fn truman_execute(
+        &self,
+        policy: &TrumanPolicy,
+        session: &Session,
+        sql: &str,
+    ) -> Result<QueryResult> {
+        crate::truman::truman_execute(&self.db, policy, session, sql)
+    }
+
+    fn bump(&mut self) {
+        self.data_version += 1;
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.admin_script(
+            "create table students (student_id varchar not null, name varchar not null, \
+               type varchar not null, primary key (student_id));
+             create table grades (student_id varchar not null, course_id varchar not null, \
+               grade int, primary key (student_id, course_id));
+             create authorization view MyGrades as \
+               select * from grades where student_id = $user_id;
+             insert into students values ('11', 'ann', 'FullTime'), ('12', 'bob', 'PartTime');
+             insert into grades values ('11', 'cs101', 90), ('12', 'cs101', 70);",
+        )
+        .unwrap();
+        e.grant_view("11", "mygrades");
+        e
+    }
+
+    #[test]
+    fn valid_query_executes_unmodified() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let r = e
+            .execute(&s, "select grade from grades where student_id = '11'")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn invalid_query_rejected_with_unauthorized() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let err = e.execute(&s, "select grade from grades").unwrap_err();
+        assert!(err.is_unauthorized());
+        // The misleading Truman behaviour does NOT happen: no silent
+        // partial answer.
+    }
+
+    #[test]
+    fn cache_hits_on_repeat() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let q = "select grade from grades where student_id = '11'";
+        e.execute(&s, q).unwrap();
+        e.execute(&s, q).unwrap();
+        let (hits, _misses) = e.cache().stats();
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn dml_requires_authorization() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let err = e.execute(&s, "insert into grades values ('11', 'cs202', 80)");
+        assert!(err.is_err());
+        e.grant_update_sql("11", "authorize insert on grades where student_id = $user_id")
+            .unwrap();
+        let n = e
+            .execute(&s, "insert into grades values ('11', 'cs202', 80)")
+            .unwrap();
+        assert_eq!(n.affected(), Some(1));
+        // Data version bumped.
+        assert!(e.data_version() > 0);
+    }
+
+    #[test]
+    fn ddl_via_user_path_rejected() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let err = e.execute(&s, "create table t (a int)");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn truman_baseline_accessible() {
+        let e = engine();
+        let policy = TrumanPolicy::new().substitute_view("grades", "mygrades");
+        let s = Session::new("11");
+        let r = e
+            .truman_execute(&policy, &s, "select avg(grade) from grades")
+            .unwrap();
+        // Truman silently restricts to user 11's grades.
+        assert_eq!(r.rows[0].get(0), &fgac_types::Value::Double(90.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! # fgac-core
+//!
+//! The paper's contribution: authorization-transparent fine-grained
+//! access control over the substrate crates.
+//!
+//! * [`AuthorizationView`] — parameterized and access-pattern views
+//!   (Section 2), instantiated per session.
+//! * [`Session`] / [`Grants`] — who is asking, which views, integrity
+//!   constraints, and update authorizations they hold (Sections 4.1,
+//!   4.4, and U3a's "the relevant integrity constraints are visible to
+//!   the user").
+//! * [`truman`] — the **Truman model** (Section 3): VPD-style
+//!   transparent query modification, kept as the baseline whose
+//!   misleading-answer and redundant-join pathologies the benches
+//!   reproduce.
+//! * [`nontruman`] — the **Non-Truman model** (Sections 4–5): the
+//!   validity checker implementing inference rules U1, U2, U3a–U3c, C1,
+//!   C2, C3a/C3b, plus the Section 6 access-pattern extensions, on top
+//!   of the Volcano AND-OR DAG.
+//! * [`UpdateAuthorizer`] (`updates`) — per-tuple authorization of INSERT/UPDATE/DELETE
+//!   (Section 4.4).
+//! * [`ValidityCache`] (`cache`) — validity-check caching for repeated/prepared queries
+//!   (the Section 5.6 optimizations).
+//! * [`Engine`] — the façade a downstream application uses: DDL, grants,
+//!   policy setup, and `execute` which enforces the chosen model.
+
+mod authview;
+mod cache;
+mod engine;
+mod grants;
+pub mod nontruman;
+mod prepared;
+mod session;
+pub mod truman;
+mod updates;
+
+pub use authview::AuthorizationView;
+pub use cache::{CacheOutcome, ValidityCache};
+pub use engine::{Engine, EngineResponse};
+pub use grants::Grants;
+pub use prepared::Prepared;
+pub use nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
+pub use session::Session;
+pub use updates::UpdateAuthorizer;

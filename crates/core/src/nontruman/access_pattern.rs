@@ -1,0 +1,404 @@
+//! Access-pattern authorization views (Sections 2 and 6).
+//!
+//! A `$$` parameter may be bound to *any* value at access time, so an
+//! access-pattern view conceptually stands for the set of all its
+//! instantiations. Two inference mechanisms from Section 6:
+//!
+//! 1. **Constant instantiation** — "access pattern views can be handled
+//!    by considering the set of all instantiated versions ... and
+//!    checking validity against this set": for a concrete query we only
+//!    need instantiations at the constants the query itself mentions.
+//! 2. **Dependent joins** — `r ⋈_{r.B=s.A} s` is valid when `r` is valid
+//!    and an AP view covers `s` keyed on `s.A`: the user can step
+//!    through `r`'s tuples and fetch matching `s` tuples one at a time.
+
+use crate::authview::AuthorizationView;
+use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
+use fgac_sql::Expr;
+use fgac_types::{Ident, Value};
+use std::collections::BTreeSet;
+
+/// Cap on per-view instantiations to keep the view set bounded.
+const MAX_INSTANTIATIONS: usize = 24;
+
+/// All literals appearing in the query plan's predicates — the candidate
+/// bindings for `$$` parameters.
+pub fn query_literals(plan: &fgac_algebra::Plan) -> Vec<Value> {
+    let mut out = BTreeSet::new();
+    plan.visit(&mut |p| {
+        let mut scan_exprs = |es: &[ScalarExpr]| {
+            for e in es {
+                e.walk(&mut |x| {
+                    if let ScalarExpr::Lit(v) = x {
+                        if !v.is_null() {
+                            out.insert(v.clone());
+                        }
+                    }
+                });
+            }
+        };
+        match p {
+            fgac_algebra::Plan::Select { conjuncts, .. }
+            | fgac_algebra::Plan::Join { conjuncts, .. } => scan_exprs(conjuncts),
+            _ => {}
+        }
+    });
+    out.into_iter().collect()
+}
+
+/// Instantiates an access-pattern view at each candidate constant
+/// (single-`$$`-parameter views only; multi-parameter views would need a
+/// cross product of candidates and are skipped).
+pub fn instantiate_at_constants(
+    view: &AuthorizationView,
+    candidates: &[Value],
+) -> Vec<(Value, AuthorizationView)> {
+    let params = view.access_params();
+    if params.len() != 1 {
+        return Vec::new();
+    }
+    let param = &params[0];
+    candidates
+        .iter()
+        .take(MAX_INSTANTIATIONS)
+        .map(|v| {
+            let mut q = view.query.clone();
+            substitute_query(&mut q, param, v);
+            (
+                v.clone(),
+                AuthorizationView::new(
+                    Ident::new(format!("{}@{v}", view.name)),
+                    q,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn substitute_query(q: &mut fgac_sql::Query, param: &str, v: &Value) {
+    fn subst(e: &mut Expr, param: &str, v: &Value) {
+        match e {
+            Expr::AccessParam(p) if p == param => *e = Expr::Literal(v.clone()),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => subst(expr, param, v),
+            Expr::Binary { left, right, .. } => {
+                subst(left, param, v);
+                subst(right, param, v);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    subst(a, param, v);
+                }
+            }
+            _ => {}
+        }
+    }
+    for item in &mut q.projection {
+        if let fgac_sql::SelectItem::Expr { expr, .. } = item {
+            subst(expr, param, v);
+        }
+    }
+    for t in &mut q.from {
+        for j in &mut t.joins {
+            subst(&mut j.on, param, v);
+        }
+    }
+    if let Some(w) = &mut q.selection {
+        subst(w, param, v);
+    }
+    for g in &mut q.group_by {
+        subst(g, param, v);
+    }
+    if let Some(h) = &mut q.having {
+        subst(h, param, v);
+    }
+}
+
+/// An access-pattern capability extracted from an instantiable view:
+/// "table `t` can be fetched by equality on `key_col`, yielding columns
+/// `available`".
+#[derive(Debug, Clone)]
+pub struct ApCapability {
+    pub table: Ident,
+    /// Index of the key column in the table schema.
+    pub key_col: usize,
+    /// Table-column indexes the view exposes.
+    pub available: Vec<usize>,
+    pub view_name: Ident,
+}
+
+/// Recognizes the basic AP-view shape over the bound plan:
+/// `[π](σ_{col = $$k [∧ extra-local]}(scan t))`.
+pub fn capability(
+    catalog: &fgac_storage::Catalog,
+    view: &AuthorizationView,
+    params: &fgac_algebra::ParamScope,
+) -> Option<ApCapability> {
+    if view.access_params().len() != 1 {
+        return None;
+    }
+    let bound = view.instantiate(catalog, params).ok()?;
+    let block = SpjBlock::decompose(&fgac_algebra::normalize(&bound.plan))?;
+    if block.scans.len() != 1 || block.distinct {
+        return None;
+    }
+    // Exactly one conjunct of the form Col = $$k; the rest must not
+    // mention the parameter.
+    let mut key_col = None;
+    for c in &block.conjuncts {
+        match c {
+            ScalarExpr::Cmp {
+                op: CmpOp::Eq,
+                left,
+                right,
+            } if matches!(&**right, ScalarExpr::AccessParam(_)) => {
+                let ScalarExpr::Col(i) = &**left else {
+                    return None;
+                };
+                if key_col.replace(*i).is_some() {
+                    return None; // parameter used twice
+                }
+            }
+            _ if c.has_access_params() => return None,
+            _ => {}
+        }
+    }
+    let key_col = key_col?;
+    let available: Vec<usize> = block
+        .projection
+        .iter()
+        .filter_map(|e| match e {
+            ScalarExpr::Col(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    if !available.contains(&key_col) {
+        // The key must be visible for dependent-join stitching.
+        return None;
+    }
+    Some(ApCapability {
+        table: block.scans[0].0.clone(),
+        key_col,
+        available,
+        view_name: view.name.clone(),
+    })
+}
+
+/// Dependent-join inference (Section 6): given the query's SPJ block, a
+/// predicate telling which scan instances are *directly valid* (their
+/// single-table restriction is authorized), and the AP capabilities,
+/// decide whether every instance is reachable — directly valid, or
+/// fetchable through an equi-join edge from a reachable instance via an
+/// AP capability.
+pub fn dependent_join_covers(
+    query: &SpjBlock,
+    directly_valid: &[bool],
+    capabilities: &[ApCapability],
+) -> Option<Vec<String>> {
+    let n = query.scans.len();
+    assert_eq!(directly_valid.len(), n);
+    let mut reachable: Vec<bool> = directly_valid.to_vec();
+    let mut trace: Vec<String> = Vec::new();
+
+    // Equi-join edges between instances: (owner_a, col_a, owner_b, col_b).
+    let mut edges = Vec::new();
+    for c in &query.conjuncts {
+        if let ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (ScalarExpr::Col(a), ScalarExpr::Col(b)) = (&**left, &**right) {
+                let (oa, ob) = (query.owner(*a), query.owner(*b));
+                if oa != ob {
+                    edges.push((oa, *a, ob, *b));
+                }
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (idx, (table, schema)) in query.scans.iter().enumerate() {
+            if reachable[idx] {
+                continue;
+            }
+            let (start, _) = query.scan_range(idx);
+            for cap in capabilities {
+                if &cap.table != table {
+                    continue;
+                }
+                let key_flat = start + cap.key_col;
+                // All query-used columns of this instance must be exposed
+                // by the capability.
+                let used_ok = used_columns(query, idx).iter().all(|&c| {
+                    cap.available.contains(&(c - start))
+                });
+                if !used_ok {
+                    continue;
+                }
+                // An edge key_flat = other-instance column with the other
+                // side reachable?
+                let feed = edges.iter().find(|&&(oa, a, ob, b)| {
+                    (a == key_flat && reachable[ob] && oa == idx)
+                        || (b == key_flat && reachable[oa] && ob == idx)
+                });
+                if feed.is_some() {
+                    reachable[idx] = true;
+                    changed = true;
+                    trace.push(format!(
+                        "dependent join fetches {} (instance {idx}) via access-pattern view {} on {}.{}",
+                        table,
+                        cap.view_name,
+                        table,
+                        schema.column(cap.key_col).name
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        Some(trace)
+    } else {
+        None
+    }
+}
+
+/// Flat columns of instance `idx` the query actually uses (projection or
+/// predicates).
+fn used_columns(query: &SpjBlock, idx: usize) -> Vec<usize> {
+    let (start, end) = query.scan_range(idx);
+    let mut used = BTreeSet::new();
+    for e in query.projection.iter().chain(query.conjuncts.iter()) {
+        for c in e.referenced_cols() {
+            if c >= start && c < end {
+                used.insert(c);
+            }
+        }
+    }
+    used.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_algebra::ParamScope;
+    use fgac_storage::Catalog;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            None,
+        )
+        .unwrap();
+        c.add_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        c
+    }
+
+    fn single_grade_view() -> AuthorizationView {
+        AuthorizationView::parse(
+            "create authorization view SingleGrade as \
+             select * from grades where student_id = $$1",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn literals_collected_from_plan() {
+        let cat = catalog();
+        let q = fgac_sql::parse_query(
+            "select grade from grades where student_id = '11' and grade > 50",
+        )
+        .unwrap();
+        let b = fgac_algebra::bind_query(&cat, &q, &ParamScope::new()).unwrap();
+        let lits = query_literals(&b.plan);
+        assert!(lits.contains(&Value::Str("11".into())));
+        assert!(lits.contains(&Value::Int(50)));
+    }
+
+    #[test]
+    fn instantiation_replaces_access_param() {
+        let v = single_grade_view();
+        let insts = instantiate_at_constants(&v, &[Value::Str("42".into())]);
+        assert_eq!(insts.len(), 1);
+        let (val, iv) = &insts[0];
+        assert_eq!(val, &Value::Str("42".into()));
+        assert!(iv.access_params().is_empty());
+        assert_eq!(
+            iv.query.selection,
+            Some(Expr::eq(Expr::col("student_id"), Expr::lit("42")))
+        );
+    }
+
+    #[test]
+    fn capability_recognized() {
+        let cat = catalog();
+        let cap = capability(&cat, &single_grade_view(), &ParamScope::new()).unwrap();
+        assert_eq!(cap.table, Ident::new("grades"));
+        assert_eq!(cap.key_col, 0);
+        assert_eq!(cap.available, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn view_hiding_key_column_gives_no_capability() {
+        let cat = catalog();
+        let v = AuthorizationView::parse(
+            "create authorization view NoKey as \
+             select grade from grades where student_id = $$1",
+        )
+        .unwrap();
+        assert!(capability(&cat, &v, &ParamScope::new()).is_none());
+    }
+
+    #[test]
+    fn dependent_join_reaches_through_edge() {
+        // registered ⋈_{r.student_id = g.student_id} grades, with
+        // registered directly valid and grades via SingleGrade.
+        let cat = catalog();
+        let q = fgac_sql::parse_query(
+            "select g.grade from registered r, grades g \
+             where r.student_id = g.student_id",
+        )
+        .unwrap();
+        let b = fgac_algebra::bind_query(&cat, &q, &ParamScope::new()).unwrap();
+        let block = SpjBlock::decompose(&fgac_algebra::normalize(&b.plan)).unwrap();
+        let cap = capability(&cat, &single_grade_view(), &ParamScope::new()).unwrap();
+        // registered (instance 0) directly valid, grades (1) not.
+        let trace = dependent_join_covers(&block, &[true, false], std::slice::from_ref(&cap));
+        assert!(trace.is_some());
+        // Without the anchor, nothing is reachable.
+        assert!(dependent_join_covers(&block, &[false, false], &[cap]).is_none());
+    }
+
+    #[test]
+    fn dependent_join_requires_join_on_key_column() {
+        // Join on grade (not the AP key) must not anchor grades.
+        let cat = catalog();
+        let q = fgac_sql::parse_query(
+            "select g.grade from registered r, grades g \
+             where r.course_id = g.course_id",
+        )
+        .unwrap();
+        let b = fgac_algebra::bind_query(&cat, &q, &ParamScope::new()).unwrap();
+        let block = SpjBlock::decompose(&fgac_algebra::normalize(&b.plan)).unwrap();
+        let cap = capability(&cat, &single_grade_view(), &ParamScope::new()).unwrap();
+        assert!(dependent_join_covers(&block, &[true, false], &[cap]).is_none());
+    }
+}

@@ -1,0 +1,478 @@
+//! Inference rules C3a / C3b (Section 5.4): conditional validity.
+//!
+//! Goal-directed form: given the user's query `Q` (an SPJ block) and a
+//! (conditionally) valid block `V = select A from R where Pc ∧ Pr ∧ Pj`,
+//! find a remainder split such that `Q` is exactly
+//! `select [distinct] A_c from R_c where Pc ∧ Pic`, where `Pic`
+//! instantiates all core-side join attributes to constants. The
+//! derivation is justified *only if* the instantiated remainder
+//!
+//! ```sql
+//! v_r: SELECT DISTINCT <join attrs> FROM R_r WHERE Pr ∧ Pir
+//! ```
+//!
+//! is itself (conditionally) valid — this is what blocks Example 4.3's
+//! registration-status leak — **and** returns a non-empty result on the
+//! current database state. Checking those two conditions needs the
+//! marking and the executor, so this module only *constructs* the
+//! candidate; `nontruman::Validator` verifies it.
+
+use fgac_algebra::implication::implies;
+use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
+use fgac_storage::Catalog;
+use fgac_types::Value;
+
+/// A C3 candidate produced from (query, valid block, remainder choice).
+#[derive(Debug, Clone)]
+pub struct C3Candidate {
+    /// `v_r` with DISTINCT — condition 3 of C3a: must be conditionally
+    /// valid and non-empty on the current state.
+    pub v_r: SpjBlock,
+    /// `v_r` without DISTINCT — C3b: if *this* is valid too, the query's
+    /// multiplicities are reconstructible and a non-DISTINCT query is
+    /// acceptable.
+    pub v_r_count: SpjBlock,
+    /// The query needs C3b (it is duplicate-preserving and not provably
+    /// duplicate-free).
+    pub requires_c3b: bool,
+    /// Human-readable description for the rule trace.
+    pub description: String,
+}
+
+/// Enumerates C3 candidates justifying `query` from `valid`.
+pub fn candidates(catalog: &Catalog, query: &SpjBlock, valid: &SpjBlock) -> Vec<C3Candidate> {
+    let mut out = Vec::new();
+    if valid.scans.len() < 2 || query.scans.len() != valid.scans.len() - 1 {
+        return out;
+    }
+    let flat = valid.flat_arity();
+
+    'rem: for r_idx in 0..valid.scans.len() {
+        let (rs, re) = valid.scan_range(r_idx);
+        let in_rem = |c: usize| c >= rs && c < re;
+
+        // Partition V's conjuncts.
+        let mut pc = Vec::new();
+        let mut pr = Vec::new();
+        let mut pj_pairs: Vec<(usize, usize)> = Vec::new();
+        for c in &valid.conjuncts {
+            let cols = c.referenced_cols();
+            let rem_cols = cols.iter().filter(|&&i| in_rem(i)).count();
+            if rem_cols == 0 {
+                pc.push(c.clone());
+            } else if rem_cols == cols.len() {
+                pr.push(c.clone());
+            } else {
+                match c {
+                    ScalarExpr::Cmp {
+                        op: CmpOp::Eq,
+                        left,
+                        right,
+                    } => match (&**left, &**right) {
+                        (ScalarExpr::Col(a), ScalarExpr::Col(b)) => {
+                            let (core, rem) = if in_rem(*a) { (*b, *a) } else { (*a, *b) };
+                            if in_rem(core) || !in_rem(rem) {
+                                continue 'rem;
+                            }
+                            pj_pairs.push((core, rem));
+                        }
+                        _ => continue 'rem,
+                    },
+                    _ => continue 'rem,
+                }
+            }
+        }
+        if pj_pairs.is_empty() {
+            continue;
+        }
+
+        // C3a condition 1(d): every core-side join attribute must be in
+        // the valid block's projection (as a plain column) — otherwise
+        // the user cannot select on it.
+        if !pj_pairs
+            .iter()
+            .all(|&(c, _)| valid.projection.contains(&ScalarExpr::Col(c)))
+        {
+            continue;
+        }
+
+        // Core frame: V's flat row with the remainder removed.
+        let rem_width = re - rs;
+        let shift = |i: usize| if i >= re { i - rem_width } else { i };
+        let mut core_scans = valid.scans.clone();
+        core_scans.remove(r_idx);
+
+        // Align the query onto the core (same table multiset, try the
+        // identity-ish alignment first via simple permutation search).
+        let Some(q_to_core) = align_scans(query, &core_scans) else {
+            continue;
+        };
+        let qc_in_core: Vec<ScalarExpr> = query
+            .conjuncts
+            .iter()
+            .map(|c| c.map_cols(&|i| q_to_core[i]))
+            .collect();
+
+        // Extract the instantiation Pic: every core join attribute must
+        // be pinned to a literal by the query's predicate.
+        let core_arity = flat - rem_width;
+        let mut pic = Vec::new();
+        let mut pir = Vec::new();
+        let mut pins: Vec<(usize, Value)> = Vec::new();
+        for &(core_col, rem_col) in &pj_pairs {
+            let cc = shift(core_col);
+            let Some(v) = pinned_value(&qc_in_core, cc, core_arity) else {
+                continue 'rem;
+            };
+            pic.push(ScalarExpr::eq(ScalarExpr::Col(cc), ScalarExpr::Lit(v.clone())));
+            pir.push(ScalarExpr::eq(
+                ScalarExpr::Col(rem_col - rs),
+                ScalarExpr::Lit(v.clone()),
+            ));
+            pins.push((cc, v));
+        }
+
+        // The query predicate must be equivalent to Pc ∧ Pic.
+        let pc_core: Vec<ScalarExpr> = pc.iter().map(|c| c.map_cols(&shift)).collect();
+        let mut pc_pic = pc_core.clone();
+        pc_pic.extend(pic.iter().cloned());
+        if !implies(&qc_in_core, &pc_pic, core_arity) || !implies(&pc_pic, &qc_in_core, core_arity)
+        {
+            continue;
+        }
+
+        // The query's projection must use only core columns that V
+        // projects (A_c): each referenced column must appear (shifted)
+        // in V's projection.
+        let available = |core_col: usize| -> bool {
+            // Invert the shift: core_col < rs stays, >= rs maps to +rem.
+            let flat_col = if core_col >= rs {
+                core_col + rem_width
+            } else {
+                core_col
+            };
+            valid.projection.contains(&ScalarExpr::Col(flat_col))
+        };
+        let proj_ok = query.projection.iter().all(|e| {
+            e.referenced_cols()
+                .iter()
+                .all(|&i| available(q_to_core[i]))
+        });
+        if !proj_ok {
+            continue;
+        }
+
+        // Multiplicity: DISTINCT queries are fine (C3a); otherwise the
+        // query must be duplicate-free, or C3b must hold.
+        let requires_c3b =
+            !query.distinct && !super::matcher::is_duplicate_free(catalog, query);
+
+        let rem_table = valid.scans[r_idx].0.clone();
+        let rem_schema = valid.scans[r_idx].1.clone();
+        let mut vr_conj: Vec<ScalarExpr> =
+            pr.iter().map(|c| c.map_cols(&|i| i - rs)).collect();
+        vr_conj.extend(pir.iter().cloned());
+        let vr_proj: Vec<ScalarExpr> = pj_pairs
+            .iter()
+            .map(|&(_, r)| ScalarExpr::Col(r - rs))
+            .collect();
+        let v_r = SpjBlock {
+            scans: vec![(rem_table.clone(), rem_schema.clone())],
+            conjuncts: vr_conj.clone(),
+            projection: vr_proj.clone(),
+            distinct: true,
+        };
+        let v_r_count = SpjBlock {
+            distinct: false,
+            ..v_r.clone()
+        };
+        out.push(C3Candidate {
+            v_r,
+            v_r_count,
+            requires_c3b,
+            description: format!(
+                "C3{} with remainder {} instantiated at {}",
+                if requires_c3b { "b" } else { "a" },
+                rem_table,
+                pins.iter()
+                    .map(|(c, v)| format!("#{c}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+    out
+}
+
+/// Finds an alignment (flat-offset map) from `q`'s frame onto the frame
+/// of `core_scans`, trying same-table permutations.
+fn align_scans(
+    q: &SpjBlock,
+    core_scans: &[(fgac_types::Ident, fgac_types::Schema)],
+) -> Option<Vec<usize>> {
+    if q.scans.len() != core_scans.len() {
+        return None;
+    }
+    let core_start: Vec<usize> = {
+        let mut acc = 0;
+        core_scans
+            .iter()
+            .map(|(_, s)| {
+                let v = acc;
+                acc += s.len();
+                v
+            })
+            .collect()
+    };
+    fn rec(
+        q: &SpjBlock,
+        core_scans: &[(fgac_types::Ident, fgac_types::Schema)],
+        core_start: &[usize],
+        idx: usize,
+        used: &mut Vec<bool>,
+        map: &mut Vec<usize>,
+    ) -> bool {
+        if idx == q.scans.len() {
+            return true;
+        }
+        for ci in 0..core_scans.len() {
+            if used[ci]
+                || core_scans[ci].0 != q.scans[idx].0
+                || core_scans[ci].1.len() != q.scans[idx].1.len()
+            {
+                continue;
+            }
+            used[ci] = true;
+            let (qs, qe) = q.scan_range(idx);
+            for (k, col) in (qs..qe).enumerate() {
+                map[col] = core_start[ci] + k;
+            }
+            if rec(q, core_scans, core_start, idx + 1, used, map) {
+                return true;
+            }
+            used[ci] = false;
+        }
+        false
+    }
+    let mut used = vec![false; core_scans.len()];
+    let mut map = vec![0usize; q.flat_arity()];
+    if rec(q, core_scans, &core_start, 0, &mut used, &mut map) {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+/// The literal `col` is pinned to by the conjuncts, if any.
+fn pinned_value(conjuncts: &[ScalarExpr], col: usize, arity: usize) -> Option<Value> {
+    // Fast path: a syntactic col = lit conjunct.
+    for c in conjuncts {
+        if let ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if matches!(&**left, ScalarExpr::Col(i) if *i == col) {
+                if let ScalarExpr::Lit(v) = &**right {
+                    return Some(v.clone());
+                }
+            }
+        }
+    }
+    // Derived pins (through equalities) — probe candidate literals.
+    let literals: Vec<Value> = conjuncts
+        .iter()
+        .flat_map(|c| {
+            let mut lits = Vec::new();
+            c.walk(&mut |e| {
+                if let ScalarExpr::Lit(v) = e {
+                    if !v.is_null() {
+                        lits.push(v.clone());
+                    }
+                }
+            });
+            lits
+        })
+        .collect();
+    literals.into_iter().find(|v| {
+        implies(
+            conjuncts,
+            &[ScalarExpr::eq(ScalarExpr::Col(col), ScalarExpr::Lit(v.clone()))],
+            arity,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_algebra::Plan;
+    use fgac_types::{Column, DataType, Ident, Schema};
+
+    /// Example 4.3/4.4: Co-studentGrades and the CS101 query.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        c.add_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        c
+    }
+
+    /// Co-studentGrades instantiated for user 11: π_{G.*}(G ⋈ R) with
+    /// R.student_id='11' and G.course_id=R.course_id. Flat: G(0..3),
+    /// R(3..5).
+    fn co_student_grades(cat: &Catalog) -> SpjBlock {
+        let p = Plan::scan(
+            "grades",
+            cat.table(&Ident::new("grades")).unwrap().schema.clone(),
+        )
+        .join(
+            Plan::scan(
+                "registered",
+                cat.table(&Ident::new("registered")).unwrap().schema.clone(),
+            ),
+            vec![
+                ScalarExpr::eq(ScalarExpr::col(3), ScalarExpr::lit("11")),
+                ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(4)),
+            ],
+        )
+        .project(vec![
+            ScalarExpr::col(0),
+            ScalarExpr::col(1),
+            ScalarExpr::col(2),
+        ]);
+        SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap()
+    }
+
+    /// q: select * from Grades where course_id = 'CS101'.
+    fn cs101_query(cat: &Catalog, distinct: bool) -> SpjBlock {
+        let mut p = Plan::scan(
+            "grades",
+            cat.table(&Ident::new("grades")).unwrap().schema.clone(),
+        )
+        .select(vec![ScalarExpr::eq(
+            ScalarExpr::col(1),
+            ScalarExpr::lit("cs101"),
+        )]);
+        p = p.project(vec![
+            ScalarExpr::col(0),
+            ScalarExpr::col(1),
+            ScalarExpr::col(2),
+        ]);
+        if distinct {
+            p = p.distinct();
+        }
+        SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap()
+    }
+
+    #[test]
+    fn example_4_4_candidate_construction() {
+        let cat = catalog();
+        let v = co_student_grades(&cat);
+        let q = cs101_query(&cat, true);
+        let cands = candidates(&cat, &q, &v);
+        assert_eq!(cands.len(), 1, "one remainder split (registered)");
+        let c = &cands[0];
+        // v_r: select distinct course_id from registered where
+        // student_id='11' and course_id='cs101'.
+        assert_eq!(c.v_r.scans[0].0, Ident::new("registered"));
+        assert!(c.v_r.distinct);
+        assert!(c
+            .v_r
+            .conjuncts
+            .contains(&ScalarExpr::eq(ScalarExpr::Col(0), ScalarExpr::lit("11"))));
+        assert!(c
+            .v_r
+            .conjuncts
+            .contains(&ScalarExpr::eq(ScalarExpr::Col(1), ScalarExpr::lit("cs101"))));
+        assert!(!c.requires_c3b, "distinct query uses C3a");
+    }
+
+    #[test]
+    fn non_distinct_query_with_pk_uses_c3a() {
+        // Example 5.5: "Since the Grades table has a primary key, the
+        // distinct keyword can be dropped."
+        let cat = catalog();
+        let v = co_student_grades(&cat);
+        let q = cs101_query(&cat, false);
+        let cands = candidates(&cat, &q, &v);
+        assert_eq!(cands.len(), 1);
+        assert!(
+            !cands[0].requires_c3b,
+            "PK makes the query duplicate-free; C3a suffices"
+        );
+    }
+
+    #[test]
+    fn unpinned_join_attribute_blocks_candidate() {
+        // Query without the course_id instantiation cannot use C3.
+        let cat = catalog();
+        let v = co_student_grades(&cat);
+        let p = Plan::scan(
+            "grades",
+            cat.table(&Ident::new("grades")).unwrap().schema.clone(),
+        )
+        .select(vec![ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::col(2),
+            ScalarExpr::lit(90),
+        )]);
+        let q = SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap();
+        assert!(candidates(&cat, &q, &v).is_empty());
+    }
+
+    #[test]
+    fn extra_query_predicates_fold_into_pic_equivalence() {
+        // q with an additional predicate not matched by Pc ∧ Pic fails
+        // the equivalence check (it would need a further σ on top, which
+        // C2 handles at the class level, not here).
+        let cat = catalog();
+        let v = co_student_grades(&cat);
+        let p = Plan::scan(
+            "grades",
+            cat.table(&Ident::new("grades")).unwrap().schema.clone(),
+        )
+        .select(vec![
+            ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::lit("cs101")),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::lit(90)),
+        ])
+        .project(vec![
+            ScalarExpr::col(0),
+            ScalarExpr::col(1),
+            ScalarExpr::col(2),
+        ])
+        .distinct();
+        let q = SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap();
+        assert!(candidates(&cat, &q, &v).is_empty());
+    }
+
+    #[test]
+    fn derived_pin_through_equality() {
+        let conj = vec![
+            ScalarExpr::eq(ScalarExpr::Col(0), ScalarExpr::Col(1)),
+            ScalarExpr::eq(ScalarExpr::Col(1), ScalarExpr::lit("cs101")),
+        ];
+        assert_eq!(
+            pinned_value(&conj, 0, 2),
+            Some(Value::Str("cs101".into()))
+        );
+        assert_eq!(pinned_value(&conj[..1], 0, 2), None);
+    }
+}

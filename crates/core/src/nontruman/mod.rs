@@ -1,0 +1,1005 @@
+//! The Non-Truman model validity checker (Sections 4–5).
+//!
+//! A query is **valid** if it can be answered using only the information
+//! in the user's instantiated authorization views; valid queries run
+//! *unmodified*, invalid queries are rejected outright (no Truman-style
+//! silent rewriting). The checker is sound but — necessarily, Section
+//! 5.5 — incomplete; "false" answers reject queries that a cleverer
+//! prover might accept.
+//!
+//! Pipeline (one [`Validator::check_query`] call):
+//!
+//! 1. bind the query and every granted view with the session parameters
+//!    (*instantiated authorization views*, Section 2);
+//! 2. insert everything into the Volcano AND-OR [`Dag`], expand with
+//!    equivalence rules + subsumption derivations, and run the bottom-up
+//!    marking of Section 5.6.2 — rules **U1/U2**;
+//! 3. run the SPJ-block matcher against valid blocks (view-level
+//!    rewriting with multiset-precise reasoning);
+//! 4. apply **U3a/U3b/U3c** derivations from user-visible inclusion
+//!    dependencies, feeding derived cores back into the DAG and matcher;
+//! 5. try the Section 6 access-pattern mechanisms (constant
+//!    instantiation and dependent joins);
+//! 6. if still not unconditionally valid, try **C3a/C3b**: find a
+//!    remainder instantiation whose `v_r` is valid *and* non-empty on
+//!    the current state — yielding *conditional* validity.
+
+pub mod access_pattern;
+pub mod c3;
+pub mod matcher;
+pub mod strengthen;
+pub mod u3;
+
+use crate::authview::AuthorizationView;
+use crate::grants::Grants;
+use crate::session::Session;
+use fgac_algebra::{normalize, Plan, SpjBlock};
+use fgac_optimizer::{expand, mark_valid, Dag, DagStats, EqId, ExpandOptions, Marking, Operator};
+use fgac_storage::Database;
+use fgac_types::{Ident, Result};
+use std::collections::BTreeSet;
+
+/// The outcome of a validity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Equivalent to a query over the views on *all* states (Def. 4.1).
+    Unconditional,
+    /// Equivalent on all states PA-equivalent to the current one
+    /// (Def. 4.3) — contingent on the current database state.
+    Conditional,
+    /// Not inferable as valid: rejected. Rejection is safe (Example
+    /// 4.3): it reveals only non-coverage by the authorization views.
+    Invalid,
+}
+
+/// A full validity report: verdict plus the rule trace.
+#[derive(Debug, Clone)]
+pub struct ValidityReport {
+    pub verdict: Verdict,
+    /// Which inference steps fired, in order.
+    pub rules: Vec<String>,
+    /// Reason for rejection.
+    pub reason: Option<String>,
+    /// DAG size after expansion — experiment E1/E2 instrumentation.
+    pub dag_stats: DagStats,
+    /// Number of instantiated authorization views considered (after
+    /// pruning).
+    pub views_considered: usize,
+}
+
+impl ValidityReport {
+    pub fn is_valid(&self) -> bool {
+        self.verdict != Verdict::Invalid
+    }
+}
+
+/// Tunables for the checker; the defaults implement the full rule set.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    pub expand: ExpandOptions,
+    /// Enable the U3 family (needs integrity-constraint grants).
+    pub enable_u3: bool,
+    /// Enable conditional validity (C3; probes the database state).
+    pub enable_c3: bool,
+    /// Enable Section 6 access-pattern mechanisms.
+    pub enable_access_patterns: bool,
+    /// Prune granted views that share no base table with the query —
+    /// the Section 5.6 "eliminate authorization views that cannot
+    /// possibly be of use" optimization (experiment E3).
+    pub prune_irrelevant_views: bool,
+    /// Fixpoint bound on U3/matcher rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            expand: ExpandOptions::default(),
+            enable_u3: true,
+            enable_c3: true,
+            enable_access_patterns: true,
+            prune_irrelevant_views: true,
+            max_rounds: 4,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Only the basic inference rules U1/U2 (+C1/C2 trivially) — the
+    /// configuration the paper says costs little over plain optimization
+    /// (Section 5.6, experiment E2).
+    pub fn basic_only() -> Self {
+        CheckOptions {
+            enable_u3: false,
+            enable_c3: false,
+            enable_access_patterns: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// The Non-Truman validity checker.
+pub struct Validator<'a> {
+    db: &'a Database,
+    grants: &'a Grants,
+    options: CheckOptions,
+}
+
+/// A block known computable by the user, with its validity flavor.
+#[derive(Debug, Clone)]
+struct ValidBlock {
+    block: SpjBlock,
+    origin: String,
+}
+
+impl<'a> Validator<'a> {
+    pub fn new(db: &'a Database, grants: &'a Grants) -> Self {
+        Validator {
+            db,
+            grants,
+            options: CheckOptions::default(),
+        }
+    }
+
+    pub fn with_options(mut self, options: CheckOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Checks a SQL `SELECT` text.
+    pub fn check_sql(&self, session: &Session, sql: &str) -> Result<ValidityReport> {
+        let query = fgac_sql::parse_query(sql)?;
+        self.check_query(session, &query)
+    }
+
+    /// Checks a parsed query.
+    pub fn check_query(&self, session: &Session, query: &fgac_sql::Query) -> Result<ValidityReport> {
+        let bound = fgac_algebra::bind_query(self.db.catalog(), query, session.params())?;
+        self.check_plan(session, &bound.plan)
+    }
+
+    /// Checks a bound plan (ORDER BY / LIMIT are presentation and play
+    /// no role in validity).
+    pub fn check_plan(&self, session: &Session, plan: &Plan) -> Result<ValidityReport> {
+        let qplan = normalize(plan);
+        let mut rules: Vec<String> = Vec::new();
+
+        // --- Gather and instantiate the user's views. -----------------
+        let query_tables: BTreeSet<Ident> = qplan.scanned_tables().into_iter().collect();
+        let mut all_views: Vec<(Ident, Plan)> = Vec::new();
+        let mut ap_views: Vec<AuthorizationView> = Vec::new();
+        for name in self.grants.views_for(session.user()) {
+            let Some(def) = self.db.catalog().view(&name) else {
+                continue;
+            };
+            if !def.authorization {
+                continue;
+            }
+            let view = AuthorizationView::new(def.name.clone(), def.query.clone());
+            if view.is_access_pattern() {
+                ap_views.push(view);
+                continue;
+            }
+            let Ok(bound) = view.instantiate(self.db.catalog(), session.params()) else {
+                rules.push(format!(
+                    "view {name} skipped: parameters missing in this session"
+                ));
+                continue;
+            };
+            all_views.push((name, normalize(&bound.plan)));
+        }
+
+        // Section 5.6 optimization: "eliminate authorization views that
+        // cannot possibly be of use". Relevance is the *transitive*
+        // table closure: a view over {grades, registered} makes
+        // registered relevant to a grades query (its C3 remainder probe
+        // runs over registered).
+        let mut regular: Vec<(Ident, Plan)> = if self.options.prune_irrelevant_views {
+            let mut relevant = query_tables.clone();
+            loop {
+                let before = relevant.len();
+                for (_, vplan) in &all_views {
+                    let tables = vplan.scanned_tables();
+                    if tables.iter().any(|t| relevant.contains(t)) {
+                        relevant.extend(tables);
+                    }
+                }
+                if relevant.len() == before {
+                    break;
+                }
+            }
+            all_views
+                .into_iter()
+                .filter(|(_, vplan)| {
+                    vplan.scanned_tables().iter().any(|t| relevant.contains(t))
+                })
+                .collect()
+        } else {
+            all_views
+        };
+
+        // Access-pattern views instantiated at the query's constants
+        // (Section 6: validity against the set of all instantiations).
+        let mut capabilities = Vec::new();
+        if self.options.enable_access_patterns {
+            let literals = access_pattern::query_literals(&qplan);
+            for view in &ap_views {
+                for (val, inst) in access_pattern::instantiate_at_constants(view, &literals) {
+                    if let Ok(bound) = inst.instantiate(self.db.catalog(), session.params()) {
+                        let vplan = normalize(&bound.plan);
+                        if vplan
+                            .scanned_tables()
+                            .iter()
+                            .any(|t| query_tables.contains(t))
+                        {
+                            regular.push((Ident::new(format!("{}[$$={val}]", view.name)), vplan));
+                        }
+                    }
+                }
+                if let Some(cap) =
+                    access_pattern::capability(self.db.catalog(), view, session.params())
+                {
+                    capabilities.push(cap);
+                }
+            }
+        }
+        let views_considered = regular.len();
+
+        // --- DAG: insert, expand, mark (rules U1/U2). -----------------
+        let mut dag = Dag::new();
+        let qroot = dag.insert_plan(&qplan);
+        let mut view_roots: Vec<EqId> = Vec::new();
+        for (_, vplan) in &regular {
+            view_roots.push(dag.insert_plan(vplan));
+        }
+        distinct_elimination(&mut dag, self.db);
+        let dag_stats = expand(&mut dag, &self.options.expand);
+        distinct_elimination(&mut dag, self.db);
+        let mut marking = mark_valid(&dag, &view_roots);
+
+        let done = |dag: &Dag, marking: &Marking, rules: &mut Vec<String>, why: &str| -> bool {
+            if marking.is_valid(dag, qroot) {
+                rules.push(why.to_string());
+                true
+            } else {
+                false
+            }
+        };
+
+        if done(&dag, &marking, &mut rules, "U1/U2: DAG unification + subsumption") {
+            return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered));
+        }
+
+        // --- Valid blocks for the matcher + U3 derivations. -----------
+        let mut valid_blocks: Vec<ValidBlock> = Vec::new();
+        for (name, vplan) in &regular {
+            if let Some(block) = SpjBlock::decompose(vplan) {
+                valid_blocks.push(ValidBlock {
+                    block,
+                    origin: format!("view {name}"),
+                });
+            }
+        }
+
+        let visible: BTreeSet<Ident> =
+            self.grants.constraints_for(session.user()).into_iter().collect();
+
+        let qblock = SpjBlock::decompose(&qplan);
+        for _round in 0..self.options.max_rounds {
+            let mut changed = false;
+
+            // Goal-directed strengthening (U2 moves toward the query):
+            // restrict valid blocks by the query's own predicates, and
+            // compose pairs of valid blocks when the query spans more
+            // tables than any single one (Examples 5.3 and 5.4).
+            if self.options.enable_u3 || self.options.enable_c3 {
+                if let Some(qb) = &qblock {
+                    let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                    for vb in &snapshot {
+                        if let Some(restricted) = strengthen::restrict_by_query(qb, &vb.block) {
+                            if push_block(
+                                &mut valid_blocks,
+                                restricted,
+                                format!("σ-restriction of {}", vb.origin),
+                            ) {
+                                changed = true;
+                            }
+                        }
+                    }
+                    // Pairwise composition, bounded to small blocks. A
+                    // composition is useful only when its scan multiset
+                    // fits inside the query's tables plus at most one
+                    // instance of each potential U3/C3 remainder table
+                    // (a destination of a visible inclusion dependency).
+                    // This keeps e.g. hundreds of single-table views
+                    // from composing with each other quadratically.
+                    let remainder_tables: BTreeSet<Ident> = self
+                        .db
+                        .catalog()
+                        .all_inclusions()
+                        .into_iter()
+                        .filter(|d| visible.contains(&d.name))
+                        .map(|d| d.dst_table)
+                        .collect();
+                    let fits_budget = |composed: &SpjBlock| -> bool {
+                        let mut budget: std::collections::BTreeMap<Ident, isize> =
+                            std::collections::BTreeMap::new();
+                        for (t, _) in &qb.scans {
+                            *budget.entry(t.clone()).or_insert(0) += 1;
+                        }
+                        for t in &remainder_tables {
+                            *budget.entry(t.clone()).or_insert(0) += 1;
+                        }
+                        composed.scans.iter().all(|(t, _)| {
+                            let slot = budget.entry(t.clone()).or_insert(0);
+                            *slot -= 1;
+                            *slot >= 0
+                        })
+                    };
+                    let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                    for (i, a) in snapshot.iter().enumerate() {
+                        for b in snapshot.iter().skip(i + 1) {
+                            if a.block.scans.len() + b.block.scans.len() > 4
+                                || valid_blocks.len() > 512
+                            {
+                                continue;
+                            }
+                            for (x, y) in [(a, b), (b, a)] {
+                                if let Some(composed) = strengthen::compose(&x.block, &y.block) {
+                                    // Must cover the query's tables and
+                                    // stay within the multiset budget.
+                                    let covers = qb.scans.iter().all(|(t, _)| {
+                                        composed.scans.iter().any(|(ct, _)| ct == t)
+                                    });
+                                    if !covers || !fits_budget(&composed) {
+                                        continue;
+                                    }
+                                    let origin =
+                                        format!("U2 join of {} and {}", x.origin, y.origin);
+                                    if push_block(&mut valid_blocks, composed.clone(), origin.clone())
+                                    {
+                                        changed = true;
+                                    }
+                                    if let Some(restricted) =
+                                        strengthen::restrict_by_query(qb, &composed)
+                                    {
+                                        if push_block(
+                                            &mut valid_blocks,
+                                            restricted,
+                                            format!("σ-restriction of {origin}"),
+                                        ) {
+                                            changed = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // U3 derivations from every known-valid block.
+            if self.options.enable_u3 {
+                let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                for vb in &snapshot {
+                    for d in u3::derive(self.db.catalog(), &visible, &vb.block) {
+                        if push_block(
+                            &mut valid_blocks,
+                            d.core.clone(),
+                            format!(
+                                "U3a/U3b on {} with constraint {} (remainder {})",
+                                vb.origin, d.constraint, d.remainder_table
+                            ),
+                        ) {
+                            let class = dag.insert_plan(&d.core.to_plan());
+                            marking.mark(&dag, class);
+                            rules.push(format!(
+                                "U3a: SELECT DISTINCT core of {} valid via constraint {}",
+                                vb.origin, d.constraint
+                            ));
+                            changed = true;
+                        }
+                        // U3c: multiplicity witness must itself be valid.
+                        if let Some(w) = &d.multiplicity_witness {
+                            if self.block_is_valid(&dag, &marking, &valid_blocks, w) {
+                                let mut non_distinct = d.core.clone();
+                                non_distinct.distinct = false;
+                                if push_block(
+                                    &mut valid_blocks,
+                                    non_distinct.clone(),
+                                    format!("U3c on {}", vb.origin),
+                                ) {
+                                    let class = dag.insert_plan(&non_distinct.to_plan());
+                                    marking.mark(&dag, class);
+                                    rules.push(format!(
+                                        "U3c: multiplicity of core of {} reconstructible \
+                                         (q_rj valid); DISTINCT dropped",
+                                        vb.origin
+                                    ));
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Matcher pass over every class in the DAG.
+            marking.propagate(&dag);
+            let classes = dag.classes();
+            for class in classes {
+                if marking.is_valid(&dag, class) {
+                    continue;
+                }
+                let Some(plan) = fgac_optimizer::extract_any(&dag, class) else {
+                    continue;
+                };
+                let Some(block) = SpjBlock::decompose(&plan) else {
+                    continue;
+                };
+                for vb in &valid_blocks {
+                    if let Some(_w) = matcher::match_block(self.db.catalog(), &block, &vb.block) {
+                        marking.mark(&dag, class);
+                        rules.push(format!(
+                            "U2 (view matching): subexpression computed from {}",
+                            vb.origin
+                        ));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            marking.propagate(&dag);
+
+            if done(&dag, &marking, &mut rules, "U2: composition over valid subexpressions") {
+                return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered));
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // --- Dependent joins over access-pattern views (Section 6). ---
+        if self.options.enable_access_patterns && !capabilities.is_empty() {
+            if let Some(qblock) = SpjBlock::decompose(&qplan) {
+                let directly_valid: Vec<bool> = (0..qblock.scans.len())
+                    .map(|i| {
+                        let restriction = instance_restriction(&qblock, i);
+                        self.block_is_valid(&dag, &marking, &valid_blocks, &restriction)
+                    })
+                    .collect();
+                if let Some(trace) = access_pattern::dependent_join_covers(
+                    &qblock,
+                    &directly_valid,
+                    &capabilities,
+                ) {
+                    rules.extend(trace);
+                    rules.push("Section 6: dependent-join evaluation over access-pattern views".into());
+                    return Ok(self.report(
+                        Verdict::Unconditional,
+                        rules,
+                        dag_stats,
+                        views_considered,
+                    ));
+                }
+            }
+        }
+
+        // --- Conditional validity: C3a/C3b. ---------------------------
+        if self.options.enable_c3 {
+            if let Some(qblock) = SpjBlock::decompose(&qplan) {
+                for vb in &valid_blocks {
+                    for cand in c3::candidates(self.db.catalog(), &qblock, &vb.block) {
+                        // Condition 3: v_r must be (conditionally) valid…
+                        let vr_ok =
+                            self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r);
+                        if !vr_ok {
+                            continue;
+                        }
+                        if cand.requires_c3b
+                            && !self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r_count)
+                        {
+                            continue;
+                        }
+                        // …and non-empty on the current database state.
+                        let vr_plan = cand.v_r.to_plan();
+                        let vr_rows = fgac_exec::execute_plan(self.db, &vr_plan)?;
+                        if vr_rows.is_empty() {
+                            rules.push(format!(
+                                "{} rejected: remainder probe is empty on this state",
+                                cand.description
+                            ));
+                            continue;
+                        }
+                        rules.push(format!(
+                            "{} via {}: v_r valid and non-empty ({} row(s))",
+                            cand.description,
+                            vb.origin,
+                            vr_rows.len()
+                        ));
+                        return Ok(self.report(
+                            Verdict::Conditional,
+                            rules,
+                            dag_stats,
+                            views_considered,
+                        ));
+                    }
+                }
+            }
+        }
+
+        rules.push("no inference rule established validity".into());
+        let mut report = self.report(Verdict::Invalid, rules, dag_stats, views_considered);
+        report.reason = Some(
+            "the query cannot be answered using only your authorization views".to_string(),
+        );
+        Ok(report)
+    }
+
+    /// Is `block` computable? Checks the DAG marking of the block's plan
+    /// and the SPJ matcher against known-valid blocks.
+    fn block_is_valid(
+        &self,
+        dag: &Dag,
+        marking: &Marking,
+        valid_blocks: &[ValidBlock],
+        block: &SpjBlock,
+    ) -> bool {
+        // Matcher first: it is semantic and cheap.
+        if valid_blocks
+            .iter()
+            .any(|vb| matcher::match_block(self.db.catalog(), block, &vb.block).is_some())
+        {
+            return true;
+        }
+        // DAG: the block's plan may already have a valid class. Inserting
+        // requires mutation, so only probe via a cloned DAG when small.
+        let mut probe = dag.clone();
+        let class = probe.insert_plan(&block.to_plan());
+        let mut m = marking.clone();
+        m.propagate(&probe);
+        m.is_valid(&probe, class)
+    }
+
+    fn report(
+        &self,
+        verdict: Verdict,
+        rules: Vec<String>,
+        dag_stats: DagStats,
+        views_considered: usize,
+    ) -> ValidityReport {
+        ValidityReport {
+            verdict,
+            rules,
+            reason: None,
+            dag_stats,
+            views_considered,
+        }
+    }
+}
+
+/// Adds `block` to the valid set unless an identical one is present.
+fn push_block(blocks: &mut Vec<ValidBlock>, block: SpjBlock, origin: String) -> bool {
+    if blocks.iter().any(|vb| vb.block == block) {
+        return false;
+    }
+    blocks.push(ValidBlock { block, origin });
+    true
+}
+
+/// The single-instance restriction of a query block: the scan of
+/// instance `i` under the conjuncts that touch only it (duplicate
+/// preserving, full width) — used to seed dependent-join anchoring.
+fn instance_restriction(block: &SpjBlock, i: usize) -> SpjBlock {
+    let (start, end) = block.scan_range(i);
+    let conjuncts = block
+        .conjuncts
+        .iter()
+        .filter(|c| {
+            let cols = c.referenced_cols();
+            !cols.is_empty() && cols.iter().all(|&x| x >= start && x < end)
+        })
+        .map(|c| c.map_cols(&|x| x - start))
+        .collect();
+    SpjBlock {
+        scans: vec![block.scans[i].clone()],
+        conjuncts,
+        projection: (0..(end - start)).map(fgac_algebra::ScalarExpr::Col).collect(),
+        distinct: false,
+    }
+}
+
+/// Merges `Distinct(X)` classes with `X` when `X` is provably
+/// duplicate-free (primary-key reasoning — the paper's Example 5.5).
+fn distinct_elimination(dag: &mut Dag, db: &Database) {
+    loop {
+        let mut merges: Vec<(EqId, EqId)> = Vec::new();
+        for op_id in dag.all_ops() {
+            let node = dag.op(op_id);
+            if !matches!(node.op, Operator::Distinct) {
+                continue;
+            }
+            let class = dag.class_of(op_id);
+            let child = dag.find(node.children[0]);
+            if class == child {
+                continue;
+            }
+            let Some(plan) = fgac_optimizer::extract_any(dag, child) else {
+                continue;
+            };
+            let Some(block) = SpjBlock::decompose(&plan) else {
+                continue;
+            };
+            if matcher::is_duplicate_free(db.catalog(), &block) {
+                merges.push((class, child));
+            }
+        }
+        if merges.is_empty() {
+            return;
+        }
+        for (a, b) in merges {
+            if dag.find(a) != dag.find(b) && dag.arity(a) == dag.arity(b) {
+                dag.merge(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_storage::{ForeignKey, InclusionDependency, ViewDef};
+    use fgac_types::{Column, DataType, Row, Schema, Value};
+
+    /// The paper's running university database with small data.
+    fn university() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        db.create_table(
+            "courses",
+            Schema::new(vec![
+                Column::new("course_id", DataType::Str),
+                Column::new("name", DataType::Str),
+            ]),
+            Some(vec![Ident::new("course_id")]),
+        )
+        .unwrap();
+        db.create_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        db.create_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        db.add_foreign_key(ForeignKey {
+            name: Ident::new("fk_grades_students"),
+            child_table: Ident::new("grades"),
+            child_columns: vec![Ident::new("student_id")],
+            parent_table: Ident::new("students"),
+            parent_columns: vec![Ident::new("student_id")],
+        })
+        .unwrap();
+
+        for (id, name, ty) in [
+            ("11", "ann", "FullTime"),
+            ("12", "bob", "PartTime"),
+            ("13", "carol", "FullTime"),
+        ] {
+            db.insert(
+                &Ident::new("students"),
+                Row(vec![id.into(), name.into(), ty.into()]),
+            )
+            .unwrap();
+        }
+        for (id, name) in [("cs101", "intro"), ("cs202", "systems")] {
+            db.insert(&Ident::new("courses"), Row(vec![id.into(), name.into()]))
+                .unwrap();
+        }
+        for (s, c) in [("11", "cs101"), ("12", "cs101"), ("13", "cs202")] {
+            db.insert(&Ident::new("registered"), Row(vec![s.into(), c.into()]))
+                .unwrap();
+        }
+        for (s, c, g) in [("11", "cs101", 90), ("12", "cs101", 70), ("13", "cs202", 80)] {
+            db.insert(
+                &Ident::new("grades"),
+                Row(vec![s.into(), c.into(), Value::Int(g)]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn add_view(db: &mut Database, name: &str, body: &str) {
+        db.add_view(ViewDef {
+            name: Ident::new(name),
+            authorization: true,
+            query: fgac_sql::parse_query(body).unwrap(),
+        })
+        .unwrap();
+    }
+
+    fn check(db: &Database, grants: &Grants, user: &str, sql: &str) -> ValidityReport {
+        Validator::new(db, grants)
+            .check_sql(&Session::new(user), sql)
+            .unwrap()
+    }
+
+    /// Section 5.2: projections/selections of MyGrades are valid.
+    #[test]
+    fn basic_rules_u1_u2() {
+        let mut db = university();
+        add_view(&mut db, "mygrades", "select * from grades where student_id = $user_id");
+        let mut grants = Grants::new();
+        grants.grant_view("11", "mygrades");
+
+        // The view itself (U1).
+        let r = check(&db, &grants, "11", "select * from grades where student_id = '11'");
+        assert_eq!(r.verdict, Verdict::Unconditional);
+        // Projection (U2).
+        let r = check(&db, &grants, "11", "select grade from grades where student_id = '11'");
+        assert_eq!(r.verdict, Verdict::Unconditional);
+        // Selection + projection (U2).
+        let r = check(
+            &db,
+            &grants,
+            "11",
+            "select course_id from grades where student_id = '11' and grade > 80",
+        );
+        assert_eq!(r.verdict, Verdict::Unconditional);
+        // Someone else's grades: invalid.
+        let r = check(&db, &grants, "11", "select * from grades where student_id = '12'");
+        assert_eq!(r.verdict, Verdict::Invalid);
+        // The same query from user 12 (whose instantiated view covers it)
+        // is fine: parameterized views are per-access (Section 2).
+        let mut g2 = Grants::new();
+        g2.grant_view("12", "mygrades");
+        let r = check(&db, &g2, "12", "select * from grades where student_id = '12'");
+        assert_eq!(r.verdict, Verdict::Unconditional);
+    }
+
+    /// Example 4.1: aggregates over MyGrades and AvgGrades.
+    #[test]
+    fn example_4_1_aggregates() {
+        let mut db = university();
+        add_view(&mut db, "mygrades", "select * from grades where student_id = $user_id");
+        add_view(
+            &mut db,
+            "avggrades",
+            "select course_id, avg(grade) from grades group by course_id",
+        );
+        let mut grants = Grants::new();
+        grants.grant_view("11", "mygrades");
+        grants.grant_view("11", "avggrades");
+
+        let r = check(
+            &db,
+            &grants,
+            "11",
+            "select avg(grade) from grades where student_id = '11'",
+        );
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        let r = check(
+            &db,
+            &grants,
+            "11",
+            "select avg(grade) from grades where course_id = 'cs101'",
+        );
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        // Raw grades of another student remain invalid.
+        let r = check(&db, &grants, "11", "select grade from grades where student_id = '12'");
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    /// Examples 5.1–5.3: U3a with inclusion dependencies.
+    #[test]
+    fn u3_reg_students() {
+        let mut db = university();
+        add_view(
+            &mut db,
+            "regstudents",
+            "select registered.course_id, students.name, students.type \
+             from registered, students \
+             where students.student_id = registered.student_id",
+        );
+        db.add_inclusion_dependency(InclusionDependency {
+            name: Ident::new("all_registered"),
+            src_table: Ident::new("students"),
+            src_columns: vec![Ident::new("student_id")],
+            src_filter: None,
+            dst_table: Ident::new("registered"),
+            dst_columns: vec![Ident::new("student_id")],
+            dst_filter: None,
+        })
+        .unwrap();
+        let mut grants = Grants::new();
+        grants.grant_view("11", "regstudents");
+        grants.grant_constraint("11", "all_registered");
+
+        // Example 5.1: select distinct name, type from students.
+        let r = check(&db, &grants, "11", "select distinct name, type from students");
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        // Without distinct, multiplicity is not reconstructible
+        // (Example 5.1's n*m discussion): invalid.
+        let r = check(&db, &grants, "11", "select name, type from students");
+        assert_eq!(r.verdict, Verdict::Invalid, "rules: {:?}", r.rules);
+
+        // Example 5.3: restriction to full-time students still valid.
+        let r = check(
+            &db,
+            &grants,
+            "11",
+            "select distinct name from students where type = 'FullTime'",
+        );
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        // Constraint visibility is required (U3a condition 2): same
+        // check without the constraint grant must fail.
+        let mut g2 = Grants::new();
+        g2.grant_view("11", "regstudents");
+        let r = check(&db, &g2, "11", "select distinct name, type from students");
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    /// Example 4.4 / C3: conditional validity of the CS101 query.
+    #[test]
+    fn c3_co_student_grades() {
+        let mut db = university();
+        add_view(
+            &mut db,
+            "costudentgrades",
+            "select grades.* from grades, registered \
+             where registered.student_id = $user_id \
+               and grades.course_id = registered.course_id",
+        );
+        // The user can see her own registrations (makes v_r valid).
+        add_view(
+            &mut db,
+            "myregistrations",
+            "select * from registered where student_id = $user_id",
+        );
+        let mut grants = Grants::new();
+        grants.grant_view("11", "costudentgrades");
+        grants.grant_view("11", "myregistrations");
+
+        // User 11 IS registered for cs101: conditionally valid.
+        let r = check(&db, &grants, "11", "select * from grades where course_id = 'cs101'");
+        assert_eq!(r.verdict, Verdict::Conditional, "rules: {:?}", r.rules);
+
+        // User 11 is NOT registered for cs202: rejected even though the
+        // data exists (the remainder probe is empty).
+        let r = check(&db, &grants, "11", "select * from grades where course_id = 'cs202'");
+        assert_eq!(r.verdict, Verdict::Invalid, "rules: {:?}", r.rules);
+
+        // Example 4.3's leak guard: WITHOUT myregistrations, v_r is not
+        // valid, so the query must be rejected even though user 11 is
+        // registered for cs101 — accepting would reveal her registration.
+        let mut g2 = Grants::new();
+        g2.grant_view("11", "costudentgrades");
+        let r = check(&db, &g2, "11", "select * from grades where course_id = 'cs101'");
+        assert_eq!(r.verdict, Verdict::Invalid, "rules: {:?}", r.rules);
+    }
+
+    /// Section 6: access-pattern views.
+    #[test]
+    fn access_pattern_constant_instantiation() {
+        let mut db = university();
+        add_view(
+            &mut db,
+            "singlegrade",
+            "select * from grades where student_id = $$1",
+        );
+        let mut grants = Grants::new();
+        grants.grant_view("sec", "singlegrade");
+
+        // Lookup by a specific student id: valid (instantiation at '12').
+        let r = check(&db, &grants, "sec", "select * from grades where student_id = '12'");
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        // Listing all grades: invalid — the whole point of $$.
+        let r = check(&db, &grants, "sec", "select * from grades");
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    #[test]
+    fn access_pattern_dependent_join() {
+        let mut db = university();
+        add_view(
+            &mut db,
+            "allregistered",
+            "select * from registered",
+        );
+        add_view(
+            &mut db,
+            "gradebystudent",
+            "select * from grades where student_id = $$sid",
+        );
+        let mut grants = Grants::new();
+        grants.grant_view("t", "allregistered");
+        grants.grant_view("t", "gradebystudent");
+
+        // r ⋈_{r.student_id = g.student_id} g: dependent join (Section 6).
+        let r = check(
+            &db,
+            &grants,
+            "t",
+            "select g.grade from registered r, grades g where r.student_id = g.student_id",
+        );
+        assert_eq!(r.verdict, Verdict::Unconditional, "rules: {:?}", r.rules);
+
+        // Joining on a non-key column cannot be fetched: invalid.
+        let r = check(
+            &db,
+            &grants,
+            "t",
+            "select g.grade from registered r, grades g where r.course_id = g.course_id",
+        );
+        assert_eq!(r.verdict, Verdict::Invalid);
+    }
+
+    /// Queries through plain (non-authorization) views bind but are
+    /// checked against base relations.
+    #[test]
+    fn ungranted_view_gives_nothing() {
+        let mut db = university();
+        add_view(&mut db, "mygrades", "select * from grades where student_id = $user_id");
+        let grants = Grants::new(); // nothing granted
+        let r = check(&db, &grants, "11", "select * from grades where student_id = '11'");
+        assert_eq!(r.verdict, Verdict::Invalid);
+        assert_eq!(r.views_considered, 0);
+    }
+
+    #[test]
+    fn basic_only_options_disable_complex_rules() {
+        let mut db = university();
+        add_view(
+            &mut db,
+            "costudentgrades",
+            "select grades.* from grades, registered \
+             where registered.student_id = $user_id \
+               and grades.course_id = registered.course_id",
+        );
+        add_view(
+            &mut db,
+            "myregistrations",
+            "select * from registered where student_id = $user_id",
+        );
+        let mut grants = Grants::new();
+        grants.grant_view("11", "costudentgrades");
+        grants.grant_view("11", "myregistrations");
+        let session = Session::new("11");
+        let q = "select * from grades where course_id = 'cs101'";
+
+        let full = Validator::new(&db, &grants).check_sql(&session, q).unwrap();
+        assert_eq!(full.verdict, Verdict::Conditional);
+
+        let basic = Validator::new(&db, &grants)
+            .with_options(CheckOptions::basic_only())
+            .check_sql(&session, q)
+            .unwrap();
+        assert_eq!(basic.verdict, Verdict::Invalid);
+    }
+}

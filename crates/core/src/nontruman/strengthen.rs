@@ -1,0 +1,204 @@
+//! Goal-directed strengthening of valid blocks.
+//!
+//! The U3/C3 derivations work on *valid blocks*; two U2-style moves
+//! enlarge that set toward the query before derivation:
+//!
+//! * **Restriction** — a selection over a valid block is valid when the
+//!   selected columns are projected (Example 5.3's first step: "given
+//!   the validity of RegStudents, the following selection query on
+//!   RegStudents must be valid"). We restrict by the *query's own*
+//!   conjuncts, mapped into the block by (table, column) provenance.
+//! * **Composition** — the join of two valid blocks is valid (U2 with
+//!   n=2; Example 5.4's "let q denote the natural join of RegStudents
+//!   and FeesPaid"). Cross-table equalities from the query are added
+//!   when both sides project the joined columns.
+
+use fgac_algebra::{normalize_conjuncts, ScalarExpr, SpjBlock};
+use fgac_types::Ident;
+
+/// Maps a flat column of `block` to its (table, column-name) identity.
+fn col_identity(block: &SpjBlock, flat: usize) -> (Ident, Ident) {
+    let owner = block.owner(flat);
+    let (start, _) = block.scan_range(owner);
+    let (table, schema) = &block.scans[owner];
+    (table.clone(), schema.column(flat - start).name.clone())
+}
+
+/// Finds a flat column of `block` with the given (table, column) name
+/// that the block *projects* (so a selection on it is computable).
+fn find_projected(block: &SpjBlock, table: &Ident, column: &Ident) -> Option<usize> {
+    for (idx, (t, schema)) in block.scans.iter().enumerate() {
+        if t != table {
+            continue;
+        }
+        let Some(i) = schema.index_of(column) else {
+            continue;
+        };
+        let (start, _) = block.scan_range(idx);
+        let flat = start + i;
+        if block.projection.contains(&ScalarExpr::Col(flat)) {
+            return Some(flat);
+        }
+    }
+    None
+}
+
+/// Restricts `valid` by every query conjunct expressible over its
+/// projected columns; returns the strengthened block if any conjunct
+/// applied.
+pub fn restrict_by_query(query: &SpjBlock, valid: &SpjBlock) -> Option<SpjBlock> {
+    let mut added = Vec::new();
+    'conj: for c in &query.conjuncts {
+        let cols = c.referenced_cols();
+        if cols.is_empty() {
+            continue;
+        }
+        // Remap each referenced column by (table, column) identity.
+        let mut mapping = std::collections::BTreeMap::new();
+        for &qc in &cols {
+            let (table, column) = col_identity(query, qc);
+            match find_projected(valid, &table, &column) {
+                Some(flat) => {
+                    mapping.insert(qc, flat);
+                }
+                None => continue 'conj,
+            }
+        }
+        let remapped = c.map_cols(&|i| mapping[&i]);
+        if !valid.conjuncts.contains(&remapped) {
+            added.push(remapped);
+        }
+    }
+    if added.is_empty() {
+        return None;
+    }
+    let mut out = valid.clone();
+    out.conjuncts.extend(added);
+    out.conjuncts = normalize_conjuncts(&out.conjuncts);
+    Some(out)
+}
+
+/// Joins two valid blocks (cross product at the block level; the query's
+/// cross-table equalities are then injected by [`restrict_by_query`]).
+/// Duplicate-eliminating blocks are not composable multiset-exactly, so
+/// both must be duplicate-preserving.
+pub fn compose(a: &SpjBlock, b: &SpjBlock) -> Option<SpjBlock> {
+    if a.distinct || b.distinct {
+        return None;
+    }
+    let shift = a.flat_arity();
+    let mut scans = a.scans.clone();
+    scans.extend(b.scans.iter().cloned());
+    let mut conjuncts = a.conjuncts.clone();
+    conjuncts.extend(b.conjuncts.iter().map(|c| c.map_cols(&|i| i + shift)));
+    let mut projection = a.projection.clone();
+    projection.extend(b.projection.iter().map(|e| e.map_cols(&|i| i + shift)));
+    Some(SpjBlock {
+        scans,
+        conjuncts: normalize_conjuncts(&conjuncts),
+        projection,
+        distinct: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_algebra::Plan;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn students() -> Plan {
+        Plan::scan(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str),
+            ]),
+        )
+    }
+
+    fn registered() -> Plan {
+        Plan::scan(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+        )
+    }
+
+    fn block(p: &Plan) -> SpjBlock {
+        SpjBlock::decompose(&fgac_algebra::normalize(p)).unwrap()
+    }
+
+    #[test]
+    fn restriction_maps_by_table_and_column() {
+        // RegStudents-like view: π_{R.course_id, S.name, S.type}(R ⋈ S).
+        let v = block(
+            &registered()
+                .join(
+                    students(),
+                    vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(2))],
+                )
+                .project(vec![
+                    ScalarExpr::col(1),
+                    ScalarExpr::col(3),
+                    ScalarExpr::col(4),
+                ]),
+        );
+        // Query: σ_{type='FullTime'}(students) projected on name.
+        let q = block(
+            &students()
+                .select(vec![ScalarExpr::eq(
+                    ScalarExpr::col(2),
+                    ScalarExpr::lit("FullTime"),
+                )])
+                .project(vec![ScalarExpr::col(1)])
+                .distinct(),
+        );
+        let restricted = restrict_by_query(&q, &v).expect("type is projected");
+        // The restriction lands on the view's S.type flat column (4).
+        assert!(restricted.conjuncts.contains(&ScalarExpr::eq(
+            ScalarExpr::Col(4),
+            ScalarExpr::lit("FullTime")
+        )));
+    }
+
+    #[test]
+    fn restriction_fails_on_unprojected_column() {
+        // View projects only name; query filters on type.
+        let v = block(&students().project(vec![ScalarExpr::col(1)]));
+        let q = block(&students().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(2),
+            ScalarExpr::lit("FullTime"),
+        )]));
+        assert!(restrict_by_query(&q, &v).is_none());
+    }
+
+    #[test]
+    fn composition_concatenates_frames() {
+        let a = block(&students());
+        let b = block(&registered());
+        let ab = compose(&a, &b).unwrap();
+        assert_eq!(ab.scans.len(), 2);
+        assert_eq!(ab.flat_arity(), 5);
+        assert_eq!(ab.projection.len(), 5);
+        // Query with a cross equality then restricts the composition.
+        let q = block(&fgac_algebra::normalize(&students().join(
+            registered(),
+            vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(3))],
+        )));
+        let restricted = restrict_by_query(&q, &ab).unwrap();
+        assert!(restricted
+            .conjuncts
+            .contains(&ScalarExpr::eq(ScalarExpr::Col(0), ScalarExpr::Col(3))));
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_compose() {
+        let a = block(&students().distinct());
+        let b = block(&registered());
+        assert!(compose(&a, &b).is_none());
+    }
+}

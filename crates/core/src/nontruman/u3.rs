@@ -1,0 +1,447 @@
+//! Inference rules U3a / U3b / U3c (Section 5.3): deriving the validity
+//! of a *subexpression* of a valid query using integrity constraints.
+//!
+//! Given a valid SPJ block `select A from R where Pc ∧ Pr ∧ Pj`, a
+//! *remainder* scan instance `Rr`, and a (user-visible) inclusion
+//! dependency guaranteeing that every tuple of the *core*
+//! `σ_Pc(R ∖ Rr)` joins with some tuple of `σ_Pr(Rr)` under `Pj`, the
+//! core projection
+//!
+//! ```sql
+//! SELECT DISTINCT A_c FROM R_c WHERE P_c     -- U3a/U3b
+//! ```
+//!
+//! is unconditionally valid; under U3c's extra conditions (the
+//! remainder's join attributes are visible in `A_r` and
+//! `SELECT A_rj FROM R_r WHERE P_r` is itself valid), the multiplicity
+//! of the core can be reconstructed and the `DISTINCT` dropped.
+
+use fgac_algebra::implication::implies;
+use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
+use fgac_storage::{Catalog, InclusionDependency};
+use fgac_types::Ident;
+use std::collections::BTreeSet;
+
+/// A U3 derivation: the core block that became valid, and whether the
+/// duplicate-preserving version is also valid (U3c).
+#[derive(Debug, Clone)]
+pub struct U3Derivation {
+    pub core: SpjBlock,
+    /// U3c fired: `core` with `distinct = false` is also valid. The
+    /// `q_rj` block that condition 3 requires valid is returned so the
+    /// caller can verify it against the current marking.
+    pub multiplicity_witness: Option<SpjBlock>,
+    pub constraint: Ident,
+    pub remainder_table: Ident,
+}
+
+/// Splits of one valid block, one per viable remainder instance and
+/// matching visible constraint.
+pub fn derive(
+    catalog: &Catalog,
+    visible_constraints: &BTreeSet<Ident>,
+    valid: &SpjBlock,
+) -> Vec<U3Derivation> {
+    let mut out = Vec::new();
+    if valid.scans.len() < 2 {
+        return out;
+    }
+    let flat = valid.flat_arity();
+    let inclusions: Vec<InclusionDependency> = catalog
+        .all_inclusions()
+        .into_iter()
+        .filter(|d| visible_constraints.contains(&d.name))
+        .collect();
+
+    for r_idx in 0..valid.scans.len() {
+        let (rs, re) = valid.scan_range(r_idx);
+        let in_rem = |c: usize| c >= rs && c < re;
+
+        // Partition conjuncts into Pc / Pr / Pj.
+        let mut pc = Vec::new();
+        let mut pr = Vec::new();
+        let mut pj_pairs: Vec<(usize, usize)> = Vec::new(); // (core, rem)
+        let mut ok = true;
+        for c in &valid.conjuncts {
+            let cols = c.referenced_cols();
+            let rem_cols: Vec<usize> = cols.iter().copied().filter(|&i| in_rem(i)).collect();
+            if rem_cols.is_empty() {
+                pc.push(c.clone());
+            } else if rem_cols.len() == cols.len() {
+                pr.push(c.clone());
+            } else {
+                // Cross conjunct: must be a plain equi-join.
+                match c {
+                    ScalarExpr::Cmp {
+                        op: CmpOp::Eq,
+                        left,
+                        right,
+                    } => match (&**left, &**right) {
+                        (ScalarExpr::Col(a), ScalarExpr::Col(b)) => {
+                            let (core, rem) = if in_rem(*a) { (*b, *a) } else { (*a, *b) };
+                            if in_rem(core) || !in_rem(rem) {
+                                ok = false;
+                                break;
+                            }
+                            pj_pairs.push((core, rem));
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !ok || pj_pairs.is_empty() {
+            continue;
+        }
+        pj_pairs.sort_unstable();
+        pj_pairs.dedup();
+
+        // A_c: projection expressions that only touch core columns.
+        // Condition 1(a)/(b) of U3a is satisfied by construction of the
+        // partition.
+        let core_projection: Vec<&ScalarExpr> = valid
+            .projection
+            .iter()
+            .filter(|e| e.referenced_cols().iter().all(|&i| !in_rem(i)))
+            .collect();
+        if core_projection.is_empty() {
+            continue;
+        }
+
+        let rem_table = &valid.scans[r_idx].0;
+        let rem_schema = &valid.scans[r_idx].1;
+
+        for dep in &inclusions {
+            if &dep.dst_table != rem_table {
+                continue;
+            }
+            // The dep's destination columns must be exactly the
+            // remainder-side join attributes.
+            let dep_dst_flat: Vec<usize> = match dep
+                .dst_columns
+                .iter()
+                .map(|c| rem_schema.index_of(c).map(|i| rs + i))
+                .collect::<Option<Vec<_>>>()
+            {
+                Some(v) => v,
+                None => continue,
+            };
+            let rem_join_cols: BTreeSet<usize> = pj_pairs.iter().map(|&(_, r)| r).collect();
+            if rem_join_cols != dep_dst_flat.iter().copied().collect() {
+                continue;
+            }
+
+            // Locate a core instance of dep.src_table whose dep-source
+            // columns are, under Pc, equal to the corresponding core-side
+            // join attributes.
+            let mut matched = false;
+            for (c_idx, (c_table, c_schema)) in valid.scans.iter().enumerate() {
+                if c_idx == r_idx || c_table != &dep.src_table {
+                    continue;
+                }
+                let (cs, _) = valid.scan_range(c_idx);
+                let dep_src_flat: Vec<usize> = match dep
+                    .src_columns
+                    .iter()
+                    .map(|c| c_schema.index_of(c).map(|i| cs + i))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    Some(v) => v,
+                    None => break,
+                };
+                // For each dep column pair k: the core join column that
+                // joins to dep_dst_flat[k] must equal dep_src_flat[k]
+                // under Pc (directly the same column or provably equal).
+                let mut eq_needed = Vec::new();
+                let mut align_ok = true;
+                for (k, &dst) in dep_dst_flat.iter().enumerate() {
+                    let Some(&(core_col, _)) = pj_pairs.iter().find(|&&(_, r)| r == dst) else {
+                        align_ok = false;
+                        break;
+                    };
+                    if core_col != dep_src_flat[k] {
+                        eq_needed.push(ScalarExpr::eq(
+                            ScalarExpr::Col(core_col.min(dep_src_flat[k])),
+                            ScalarExpr::Col(core_col.max(dep_src_flat[k])),
+                        ));
+                    }
+                }
+                if !align_ok {
+                    continue;
+                }
+                if !eq_needed.is_empty() && !implies(&pc, &eq_needed, flat) {
+                    continue;
+                }
+
+                // Pc must imply the dep's source filter (bound over the
+                // core instance), and the dep's target filter must imply
+                // Pr (bound over the remainder instance).
+                if let Some(f) = &dep.src_filter {
+                    let Ok(bound) =
+                        fgac_algebra::bind_table_expr(catalog, c_table, f, &Default::default())
+                    else {
+                        continue;
+                    };
+                    let shifted = bound.map_cols(&|i| cs + i);
+                    if !implies(&pc, &[shifted], flat) {
+                        continue;
+                    }
+                }
+                {
+                    let dst_conjuncts: Vec<ScalarExpr> = match &dep.dst_filter {
+                        Some(f) => {
+                            let Ok(bound) = fgac_algebra::bind_table_expr(
+                                catalog,
+                                rem_table,
+                                f,
+                                &Default::default(),
+                            ) else {
+                                continue;
+                            };
+                            vec![bound.map_cols(&|i| rs + i)]
+                        }
+                        None => Vec::new(),
+                    };
+                    if !implies(&dst_conjuncts, &pr, flat) {
+                        continue;
+                    }
+                }
+                matched = true;
+                break;
+            }
+            if !matched {
+                continue;
+            }
+
+            // Build the core block (U3a/U3b): remove the remainder scan,
+            // shift offsets, project A_c, DISTINCT.
+            let rem_width = re - rs;
+            let shift = |i: usize| if i >= re { i - rem_width } else { i };
+            let mut core_scans = valid.scans.clone();
+            core_scans.remove(r_idx);
+            let core = SpjBlock {
+                scans: core_scans,
+                conjuncts: pc.iter().map(|c| c.map_cols(&shift)).collect(),
+                projection: core_projection.iter().map(|e| e.map_cols(&shift)).collect(),
+                distinct: true,
+            };
+
+            // U3c: remainder join attributes must appear in the valid
+            // block's projection (condition 1d), and q_rj =
+            // `select A_rj from Rr where Pr` must itself be valid
+            // (condition 3) — returned as a witness for the caller.
+            let rem_join_visible = pj_pairs
+                .iter()
+                .all(|&(_, r)| valid.projection.contains(&ScalarExpr::Col(r)));
+            let multiplicity_witness = if rem_join_visible && !valid.distinct {
+                Some(SpjBlock {
+                    scans: vec![(rem_table.clone(), rem_schema.clone())],
+                    conjuncts: pr.iter().map(|c| c.map_cols(&|i| i - rs)).collect(),
+                    projection: pj_pairs
+                        .iter()
+                        .map(|&(_, r)| ScalarExpr::Col(r - rs))
+                        .collect(),
+                    distinct: false,
+                })
+            } else {
+                None
+            };
+
+            out.push(U3Derivation {
+                core,
+                multiplicity_witness,
+                constraint: dep.name.clone(),
+                remainder_table: rem_table.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_algebra::Plan;
+    use fgac_types::{Column, DataType, Schema};
+
+    /// Example 5.1/5.2 setup: RegStudents view over Registered ⋈
+    /// Students, with "every student registers for ≥1 course".
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        c.add_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        c.add_inclusion_dependency(InclusionDependency {
+            name: Ident::new("all_registered"),
+            src_table: Ident::new("students"),
+            src_columns: vec![Ident::new("student_id")],
+            src_filter: None,
+            dst_table: Ident::new("registered"),
+            dst_columns: vec![Ident::new("student_id")],
+            dst_filter: None,
+        })
+        .unwrap();
+        c
+    }
+
+    /// RegStudents: π_{R.course_id, S.name, S.type}(R ⋈ S). Flat order:
+    /// registered(0,1), students(2,3,4).
+    fn reg_students() -> SpjBlock {
+        let p = Plan::scan(
+            "registered",
+            catalog().table(&Ident::new("registered")).unwrap().schema.clone(),
+        )
+        .join(
+            Plan::scan(
+                "students",
+                catalog().table(&Ident::new("students")).unwrap().schema.clone(),
+            ),
+            vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(2))],
+        )
+        .project(vec![
+            ScalarExpr::col(1),
+            ScalarExpr::col(3),
+            ScalarExpr::col(4),
+        ]);
+        SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap()
+    }
+
+    fn visible(names: &[&str]) -> BTreeSet<Ident> {
+        names.iter().map(Ident::new).collect()
+    }
+
+    #[test]
+    fn example_5_2_derives_distinct_students_projection() {
+        let cat = catalog();
+        let ds = derive(&cat, &visible(&["all_registered"]), &reg_students());
+        // One derivation: remainder = registered, core = students.
+        let d = ds
+            .iter()
+            .find(|d| d.remainder_table == Ident::new("registered"))
+            .expect("derivation for remainder=registered");
+        assert_eq!(d.core.scans.len(), 1);
+        assert_eq!(d.core.scans[0].0, Ident::new("students"));
+        assert!(d.core.distinct, "U3a derives SELECT DISTINCT");
+        // A_c = name, type (course_id is a remainder attribute).
+        assert_eq!(
+            d.core.projection,
+            vec![ScalarExpr::Col(1), ScalarExpr::Col(2)]
+        );
+        assert_eq!(d.constraint, Ident::new("all_registered"));
+        // Remainder join attr (R.student_id) is NOT in the view
+        // projection, so no U3c multiplicity witness.
+        assert!(d.multiplicity_witness.is_none());
+    }
+
+    #[test]
+    fn invisible_constraint_blocks_derivation() {
+        let cat = catalog();
+        let ds = derive(&cat, &visible(&[]), &reg_students());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn example_5_3_conditional_inclusion() {
+        // View restricted to full-time students; constraint only covers
+        // full-time students.
+        let mut cat = catalog();
+        cat.add_inclusion_dependency(InclusionDependency {
+            name: Ident::new("ft_registered"),
+            src_table: Ident::new("students"),
+            src_columns: vec![Ident::new("student_id")],
+            src_filter: Some(fgac_sql::parse_expr("type = 'FullTime'").unwrap()),
+            dst_table: Ident::new("registered"),
+            dst_columns: vec![Ident::new("student_id")],
+            dst_filter: None,
+        })
+        .unwrap();
+        // σ_{S.type='FullTime'}(RegStudents) as a block.
+        let mut v = reg_students();
+        v.conjuncts.push(ScalarExpr::eq(
+            ScalarExpr::Col(4),
+            ScalarExpr::lit("FullTime"),
+        ));
+        let ds = derive(&cat, &visible(&["ft_registered"]), &v);
+        assert!(
+            ds.iter().any(|d| d.constraint == Ident::new("ft_registered")),
+            "Pc = (type='FullTime') implies the constraint's source filter"
+        );
+
+        // Without the type restriction, the conditional constraint must
+        // NOT fire (Pc = true does not imply type='FullTime').
+        let ds = derive(&cat, &visible(&["ft_registered"]), &reg_students());
+        assert!(ds.iter().all(|d| d.constraint != Ident::new("ft_registered")));
+    }
+
+    #[test]
+    fn u3c_witness_when_join_attrs_projected() {
+        // View that projects the remainder join attribute too:
+        // π_{R.student_id, R.course_id, S.name}(R ⋈ S), remainder = S?
+        // Use remainder = registered with R.student_id projected.
+        let cat = catalog();
+        let p = Plan::scan(
+            "registered",
+            cat.table(&Ident::new("registered")).unwrap().schema.clone(),
+        )
+        .join(
+            Plan::scan(
+                "students",
+                cat.table(&Ident::new("students")).unwrap().schema.clone(),
+            ),
+            vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::col(2))],
+        )
+        .project(vec![
+            ScalarExpr::col(0), // R.student_id (the join attr)
+            ScalarExpr::col(1),
+            ScalarExpr::col(3),
+        ]);
+        let v = SpjBlock::decompose(&fgac_algebra::normalize(&p)).unwrap();
+        let ds = derive(&cat, &visible(&["all_registered"]), &v);
+        let d = ds
+            .iter()
+            .find(|d| d.remainder_table == Ident::new("registered"))
+            .unwrap();
+        let w = d.multiplicity_witness.as_ref().expect("U3c witness");
+        // q_rj = select student_id from registered.
+        assert_eq!(w.scans[0].0, Ident::new("registered"));
+        assert_eq!(w.projection, vec![ScalarExpr::Col(0)]);
+        assert!(!w.distinct);
+    }
+
+    #[test]
+    fn cross_conjunct_that_is_not_equijoin_blocks() {
+        let cat = catalog();
+        let mut v = reg_students();
+        // Add R.course_id <> S.name — a non-equi cross conjunct.
+        v.conjuncts.push(ScalarExpr::cmp(
+            CmpOp::NotEq,
+            ScalarExpr::Col(1),
+            ScalarExpr::Col(3),
+        ));
+        let ds = derive(&cat, &visible(&["all_registered"]), &v);
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Sessions: the execution context whose parameter values instantiate
+//! authorization views (Section 2 / Oracle VPD's "secure application
+//! context", Section 3.1).
+
+use fgac_algebra::ParamScope;
+use fgac_types::Value;
+
+/// A user session. `$user_id` is always bound; arbitrary additional
+/// parameters (`$time`, `$user_location`, ...) can be attached — the
+/// paper's Section 2 examples include time- and IP-based policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    user: String,
+    params: ParamScope,
+}
+
+impl Session {
+    pub fn new(user: impl Into<String>) -> Self {
+        let user = user.into();
+        let mut params = ParamScope::new();
+        params.set("user_id", user.as_str());
+        Session { user, params }
+    }
+
+    /// Attaches an extra session parameter (e.g. `$time`).
+    pub fn with_param(mut self, name: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        self.params.set(name, value);
+        self
+    }
+
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    pub fn params(&self) -> &ParamScope {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_id_is_bound_automatically() {
+        let s = Session::new("11");
+        assert_eq!(s.params().get("user_id"), Some(&Value::Str("11".into())));
+        assert_eq!(s.user(), "11");
+    }
+
+    #[test]
+    fn extra_params_attach() {
+        let s = Session::new("11").with_param("time", 930).with_param("ip", "10.0.0.1");
+        assert_eq!(s.params().get("time"), Some(&Value::Int(930)));
+        assert_eq!(s.params().get("IP"), Some(&Value::Str("10.0.0.1".into())));
+    }
+}

@@ -1,0 +1,407 @@
+//! DML execution (INSERT / UPDATE / DELETE) and constraint audits.
+//!
+//! These are the *unchecked* engine primitives; per-tuple authorization
+//! of updates (Section 4.4) wraps them in `fgac-core`.
+
+use crate::eval::{eval, eval_predicate};
+use fgac_algebra::{bind_table_expr, ParamScope, ScalarExpr};
+use fgac_sql::{self as sql};
+use fgac_storage::{Database, InclusionDependency};
+use fgac_types::{Error, Ident, Result, Row, Value};
+
+/// Result of a DML statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmlOutcome {
+    /// Rows inserted / updated / deleted.
+    pub affected: usize,
+}
+
+/// Executes an `INSERT` (constraint-checked).
+pub fn execute_insert(db: &mut Database, stmt: &sql::Insert, params: &ParamScope) -> Result<DmlOutcome> {
+    let rows = insert_rows(db, stmt, params)?;
+    let table = stmt.table.clone();
+    let mut n = 0;
+    for row in rows {
+        db.insert(&table, row)?;
+        n += 1;
+    }
+    Ok(DmlOutcome { affected: n })
+}
+
+/// Materializes the full-width rows an `INSERT` statement denotes,
+/// without writing them (used by update authorization to test tuples
+/// *before* insertion).
+pub fn insert_rows(db: &Database, stmt: &sql::Insert, params: &ParamScope) -> Result<Vec<Row>> {
+    let meta = db
+        .catalog()
+        .table(&stmt.table)
+        .ok_or_else(|| Error::Bind(format!("unknown table {}", stmt.table)))?;
+    let schema = meta.schema.clone();
+
+    // Column positions: explicit list or full schema order.
+    let positions: Vec<usize> = if stmt.columns.is_empty() {
+        (0..schema.len()).collect()
+    } else {
+        stmt.columns
+            .iter()
+            .map(|c| {
+                schema
+                    .index_of(c)
+                    .ok_or_else(|| Error::Bind(format!("no column {c} in {}", stmt.table)))
+            })
+            .collect::<Result<_>>()?
+    };
+
+    let mut out = Vec::with_capacity(stmt.rows.len());
+    for value_exprs in &stmt.rows {
+        if value_exprs.len() != positions.len() {
+            return Err(Error::Type(format!(
+                "INSERT expects {} values, got {}",
+                positions.len(),
+                value_exprs.len()
+            )));
+        }
+        let mut row = vec![Value::Null; schema.len()];
+        for (expr, &pos) in value_exprs.iter().zip(&positions) {
+            let bound = bind_table_expr(db.catalog(), &stmt.table, expr, params)?;
+            if !bound.referenced_cols().is_empty() {
+                return Err(Error::Bind(
+                    "INSERT values must be constant expressions".into(),
+                ));
+            }
+            row[pos] = eval(&bound, &Row(vec![]))?;
+        }
+        out.push(Row(row));
+    }
+    Ok(out)
+}
+
+/// The bound form of an UPDATE: optional filter plus per-column
+/// assignment expressions, all over the table row.
+pub type BoundUpdate = (Option<ScalarExpr>, Vec<(usize, ScalarExpr)>);
+
+/// Binds an `UPDATE`'s filter and assignments.
+pub fn bind_update(
+    db: &Database,
+    stmt: &sql::Update,
+    params: &ParamScope,
+) -> Result<BoundUpdate> {
+    let meta = db
+        .catalog()
+        .table(&stmt.table)
+        .ok_or_else(|| Error::Bind(format!("unknown table {}", stmt.table)))?;
+    let filter = stmt
+        .filter
+        .as_ref()
+        .map(|f| bind_table_expr(db.catalog(), &stmt.table, f, params))
+        .transpose()?;
+    let assignments = stmt
+        .assignments
+        .iter()
+        .map(|(col, e)| {
+            let idx = meta
+                .schema
+                .index_of(col)
+                .ok_or_else(|| Error::Bind(format!("no column {col} in {}", stmt.table)))?;
+            let bound = bind_table_expr(db.catalog(), &stmt.table, e, params)?;
+            Ok((idx, bound))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((filter, assignments))
+}
+
+/// Executes an `UPDATE`.
+pub fn execute_update(db: &mut Database, stmt: &sql::Update, params: &ParamScope) -> Result<DmlOutcome> {
+    let (filter, assignments) = bind_update(db, stmt, params)?;
+    let affected = update_matching(db, &stmt.table, filter.as_ref(), &assignments)?;
+    Ok(DmlOutcome { affected })
+}
+
+/// Applies bound assignments to rows matching the filter; returns the
+/// number of rows updated.
+pub fn update_matching(
+    db: &mut Database,
+    table: &Ident,
+    filter: Option<&ScalarExpr>,
+    assignments: &[(usize, ScalarExpr)],
+) -> Result<usize> {
+    // Both closures may hit evaluation errors; stash the first one.
+    let eval_err = std::cell::RefCell::new(None);
+    let n = db.update_where(
+        table,
+        |row| match filter {
+            None => true,
+            Some(f) => match eval_predicate(f, row) {
+                Ok(b) => b,
+                Err(e) => {
+                    eval_err.borrow_mut().get_or_insert(e);
+                    false
+                }
+            },
+        },
+        |row| {
+            let mut new = row.clone();
+            for (idx, e) in assignments {
+                match eval(e, row) {
+                    Ok(v) => new.0[*idx] = v,
+                    Err(e) => {
+                        eval_err.borrow_mut().get_or_insert(e);
+                    }
+                }
+            }
+            new
+        },
+    )?;
+    if let Some(e) = eval_err.into_inner() {
+        return Err(e);
+    }
+    Ok(n)
+}
+
+/// Executes a `DELETE`.
+pub fn execute_delete(db: &mut Database, stmt: &sql::Delete, params: &ParamScope) -> Result<DmlOutcome> {
+    let filter = stmt
+        .filter
+        .as_ref()
+        .map(|f| bind_table_expr(db.catalog(), &stmt.table, f, params))
+        .transpose()?;
+    let mut eval_err = None;
+    let affected = db.delete_where(&stmt.table, |row| match &filter {
+        None => true,
+        Some(f) => match eval_predicate(f, row) {
+            Ok(b) => b,
+            Err(e) => {
+                eval_err.get_or_insert(e);
+                false
+            }
+        },
+    })?;
+    if let Some(e) = eval_err {
+        return Err(e);
+    }
+    Ok(DmlOutcome { affected })
+}
+
+/// Audits a (possibly conditional) inclusion dependency against the
+/// current data, returning the violating source rows. An empty result
+/// means the constraint holds on this state — useful for validating that
+/// a database state is *legal* before the U3 rules assume the constraint.
+pub fn audit_inclusion(db: &Database, dep: &InclusionDependency) -> Result<Vec<Row>> {
+    let catalog = db.catalog();
+    let src_meta = catalog.table_required(&dep.src_table)?;
+    let dst_meta = catalog.table_required(&dep.dst_table)?;
+    let params = ParamScope::new();
+    let src_filter = dep
+        .src_filter
+        .as_ref()
+        .map(|f| bind_table_expr(catalog, &dep.src_table, f, &params))
+        .transpose()?;
+    let dst_filter = dep
+        .dst_filter
+        .as_ref()
+        .map(|f| bind_table_expr(catalog, &dep.dst_table, f, &params))
+        .transpose()?;
+
+    let src_idx: Vec<usize> = dep
+        .src_columns
+        .iter()
+        .map(|c| src_meta.schema.index_of(c).expect("validated"))
+        .collect();
+    let dst_idx: Vec<usize> = dep
+        .dst_columns
+        .iter()
+        .map(|c| dst_meta.schema.index_of(c).expect("validated"))
+        .collect();
+
+    // Materialize target keys.
+    let mut dst_keys = std::collections::HashSet::new();
+    for row in db.table_required(&dep.dst_table)?.rows() {
+        if let Some(f) = &dst_filter {
+            if !eval_predicate(f, row)? {
+                continue;
+            }
+        }
+        dst_keys.insert(row.project(&dst_idx));
+    }
+
+    let mut violations = Vec::new();
+    for row in db.table_required(&dep.src_table)?.rows() {
+        if let Some(f) = &src_filter {
+            if !eval_predicate(f, row)? {
+                continue;
+            }
+        }
+        if !dst_keys.contains(&row.project(&src_idx)) {
+            violations.push(row.clone());
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_sql::{parse_statement, Statement};
+    use fgac_types::{Column, DataType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        db.create_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        db
+    }
+
+    fn stmt(s: &str) -> Statement {
+        parse_statement(s).unwrap()
+    }
+
+    #[test]
+    fn insert_full_and_partial_columns() {
+        let mut d = db();
+        let Statement::Insert(i) = stmt("insert into students values ('11', 'ann', 'FullTime')")
+        else {
+            panic!()
+        };
+        let out = execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        assert_eq!(out.affected, 1);
+
+        let Statement::Insert(i) =
+            stmt("insert into students (student_id, name) values ('12', 'bob')")
+        else {
+            panic!()
+        };
+        execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        let rows = d.table(&Ident::new("students")).unwrap().rows();
+        assert_eq!(rows[1].get(2), &Value::Null);
+    }
+
+    #[test]
+    fn insert_with_param() {
+        let mut d = db();
+        let Statement::Insert(i) =
+            stmt("insert into students values ($user_id, 'ann', 'FullTime')")
+        else {
+            panic!()
+        };
+        execute_insert(&mut d, &i, &ParamScope::with_user("42")).unwrap();
+        assert!(d
+            .table(&Ident::new("students"))
+            .unwrap()
+            .rows()[0]
+            .get(0)
+            .eq(&Value::Str("42".into())));
+    }
+
+    #[test]
+    fn update_with_filter_and_expression() {
+        let mut d = db();
+        for (id, n) in [("11", "ann"), ("12", "bob")] {
+            let Statement::Insert(i) = stmt(&format!(
+                "insert into students values ('{id}', '{n}', 'FullTime')"
+            )) else {
+                panic!()
+            };
+            execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        }
+        let Statement::Update(u) =
+            stmt("update students set name = 'anne' where student_id = '11'")
+        else {
+            panic!()
+        };
+        let out = execute_update(&mut d, &u, &ParamScope::new()).unwrap();
+        assert_eq!(out.affected, 1);
+        let rows = d.table(&Ident::new("students")).unwrap().rows();
+        assert_eq!(rows[0].get(1), &Value::Str("anne".into()));
+        assert_eq!(rows[1].get(1), &Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let mut d = db();
+        for id in ["11", "12", "13"] {
+            let Statement::Insert(i) =
+                stmt(&format!("insert into students values ('{id}', 'x', 'y')"))
+            else {
+                panic!()
+            };
+            execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        }
+        let Statement::Delete(del) = stmt("delete from students where student_id <> '12'") else {
+            panic!()
+        };
+        let out = execute_delete(&mut d, &del, &ParamScope::new()).unwrap();
+        assert_eq!(out.affected, 2);
+        assert_eq!(d.table(&Ident::new("students")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pk_violation_surfaces() {
+        let mut d = db();
+        let Statement::Insert(i) = stmt("insert into students values ('11', 'a', 'b')") else {
+            panic!()
+        };
+        execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        let err = execute_insert(&mut d, &i, &ParamScope::new());
+        assert!(matches!(err, Err(Error::Constraint(_))));
+    }
+
+    #[test]
+    fn audit_conditional_inclusion() {
+        let mut d = db();
+        for (id, ty) in [("11", "FullTime"), ("12", "PartTime")] {
+            let Statement::Insert(i) =
+                stmt(&format!("insert into students values ('{id}', 'x', '{ty}')"))
+            else {
+                panic!()
+            };
+            execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        }
+        // Constraint: full-time students must be registered (Example 5.3).
+        let dep = InclusionDependency {
+            name: Ident::new("ft_reg"),
+            src_table: Ident::new("students"),
+            src_columns: vec![Ident::new("student_id")],
+            src_filter: Some(fgac_sql::parse_expr("type = 'FullTime'").unwrap()),
+            dst_table: Ident::new("registered"),
+            dst_columns: vec![Ident::new("student_id")],
+            dst_filter: None,
+        };
+        // 11 is FullTime and unregistered: one violation. 12 is PartTime:
+        // exempt.
+        let v = audit_inclusion(&d, &dep).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].get(0), &Value::Str("11".into()));
+
+        let Statement::Insert(i) = stmt("insert into registered values ('11', 'cs101')") else {
+            panic!()
+        };
+        execute_insert(&mut d, &i, &ParamScope::new()).unwrap();
+        assert!(audit_inclusion(&d, &dep).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_non_constant_values() {
+        let d = db();
+        let Statement::Insert(i) = stmt("insert into students values (name, 'a', 'b')") else {
+            panic!()
+        };
+        assert!(insert_rows(&d, &i, &ParamScope::new()).is_err());
+    }
+}

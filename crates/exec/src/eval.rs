@@ -1,0 +1,262 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use fgac_algebra::{ArithOp, ScalarExpr};
+use fgac_types::{Error, Result, Row, Value};
+
+/// Evaluates `expr` on `row`. NULL propagates per SQL 3VL; comparisons
+/// between non-NULL values of incompatible types are type errors.
+pub fn eval(expr: &ScalarExpr, row: &Row) -> Result<Value> {
+    match expr {
+        ScalarExpr::Col(i) => row
+            .values()
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("column offset {i} out of range"))),
+        ScalarExpr::Lit(v) => Ok(v.clone()),
+        ScalarExpr::AccessParam(p) => Err(Error::Execution(format!(
+            "access-pattern parameter $${p} was not bound to a value"
+        ))),
+        ScalarExpr::Cmp { op, left, right } => {
+            let l = eval(left, row)?;
+            let r = eval(right, row)?;
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match l.sql_cmp(&r) {
+                Some(ord) => Ok(Value::Bool(op.test(ord))),
+                None => Err(Error::Type(format!(
+                    "cannot compare {l} with {r}"
+                ))),
+            }
+        }
+        ScalarExpr::And(es) => {
+            let mut saw_null = false;
+            for e in es {
+                match eval(e, row)? {
+                    Value::Bool(false) => return Ok(Value::Bool(false)),
+                    Value::Bool(true) => {}
+                    Value::Null => saw_null = true,
+                    other => {
+                        return Err(Error::Type(format!("AND expects booleans, got {other}")))
+                    }
+                }
+            }
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(true)
+            })
+        }
+        ScalarExpr::Or(es) => {
+            let mut saw_null = false;
+            for e in es {
+                match eval(e, row)? {
+                    Value::Bool(true) => return Ok(Value::Bool(true)),
+                    Value::Bool(false) => {}
+                    Value::Null => saw_null = true,
+                    other => {
+                        return Err(Error::Type(format!("OR expects booleans, got {other}")))
+                    }
+                }
+            }
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(false)
+            })
+        }
+        ScalarExpr::Not(e) => match eval(e, row)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Null => Ok(Value::Null),
+            other => Err(Error::Type(format!("NOT expects a boolean, got {other}"))),
+        },
+        ScalarExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        ScalarExpr::Arith { op, left, right } => {
+            let l = eval(left, row)?;
+            let r = eval(right, row)?;
+            arith(*op, &l, &r)
+        }
+        ScalarExpr::Neg(e) => match eval(e, row)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            Value::Null => Ok(Value::Null),
+            other => Err(Error::Type(format!("cannot negate {other}"))),
+        },
+    }
+}
+
+/// SQL predicate truth: TRUE keeps the row; FALSE and NULL drop it.
+pub fn eval_predicate(expr: &ScalarExpr, row: &Row) -> Result<bool> {
+    match eval(expr, row)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(Error::Type(format!(
+            "predicate must be boolean, got {other}"
+        ))),
+    }
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let out = match op {
+                ArithOp::Add => a.checked_add(b),
+                ArithOp::Sub => a.checked_sub(b),
+                ArithOp::Mul => a.checked_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return Err(Error::Execution("division by zero".into()));
+                    }
+                    a.checked_div(b)
+                }
+                ArithOp::Mod => {
+                    if b == 0 {
+                        return Err(Error::Execution("modulo by zero".into()));
+                    }
+                    a.checked_rem(b)
+                }
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| Error::Execution("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(Error::Type(format!("cannot apply arithmetic to {l}, {r}")));
+            };
+            let out = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                ArithOp::Mod => a % b,
+            };
+            Ok(Value::Double(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_algebra::CmpOp;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Row(vals)
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = ScalarExpr::lit(true);
+        let f = ScalarExpr::lit(false);
+        let n = ScalarExpr::Lit(Value::Null);
+        let r = row(vec![]);
+        assert_eq!(
+            eval(&ScalarExpr::And(vec![t.clone(), n.clone()]), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&ScalarExpr::And(vec![f.clone(), n.clone()]), &r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&ScalarExpr::Or(vec![t.clone(), n.clone()]), &r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&ScalarExpr::Or(vec![f, n]), &r).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn null_comparison_is_unknown_and_filtered() {
+        let e = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(5));
+        let r = row(vec![Value::Null]);
+        assert_eq!(eval(&e, &r).unwrap(), Value::Null);
+        assert!(!eval_predicate(&e, &r).unwrap());
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        let e = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::lit(2.5));
+        assert_eq!(
+            eval(&e, &row(vec![Value::Int(2)])).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let e = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(5));
+        let r = row(vec![Value::Str("x".into())]);
+        assert!(matches!(eval(&e, &r), Err(Error::Type(_))));
+    }
+
+    #[test]
+    fn integer_and_double_arithmetic() {
+        let r = row(vec![Value::Int(7), Value::Int(2)]);
+        let div = ScalarExpr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(ScalarExpr::col(0)),
+            right: Box::new(ScalarExpr::col(1)),
+        };
+        assert_eq!(eval(&div, &r).unwrap(), Value::Int(3));
+        let r2 = row(vec![Value::Double(7.0), Value::Int(2)]);
+        assert_eq!(eval(&div, &r2).unwrap(), Value::Double(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let div = ScalarExpr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(ScalarExpr::lit(1)),
+            right: Box::new(ScalarExpr::lit(0)),
+        };
+        assert!(eval(&div, &row(vec![])).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arith() {
+        let add = ScalarExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(ScalarExpr::Lit(Value::Null)),
+            right: Box::new(ScalarExpr::lit(1)),
+        };
+        assert_eq!(eval(&add, &row(vec![])).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let e = ScalarExpr::IsNull {
+            expr: Box::new(ScalarExpr::col(0)),
+            negated: false,
+        };
+        assert_eq!(
+            eval(&e, &row(vec![Value::Null])).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&e, &row(vec![Value::Int(1)])).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unbound_access_param_errors() {
+        let e = ScalarExpr::AccessParam("1".into());
+        assert!(matches!(eval(&e, &row(vec![])), Err(Error::Execution(_))));
+    }
+}

@@ -1,0 +1,29 @@
+//! # fgac-exec
+//!
+//! Query execution over [`fgac_storage::Database`] with SQL multiset
+//! semantics and three-valued logic.
+//!
+//! In the Non-Truman model the *original* query executes unmodified once
+//! validated (Section 4); in the Truman model the *rewritten* query
+//! executes. Both paths land here. Conditional-validity checking (rule
+//! C3a condition 3) also calls into the executor to probe whether the
+//! instantiated view-remainder `v_r` is non-empty on the current state.
+//!
+//! Operators: filter, duplicate-preserving project, distinct, hash /
+//! nested-loop join (picked per predicate shape), hash aggregate, sort +
+//! limit for presentation. Execution is materialized (`Vec<Row>` between
+//! operators) — simple, allocation-friendly at bench scale, and
+//! semantics-first.
+
+mod dml;
+mod eval;
+mod exec;
+mod pushdown;
+
+pub use dml::{
+    audit_inclusion, bind_update, execute_delete, execute_insert, execute_update, insert_rows,
+    update_matching, DmlOutcome,
+};
+pub use eval::{eval, eval_predicate};
+pub use exec::{execute_bound, execute_plan, run_query_sql, QueryResult};
+pub use pushdown::push_selections;

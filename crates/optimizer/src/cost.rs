@@ -1,0 +1,178 @@
+//! A simple cardinality-based cost model for plan extraction.
+//!
+//! The paper only needs the optimizer to pick *some* best plan (validity
+//! checking is orthogonal to plan quality), so this model is deliberately
+//! basic: fixed selectivities per predicate class, costs proportional to
+//! rows touched.
+
+use fgac_algebra::{CmpOp, ScalarExpr};
+use fgac_types::Ident;
+use std::collections::BTreeMap;
+
+/// Base-table row counts used for estimation.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    rows: BTreeMap<Ident, f64>,
+}
+
+impl TableStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, table: impl Into<Ident>, rows: usize) -> &mut Self {
+        self.rows.insert(table.into(), rows as f64);
+        self
+    }
+
+    pub fn rows(&self, table: &Ident) -> f64 {
+        self.rows.get(table).copied().unwrap_or(1000.0)
+    }
+
+    /// Snapshot from a live database.
+    pub fn from_database(db: &fgac_storage::Database) -> Self {
+        let mut s = Self::new();
+        for meta in db.catalog().tables() {
+            if let Some(t) = db.table(&meta.name) {
+                s.set(meta.name.clone(), t.len().max(1));
+            }
+        }
+        s
+    }
+}
+
+/// Cost/cardinality estimation.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    pub stats: TableStats,
+}
+
+/// Estimated (cost, output cardinality).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    pub cost: f64,
+    pub card: f64,
+}
+
+impl CostModel {
+    pub fn new(stats: TableStats) -> Self {
+        CostModel { stats }
+    }
+
+    /// Selectivity of one conjunct: equality is more selective than
+    /// ranges.
+    fn selectivity(conjunct: &ScalarExpr) -> f64 {
+        match conjunct {
+            ScalarExpr::Cmp { op: CmpOp::Eq, .. } => 0.05,
+            ScalarExpr::Cmp { .. } => 0.3,
+            _ => 0.5,
+        }
+    }
+
+    pub fn scan(&self, table: &Ident) -> Estimate {
+        let rows = self.stats.rows(table);
+        Estimate {
+            cost: rows,
+            card: rows,
+        }
+    }
+
+    pub fn select(&self, input: Estimate, conjuncts: &[ScalarExpr]) -> Estimate {
+        let sel: f64 = conjuncts.iter().map(Self::selectivity).product();
+        Estimate {
+            cost: input.cost + input.card,
+            card: (input.card * sel).max(1.0),
+        }
+    }
+
+    pub fn project(&self, input: Estimate) -> Estimate {
+        Estimate {
+            cost: input.cost + input.card,
+            card: input.card,
+        }
+    }
+
+    pub fn distinct(&self, input: Estimate) -> Estimate {
+        Estimate {
+            cost: input.cost + input.card,
+            card: (input.card * 0.8).max(1.0),
+        }
+    }
+
+    pub fn join(&self, left: Estimate, right: Estimate, conjuncts: &[ScalarExpr]) -> Estimate {
+        let sel: f64 = if conjuncts.is_empty() {
+            1.0
+        } else {
+            conjuncts.iter().map(Self::selectivity).product()
+        };
+        let out = (left.card * right.card * sel).max(1.0);
+        Estimate {
+            // Hash-join-ish: build + probe + output.
+            cost: left.cost + right.cost + left.card + right.card + out,
+            card: out,
+        }
+    }
+
+    pub fn aggregate(&self, input: Estimate, group_by_len: usize) -> Estimate {
+        let card = if group_by_len == 0 {
+            1.0
+        } else {
+            (input.card * 0.1).max(1.0)
+        };
+        Estimate {
+            cost: input.cost + input.card,
+            card,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_more_selective_than_range() {
+        let m = CostModel::default();
+        let base = Estimate {
+            cost: 0.0,
+            card: 1000.0,
+        };
+        let eq = m.select(
+            base,
+            &[ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1))],
+        );
+        let range = m.select(
+            base,
+            &[ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(1),
+            )],
+        );
+        assert!(eq.card < range.card);
+    }
+
+    #[test]
+    fn join_cost_grows_with_inputs() {
+        let m = CostModel::default();
+        let small = Estimate {
+            cost: 10.0,
+            card: 10.0,
+        };
+        let big = Estimate {
+            cost: 10_000.0,
+            card: 10_000.0,
+        };
+        let j1 = m.join(small, small, &[]);
+        let j2 = m.join(big, big, &[]);
+        assert!(j2.cost > j1.cost);
+    }
+
+    #[test]
+    fn stats_default_and_override() {
+        let mut s = TableStats::new();
+        s.set("grades", 500);
+        assert_eq!(s.rows(&Ident::new("grades")), 500.0);
+        assert_eq!(s.rows(&Ident::new("unknown")), 1000.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Plan extraction from the DAG.
+//!
+//! [`extract_any`] picks the smallest member plan (used for provenance
+//! analysis and witness printing); [`extract_best`] picks the cheapest
+//! under a [`CostModel`] (normal optimization). Both guard against
+//! cycles, which merges can create (a class reachable through itself via
+//! a derivation).
+
+use crate::cost::{CostModel, Estimate};
+use crate::dag::{Dag, EqId, Operator};
+use fgac_algebra::Plan;
+use std::collections::HashMap;
+
+/// Extracts *some* plan for the class, minimizing node count.
+pub fn extract_any(dag: &Dag, class: EqId) -> Option<Plan> {
+    let mut memo: HashMap<EqId, Option<(usize, Plan)>> = HashMap::new();
+    let mut on_stack = std::collections::HashSet::new();
+    extract_min(dag, dag.find(class), &mut memo, &mut on_stack).map(|(_, p)| p)
+}
+
+fn extract_min(
+    dag: &Dag,
+    class: EqId,
+    memo: &mut HashMap<EqId, Option<(usize, Plan)>>,
+    on_stack: &mut std::collections::HashSet<EqId>,
+) -> Option<(usize, Plan)> {
+    let class = dag.find(class);
+    if let Some(cached) = memo.get(&class) {
+        return cached.clone();
+    }
+    if !on_stack.insert(class) {
+        return None; // cycle
+    }
+    let mut best: Option<(usize, Plan)> = None;
+    for &op_id in dag.ops_of(class) {
+        let node = dag.op(op_id);
+        let mut children = Vec::with_capacity(node.children.len());
+        let mut size = 1usize;
+        let mut ok = true;
+        for &c in &node.children {
+            match extract_min(dag, c, memo, on_stack) {
+                Some((s, p)) => {
+                    size += s;
+                    children.push(p);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if best.as_ref().is_some_and(|(bs, _)| *bs <= size) {
+            continue;
+        }
+        best = Some((size, build_plan(&node.op, children)));
+    }
+    on_stack.remove(&class);
+    memo.insert(class, best.clone());
+    best
+}
+
+/// Extracts the cheapest plan for the class under the cost model.
+/// Returns `(plan, estimated cost)`.
+pub fn extract_best(dag: &Dag, class: EqId, model: &CostModel) -> Option<(Plan, f64)> {
+    let mut memo: HashMap<EqId, Option<(Estimate, Plan)>> = HashMap::new();
+    let mut on_stack = std::collections::HashSet::new();
+    extract_cheapest(dag, dag.find(class), model, &mut memo, &mut on_stack)
+        .map(|(e, p)| (p, e.cost))
+}
+
+fn extract_cheapest(
+    dag: &Dag,
+    class: EqId,
+    model: &CostModel,
+    memo: &mut HashMap<EqId, Option<(Estimate, Plan)>>,
+    on_stack: &mut std::collections::HashSet<EqId>,
+) -> Option<(Estimate, Plan)> {
+    let class = dag.find(class);
+    if let Some(cached) = memo.get(&class) {
+        return cached.clone();
+    }
+    if !on_stack.insert(class) {
+        return None;
+    }
+    let mut best: Option<(Estimate, Plan)> = None;
+    for &op_id in dag.ops_of(class) {
+        let node = dag.op(op_id);
+        let mut children = Vec::with_capacity(node.children.len());
+        let mut child_ests = Vec::with_capacity(node.children.len());
+        let mut ok = true;
+        for &c in &node.children {
+            match extract_cheapest(dag, c, model, memo, on_stack) {
+                Some((e, p)) => {
+                    child_ests.push(e);
+                    children.push(p);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let est = match &node.op {
+            Operator::Scan { table, .. } => model.scan(table),
+            Operator::Select { conjuncts } => model.select(child_ests[0], conjuncts),
+            Operator::Project { .. } => model.project(child_ests[0]),
+            Operator::Distinct => model.distinct(child_ests[0]),
+            Operator::Join { conjuncts } => model.join(child_ests[0], child_ests[1], conjuncts),
+            Operator::Aggregate { group_by, .. } => {
+                model.aggregate(child_ests[0], group_by.len())
+            }
+        };
+        if best.as_ref().is_some_and(|(be, _)| be.cost <= est.cost) {
+            continue;
+        }
+        best = Some((est, build_plan(&node.op, children)));
+    }
+    on_stack.remove(&class);
+    memo.insert(class, best.clone());
+    best
+}
+
+fn build_plan(op: &Operator, mut children: Vec<Plan>) -> Plan {
+    match op {
+        Operator::Scan { table, schema } => Plan::Scan {
+            table: table.clone(),
+            schema: schema.clone(),
+        },
+        Operator::Select { conjuncts } => Plan::Select {
+            input: Box::new(children.remove(0)),
+            conjuncts: conjuncts.clone(),
+        },
+        Operator::Project { exprs } => Plan::Project {
+            input: Box::new(children.remove(0)),
+            exprs: exprs.clone(),
+        },
+        Operator::Distinct => Plan::Distinct {
+            input: Box::new(children.remove(0)),
+        },
+        Operator::Join { conjuncts } => {
+            let left = children.remove(0);
+            let right = children.remove(0);
+            Plan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                conjuncts: conjuncts.clone(),
+            }
+        }
+        Operator::Aggregate { group_by, aggs } => Plan::Aggregate {
+            input: Box::new(children.remove(0)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TableStats;
+    use crate::expand::{expand, ExpandOptions};
+    use fgac_algebra::ScalarExpr;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn scan(t: &str) -> Plan {
+        Plan::scan(
+            t,
+            Schema::new(vec![
+                Column::new("x", DataType::Int),
+                Column::new("y", DataType::Int),
+            ]),
+        )
+    }
+
+    #[test]
+    fn roundtrips_simple_plan() {
+        let mut dag = Dag::new();
+        let p = fgac_algebra::normalize(
+            &scan("t")
+                .select(vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1))])
+                .project(vec![ScalarExpr::col(1)]),
+        );
+        let root = dag.insert_plan(&p);
+        assert_eq!(extract_any(&dag, root).unwrap(), p);
+    }
+
+    #[test]
+    fn best_plan_pushes_selection_down() {
+        let mut dag = Dag::new();
+        // σ_{a.x=1}(A ⋈ B): after expansion, the pushed-down form should
+        // win (filter before join).
+        let p = scan("a")
+            .join(
+                scan("b"),
+                vec![ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(2))],
+            )
+            .select(vec![ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1))]);
+        let root = dag.insert_plan(&p);
+        expand(&mut dag, &ExpandOptions::default());
+
+        let mut stats = TableStats::new();
+        stats.set("a", 10_000);
+        stats.set("b", 10_000);
+        let (best, _) = extract_best(&dag, root, &CostModel::new(stats)).unwrap();
+        // The top of the best plan should no longer be the selection.
+        assert!(
+            !matches!(best, Plan::Select { .. }),
+            "expected pushed-down plan, got:\n{best}"
+        );
+    }
+
+    #[test]
+    fn extraction_costs_match_model_ordering() {
+        let mut dag = Dag::new();
+        let p = scan("a").join(scan("b"), vec![]);
+        let root = dag.insert_plan(&p);
+        let mut stats = TableStats::new();
+        stats.set("a", 10);
+        stats.set("b", 10);
+        let (_, cost_small) = extract_best(&dag, root, &CostModel::new(stats)).unwrap();
+        let mut stats = TableStats::new();
+        stats.set("a", 1000);
+        stats.set("b", 1000);
+        let (_, cost_big) = extract_best(&dag, root, &CostModel::new(stats)).unwrap();
+        assert!(cost_big > cost_small);
+    }
+}

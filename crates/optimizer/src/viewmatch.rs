@@ -1,0 +1,204 @@
+//! Validity marking (Section 5.6.2).
+//!
+//! "The root equivalence nodes for all views are marked as valid. The
+//! following rules are applied bottom-up to the DAG:
+//!   1. An equivalence node is marked as valid if any of its children
+//!      operation nodes is marked as valid.
+//!   2. An operation node is marked as valid if all its children
+//!      equivalence nodes are marked as valid."
+//!
+//! A `Scan` operation has no children and would be vacuously valid, so
+//! scans are explicitly *never* valid through propagation — a base table
+//! is visible only if some authorization view class (e.g. `SELECT * FROM
+//! t`, whose normalized plan *is* the scan) is marked directly.
+
+use crate::dag::{Dag, EqId, Operator};
+use std::collections::HashSet;
+
+/// The set of equivalence classes inferred computable from the marked
+/// roots.
+#[derive(Debug, Clone, Default)]
+pub struct Marking {
+    valid: HashSet<EqId>,
+}
+
+impl Marking {
+    /// True if the class is marked valid.
+    pub fn is_valid(&self, dag: &Dag, class: EqId) -> bool {
+        self.valid.contains(&dag.find(class))
+    }
+
+    /// Marks a class valid directly (used by U3/C3 derivations, which
+    /// justify validity outside the bottom-up propagation).
+    pub fn mark(&mut self, dag: &Dag, class: EqId) {
+        self.valid.insert(dag.find(class));
+    }
+
+    /// Number of valid classes.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Re-canonicalizes the marking after DAG mutations and re-runs the
+    /// propagation to a fixpoint.
+    pub fn propagate(&mut self, dag: &Dag) {
+        // Re-canonicalize ids (merges may have changed representatives).
+        self.valid = self.valid.iter().map(|&e| dag.find(e)).collect();
+        loop {
+            let mut changed = false;
+            for op_id in dag.all_ops() {
+                let node = dag.op(op_id);
+                if matches!(node.op, Operator::Scan { .. }) {
+                    continue;
+                }
+                let class = dag.find(node.class);
+                if self.valid.contains(&class) {
+                    continue;
+                }
+                if node
+                    .children
+                    .iter()
+                    .all(|&c| self.valid.contains(&dag.find(c)))
+                {
+                    self.valid.insert(class);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+/// Marks the given roots (instantiated authorization view classes) valid
+/// and propagates bottom-up. This implements inference rules **U1** and
+/// **U2** (equivalently **C1**/**C2** when conditional roots are
+/// included).
+pub fn mark_valid(dag: &Dag, roots: &[EqId]) -> Marking {
+    let mut m = Marking::default();
+    for &r in roots {
+        m.mark(dag, r);
+    }
+    m.propagate(dag);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{expand, ExpandOptions};
+    use fgac_algebra::{Plan, ScalarExpr};
+    use fgac_types::{Column, DataType, Schema};
+
+    fn grades() -> Plan {
+        Plan::scan(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int),
+            ]),
+        )
+    }
+
+    fn my_grades() -> Plan {
+        // σ_{student_id='11'}(grades) — instantiated MyGrades.
+        grades().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("11"),
+        )])
+    }
+
+    #[test]
+    fn query_matching_view_is_valid() {
+        // Section 5.2: "select grade from Grades where student-id='11'"
+        // is a projection of the instantiated MyGrades.
+        let mut dag = Dag::new();
+        let query = my_grades().project(vec![ScalarExpr::col(2)]);
+        let q = dag.insert_plan(&query);
+        let v = dag.insert_plan(&my_grades());
+        let marking = mark_valid(&dag, &[v]);
+        assert!(marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn scan_is_not_vacuously_valid() {
+        let mut dag = Dag::new();
+        let q = dag.insert_plan(&grades());
+        let v = dag.insert_plan(&my_grades());
+        let marking = mark_valid(&dag, &[v]);
+        // The raw scan must NOT be valid from a selection view.
+        assert!(!marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn whole_table_view_authorizes_scan() {
+        let mut dag = Dag::new();
+        let q = dag.insert_plan(&grades());
+        let v = dag.insert_plan(&grades()); // view body: select * from grades
+        let marking = mark_valid(&dag, &[v]);
+        assert!(marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn expression_over_two_views_is_valid() {
+        // U2 with n=2: join of two valid views.
+        let mut dag = Dag::new();
+        let reg = Plan::scan(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+        );
+        let v1 = my_grades();
+        let v2 = reg.clone().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("11"),
+        )]);
+        let query = v1.clone().join(
+            v2.clone(),
+            vec![ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(4))],
+        );
+        let q = dag.insert_plan(&query);
+        let r1 = dag.insert_plan(&v1);
+        let r2 = dag.insert_plan(&v2);
+        let marking = mark_valid(&dag, &[r1, r2]);
+        assert!(marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn stronger_selection_validates_through_subsumption() {
+        // Query σ_{sid='11' ∧ grade>90}(grades); view σ_{sid='11'}(grades).
+        // Needs the subsumption derivation added by expansion.
+        let mut dag = Dag::new();
+        let query = grades().select(vec![
+            ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit("11")),
+            ScalarExpr::cmp(fgac_algebra::CmpOp::Gt, ScalarExpr::col(2), ScalarExpr::lit(90)),
+        ]);
+        let q = dag.insert_plan(&query);
+        let v = dag.insert_plan(&my_grades());
+        expand(&mut dag, &ExpandOptions::default());
+        let marking = mark_valid(&dag, &[v]);
+        assert!(marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn unrelated_selection_stays_invalid() {
+        let mut dag = Dag::new();
+        let query = grades().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("12"), // someone else's grades
+        )]);
+        let q = dag.insert_plan(&query);
+        let v = dag.insert_plan(&my_grades());
+        expand(&mut dag, &ExpandOptions::default());
+        let marking = mark_valid(&dag, &[v]);
+        assert!(!marking.is_valid(&dag, q));
+    }
+}

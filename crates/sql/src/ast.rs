@@ -1,0 +1,396 @@
+//! Abstract syntax tree for the fgac SQL dialect.
+
+use fgac_types::{DataType, Ident, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query.
+    Query(Query),
+    /// `CREATE TABLE name (col type [NOT NULL], ..., PRIMARY KEY (...),
+    /// FOREIGN KEY (...) REFERENCES t (...))`.
+    CreateTable(CreateTable),
+    /// `CREATE [AUTHORIZATION] VIEW name AS query` (Section 2). The
+    /// `authorization` flag distinguishes plain views from authorization
+    /// views; parameterized/access-pattern views are authorization views
+    /// whose body mentions `$`/`$$` parameters.
+    CreateView(CreateView),
+    /// `CREATE INCLUSION DEPENDENCY name ON src (cols) [WHERE p]
+    /// REFERENCES dst (cols) [WHERE p]` — the integrity constraints used
+    /// by inference rules U3a–U3c (Section 5.3).
+    CreateInclusionDependency(CreateInclusionDependency),
+    /// `AUTHORIZE {INSERT|UPDATE|DELETE} ON table [(columns)] WHERE p`
+    /// (Section 4.4).
+    Authorize(Authorize),
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert(Insert),
+    /// `UPDATE t SET col = expr, ... [WHERE p]`.
+    Update(Update),
+    /// `DELETE FROM t [WHERE p]`.
+    Delete(Delete),
+}
+
+/// `CREATE TABLE` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: Ident,
+    pub columns: Vec<ColumnDef>,
+    pub primary_key: Option<Vec<Ident>>,
+    pub foreign_keys: Vec<ForeignKeyDef>,
+}
+
+/// One column in a `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: Ident,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+/// `FOREIGN KEY (cols) REFERENCES table (cols)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignKeyDef {
+    pub columns: Vec<Ident>,
+    pub parent_table: Ident,
+    pub parent_columns: Vec<Ident>,
+}
+
+/// `CREATE [AUTHORIZATION] VIEW`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    pub name: Ident,
+    pub authorization: bool,
+    pub query: Query,
+}
+
+/// A conditional inclusion dependency: every tuple of
+/// `σ_{src_filter}(src)` projected on `src_columns` appears in
+/// `σ_{dst_filter}(dst)` projected on `dst_columns`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateInclusionDependency {
+    pub name: Ident,
+    pub src_table: Ident,
+    pub src_columns: Vec<Ident>,
+    pub src_filter: Option<Expr>,
+    pub dst_table: Ident,
+    pub dst_columns: Vec<Ident>,
+    pub dst_filter: Option<Expr>,
+}
+
+/// The DML action being authorized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmlAction {
+    Insert,
+    Update,
+    Delete,
+}
+
+impl std::fmt::Display for DmlAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DmlAction::Insert => write!(f, "INSERT"),
+            DmlAction::Update => write!(f, "UPDATE"),
+            DmlAction::Delete => write!(f, "DELETE"),
+        }
+    }
+}
+
+/// `AUTHORIZE action ON table [(columns)] WHERE condition` (Section 4.4).
+///
+/// The condition may reference `OLD(col)` / `NEW(col)` for updates, bare
+/// columns (meaning the inserted/deleted tuple, or NEW for updates), and
+/// `$` parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Authorize {
+    pub action: DmlAction,
+    pub table: Ident,
+    /// For UPDATE: the set of columns the authorization covers (empty =
+    /// all columns).
+    pub columns: Vec<Ident>,
+    pub condition: Expr,
+}
+
+/// `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: Ident,
+    pub columns: Vec<Ident>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: Ident,
+    pub assignments: Vec<(Ident, Expr)>,
+    pub filter: Option<Expr>,
+}
+
+/// `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: Ident,
+    pub filter: Option<Expr>,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(Ident),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<Ident> },
+}
+
+/// A table reference in `FROM`: `name [AS alias]`, plus any `JOIN ... ON`
+/// chain hanging off it (inner joins only; the binder flattens these into
+/// the from-list + conjuncts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: Ident,
+    pub alias: Option<Ident>,
+    pub joins: Vec<Join>,
+}
+
+impl TableRef {
+    pub fn named(name: impl Into<Ident>) -> Self {
+        TableRef {
+            name: name.into(),
+            alias: None,
+            joins: Vec::new(),
+        }
+    }
+
+    /// The name this table is known by in the query (alias if present).
+    pub fn binding_name(&self) -> &Ident {
+        self.alias.as_ref().unwrap_or(&self.name)
+    }
+}
+
+/// `JOIN table [AS alias] ON condition` (inner join).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: Ident,
+    pub alias: Option<Ident>,
+    pub on: Expr,
+}
+
+/// `ORDER BY expr [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// Scalar / boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[qualifier.]column`
+    Column {
+        qualifier: Option<Ident>,
+        name: Ident,
+    },
+    /// A literal constant.
+    Literal(Value),
+    /// Session parameter `$name`, instantiated per access (Section 2).
+    Param(String),
+    /// Access-pattern parameter `$$name`, bindable to any value at query
+    /// time (Section 2 / Section 6).
+    AccessParam(String),
+    /// Unary operator application.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Binary operator application.
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// Function call — aggregates (`COUNT/SUM/AVG/MIN/MAX`) or the
+    /// `OLD(...)`/`NEW(...)` tuple selectors of Section 4.4. `COUNT(*)`
+    /// is a `Function` with `star = true` and empty `args`.
+    Function {
+        name: Ident,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
+}
+
+impl Expr {
+    pub fn col(name: impl Into<Ident>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    pub fn qcol(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Eq, right)
+    }
+
+    /// Visits every sub-expression (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True if the expression mentions any `$` or `$$` parameter.
+    pub fn has_params(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Param(_) | Expr::AccessParam(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(&self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::NotEq => BinaryOp::NotEq,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            _ => return None,
+        })
+    }
+
+    /// The negated comparison (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negate(&self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::NotEq,
+            BinaryOp::NotEq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::GtEq,
+            BinaryOp::LtEq => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::LtEq,
+            BinaryOp::GtEq => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::and(
+            Expr::eq(Expr::col("a"), Expr::lit(1)),
+            Expr::eq(Expr::col("b"), Expr::Param("user_id".into())),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 7);
+        assert!(e.has_params());
+    }
+
+    #[test]
+    fn op_flip_and_negate() {
+        assert_eq!(BinaryOp::Lt.flip(), Some(BinaryOp::Gt));
+        assert_eq!(BinaryOp::Lt.negate(), Some(BinaryOp::GtEq));
+        assert_eq!(BinaryOp::Add.flip(), None);
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let mut t = TableRef::named("grades");
+        assert_eq!(t.binding_name(), &Ident::new("grades"));
+        t.alias = Some(Ident::new("g"));
+        assert_eq!(t.binding_name(), &Ident::new("g"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Hand-written SQL lexer.
+
+use crate::token::{Keyword, Token, TokenKind};
+use fgac_types::{Error, Result, Value};
+
+/// Lexes `input` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// Supported lexical forms:
+/// * identifiers and keywords (`[A-Za-z_][A-Za-z0-9_]*`), `"quoted"`
+///   identifiers;
+/// * string literals `'...'` with doubled-quote escaping;
+/// * integer and double literals;
+/// * session parameters `$name` and access-pattern parameters `$$name`;
+/// * operators and punctuation; `--` line comments.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    Lexer {
+        input: input.as_bytes(),
+        src: input,
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let offset = self.pos;
+            let Some(&b) = self.input.get(self.pos) else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(tokens);
+            };
+            let kind = match b {
+                b'\'' => self.string_literal()?,
+                b'"' => self.quoted_ident()?,
+                b'$' => self.parameter()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                _ => self.operator()?,
+            };
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self
+                .input
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+            if self.input[self.pos..].starts_with(b"--") {
+                while self.input.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.input.get(self.pos) {
+                None => {
+                    return Err(Error::Parse(format!(
+                        "unterminated string literal starting at byte {start}"
+                    )))
+                }
+                Some(b'\'') => {
+                    if self.input.get(self.pos + 1) == Some(&b'\'') {
+                        out.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Literal(Value::Str(out)));
+                    }
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("in-bounds char");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        self.pos += 1;
+        let begin = self.pos;
+        while self.input.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        if self.input.get(self.pos).is_none() {
+            return Err(Error::Parse(format!(
+                "unterminated quoted identifier at byte {start}"
+            )));
+        }
+        let name = self.src[begin..self.pos].to_ascii_lowercase();
+        self.pos += 1;
+        Ok(TokenKind::Ident(name))
+    }
+
+    fn parameter(&mut self) -> Result<TokenKind> {
+        let access = self.input.get(self.pos + 1) == Some(&b'$');
+        self.pos += if access { 2 } else { 1 };
+        let begin = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if begin == self.pos {
+            return Err(Error::Parse(format!(
+                "empty parameter name at byte {begin}"
+            )));
+        }
+        let name = self.src[begin..self.pos].to_ascii_lowercase();
+        Ok(if access {
+            TokenKind::AccessParam(name)
+        } else {
+            TokenKind::Param(name)
+        })
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let begin = self.pos;
+        while self.input.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        if self.input.get(self.pos) == Some(&b'.')
+            && self
+                .input
+                .get(self.pos + 1)
+                .is_some_and(|b| b.is_ascii_digit())
+        {
+            is_double = true;
+            self.pos += 1;
+            while self.input.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.input.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut probe = self.pos + 1;
+            if matches!(self.input.get(probe), Some(b'+') | Some(b'-')) {
+                probe += 1;
+            }
+            if self.input.get(probe).is_some_and(|b| b.is_ascii_digit()) {
+                is_double = true;
+                self.pos = probe;
+                while self.input.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[begin..self.pos];
+        if is_double {
+            text.parse::<f64>()
+                .map(|d| TokenKind::Literal(Value::Double(d)))
+                .map_err(|e| Error::Parse(format!("bad double literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(|i| TokenKind::Literal(Value::Int(i)))
+                .map_err(|e| Error::Parse(format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let begin = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[begin..self.pos];
+        match Keyword::from_word(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_ascii_lowercase()),
+        }
+    }
+
+    fn operator(&mut self) -> Result<TokenKind> {
+        let b = self.input[self.pos];
+        let two = self.input.get(self.pos + 1).copied();
+        let (kind, len) = match (b, two) {
+            (b'<', Some(b'=')) => (TokenKind::LtEq, 2),
+            (b'<', Some(b'>')) => (TokenKind::NotEq, 2),
+            (b'!', Some(b'=')) => (TokenKind::NotEq, 2),
+            (b'>', Some(b'=')) => (TokenKind::GtEq, 2),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', _) => (TokenKind::Gt, 1),
+            (b'=', _) => (TokenKind::Eq, 1),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'%', _) => (TokenKind::Percent, 1),
+            (b'(', _) => (TokenKind::LParen, 1),
+            (b')', _) => (TokenKind::RParen, 1),
+            (b',', _) => (TokenKind::Comma, 1),
+            (b'.', _) => (TokenKind::Dot, 1),
+            (b';', _) => (TokenKind::Semicolon, 1),
+            _ => {
+                return Err(Error::Parse(format!(
+                    "unexpected character `{}` at byte {}",
+                    self.src[self.pos..].chars().next().unwrap_or('?'),
+                    self.pos
+                )))
+            }
+        };
+        self.pos += len;
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_select_star() {
+        assert_eq!(
+            kinds("select * from Grades"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Star,
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("grades".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_parameters() {
+        assert_eq!(
+            kinds("$user_id $$1"),
+            vec![
+                TokenKind::Param("user_id".into()),
+                TokenKind::AccessParam("1".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        assert_eq!(
+            kinds("'o''brien'"),
+            vec![
+                TokenKind::Literal(Value::Str("o'brien".into())),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 2.5 1e3"),
+            vec![
+                TokenKind::Literal(Value::Int(42)),
+                TokenKind::Literal(Value::Double(2.5)),
+                TokenKind::Literal(Value::Double(1000.0)),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_integer_is_projection() {
+        // `g.grade` style access must not eat the dot into a float.
+        assert_eq!(
+            kinds("g.grade"),
+            vec![
+                TokenKind::Ident("g".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("grade".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("select -- comment\n 1"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Literal(Value::Int(1)),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn empty_param_errors() {
+        assert!(lex("$ ").is_err());
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(
+            kinds("\"Order\""),
+            vec![TokenKind::Ident("order".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # fgac-sql
+//!
+//! SQL front-end for the fgac engine: lexer, AST, recursive-descent
+//! parser, and an AST printer (used for witness queries and round-trip
+//! tests).
+//!
+//! The dialect covers the subset the paper works with (Section 5 assumes
+//! no nested subqueries):
+//!
+//! * `SELECT [DISTINCT] ... FROM ... [WHERE] [GROUP BY] [HAVING]
+//!   [ORDER BY] [LIMIT]`, comma joins and `[INNER] JOIN ... ON`,
+//!   aggregates `COUNT/SUM/AVG/MIN/MAX` (and `COUNT(*)`).
+//! * Session parameters `$user_id` and access-pattern parameters `$$1`
+//!   (Section 2 of the paper).
+//! * `CREATE TABLE` with `PRIMARY KEY` / `FOREIGN KEY ... REFERENCES`.
+//! * `CREATE [AUTHORIZATION] VIEW v AS SELECT ...` (Section 2).
+//! * `CREATE INCLUSION DEPENDENCY` — the total-participation integrity
+//!   constraints that power inference rules U3a–U3c (Section 5.3).
+//! * `AUTHORIZE {INSERT|UPDATE|DELETE} ON r [(cols)] WHERE p` with
+//!   `OLD(...)`/`NEW(...)` references (Section 4.4).
+//! * `INSERT` / `UPDATE` / `DELETE`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::*;
+pub use parser::{parse_expr, parse_query, parse_statement, parse_statements};

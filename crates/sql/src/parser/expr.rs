@@ -1,0 +1,248 @@
+//! Expression parsing (precedence climbing).
+
+use super::Parser;
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::token::{Keyword, TokenKind};
+use fgac_types::{Error, Ident, Result, Value};
+
+/// Binding powers, loosest to tightest.
+const P_OR: u8 = 1;
+const P_AND: u8 = 2;
+const P_NOT: u8 = 3;
+const P_CMP: u8 = 4;
+const P_ADD: u8 = 5;
+const P_MUL: u8 = 6;
+
+impl Parser {
+    /// Parses a full expression.
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let (op_bp, op): (u8, Option<BinaryOp>) = match self.peek() {
+                TokenKind::Keyword(Keyword::Or) => (P_OR, Some(BinaryOp::Or)),
+                TokenKind::Keyword(Keyword::And) => (P_AND, Some(BinaryOp::And)),
+                TokenKind::Eq => (P_CMP, Some(BinaryOp::Eq)),
+                TokenKind::NotEq => (P_CMP, Some(BinaryOp::NotEq)),
+                TokenKind::Lt => (P_CMP, Some(BinaryOp::Lt)),
+                TokenKind::LtEq => (P_CMP, Some(BinaryOp::LtEq)),
+                TokenKind::Gt => (P_CMP, Some(BinaryOp::Gt)),
+                TokenKind::GtEq => (P_CMP, Some(BinaryOp::GtEq)),
+                TokenKind::Plus => (P_ADD, Some(BinaryOp::Add)),
+                TokenKind::Minus => (P_ADD, Some(BinaryOp::Sub)),
+                TokenKind::Star => (P_MUL, Some(BinaryOp::Mul)),
+                TokenKind::Slash => (P_MUL, Some(BinaryOp::Div)),
+                TokenKind::Percent => (P_MUL, Some(BinaryOp::Mod)),
+                TokenKind::Keyword(Keyword::Is) => (P_CMP, None),
+                TokenKind::Keyword(Keyword::Between) => (P_CMP, None),
+                TokenKind::Keyword(Keyword::In) => (P_CMP, None),
+                TokenKind::Keyword(Keyword::Not)
+                    if matches!(
+                        self.peek2(),
+                        TokenKind::Keyword(Keyword::Between) | TokenKind::Keyword(Keyword::In)
+                    ) =>
+                {
+                    (P_CMP, None)
+                }
+                _ => break,
+            };
+            if op_bp < min_bp {
+                break;
+            }
+            match op {
+                Some(op) => {
+                    self.advance();
+                    let rhs = self.expr_bp(op_bp + 1)?;
+                    lhs = Expr::binary(lhs, op, rhs);
+                }
+                None => lhs = self.postfix(lhs)?,
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Handles `IS [NOT] NULL`, `[NOT] BETWEEN`, `[NOT] IN (...)`.
+    fn postfix(&mut self, lhs: Expr) -> Result<Expr> {
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let negated = self.eat_kw(Keyword::Not);
+        if self.eat_kw(Keyword::Between) {
+            // Desugar: a BETWEEN x AND y  =>  a >= x AND a <= y.
+            let low = self.expr_bp(P_ADD)?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.expr_bp(P_ADD)?;
+            let e = Expr::and(
+                Expr::binary(lhs.clone(), BinaryOp::GtEq, low),
+                Expr::binary(lhs, BinaryOp::LtEq, high),
+            );
+            return Ok(negate_if(e, negated));
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(&TokenKind::LParen)?;
+            if self.peek_kw(Keyword::Select) {
+                return Err(Error::Unsupported(
+                    "nested subqueries are not supported (the paper's Section 5 \
+                     assumes subquery-free queries); rewrite using a join"
+                        .into(),
+                ));
+            }
+            // Desugar: a IN (v1, v2) => a = v1 OR a = v2.
+            let mut e = Expr::eq(lhs.clone(), self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                e = Expr::binary(e, BinaryOp::Or, Expr::eq(lhs.clone(), self.expr()?));
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(negate_if(e, negated));
+        }
+        Err(self.unexpected("IS, BETWEEN or IN"))
+    }
+
+    fn prefix(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Not) => {
+                self.advance();
+                let e = self.expr_bp(P_NOT)?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(e),
+                })
+            }
+            TokenKind::Minus => {
+                self.advance();
+                // Fold negation into numeric literals for cleaner ASTs.
+                match self.expr_bp(P_MUL + 1)? {
+                    Expr::Literal(Value::Int(i)) => Ok(Expr::lit(-i)),
+                    Expr::Literal(Value::Double(d)) => Ok(Expr::lit(-d)),
+                    e => Ok(Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(e),
+                    }),
+                }
+            }
+            TokenKind::Plus => {
+                self.advance();
+                self.expr_bp(P_MUL + 1)
+            }
+            TokenKind::LParen => {
+                self.advance();
+                if self.peek_kw(Keyword::Select) {
+                    return Err(Error::Unsupported(
+                        "nested subqueries are not supported (the paper's Section 5 \
+                         assumes subquery-free queries); rewrite using a join"
+                            .into(),
+                    ));
+                }
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Literal(v) => {
+                self.advance();
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::lit(true))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::lit(false))
+            }
+            TokenKind::Param(name) => {
+                self.advance();
+                Ok(Expr::Param(name))
+            }
+            TokenKind::AccessParam(name) => {
+                self.advance();
+                Ok(Expr::AccessParam(name))
+            }
+            TokenKind::Keyword(kw @ (Keyword::Old | Keyword::New)) => {
+                // OLD(col) / NEW(col) tuple selectors for authorize
+                // conditions (Section 4.4).
+                self.advance();
+                let name = Ident::new(if kw == Keyword::Old { "old" } else { "new" });
+                self.expect(&TokenKind::LParen)?;
+                let mut args = vec![self.expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                    star: false,
+                })
+            }
+            TokenKind::Ident(first) => {
+                self.advance();
+                if self.eat(&TokenKind::Dot) {
+                    // qualifier.column (a trailing `.*` is handled by the
+                    // select-list parser before calling into expr()).
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(Ident::new(first)),
+                        name: col,
+                    })
+                } else if self.peek() == &TokenKind::LParen {
+                    self.function_call(Ident::new(first))
+                } else {
+                    Ok(Expr::col(first))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn function_call(&mut self, name: Ident) -> Result<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        if self.eat(&TokenKind::Star) {
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Function {
+                name,
+                args: Vec::new(),
+                distinct: false,
+                star: true,
+            });
+        }
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Expr::Function {
+            name,
+            args,
+            distinct,
+            star: false,
+        })
+    }
+}
+
+fn negate_if(e: Expr, negated: bool) -> Expr {
+    if negated {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(e),
+        }
+    } else {
+        e
+    }
+}

@@ -1,0 +1,459 @@
+//! Recursive-descent parser for the fgac SQL dialect.
+
+mod expr;
+mod query;
+mod stmt;
+
+use crate::ast::{Expr, Query, Statement};
+use crate::lexer::lex;
+use crate::token::{Keyword, Token, TokenKind};
+use fgac_types::{Error, Ident, Result};
+
+/// Parses a single statement (trailing semicolon optional).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a semicolon-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+        if !p.eat(&TokenKind::Semicolon) {
+            p.expect_eof()?;
+            return Ok(out);
+        }
+    }
+}
+
+/// Parses a `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let mut p = Parser::new(sql)?;
+    let q = p.query()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses a standalone expression (used for authorize conditions and
+/// tests).
+pub fn parse_expr(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: lex(sql)?,
+            pos: 0,
+        })
+    }
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    pub(crate) fn peek2(&self) -> &TokenKind {
+        let idx = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    pub(crate) fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    /// Consumes the next token if it equals `kind`.
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    pub(crate) fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Keyword(kw))
+    }
+
+    pub(crate) fn peek_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Keyword(k) if *k == kw)
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kind}`")))
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&TokenKind::Keyword(kw))
+    }
+
+    pub(crate) fn expect_eof(&mut self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of input"))
+        }
+    }
+
+    /// Expects an identifier; keywords that commonly double as names
+    /// (type names, OLD/NEW) are not accepted — quote them instead.
+    pub(crate) fn ident(&mut self) -> Result<Ident> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Ident::new(name))
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    pub(crate) fn ident_list(&mut self) -> Result<Vec<Ident>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut out = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            out.push(self.ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    pub(crate) fn unexpected(&self, wanted: &str) -> Error {
+        let tok = &self.tokens[self.pos];
+        Error::Parse(format!(
+            "expected {wanted}, found {} at byte {}",
+            tok.kind, tok.offset
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use fgac_types::Value;
+
+    #[test]
+    fn parses_paper_view_mygrades() {
+        // Section 1: the MyGrades authorization view.
+        let stmt = parse_statement(
+            "create authorization view MyGrades as \
+             select * from Grades where student_id = $user_id",
+        )
+        .unwrap();
+        let Statement::CreateView(v) = stmt else {
+            panic!("expected view");
+        };
+        assert!(v.authorization);
+        assert_eq!(v.name, Ident::new("mygrades"));
+        assert_eq!(
+            v.query.selection,
+            Some(Expr::eq(
+                Expr::col("student_id"),
+                Expr::Param("user_id".into())
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_paper_view_co_student_grades() {
+        // Section 2: Co-studentGrades (qualified wildcard + join).
+        let stmt = parse_statement(
+            "create authorization view CoStudentGrades as \
+             select Grades.* from Grades, Registered \
+             where Registered.student_id = $user_id \
+               and Grades.course_id = Registered.course_id",
+        )
+        .unwrap();
+        let Statement::CreateView(v) = stmt else {
+            panic!()
+        };
+        assert_eq!(
+            v.query.projection,
+            vec![SelectItem::QualifiedWildcard(Ident::new("grades"))]
+        );
+        assert_eq!(v.query.from.len(), 2);
+    }
+
+    #[test]
+    fn parses_aggregate_group_by() {
+        // Section 4.1: AvgGrades.
+        let q = parse_query("select course_id, avg(grade) from Grades group by course_id").unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.projection.len(), 2);
+        match &q.projection[1] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(expr, Expr::Function { name, .. } if name == &Ident::new("avg")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_access_pattern_view() {
+        // Section 2: SingleGrade with $$1.
+        let stmt = parse_statement(
+            "create authorization view SingleGrade as \
+             select * from Grades where student_id = $$1",
+        )
+        .unwrap();
+        let Statement::CreateView(v) = stmt else {
+            panic!()
+        };
+        assert_eq!(
+            v.query.selection,
+            Some(Expr::eq(
+                Expr::col("student_id"),
+                Expr::AccessParam("1".into())
+            ))
+        );
+    }
+
+    #[test]
+    fn parses_authorize_statements() {
+        // Section 4.4.
+        let stmt = parse_statement(
+            "authorize insert on Registered where Registered.student_id = $user_id",
+        )
+        .unwrap();
+        let Statement::Authorize(a) = stmt else {
+            panic!()
+        };
+        assert_eq!(a.action, DmlAction::Insert);
+        assert_eq!(a.table, Ident::new("registered"));
+
+        let stmt = parse_statement(
+            "authorize update on Students (address) where old(student_id) = $user_id",
+        )
+        .unwrap();
+        let Statement::Authorize(a) = stmt else {
+            panic!()
+        };
+        assert_eq!(a.action, DmlAction::Update);
+        assert_eq!(a.columns, vec![Ident::new("address")]);
+        match a.condition {
+            Expr::Binary { left, .. } => {
+                assert!(
+                    matches!(*left, Expr::Function { ref name, .. } if name == &Ident::new("old"))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let stmt = parse_statement(
+            "create table Grades (\
+               student_id varchar not null, \
+               course_id varchar not null, \
+               grade int, \
+               primary key (student_id, course_id), \
+               foreign key (student_id) references Students (student_id))",
+        )
+        .unwrap();
+        let Statement::CreateTable(t) = stmt else {
+            panic!()
+        };
+        assert_eq!(t.columns.len(), 3);
+        assert!(t.columns[2].nullable);
+        assert_eq!(
+            t.primary_key,
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")])
+        );
+        assert_eq!(t.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn parses_inclusion_dependency() {
+        // Example 5.3: all full-time students are registered.
+        let stmt = parse_statement(
+            "create inclusion dependency ft_registered \
+             on Students (student_id) where type = 'FullTime' \
+             references Registered (student_id)",
+        )
+        .unwrap();
+        let Statement::CreateInclusionDependency(d) = stmt else {
+            panic!()
+        };
+        assert_eq!(d.src_table, Ident::new("students"));
+        assert!(d.src_filter.is_some());
+        assert!(d.dst_filter.is_none());
+    }
+
+    #[test]
+    fn parses_dml() {
+        let s = parse_statement("insert into Grades values ('11', 'cs101', 90)").unwrap();
+        assert!(matches!(s, Statement::Insert(_)));
+        let s = parse_statement("update Students set address = 'x' where student_id = '11'")
+            .unwrap();
+        assert!(matches!(s, Statement::Update(_)));
+        let s = parse_statement("delete from Registered where course_id = 'cs101'").unwrap();
+        assert!(matches!(s, Statement::Delete(_)));
+    }
+
+    #[test]
+    fn parses_join_on_syntax() {
+        let q = parse_query(
+            "select s.name from Students s join Registered r on s.student_id = r.student_id",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].joins.len(), 1);
+    }
+
+    #[test]
+    fn parses_script() {
+        let stmts = parse_statements(
+            "create table T (a int); insert into T values (1); select * from T;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_order_by_limit() {
+        let q = parse_query("select a from T order by a desc, b limit 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].asc);
+        assert!(q.order_by[1].asc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_between_and_in_as_sugar() {
+        let e = parse_expr("a between 1 and 3").unwrap();
+        // Desugared to a >= 1 AND a <= 3.
+        assert_eq!(
+            e,
+            Expr::and(
+                Expr::binary(Expr::col("a"), BinaryOp::GtEq, Expr::lit(1)),
+                Expr::binary(Expr::col("a"), BinaryOp::LtEq, Expr::lit(3)),
+            )
+        );
+        let e = parse_expr("a in (1, 2)").unwrap();
+        assert_eq!(
+            e,
+            Expr::binary(
+                Expr::eq(Expr::col("a"), Expr::lit(1)),
+                BinaryOp::Or,
+                Expr::eq(Expr::col("a"), Expr::lit(2)),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_count_star_and_distinct_agg() {
+        let q = parse_query("select count(*), count(distinct a) from T").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.projection[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Function { star: true, .. }));
+        let SelectItem::Expr { expr, .. } = &q.projection[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            Expr::Function {
+                distinct: true,
+                star: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
+        // AND binds tighter than OR.
+        let Expr::Binary { op, .. } = &e else { panic!() };
+        assert_eq!(*op, BinaryOp::Or);
+
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let Expr::Binary { op, right, .. } = &e else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(
+            **right,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        let Expr::Binary { op, .. } = &e else { panic!() };
+        assert_eq!(*op, BinaryOp::Mul);
+    }
+
+    #[test]
+    fn parses_is_null_and_not() {
+        let e = parse_expr("a is not null and not b = 1").unwrap();
+        let Expr::Binary { left, right, .. } = &e else {
+            panic!()
+        };
+        assert!(matches!(**left, Expr::IsNull { negated: true, .. }));
+        assert!(matches!(
+            **right,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(parse_expr("true").unwrap(), Expr::lit(true));
+        assert_eq!(parse_expr("null").unwrap(), Expr::Literal(Value::Null));
+        assert_eq!(parse_expr("-5").unwrap(), Expr::lit(-5));
+        assert_eq!(parse_expr("2.5").unwrap(), Expr::lit(2.5));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("select from where").is_err());
+        assert!(parse_statement("selec * from t").is_err());
+        assert!(parse_query("select * from t where").is_err());
+        assert!(parse_query("select * from t 1").is_err());
+    }
+
+    #[test]
+    fn rejects_nested_subquery() {
+        // The paper (Section 5) excludes nested subqueries; we reject them
+        // at parse time with a clear message.
+        let err = parse_query("select * from t where a in (select a from u)").unwrap_err();
+        assert!(err.to_string().contains("subquer"), "{err}");
+    }
+}

@@ -1,0 +1,171 @@
+//! `SELECT` query parsing.
+
+use super::Parser;
+use crate::ast::{Join, OrderByItem, Query, SelectItem, TableRef};
+use crate::token::{Keyword, TokenKind};
+use fgac_types::{Error, Ident, Result, Value};
+
+impl Parser {
+    /// Parses a `SELECT` query.
+    pub(crate) fn query(&mut self) -> Result<Query> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        if self.eat_kw(Keyword::All) {
+            // SELECT ALL is the default; accept and ignore.
+        }
+        let projection = self.select_list()?;
+
+        let mut from = Vec::new();
+        if self.eat_kw(Keyword::From) {
+            from.push(self.table_ref()?);
+            while self.eat(&TokenKind::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderByItem { expr, asc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.advance() {
+                TokenKind::Literal(Value::Int(n)) if n >= 0 => Some(n as u64),
+                _ => return Err(Error::Parse("LIMIT expects a non-negative integer".into())),
+            }
+        } else {
+            None
+        };
+
+        if self.eat_kw(Keyword::Union) {
+            return Err(Error::Unsupported(
+                "UNION is not supported in queries; issue the parts separately".into(),
+            ));
+        }
+
+        Ok(Query {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*` needs two-token lookahead before falling back to expr.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            if self.peek2() == &TokenKind::Dot {
+                // Peek one further for `*`: consume tentatively.
+                let save = self.checkpoint();
+                self.advance(); // ident
+                self.advance(); // dot
+                if self.eat(&TokenKind::Star) {
+                    return Ok(SelectItem::QualifiedWildcard(Ident::new(name)));
+                }
+                self.rewind(save);
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.peek() == &TokenKind::LParen {
+            return Err(Error::Unsupported(
+                "derived tables (subqueries in FROM) are not supported".into(),
+            ));
+        }
+        let name = self.ident()?;
+        let alias = self.table_alias()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_kw(Keyword::Inner);
+            if self.eat_kw(Keyword::Join) {
+                let table = self.ident()?;
+                let alias = self.table_alias()?;
+                self.expect_kw(Keyword::On)?;
+                let on = self.expr()?;
+                joins.push(Join { table, alias, on });
+            } else if inner {
+                return Err(self.unexpected("JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+        Ok(TableRef { name, alias, joins })
+    }
+
+    fn table_alias(&mut self) -> Result<Option<Ident>> {
+        if self.eat_kw(Keyword::As) {
+            return Ok(Some(self.ident()?));
+        }
+        if let TokenKind::Ident(_) = self.peek() {
+            return Ok(Some(self.ident()?));
+        }
+        Ok(None)
+    }
+
+    pub(crate) fn checkpoint(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn rewind(&mut self, checkpoint: usize) {
+        self.pos = checkpoint;
+    }
+}

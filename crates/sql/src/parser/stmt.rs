@@ -1,0 +1,250 @@
+//! Statement parsing: DDL, DML, authorization statements.
+
+use super::Parser;
+use crate::ast::{
+    Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView, Delete, DmlAction,
+    Expr, ForeignKeyDef, Insert, Statement, Update,
+};
+use crate::token::{Keyword, TokenKind};
+use fgac_types::{DataType, Result};
+
+impl Parser {
+    /// Parses one statement.
+    pub(crate) fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Select) => Ok(Statement::Query(self.query()?)),
+            TokenKind::Keyword(Keyword::Create) => self.create(),
+            TokenKind::Keyword(Keyword::Authorize) => self.authorize(),
+            TokenKind::Keyword(Keyword::Insert) => self.insert(),
+            TokenKind::Keyword(Keyword::Update) => self.update(),
+            TokenKind::Keyword(Keyword::Delete) => self.delete(),
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            return self.create_table();
+        }
+        if self.eat_kw(Keyword::Authorization) {
+            self.expect_kw(Keyword::View)?;
+            return self.create_view(true);
+        }
+        if self.eat_kw(Keyword::View) {
+            return self.create_view(false);
+        }
+        if self.eat_kw(Keyword::Inclusion) {
+            self.expect_kw(Keyword::Dependency)?;
+            return self.create_inclusion_dependency();
+        }
+        Err(self.unexpected("TABLE, VIEW, AUTHORIZATION VIEW or INCLUSION DEPENDENCY"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        let mut foreign_keys = Vec::new();
+        loop {
+            if self.eat_kw(Keyword::Primary) {
+                self.expect_kw(Keyword::Key)?;
+                primary_key = Some(self.ident_list()?);
+            } else if self.eat_kw(Keyword::Foreign) {
+                self.expect_kw(Keyword::Key)?;
+                let cols = self.ident_list()?;
+                self.expect_kw(Keyword::References)?;
+                let parent_table = self.ident()?;
+                let parent_columns = self.ident_list()?;
+                foreign_keys.push(ForeignKeyDef {
+                    columns: cols,
+                    parent_table,
+                    parent_columns,
+                });
+            } else {
+                let col_name = self.ident()?;
+                let ty = self.data_type()?;
+                let mut nullable = true;
+                if self.eat_kw(Keyword::Not) {
+                    self.expect_kw(Keyword::Null)?;
+                    nullable = false;
+                } else if self.eat_kw(Keyword::Null) {
+                    // explicit NULL: keep nullable = true
+                }
+                columns.push(ColumnDef {
+                    name: col_name,
+                    ty,
+                    nullable,
+                });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            columns,
+            primary_key,
+            foreign_keys,
+        }))
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let ty = match self.peek() {
+            TokenKind::Keyword(Keyword::Integer) => DataType::Int,
+            TokenKind::Keyword(Keyword::Varchar) => DataType::Str,
+            TokenKind::Keyword(Keyword::Double) => DataType::Double,
+            TokenKind::Keyword(Keyword::Boolean) => DataType::Bool,
+            _ => return Err(self.unexpected("a data type")),
+        };
+        self.advance();
+        // Optional length, e.g. VARCHAR(20): parsed and ignored.
+        if self.eat(&TokenKind::LParen) {
+            self.advance();
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn create_view(&mut self, authorization: bool) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw(Keyword::As)?;
+        let query = self.query()?;
+        Ok(Statement::CreateView(CreateView {
+            name,
+            authorization,
+            query,
+        }))
+    }
+
+    fn create_inclusion_dependency(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw(Keyword::On)?;
+        let src_table = self.ident()?;
+        let src_columns = self.ident_list()?;
+        let src_filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::References)?;
+        let dst_table = self.ident()?;
+        let dst_columns = self.ident_list()?;
+        let dst_filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateInclusionDependency(
+            CreateInclusionDependency {
+                name,
+                src_table,
+                src_columns,
+                src_filter,
+                dst_table,
+                dst_columns,
+                dst_filter,
+            },
+        ))
+    }
+
+    fn authorize(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Authorize)?;
+        let action = if self.eat_kw(Keyword::Insert) {
+            DmlAction::Insert
+        } else if self.eat_kw(Keyword::Update) {
+            DmlAction::Update
+        } else if self.eat_kw(Keyword::Delete) {
+            DmlAction::Delete
+        } else {
+            return Err(self.unexpected("INSERT, UPDATE or DELETE"));
+        };
+        self.expect_kw(Keyword::On)?;
+        let table = self.ident()?;
+        let columns = if self.peek() == &TokenKind::LParen {
+            self.ident_list()?
+        } else {
+            Vec::new()
+        };
+        let condition = if self.eat_kw(Keyword::Where) {
+            self.expr()?
+        } else {
+            Expr::lit(true)
+        };
+        Ok(Statement::Authorize(Authorize {
+            action,
+            table,
+            columns,
+            condition,
+        }))
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let columns = if self.peek() == &TokenKind::LParen {
+            self.ident_list()?
+        } else {
+            Vec::new()
+        };
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            filter,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let filter = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete { table, filter }))
+    }
+}

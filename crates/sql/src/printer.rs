@@ -1,0 +1,312 @@
+//! Renders ASTs back to SQL text.
+//!
+//! Used for parser round-trip tests, error messages, and for printing the
+//! *witness* rewritten query `q'` when the Non-Truman checker explains why
+//! a query was accepted.
+
+use crate::ast::*;
+use crate::token::Keyword;
+use std::fmt::Write as _;
+
+/// Prints an identifier, quoting it when it would lex as a keyword.
+fn pid(id: &fgac_types::Ident) -> String {
+    if Keyword::from_word(id.as_str()).is_some() {
+        format!("\"{id}\"")
+    } else {
+        id.to_string()
+    }
+}
+
+/// Renders a statement as SQL.
+pub fn print_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => print_query(q),
+        Statement::CreateTable(t) => print_create_table(t),
+        Statement::CreateView(v) => {
+            let kind = if v.authorization {
+                "AUTHORIZATION VIEW"
+            } else {
+                "VIEW"
+            };
+            format!("CREATE {kind} {} AS {}", v.name, print_query(&v.query))
+        }
+        Statement::CreateInclusionDependency(d) => {
+            let mut s = format!(
+                "CREATE INCLUSION DEPENDENCY {} ON {} ({})",
+                d.name,
+                d.src_table,
+                idents(&d.src_columns)
+            );
+            if let Some(f) = &d.src_filter {
+                write!(s, " WHERE {}", print_expr(f)).unwrap();
+            }
+            write!(
+                s,
+                " REFERENCES {} ({})",
+                d.dst_table,
+                idents(&d.dst_columns)
+            )
+            .unwrap();
+            if let Some(f) = &d.dst_filter {
+                write!(s, " WHERE {}", print_expr(f)).unwrap();
+            }
+            s
+        }
+        Statement::Authorize(a) => {
+            let mut s = format!("AUTHORIZE {} ON {}", a.action, a.table);
+            if !a.columns.is_empty() {
+                write!(s, " ({})", idents(&a.columns)).unwrap();
+            }
+            write!(s, " WHERE {}", print_expr(&a.condition)).unwrap();
+            s
+        }
+        Statement::Insert(i) => {
+            let mut s = format!("INSERT INTO {}", i.table);
+            if !i.columns.is_empty() {
+                write!(s, " ({})", idents(&i.columns)).unwrap();
+            }
+            s.push_str(" VALUES ");
+            for (n, row) in i.rows.iter().enumerate() {
+                if n > 0 {
+                    s.push_str(", ");
+                }
+                write!(s, "({})", exprs(row)).unwrap();
+            }
+            s
+        }
+        Statement::Update(u) => {
+            let mut s = format!("UPDATE {} SET ", u.table);
+            for (n, (col, e)) in u.assignments.iter().enumerate() {
+                if n > 0 {
+                    s.push_str(", ");
+                }
+                write!(s, "{col} = {}", print_expr(e)).unwrap();
+            }
+            if let Some(f) = &u.filter {
+                write!(s, " WHERE {}", print_expr(f)).unwrap();
+            }
+            s
+        }
+        Statement::Delete(d) => {
+            let mut s = format!("DELETE FROM {}", d.table);
+            if let Some(f) = &d.filter {
+                write!(s, " WHERE {}", print_expr(f)).unwrap();
+            }
+            s
+        }
+    }
+}
+
+fn print_create_table(t: &CreateTable) -> String {
+    let mut parts: Vec<String> = t
+        .columns
+        .iter()
+        .map(|c| {
+            format!(
+                "{} {}{}",
+                c.name,
+                c.ty,
+                if c.nullable { "" } else { " NOT NULL" }
+            )
+        })
+        .collect();
+    if let Some(pk) = &t.primary_key {
+        parts.push(format!("PRIMARY KEY ({})", idents(pk)));
+    }
+    for fk in &t.foreign_keys {
+        parts.push(format!(
+            "FOREIGN KEY ({}) REFERENCES {} ({})",
+            idents(&fk.columns),
+            fk.parent_table,
+            idents(&fk.parent_columns)
+        ));
+    }
+    format!("CREATE TABLE {} ({})", t.name, parts.join(", "))
+}
+
+/// Renders a query as SQL.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::from("SELECT ");
+    if q.distinct {
+        s.push_str("DISTINCT ");
+    }
+    for (n, item) in q.projection.iter().enumerate() {
+        if n > 0 {
+            s.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => s.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                write!(s, "{}.*", pid(t)).unwrap();
+            }
+            SelectItem::Expr { expr, alias } => {
+                s.push_str(&print_expr(expr));
+                if let Some(a) = alias {
+                    write!(s, " AS {}", pid(a)).unwrap();
+                }
+            }
+        }
+    }
+    if !q.from.is_empty() {
+        s.push_str(" FROM ");
+        for (n, t) in q.from.iter().enumerate() {
+            if n > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&pid(&t.name));
+            if let Some(a) = &t.alias {
+                write!(s, " AS {}", pid(a)).unwrap();
+            }
+            for j in &t.joins {
+                write!(s, " JOIN {}", pid(&j.table)).unwrap();
+                if let Some(a) = &j.alias {
+                    write!(s, " AS {}", pid(a)).unwrap();
+                }
+                write!(s, " ON {}", print_expr(&j.on)).unwrap();
+            }
+        }
+    }
+    if let Some(w) = &q.selection {
+        write!(s, " WHERE {}", print_expr(w)).unwrap();
+    }
+    if !q.group_by.is_empty() {
+        write!(s, " GROUP BY {}", exprs(&q.group_by)).unwrap();
+    }
+    if let Some(h) = &q.having {
+        write!(s, " HAVING {}", print_expr(h)).unwrap();
+    }
+    if !q.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        for (n, o) in q.order_by.iter().enumerate() {
+            if n > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&print_expr(&o.expr));
+            if !o.asc {
+                s.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(l) = q.limit {
+        write!(s, " LIMIT {l}").unwrap();
+    }
+    s
+}
+
+/// Renders an expression as SQL (fully parenthesized for binary ops so no
+/// precedence reasoning is needed).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{}.{}", pid(q), pid(name)),
+            None => pid(name),
+        },
+        Expr::Literal(v) => v.to_string(),
+        Expr::Param(p) => format!("${p}"),
+        Expr::AccessParam(p) => format!("$${p}"),
+        // Self-delimiting so `NOT x = y` never reparses with a different
+        // precedence.
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => format!("(NOT ({}))", print_expr(expr)),
+            UnaryOp::Neg => format!("(-({}))", print_expr(expr)),
+        },
+        Expr::Binary { left, op, right } => {
+            let op_str = match op {
+                BinaryOp::And => "AND",
+                BinaryOp::Or => "OR",
+                BinaryOp::Eq => "=",
+                BinaryOp::NotEq => "<>",
+                BinaryOp::Lt => "<",
+                BinaryOp::LtEq => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::GtEq => ">=",
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Mod => "%",
+            };
+            format!("({} {op_str} {})", print_expr(left), print_expr(right))
+        }
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            print_expr(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
+            if *star {
+                format!("{name}(*)")
+            } else {
+                format!(
+                    "{name}({}{})",
+                    if *distinct { "DISTINCT " } else { "" },
+                    exprs(args)
+                )
+            }
+        }
+    }
+}
+
+fn idents(ids: &[fgac_types::Ident]) -> String {
+    ids.iter().map(pid).collect::<Vec<_>>().join(", ")
+}
+
+fn exprs(es: &[Expr]) -> String {
+    es.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_statement, parse_statements};
+
+    /// Parse → print → parse must be a fixpoint.
+    fn roundtrip(sql: &str) {
+        let stmt = parse_statement(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+        let printed = print_statement(&stmt);
+        let reparsed =
+            parse_statement(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(stmt, reparsed, "round-trip of `{sql}` via `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_paper_statements() {
+        for sql in [
+            "select avg(grade) from Grades",
+            "select avg(grade) from Grades where student_id = '11'",
+            "select course_id, avg(grade) from Grades group by course_id",
+            "select distinct name, type from Students",
+            "select * from Grades where course_id = 'CS101'",
+            "select 1 from Registered where student_id = '11' and course_id = 'CS101'",
+            "create authorization view MyGrades as select * from Grades where student_id = $user_id",
+            "create authorization view SingleGrade as select * from Grades where student_id = $$1",
+            "create table Students (student_id varchar not null, name varchar, type varchar, primary key (student_id))",
+            "create inclusion dependency ft on Students (student_id) where type = 'FullTime' references Registered (student_id)",
+            "authorize update on Students (address) where old(student_id) = $user_id",
+            "insert into Grades values ('11', 'CS101', 90), ('12', 'CS101', 85)",
+            "update Students set address = 'new' where student_id = $user_id",
+            "delete from Registered where course_id = 'CS101'",
+            "select s.name as n from Students s join Registered r on s.student_id = r.student_id where r.course_id = 'CS101' order by s.name desc limit 5",
+            "select count(*), count(distinct grade) from Grades having count(*) > 2",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn script_roundtrip() {
+        let stmts = parse_statements(
+            "create table T (a int); insert into T values (1); select * from T",
+        )
+        .unwrap();
+        for s in &stmts {
+            let printed = print_statement(s);
+            assert_eq!(&parse_statement(&printed).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The catalog: schemas, views, and integrity constraints.
+
+use crate::constraint::{ForeignKey, InclusionDependency};
+use fgac_sql::Query;
+use fgac_types::{Error, Ident, Result, Schema};
+use std::collections::BTreeMap;
+
+/// Metadata for one base table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub name: Ident,
+    pub schema: Schema,
+    pub primary_key: Option<Vec<Ident>>,
+}
+
+/// A stored view definition. Authorization views (Section 2) are views
+/// whose bodies may mention `$`/`$$` parameters; they become usable for a
+/// session once instantiated with that session's parameter values.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub name: Ident,
+    pub authorization: bool,
+    pub query: Query,
+}
+
+/// The schema catalog. Data lives in [`crate::Database`]; this holds the
+/// definitions the binder, optimizer, and inference engine consult.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<Ident, TableMeta>,
+    views: BTreeMap<Ident, ViewDef>,
+    foreign_keys: Vec<ForeignKey>,
+    inclusion_deps: Vec<InclusionDependency>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_table(
+        &mut self,
+        name: impl Into<Ident>,
+        schema: Schema,
+        primary_key: Option<Vec<Ident>>,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(Error::Catalog(format!("table {name} already exists")));
+        }
+        if self.views.contains_key(&name) {
+            return Err(Error::Catalog(format!("{name} is already a view")));
+        }
+        if let Some(pk) = &primary_key {
+            for c in pk {
+                if !schema.contains(c) {
+                    return Err(Error::Catalog(format!(
+                        "primary key column {c} not in table {name}"
+                    )));
+                }
+            }
+        }
+        self.tables.insert(
+            name.clone(),
+            TableMeta {
+                name,
+                schema,
+                primary_key,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn table(&self, name: &Ident) -> Option<&TableMeta> {
+        self.tables.get(name)
+    }
+
+    pub fn table_required(&self, name: &Ident) -> Result<&TableMeta> {
+        self.table(name)
+            .ok_or_else(|| Error::Bind(format!("unknown table {name}")))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+
+    pub fn add_view(&mut self, view: ViewDef) -> Result<()> {
+        if self.tables.contains_key(&view.name) {
+            return Err(Error::Catalog(format!("{} is already a table", view.name)));
+        }
+        if self.views.contains_key(&view.name) {
+            return Err(Error::Catalog(format!("view {} already exists", view.name)));
+        }
+        self.views.insert(view.name.clone(), view);
+        Ok(())
+    }
+
+    pub fn view(&self, name: &Ident) -> Option<&ViewDef> {
+        self.views.get(name)
+    }
+
+    pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
+        self.views.values()
+    }
+
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        let child = self.table_required(&fk.child_table)?;
+        for c in &fk.child_columns {
+            if !child.schema.contains(c) {
+                return Err(Error::Catalog(format!(
+                    "foreign key column {c} not in {}",
+                    fk.child_table
+                )));
+            }
+        }
+        let parent = self.table_required(&fk.parent_table)?;
+        for c in &fk.parent_columns {
+            if !parent.schema.contains(c) {
+                return Err(Error::Catalog(format!(
+                    "referenced column {c} not in {}",
+                    fk.parent_table
+                )));
+            }
+        }
+        if fk.child_columns.len() != fk.parent_columns.len() {
+            return Err(Error::Catalog(
+                "foreign key column count mismatch".to_string(),
+            ));
+        }
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    pub fn add_inclusion_dependency(&mut self, dep: InclusionDependency) -> Result<()> {
+        let src = self.table_required(&dep.src_table)?;
+        for c in &dep.src_columns {
+            if !src.schema.contains(c) {
+                return Err(Error::Catalog(format!(
+                    "inclusion dependency column {c} not in {}",
+                    dep.src_table
+                )));
+            }
+        }
+        let dst = self.table_required(&dep.dst_table)?;
+        for c in &dep.dst_columns {
+            if !dst.schema.contains(c) {
+                return Err(Error::Catalog(format!(
+                    "inclusion dependency column {c} not in {}",
+                    dep.dst_table
+                )));
+            }
+        }
+        if dep.src_columns.len() != dep.dst_columns.len() {
+            return Err(Error::Catalog(
+                "inclusion dependency column count mismatch".to_string(),
+            ));
+        }
+        self.inclusion_deps.push(dep);
+        Ok(())
+    }
+
+    /// All inclusion dependencies, including foreign keys lowered to
+    /// their inclusion form. This is the set rules U3a–U3c search.
+    pub fn all_inclusions(&self) -> Vec<InclusionDependency> {
+        let mut out: Vec<InclusionDependency> =
+            self.foreign_keys.iter().map(|fk| fk.as_inclusion()).collect();
+        out.extend(self.inclusion_deps.iter().cloned());
+        out
+    }
+
+    /// Declared (non-FK) inclusion dependencies.
+    pub fn inclusion_dependencies(&self) -> &[InclusionDependency] {
+        &self.inclusion_deps
+    }
+
+    /// True if `columns` is a superset of some key of `table` — i.e. the
+    /// projection of the table onto `columns` is duplicate-free. Used by
+    /// Example 5.5's "the distinct keyword can be dropped" reasoning.
+    pub fn covers_key(&self, table: &Ident, columns: &[Ident]) -> bool {
+        match self.tables.get(table).and_then(|t| t.primary_key.as_ref()) {
+            Some(pk) => pk.iter().all(|k| columns.contains(k)),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("student_id", DataType::Str),
+            Column::new("course_id", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.add_table("t", schema(), None).unwrap();
+        assert!(c.add_table("t", schema(), None).is_err());
+        assert!(c.add_table("T", schema(), None).is_err(), "case-insensitive");
+    }
+
+    #[test]
+    fn pk_columns_validated() {
+        let mut c = Catalog::new();
+        let err = c.add_table("t", schema(), Some(vec![Ident::new("missing")]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fk_validated_and_lowered() {
+        let mut c = Catalog::new();
+        c.add_table("students", schema(), Some(vec![Ident::new("student_id")]))
+            .unwrap();
+        c.add_table("registered", schema(), None).unwrap();
+        c.add_foreign_key(ForeignKey {
+            name: Ident::new("fk1"),
+            child_table: Ident::new("registered"),
+            child_columns: vec![Ident::new("student_id")],
+            parent_table: Ident::new("students"),
+            parent_columns: vec![Ident::new("student_id")],
+        })
+        .unwrap();
+        assert_eq!(c.all_inclusions().len(), 1);
+
+        let bad = c.add_foreign_key(ForeignKey {
+            name: Ident::new("fk2"),
+            child_table: Ident::new("registered"),
+            child_columns: vec![Ident::new("nope")],
+            parent_table: Ident::new("students"),
+            parent_columns: vec![Ident::new("student_id")],
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn covers_key_requires_pk_subset() {
+        let mut c = Catalog::new();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        let all = [
+            Ident::new("student_id"),
+            Ident::new("course_id"),
+            Ident::new("grade"),
+        ];
+        assert!(c.covers_key(&Ident::new("grades"), &all));
+        assert!(!c.covers_key(&Ident::new("grades"), &all[..1]));
+        assert!(!c.covers_key(&Ident::new("missing"), &all));
+    }
+
+    #[test]
+    fn view_name_collision_rejected() {
+        let mut c = Catalog::new();
+        c.add_table("t", schema(), None).unwrap();
+        let v = ViewDef {
+            name: Ident::new("t"),
+            authorization: true,
+            query: fgac_sql::parse_query("select * from t").unwrap(),
+        };
+        assert!(c.add_view(v).is_err());
+    }
+}

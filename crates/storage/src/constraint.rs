@@ -1,0 +1,88 @@
+//! Integrity constraint definitions.
+//!
+//! Rule U3a (Section 5.3) needs constraints of the shape "for every tuple
+//! in the result of v_c there is a tuple in the result of v_r satisfying
+//! the join condition". We model these as *conditional inclusion
+//! dependencies*: every tuple of `σ_{src_filter}(src_table)` projected on
+//! `src_columns` appears in `σ_{dst_filter}(dst_table)` projected on
+//! `dst_columns`. Foreign keys are the unconditional special case.
+
+use fgac_sql::Expr;
+use fgac_types::Ident;
+
+/// `FOREIGN KEY (columns) REFERENCES parent_table (parent_columns)`.
+///
+/// The paper's running schema relies on these: "integrity constraints
+/// that require each student-id and course-id value in the tables
+/// Registered and Grades to appear in the Students and Courses tables".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignKey {
+    pub name: Ident,
+    pub child_table: Ident,
+    pub child_columns: Vec<Ident>,
+    pub parent_table: Ident,
+    pub parent_columns: Vec<Ident>,
+}
+
+impl ForeignKey {
+    /// A foreign key is an unconditional inclusion dependency.
+    pub fn as_inclusion(&self) -> InclusionDependency {
+        InclusionDependency {
+            name: self.name.clone(),
+            src_table: self.child_table.clone(),
+            src_columns: self.child_columns.clone(),
+            src_filter: None,
+            dst_table: self.parent_table.clone(),
+            dst_columns: self.dst_cols(),
+            dst_filter: None,
+        }
+    }
+
+    fn dst_cols(&self) -> Vec<Ident> {
+        self.parent_columns.clone()
+    }
+}
+
+/// A conditional inclusion dependency (total participation constraint).
+///
+/// Examples from the paper:
+/// * "each student has to register for at least one course"
+///   (Example 5.1): `Students(student_id) ⊆ Registered(student_id)`.
+/// * "all full-time students must have registered for a course"
+///   (Example 5.3): `σ_{type='FullTime'}(Students)(student_id) ⊆
+///   Registered(student_id)`.
+/// * "anyone who has paid the fees must be registered" (Example 5.4):
+///   `FeesPaid(student_id) ⊆ Registered(student_id)`.
+///
+/// Filters are stored as *unbound* SQL expressions over the respective
+/// table's columns; the inference engine binds them when matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InclusionDependency {
+    pub name: Ident,
+    pub src_table: Ident,
+    pub src_columns: Vec<Ident>,
+    pub src_filter: Option<Expr>,
+    pub dst_table: Ident,
+    pub dst_columns: Vec<Ident>,
+    pub dst_filter: Option<Expr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn foreign_key_lowers_to_inclusion() {
+        let fk = ForeignKey {
+            name: Ident::new("fk_grades_students"),
+            child_table: Ident::new("grades"),
+            child_columns: vec![Ident::new("student_id")],
+            parent_table: Ident::new("students"),
+            parent_columns: vec![Ident::new("student_id")],
+        };
+        let inc = fk.as_inclusion();
+        assert_eq!(inc.src_table, Ident::new("grades"));
+        assert_eq!(inc.dst_table, Ident::new("students"));
+        assert!(inc.src_filter.is_none() && inc.dst_filter.is_none());
+    }
+}

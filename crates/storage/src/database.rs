@@ -1,0 +1,327 @@
+//! The database: catalog + table data, with key/foreign-key enforcement.
+
+use crate::catalog::{Catalog, TableMeta, ViewDef};
+use crate::constraint::{ForeignKey, InclusionDependency};
+use crate::table::Table;
+use fgac_types::{Error, Ident, Result, Row, Schema, Value};
+use std::collections::BTreeMap;
+
+/// An in-memory database: a [`Catalog`] plus the stored rows of every
+/// base table. Primary-key uniqueness and foreign-key existence are
+/// enforced on insert/update/delete; declared inclusion dependencies are
+/// *assumed* (they describe the legal database states the inference rules
+/// reason over) but can be audited with [`Database::unsatisfied_inclusions_on`].
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    tables: BTreeMap<Ident, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Creates a base table.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<Ident>,
+        schema: Schema,
+        primary_key: Option<Vec<Ident>>,
+    ) -> Result<()> {
+        let name = name.into();
+        self.catalog
+            .add_table(name.clone(), schema.clone(), primary_key)?;
+        self.tables.insert(name.clone(), Table::new(name, schema));
+        Ok(())
+    }
+
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        self.catalog.add_foreign_key(fk)
+    }
+
+    pub fn add_inclusion_dependency(&mut self, dep: InclusionDependency) -> Result<()> {
+        self.catalog.add_inclusion_dependency(dep)
+    }
+
+    pub fn add_view(&mut self, view: ViewDef) -> Result<()> {
+        self.catalog.add_view(view)
+    }
+
+    pub fn table(&self, name: &Ident) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn table_required(&self, name: &Ident) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::Bind(format!("unknown table {name}")))
+    }
+
+    pub fn table_meta(&self, name: &Ident) -> Option<&TableMeta> {
+        self.catalog.table(name)
+    }
+
+    /// Inserts a row, enforcing primary-key uniqueness and foreign-key
+    /// existence.
+    pub fn insert(&mut self, table: &Ident, row: Row) -> Result<()> {
+        self.check_pk_free(table, &row)?;
+        self.check_fk_parents(table, &row)?;
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
+            .insert(row)
+    }
+
+    /// Inserts without constraint checks — bulk loading only.
+    pub fn insert_unchecked(&mut self, table: &Ident, row: Row) -> Result<()> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
+            .insert(row)
+    }
+
+    /// Convenience: insert many rows (checked).
+    pub fn insert_all<I>(&mut self, table: &Ident, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let mut n = 0;
+        for row in rows {
+            self.insert(table, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn check_pk_free(&self, table: &Ident, row: &Row) -> Result<()> {
+        let Some(meta) = self.catalog.table(table) else {
+            return Err(Error::Bind(format!("unknown table {table}")));
+        };
+        let Some(pk) = &meta.primary_key else {
+            return Ok(());
+        };
+        let idx: Vec<usize> = pk
+            .iter()
+            .map(|c| meta.schema.index_of(c).expect("validated pk column"))
+            .collect();
+        let key: Vec<Value> = idx.iter().map(|&i| row.get(i).clone()).collect();
+        if self.tables[table].contains_key(&idx, &key) {
+            return Err(Error::Constraint(format!(
+                "duplicate primary key {key:?} in {table}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_fk_parents(&self, table: &Ident, row: &Row) -> Result<()> {
+        let meta = self.catalog.table_required(table)?;
+        for fk in self.catalog.foreign_keys() {
+            if &fk.child_table != table {
+                continue;
+            }
+            let child_idx: Vec<usize> = fk
+                .child_columns
+                .iter()
+                .map(|c| meta.schema.index_of(c).expect("validated fk column"))
+                .collect();
+            let key: Vec<Value> = child_idx.iter().map(|&i| row.get(i).clone()).collect();
+            // NULL foreign keys reference nothing (SQL semantics).
+            if key.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            let parent_meta = self.catalog.table_required(&fk.parent_table)?;
+            let parent_idx: Vec<usize> = fk
+                .parent_columns
+                .iter()
+                .map(|c| parent_meta.schema.index_of(c).expect("validated fk column"))
+                .collect();
+            if !self.tables[&fk.parent_table].contains_key(&parent_idx, &key) {
+                return Err(Error::Constraint(format!(
+                    "foreign key {}: value {key:?} not present in {}",
+                    fk.name, fk.parent_table
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes rows matching `pred`; returns how many. Does not cascade —
+    /// dangling references surface via [`Database::unsatisfied_inclusions_on`].
+    pub fn delete_where(
+        &mut self,
+        table: &Ident,
+        pred: impl FnMut(&Row) -> bool,
+    ) -> Result<usize> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))
+            .map(|t| t.delete_where(pred))
+    }
+
+    /// Updates rows matching `pred` via `f`; returns how many.
+    pub fn update_where(
+        &mut self,
+        table: &Ident,
+        pred: impl FnMut(&Row) -> bool,
+        f: impl FnMut(&Row) -> Row,
+    ) -> Result<usize> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
+            .update_where(pred, f)
+    }
+
+    /// Audits one *unconditional* inclusion dependency against current
+    /// data, returning the violating source keys (conditional filters are
+    /// ignored here — full audits with filters run through the executor,
+    /// which can evaluate arbitrary predicates).
+    pub fn unsatisfied_inclusions_on(&self, dep: &InclusionDependency) -> Result<Vec<Vec<Value>>> {
+        let src_meta = self.catalog.table_required(&dep.src_table)?;
+        let dst_meta = self.catalog.table_required(&dep.dst_table)?;
+        let src_idx: Vec<usize> = dep
+            .src_columns
+            .iter()
+            .map(|c| {
+                src_meta
+                    .schema
+                    .index_of(c)
+                    .ok_or_else(|| Error::Catalog(format!("bad column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        let dst_idx: Vec<usize> = dep
+            .dst_columns
+            .iter()
+            .map(|c| {
+                dst_meta
+                    .schema
+                    .index_of(c)
+                    .ok_or_else(|| Error::Catalog(format!("bad column {c}")))
+            })
+            .collect::<Result<_>>()?;
+        let dst = &self.tables[&dep.dst_table];
+        let mut missing = Vec::new();
+        for row in self.tables[&dep.src_table].rows() {
+            let key: Vec<Value> = src_idx.iter().map(|&i| row.get(i).clone()).collect();
+            if !dst.contains_key(&dst_idx, &key) {
+                missing.push(key);
+            }
+        }
+        Ok(missing)
+    }
+
+    /// Total number of stored rows (all tables).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        db.create_table(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+            None,
+        )
+        .unwrap();
+        db.add_foreign_key(ForeignKey {
+            name: Ident::new("fk_reg_student"),
+            child_table: Ident::new("registered"),
+            child_columns: vec![Ident::new("student_id")],
+            parent_table: Ident::new("students"),
+            parent_columns: vec![Ident::new("student_id")],
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut d = db();
+        let t = Ident::new("students");
+        d.insert(&t, Row(vec!["11".into(), "ann".into()])).unwrap();
+        let err = d.insert(&t, Row(vec!["11".into(), "bob".into()]));
+        assert!(matches!(err, Err(Error::Constraint(_))));
+    }
+
+    #[test]
+    fn fk_existence_enforced() {
+        let mut d = db();
+        let s = Ident::new("students");
+        let r = Ident::new("registered");
+        let err = d.insert(&r, Row(vec!["11".into(), "cs101".into()]));
+        assert!(matches!(err, Err(Error::Constraint(_))));
+        d.insert(&s, Row(vec!["11".into(), "ann".into()])).unwrap();
+        d.insert(&r, Row(vec!["11".into(), "cs101".into()])).unwrap();
+    }
+
+    #[test]
+    fn inclusion_audit_reports_missing_keys() {
+        let mut d = db();
+        let s = Ident::new("students");
+        d.insert(&s, Row(vec!["11".into(), "ann".into()])).unwrap();
+        d.insert(&s, Row(vec!["12".into(), "bob".into()])).unwrap();
+        let dep = InclusionDependency {
+            name: Ident::new("all_registered"),
+            src_table: Ident::new("students"),
+            src_columns: vec![Ident::new("student_id")],
+            src_filter: None,
+            dst_table: Ident::new("registered"),
+            dst_columns: vec![Ident::new("student_id")],
+            dst_filter: None,
+        };
+        let missing = d.unsatisfied_inclusions_on(&dep).unwrap();
+        assert_eq!(missing.len(), 2);
+        d.insert(&Ident::new("registered"), Row(vec!["11".into(), "cs101".into()]))
+            .unwrap();
+        let missing = d.unsatisfied_inclusions_on(&dep).unwrap();
+        assert_eq!(missing, vec![vec![Value::Str("12".into())]]);
+    }
+
+    #[test]
+    fn delete_and_update_route_through() {
+        let mut d = db();
+        let s = Ident::new("students");
+        d.insert(&s, Row(vec!["11".into(), "ann".into()])).unwrap();
+        let n = d
+            .update_where(&s, |_| true, |r| Row(vec![r.get(0).clone(), "anne".into()]))
+            .unwrap();
+        assert_eq!(n, 1);
+        let n = d.delete_where(&s, |_| true).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(d.total_rows(), 0);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut d = db();
+        let bad = Ident::new("nope");
+        assert!(d.insert(&bad, Row(vec![])).is_err());
+        assert!(d.delete_where(&bad, |_| true).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # fgac-storage
+//!
+//! In-memory relational storage engine: multiset tables, a catalog of
+//! schemas/views/constraints, and the [`Database`] facade.
+//!
+//! The catalog records the two families of integrity constraints the
+//! paper's inference rules consume:
+//!
+//! * **Primary keys** — used by Example 5.5 ("since the Grades table has
+//!   a primary key, the distinct keyword can be dropped") and by U3c/C3b
+//!   multiplicity reasoning.
+//! * **Inclusion dependencies** (optionally predicated on both sides) —
+//!   the "every tuple of the view-core has a matching tuple in the
+//!   view-remainder" conditions of rules U3a–U3c (Section 5.3). Foreign
+//!   keys are stored as unconditional inclusion dependencies plus key
+//!   metadata.
+//!
+//! Constraint *visibility* ("the relevant integrity constraints are
+//! visible to the user", rule U3a condition 2) is tracked by
+//! `fgac-core`'s grant tables, not here.
+
+mod catalog;
+mod constraint;
+mod database;
+mod table;
+
+pub use catalog::{Catalog, TableMeta, ViewDef};
+pub use constraint::{ForeignKey, InclusionDependency};
+pub use database::Database;
+pub use table::Table;

@@ -1,0 +1,234 @@
+//! Multiset tables.
+
+use fgac_types::{Error, Ident, Result, Row, Schema, Value};
+
+/// An in-memory table holding a multiset of rows.
+///
+/// Rows are kept in insertion order; duplicates are allowed (SQL bag
+/// semantics). Type checking against the schema happens on every insert.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: Ident,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<Ident>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &Ident {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Type-checks a row against the schema without inserting it.
+    pub fn check_row(&self, row: &Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Type(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.values().iter().zip(self.schema.columns()) {
+            match value.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::Constraint(format!(
+                            "column {}.{} is NOT NULL",
+                            self.name, col.name
+                        )));
+                    }
+                }
+                Some(ty) if ty == col.ty => {}
+                // Allow lossless integer widening into double columns.
+                Some(fgac_types::DataType::Int) if col.ty == fgac_types::DataType::Double => {}
+                Some(ty) => {
+                    return Err(Error::Type(format!(
+                        "column {}.{} expects {}, got {} ({value})",
+                        self.name, col.name, col.ty, ty
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a row after type checking. Integer values destined for
+    /// double columns are widened.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.check_row(&row)?;
+        self.rows.push(self.coerce(row));
+        Ok(())
+    }
+
+    fn coerce(&self, row: Row) -> Row {
+        Row(row
+            .0
+            .into_iter()
+            .zip(self.schema.columns())
+            .map(|(v, c)| match (&v, c.ty) {
+                (Value::Int(i), fgac_types::DataType::Double) => Value::Double(*i as f64),
+                _ => v,
+            })
+            .collect())
+    }
+
+    /// Removes rows matching the predicate; returns how many were
+    /// removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        before - self.rows.len()
+    }
+
+    /// Applies an in-place transformation to rows matching the predicate;
+    /// returns how many were updated. The new row is type-checked.
+    pub fn update_where(
+        &mut self,
+        mut pred: impl FnMut(&Row) -> bool,
+        mut f: impl FnMut(&Row) -> Row,
+    ) -> Result<usize> {
+        // Two-phase so a type error midway leaves the table unchanged.
+        let mut updates = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if pred(row) {
+                let new = f(row);
+                self.check_row(&new)?;
+                updates.push((i, self.coerce(new)));
+            }
+        }
+        let n = updates.len();
+        for (i, new) in updates {
+            self.rows[i] = new;
+        }
+        Ok(n)
+    }
+
+    /// True if some row has the given values at the given column indexes.
+    pub fn contains_key(&self, indexes: &[usize], key: &[Value]) -> bool {
+        self.rows
+            .iter()
+            .any(|r| indexes.iter().zip(key).all(|(&i, v)| r.get(i) == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType};
+
+    fn table() -> Table {
+        Table::new(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_type_checks() {
+        let mut t = table();
+        t.insert(Row(vec!["11".into(), Value::Int(90)])).unwrap();
+        t.insert(Row(vec!["12".into(), Value::Null])).unwrap();
+        assert_eq!(t.len(), 2);
+
+        let err = t.insert(Row(vec![Value::Int(1), Value::Int(2)])).unwrap_err();
+        assert!(matches!(err, Error::Type(_)));
+        let err = t.insert(Row(vec![Value::Null, Value::Int(2)])).unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        let err = t.insert(Row(vec!["11".into()])).unwrap_err();
+        assert!(matches!(err, Error::Type(_)));
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = table();
+        let row = Row(vec!["11".into(), Value::Int(90)]);
+        t.insert(row.clone()).unwrap();
+        t.insert(row).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn int_widens_to_double() {
+        let mut t = Table::new(
+            "m",
+            Schema::new(vec![Column::new("x", DataType::Double)]),
+        );
+        t.insert(Row(vec![Value::Int(3)])).unwrap();
+        assert_eq!(t.rows()[0].get(0), &Value::Double(3.0));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut t = table();
+        for (s, g) in [("11", 90), ("12", 80), ("13", 70)] {
+            t.insert(Row(vec![s.into(), Value::Int(g)])).unwrap();
+        }
+        let n = t.delete_where(|r| r.get(1) == &Value::Int(80));
+        assert_eq!(n, 1);
+        assert_eq!(t.len(), 2);
+
+        let n = t
+            .update_where(
+                |r| r.get(0) == &Value::Str("11".into()),
+                |r| Row(vec![r.get(0).clone(), Value::Int(95)]),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.rows()[0].get(1), &Value::Int(95));
+    }
+
+    #[test]
+    fn update_type_error_is_atomic() {
+        let mut t = table();
+        t.insert(Row(vec!["11".into(), Value::Int(90)])).unwrap();
+        t.insert(Row(vec!["12".into(), Value::Int(80)])).unwrap();
+        let err = t.update_where(
+            |_| true,
+            |r| {
+                if r.get(0) == &Value::Str("12".into()) {
+                    Row(vec![Value::Int(0), Value::Int(0)]) // bad type
+                } else {
+                    Row(vec![r.get(0).clone(), Value::Int(1)])
+                }
+            },
+        );
+        assert!(err.is_err());
+        // First row must not have been updated.
+        assert_eq!(t.rows()[0].get(1), &Value::Int(90));
+    }
+
+    #[test]
+    fn contains_key_checks_projection() {
+        let mut t = table();
+        t.insert(Row(vec!["11".into(), Value::Int(90)])).unwrap();
+        assert!(t.contains_key(&[0], &["11".into()]));
+        assert!(!t.contains_key(&[0], &["99".into()]));
+    }
+}

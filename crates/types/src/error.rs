@@ -1,0 +1,72 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the fgac stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing/parsing failure, with position information in the message.
+    Parse(String),
+    /// Name-resolution failure (unknown table/column/view, ambiguity).
+    Bind(String),
+    /// Type mismatch in an expression or DML statement.
+    Type(String),
+    /// Catalog-level problem (duplicate table, unknown constraint, ...).
+    Catalog(String),
+    /// An integrity constraint would be violated by a DML statement.
+    Constraint(String),
+    /// The Non-Truman validity check rejected the query, or an update was
+    /// not authorized. Carries a user-facing reason.
+    ///
+    /// Per Section 4, rejection is safe: it reveals only that the query is
+    /// not covered by the user's authorization views.
+    Unauthorized(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// Feature outside the supported SQL subset (e.g. nested subqueries,
+    /// which the paper also excludes in Section 5).
+    Unsupported(String),
+    /// Internal invariant violation — a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// True when the error is an authorization rejection (as opposed to a
+    /// malformed or failing query).
+    pub fn is_unauthorized(&self) -> bool {
+        matches!(self, Error::Unauthorized(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Bind(m) => write!(f, "binding error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint violation: {m}"),
+            Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let e = Error::Unauthorized("query not covered by authorization views".into());
+        assert!(e.is_unauthorized());
+        assert!(e.to_string().starts_with("unauthorized:"));
+        assert!(!Error::Parse("x".into()).is_unauthorized());
+    }
+}

@@ -1,0 +1,74 @@
+//! Case-insensitive SQL identifiers.
+
+use std::fmt;
+
+/// A SQL identifier, normalized to lowercase at construction.
+///
+/// SQL identifiers are case-insensitive; normalizing once keeps every
+/// downstream comparison (catalog lookups, column resolution, DAG
+/// signatures) a plain string comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Ident(String);
+
+impl Ident {
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Ident(name.as_ref().to_ascii_lowercase())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other.to_ascii_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(Ident::new("Students"), Ident::new("STUDENTS"));
+        assert_eq!(Ident::new("grades").as_str(), "grades");
+    }
+
+    #[test]
+    fn compares_against_str() {
+        let id = Ident::new("Grades");
+        assert!(id == *"GRADES");
+        assert!(id == *"grades");
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Ident::new("MyGrades").to_string(), "mygrades");
+    }
+}

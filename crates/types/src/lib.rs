@@ -1,0 +1,22 @@
+//! # fgac-types
+//!
+//! Foundation types shared by every crate in the `fgac` workspace:
+//! SQL values with multiset-friendly total ordering, data types, schemas,
+//! rows, case-insensitive identifiers, and the common error type.
+//!
+//! The paper's model (Rizvi et al., SIGMOD 2004) is defined over SQL's
+//! multiset semantics, so [`Value`] implements `Eq`/`Ord`/`Hash` with a
+//! *total* order (NULLs first, doubles via `total_cmp`) making rows usable
+//! as keys for grouping, duplicate elimination, and multiset comparison.
+
+mod error;
+mod ident;
+mod row;
+mod schema;
+mod value;
+
+pub use error::{Error, Result};
+pub use ident::Ident;
+pub use row::{multiset_eq, Row};
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,120 @@
+//! Tuples of values.
+
+use crate::Value;
+use std::fmt;
+
+/// A tuple of values — one row of a relation.
+///
+/// `Row` derives `Eq`/`Ord`/`Hash` from [`Value`]'s total order, so rows
+/// can be used directly as keys in grouping and duplicate elimination and
+/// sorted to compare multisets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// Concatenates two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.0.len() + other.0.len());
+        values.extend_from_slice(&self.0);
+        values.extend_from_slice(&other.0);
+        Row(values)
+    }
+
+    /// Projects onto the given indexes.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row(indexes.iter().map(|&i| self.0[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+/// Compares two collections of rows as multisets (order-insensitive,
+/// multiplicity-sensitive). This is the paper's notion of query
+/// equivalence on a fixed state (Definition 4.1 footnote).
+pub fn multiset_eq(a: &[Row], b: &[Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut sa: Vec<&Row> = a.iter().collect();
+    let mut sb: Vec<&Row> = b.iter().collect();
+    sa.sort();
+    sb.sort();
+    sa == sb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Row {
+        Row(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = r(&[1, 2]);
+        let b = r(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c, r(&[1, 2, 3]));
+        assert_eq!(c.project(&[2, 0]), r(&[3, 1]));
+    }
+
+    #[test]
+    fn multiset_eq_respects_multiplicity() {
+        assert!(multiset_eq(
+            &[r(&[1]), r(&[2]), r(&[1])],
+            &[r(&[2]), r(&[1]), r(&[1])]
+        ));
+        assert!(!multiset_eq(&[r(&[1]), r(&[1])], &[r(&[1]), r(&[2])]));
+        assert!(!multiset_eq(&[r(&[1])], &[r(&[1]), r(&[1])]));
+    }
+
+    #[test]
+    fn display_renders() {
+        let row = Row(vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(row.to_string(), "(1, 'x')");
+    }
+}

@@ -1,0 +1,137 @@
+//! Relation schemas.
+
+use crate::{DataType, Ident};
+use std::fmt;
+
+/// A column definition: name, type, nullability.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Column {
+    pub name: Ident,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<Ident>, ty: DataType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+}
+
+/// An ordered list of columns describing a relation's shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of the column with the given name, if present.
+    pub fn index_of(&self, name: &Ident) -> Option<usize> {
+        self.columns.iter().position(|c| &c.name == name)
+    }
+
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    pub fn contains(&self, name: &Ident) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Concatenates two schemas (used for joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Projects the schema onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Schema {
+        Schema {
+            columns: indexes.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![
+            Column::new("student_id", DataType::Str),
+            Column::new("course_id", DataType::Str),
+            Column::new("grade", DataType::Int).nullable(),
+        ])
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let schema = s();
+        assert_eq!(schema.index_of(&Ident::new("GRADE")), Some(2));
+        assert_eq!(schema.index_of(&Ident::new("missing")), None);
+    }
+
+    #[test]
+    fn concat_joins_schemas() {
+        let a = s();
+        let b = Schema::new(vec![Column::new("name", DataType::Str)]);
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.column(3).name, Ident::new("name"));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let schema = s();
+        let p = schema.project(&[2, 0]);
+        assert_eq!(p.column(0).name, Ident::new("grade"));
+        assert_eq!(p.column(1).name, Ident::new("student_id"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        assert_eq!(schema.to_string(), "(a INTEGER)");
+    }
+}

@@ -1,0 +1,196 @@
+//! The introduction's bank scenario.
+//!
+//! "For a bank, a customer should be able to query her account balance,
+//! and no one else's balance. At the same time, a teller should have
+//! read access to balances of all accounts but not the addresses of
+//! customers corresponding to these balances. A teller should be allowed
+//! to see the balance of any account by providing the account-id but not
+//! the balances of all accounts together."
+
+use crate::datagen;
+use fgac_core::Engine;
+use fgac_types::{Result, Row, Value};
+use rand::Rng;
+
+/// Sizing knobs for the synthetic bank.
+#[derive(Debug, Clone, Copy)]
+pub struct BankConfig {
+    pub customers: usize,
+    pub accounts_per_customer: usize,
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            customers: 50,
+            accounts_per_customer: 2,
+            seed: 0xBA2C,
+        }
+    }
+}
+
+/// Schema + the three authorization policies from the introduction.
+pub const BANK_DDL: &str = "
+create table customers (
+  customer_id varchar not null,
+  name varchar not null,
+  address varchar not null,
+  primary key (customer_id));
+
+create table accounts (
+  account_id varchar not null,
+  customer_id varchar not null,
+  branch varchar not null,
+  balance double not null,
+  primary key (account_id),
+  foreign key (customer_id) references customers (customer_id));
+
+-- A customer sees her own accounts (parameterized view).
+create authorization view MyAccounts as
+  select accounts.* from accounts
+  where accounts.customer_id = $user_id;
+
+-- A customer sees her own customer record.
+create authorization view MyCustomerRecord as
+  select * from customers where customer_id = $user_id;
+
+-- A teller sees every balance, but no addresses: the view projects
+-- account columns only (cell-level security via projection).
+create authorization view TellerBalances as
+  select account_id, customer_id, branch, balance from accounts;
+
+-- A teller can fetch one customer's record by id (access pattern), so
+-- they can serve a customer at the counter without being able to dump
+-- the customer list.
+create authorization view CustomerLookup as
+  select * from customers where customer_id = $$1;
+";
+
+/// Builds the bank engine with data and grants.
+pub fn build(config: BankConfig) -> Result<Engine> {
+    let mut engine = Engine::new();
+    engine.admin_script(BANK_DDL)?;
+    let mut rng = datagen::rng(config.seed);
+
+    let mut customer_rows = Vec::new();
+    let mut account_rows = Vec::new();
+    let mut account_no = 0usize;
+    for i in 0..config.customers {
+        let cid = datagen::customer_id(i);
+        customer_rows.push(Row(vec![
+            cid.clone().into(),
+            format!("customer-{i}").into(),
+            format!("{i} Main Street").into(),
+        ]));
+        for _ in 0..config.accounts_per_customer {
+            account_rows.push(Row(vec![
+                datagen::account_id(account_no).into(),
+                cid.clone().into(),
+                format!("branch-{}", account_no % 5).into(),
+                Value::Double((rng.gen_range(0..1_000_000) as f64) / 100.0),
+            ]));
+            account_no += 1;
+        }
+    }
+    engine.admin_load(&"customers".into(), customer_rows)?;
+    engine.admin_load(&"accounts".into(), account_rows)?;
+
+    // Customers get the customer role; tellers the teller role.
+    engine.grant_view("customer", "myaccounts");
+    engine.grant_view("customer", "mycustomerrecord");
+    engine.grant_view("teller", "tellerbalances");
+    engine.grant_view("teller", "customerlookup");
+    for i in 0..config.customers {
+        engine.add_role(&datagen::customer_id(i), "customer");
+    }
+    engine.add_role("teller-1", "teller");
+
+    // A customer may update her own address.
+    engine.grant_update_sql(
+        "customer",
+        "authorize update on customers (address) where old(customer_id) = $user_id",
+    )?;
+
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_core::Session;
+
+    #[test]
+    fn customer_sees_only_own_balance() {
+        let mut e = build(BankConfig::default()).unwrap();
+        let me = datagen::customer_id(0);
+        let session = Session::new(me.clone());
+        let r = e
+            .execute(
+                &session,
+                &format!("select balance from accounts where customer_id = '{me}'"),
+            )
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 2);
+
+        let other = datagen::customer_id(1);
+        assert!(e
+            .execute(
+                &session,
+                &format!("select balance from accounts where customer_id = '{other}'"),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn teller_sees_all_balances_but_no_addresses() {
+        let mut e = build(BankConfig::default()).unwrap();
+        let session = Session::new("teller-1");
+        let r = e
+            .execute(&session, "select account_id, balance from accounts")
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 100);
+        // Addresses are not derivable from the teller's views.
+        assert!(e
+            .execute(&session, "select address from customers")
+            .is_err());
+    }
+
+    #[test]
+    fn teller_lookup_by_id_is_access_pattern() {
+        let mut e = build(BankConfig::default()).unwrap();
+        let session = Session::new("teller-1");
+        let cid = datagen::customer_id(7);
+        // Point lookup: valid through CustomerLookup's $$ parameter.
+        let r = e
+            .execute(
+                &session,
+                &format!("select name from customers where customer_id = '{cid}'"),
+            )
+            .unwrap();
+        assert_eq!(r.rows().unwrap().rows.len(), 1);
+        // Full dump: invalid.
+        assert!(e.execute(&session, "select name from customers").is_err());
+    }
+
+    #[test]
+    fn customer_updates_own_address_only() {
+        let mut e = build(BankConfig::default()).unwrap();
+        let me = datagen::customer_id(0);
+        let session = Session::new(me.clone());
+        let n = e
+            .execute(
+                &session,
+                &format!("update customers set address = 'new place' where customer_id = '{me}'"),
+            )
+            .unwrap();
+        assert_eq!(n.affected(), Some(1));
+        let other = datagen::customer_id(1);
+        assert!(e
+            .execute(
+                &session,
+                &format!("update customers set address = 'x' where customer_id = '{other}'"),
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # fgac-workload
+//!
+//! Scenario builders and synthetic data generators shared by the
+//! examples, integration tests, and the benchmark harness:
+//!
+//! * [`university`] — the paper's running example (Students, Courses,
+//!   Registered, Grades; MyGrades / Co-studentGrades / AvgGrades /
+//!   LCAvgGrades / RegStudents / SingleGrade views; the integrity
+//!   constraints of Section 5.3), with scalable synthetic data.
+//! * [`bank`] — the introduction's bank scenario (customers see their
+//!   own balances; tellers see all balances but no addresses, and can
+//!   look up single accounts by id — an access-pattern authorization).
+//! * [`querygen`] — parameterized query mixes with known expected
+//!   verdicts, used by the overhead/scaling experiments (E2, E3).
+
+pub mod bank;
+pub mod datagen;
+pub mod querygen;
+pub mod university;
+
+pub use university::{University, UniversityConfig};

@@ -1,0 +1,158 @@
+//! Query mixes with known expected verdicts, for the overhead and
+//! scaling experiments (E2, E3) and the acceptance matrix (E8).
+
+use crate::datagen;
+use fgac_core::Verdict;
+
+/// One workload query: SQL text (for a given student/course), the user
+/// who issues it, and the verdict the Non-Truman checker must produce.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub label: &'static str,
+    pub user: String,
+    pub sql: String,
+    pub expected: Verdict,
+    /// Query class for reporting: "point", "spj", "aggregate", ...
+    pub class: &'static str,
+}
+
+/// The standard university query mix. `student` must be registered for
+/// `reg_course` and not registered for `unreg_course` for the
+/// conditional cases to behave as labelled.
+pub fn university_mix(
+    student: &str,
+    reg_course: &str,
+    unreg_course: &str,
+) -> Vec<WorkloadQuery> {
+    let s = student.to_string();
+    vec![
+        WorkloadQuery {
+            label: "own grades (U1)",
+            user: s.clone(),
+            sql: format!("select * from grades where student_id = '{student}'"),
+            expected: Verdict::Unconditional,
+            class: "point",
+        },
+        WorkloadQuery {
+            label: "own grades projection (U2)",
+            user: s.clone(),
+            sql: format!("select grade from grades where student_id = '{student}'"),
+            expected: Verdict::Unconditional,
+            class: "point",
+        },
+        WorkloadQuery {
+            label: "own good grades (subsumption)",
+            user: s.clone(),
+            sql: format!(
+                "select course_id from grades where student_id = '{student}' and grade > 80"
+            ),
+            expected: Verdict::Unconditional,
+            class: "spj",
+        },
+        WorkloadQuery {
+            label: "own average (U2 aggregate)",
+            user: s.clone(),
+            sql: format!("select avg(grade) from grades where student_id = '{student}'"),
+            expected: Verdict::Unconditional,
+            class: "aggregate",
+        },
+        WorkloadQuery {
+            label: "course average via AvgGrades (Example 4.1)",
+            user: s.clone(),
+            sql: format!("select avg(grade) from grades where course_id = '{reg_course}'"),
+            expected: Verdict::Unconditional,
+            class: "aggregate",
+        },
+        WorkloadQuery {
+            label: "registered course grades (Example 4.4, C3)",
+            user: s.clone(),
+            sql: format!("select * from grades where course_id = '{reg_course}'"),
+            expected: Verdict::Conditional,
+            class: "conditional",
+        },
+        WorkloadQuery {
+            label: "unregistered course grades (rejected)",
+            user: s.clone(),
+            sql: format!("select * from grades where course_id = '{unreg_course}'"),
+            expected: Verdict::Invalid,
+            class: "conditional",
+        },
+        WorkloadQuery {
+            label: "all grades (rejected)",
+            user: s.clone(),
+            sql: "select * from grades".to_string(),
+            expected: Verdict::Invalid,
+            class: "scan",
+        },
+        WorkloadQuery {
+            label: "someone else's grades (rejected)",
+            user: s.clone(),
+            sql: format!(
+                "select grade from grades where student_id = '{}'",
+                datagen::student_id(999_999)
+            ),
+            expected: Verdict::Invalid,
+            class: "point",
+        },
+    ]
+}
+
+/// Synthetic view families for the E3 view-count scaling experiment:
+/// `n` single-table selection views over `grades`, each matching a
+/// different grade band. Returned as `CREATE AUTHORIZATION VIEW`
+/// statements.
+pub fn synthetic_view_family(n: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| {
+            let name = format!("band{i}");
+            let lo = i % 100;
+            let body = format!(
+                "create authorization view {name} as \
+                 select * from grades where student_id = $user_id and grade >= {lo}"
+            );
+            (name, body)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university::{build, UniversityConfig};
+    use fgac_core::{Session, Validator};
+
+    #[test]
+    fn mix_verdicts_match_expectations() {
+        let uni = build(UniversityConfig::tiny()).unwrap();
+        // Find a (student, registered, unregistered) triple.
+        let student = uni.student(0);
+        let reg = uni
+            .registrations
+            .iter()
+            .find(|(s, _)| s == &student)
+            .map(|(_, c)| c.clone())
+            .unwrap();
+        let unreg = (0..uni.config.courses)
+            .map(|i| uni.course(i))
+            .find(|c| !uni.is_registered(&student, c))
+            .expect("student not registered everywhere");
+
+        for q in university_mix(&student, &reg, &unreg) {
+            let report = Validator::new(uni.engine.database(), uni.engine.grants())
+                .check_sql(&Session::new(q.user.clone()), &q.sql)
+                .unwrap();
+            assert_eq!(
+                report.verdict, q.expected,
+                "query `{}` ({}): rules {:?}",
+                q.sql, q.label, report.rules
+            );
+        }
+    }
+
+    #[test]
+    fn view_family_parses() {
+        for (_, body) in synthetic_view_family(8) {
+            assert!(fgac_sql::parse_statement(&body).is_ok());
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The paper's running university scenario, scalable.
+
+use crate::datagen;
+use fgac_core::Engine;
+use fgac_types::{Ident, Result, Row, Value};
+use rand::Rng;
+
+/// Sizing knobs for the synthetic university.
+#[derive(Debug, Clone, Copy)]
+pub struct UniversityConfig {
+    pub students: usize,
+    pub courses: usize,
+    /// Courses each student registers for.
+    pub registrations_per_student: usize,
+    /// Fraction of registrations that already have a grade (0.0–1.0).
+    pub graded_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for UniversityConfig {
+    fn default() -> Self {
+        UniversityConfig {
+            students: 100,
+            courses: 10,
+            registrations_per_student: 3,
+            graded_fraction: 0.8,
+            seed: 0xF6AC,
+        }
+    }
+}
+
+impl UniversityConfig {
+    pub fn tiny() -> Self {
+        UniversityConfig {
+            students: 10,
+            courses: 4,
+            registrations_per_student: 2,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_students(mut self, n: usize) -> Self {
+        self.students = n;
+        self
+    }
+}
+
+/// A built university engine plus bookkeeping for assertions.
+pub struct University {
+    pub engine: Engine,
+    pub config: UniversityConfig,
+    /// (student, course) pairs with grades, for ground-truth checks.
+    pub graded: Vec<(String, String, i64)>,
+    /// (student, course) registrations.
+    pub registrations: Vec<(String, String)>,
+}
+
+/// DDL + authorization views + integrity constraints, exactly the
+/// paper's Sections 2–5 set.
+pub const UNIVERSITY_DDL: &str = "
+create table students (
+  student_id varchar not null,
+  name varchar not null,
+  type varchar not null,
+  primary key (student_id));
+
+create table courses (
+  course_id varchar not null,
+  name varchar not null,
+  primary key (course_id));
+
+create table registered (
+  student_id varchar not null,
+  course_id varchar not null,
+  primary key (student_id, course_id),
+  foreign key (student_id) references students (student_id),
+  foreign key (course_id) references courses (course_id));
+
+create table grades (
+  student_id varchar not null,
+  course_id varchar not null,
+  grade int,
+  primary key (student_id, course_id),
+  foreign key (student_id) references students (student_id),
+  foreign key (course_id) references courses (course_id));
+
+create table feespaid (
+  student_id varchar not null,
+  primary key (student_id),
+  foreign key (student_id) references students (student_id));
+
+-- Section 1: a student sees her own grades.
+create authorization view MyGrades as
+  select * from grades where student_id = $user_id;
+
+-- Section 2: grades of every course the student registered for.
+create authorization view CoStudentGrades as
+  select grades.* from grades, registered
+  where registered.student_id = $user_id
+    and grades.course_id = registered.course_id;
+
+-- Section 4.1: per-course averages.
+create authorization view AvgGrades as
+  select course_id, avg(grade) from grades group by course_id;
+
+-- Example 4.2: averages only for popular courses.
+create authorization view LCAvgGrades as
+  select course_id, avg(grade) from grades
+  group by course_id having count(*) >= 10;
+
+-- Example 5.1: names/types of registered students.
+create authorization view RegStudents as
+  select registered.course_id, students.name, students.type
+  from registered, students
+  where students.student_id = registered.student_id;
+
+-- Section 2: access-pattern lookup of one student's grades.
+create authorization view SingleGrade as
+  select * from grades where student_id = $$1;
+
+-- A student's own registrations (used by Example 4.4's reasoning).
+create authorization view MyRegistrations as
+  select * from registered where student_id = $user_id;
+
+-- Example 5.1's integrity constraint: every student registers for at
+-- least one course.
+create inclusion dependency all_registered
+  on students (student_id) references registered (student_id);
+
+-- Example 5.3: every full-time student registers for a course.
+create inclusion dependency ft_registered
+  on students (student_id) where type = 'FullTime'
+  references registered (student_id);
+
+-- Example 5.4: fee payers are registered.
+create inclusion dependency fees_registered
+  on feespaid (student_id) references registered (student_id);
+";
+
+/// Builds the engine: schema, views, constraints, synthetic data, and
+/// the standard grants (each student gets the student-role views).
+pub fn build(config: UniversityConfig) -> Result<University> {
+    let mut engine = Engine::new();
+    engine.admin_script(UNIVERSITY_DDL)?;
+
+    let mut rng = datagen::rng(config.seed);
+    let students_t = Ident::new("students");
+    let courses_t = Ident::new("courses");
+    let registered_t = Ident::new("registered");
+    let grades_t = Ident::new("grades");
+    let fees_t = Ident::new("feespaid");
+
+    // Students: alternate FullTime/PartTime.
+    let mut student_rows = Vec::with_capacity(config.students);
+    for i in 0..config.students {
+        let ty = if i % 2 == 0 { "FullTime" } else { "PartTime" };
+        student_rows.push(Row(vec![
+            datagen::student_id(i).into(),
+            format!("student-{i}").into(),
+            ty.into(),
+        ]));
+    }
+    engine.admin_load(&students_t, student_rows)?;
+
+    let mut course_rows = Vec::with_capacity(config.courses);
+    for i in 0..config.courses {
+        course_rows.push(Row(vec![
+            datagen::course_id(i).into(),
+            format!("course-{i}").into(),
+        ]));
+    }
+    engine.admin_load(&courses_t, course_rows)?;
+
+    let per = config.registrations_per_student.min(config.courses);
+    let mut registrations = Vec::new();
+    let mut graded = Vec::new();
+    let mut reg_rows = Vec::new();
+    let mut grade_rows = Vec::new();
+    let mut fee_rows = Vec::new();
+    for i in 0..config.students {
+        let sid = datagen::student_id(i);
+        for c in datagen::distinct_indexes(&mut rng, config.courses, per) {
+            let cid = datagen::course_id(c);
+            registrations.push((sid.clone(), cid.clone()));
+            reg_rows.push(Row(vec![sid.clone().into(), cid.clone().into()]));
+            if rng.gen_bool(config.graded_fraction) {
+                let g = datagen::grade(&mut rng);
+                graded.push((sid.clone(), cid.clone(), g));
+                grade_rows.push(Row(vec![sid.clone().into(), cid.into(), Value::Int(g)]));
+            }
+        }
+        if rng.gen_bool(0.7) {
+            fee_rows.push(Row(vec![sid.into()]));
+        }
+    }
+    engine.admin_load(&registered_t, reg_rows)?;
+    engine.admin_load(&grades_t, grade_rows)?;
+    engine.admin_load(&fees_t, fee_rows)?;
+
+    // Standard grants: the "student" role sees her own slices + course
+    // averages; constraints of Section 5.3 are public knowledge.
+    engine.grant_view("student", "mygrades");
+    engine.grant_view("student", "costudentgrades");
+    engine.grant_view("student", "avggrades");
+    engine.grant_view("student", "myregistrations");
+    engine.grant_constraint("student", "all_registered");
+    engine.grant_constraint("student", "ft_registered");
+    engine.grant_constraint("student", "fees_registered");
+    for i in 0..config.students {
+        engine.add_role(&datagen::student_id(i), "student");
+    }
+    // The registrar sees RegStudents; the secretary gets the
+    // access-pattern lookup.
+    engine.grant_view("registrar", "regstudents");
+    engine.grant_constraint("registrar", "all_registered");
+    engine.grant_constraint("registrar", "ft_registered");
+    engine.grant_view("secretary", "singlegrade");
+
+    // Update authorizations of Section 4.4.
+    engine.grant_update_sql(
+        "student",
+        "authorize insert on registered where student_id = $user_id",
+    )?;
+    engine.grant_update_sql(
+        "student",
+        "authorize update on students (name) where old(student_id) = $user_id",
+    )?;
+
+    Ok(University {
+        engine,
+        config,
+        graded,
+        registrations,
+    })
+}
+
+impl University {
+    /// A student user id present in the data.
+    pub fn student(&self, i: usize) -> String {
+        datagen::student_id(i % self.config.students)
+    }
+
+    /// A course id present in the data.
+    pub fn course(&self, i: usize) -> String {
+        datagen::course_id(i % self.config.courses)
+    }
+
+    /// True average grade of a course (ground truth).
+    pub fn true_course_avg(&self, course: &str) -> Option<f64> {
+        let grades: Vec<i64> = self
+            .graded
+            .iter()
+            .filter(|(_, c, _)| c == course)
+            .map(|&(_, _, g)| g)
+            .collect();
+        if grades.is_empty() {
+            None
+        } else {
+            Some(grades.iter().sum::<i64>() as f64 / grades.len() as f64)
+        }
+    }
+
+    /// Whether `student` registered for `course` (ground truth for the
+    /// conditional-validity experiments).
+    pub fn is_registered(&self, student: &str, course: &str) -> bool {
+        self.registrations
+            .iter()
+            .any(|(s, c)| s == student && c == course)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_core::Session;
+
+    #[test]
+    fn builds_and_serves_student_queries() {
+        let mut uni = build(UniversityConfig::tiny()).unwrap();
+        let sid = uni.student(0);
+        let session = Session::new(sid.clone());
+        let r = uni
+            .engine
+            .execute(
+                &session,
+                &format!("select grade from grades where student_id = '{sid}'"),
+            )
+            .unwrap();
+        assert!(r.rows().is_some());
+
+        // Another student's grades are rejected.
+        let other = uni.student(1);
+        let err = uni.engine.execute(
+            &session,
+            &format!("select grade from grades where student_id = '{other}'"),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ground_truth_helpers_match_database() {
+        let uni = build(UniversityConfig::tiny()).unwrap();
+        let total: usize = uni.graded.len();
+        let stored = uni
+            .engine
+            .database()
+            .table(&Ident::new("grades"))
+            .unwrap()
+            .len();
+        assert_eq!(total, stored);
+        assert!(uni.registrations.len() >= uni.config.students);
+    }
+
+    #[test]
+    fn constraints_hold_on_generated_data() {
+        let uni = build(UniversityConfig::tiny()).unwrap();
+        let db = uni.engine.database();
+        for dep in db.catalog().inclusion_dependencies() {
+            let violations = fgac_exec::audit_inclusion(db, dep).unwrap();
+            assert!(
+                violations.is_empty(),
+                "constraint {} violated: {violations:?}",
+                dep.name
+            );
+        }
+    }
+
+    #[test]
+    fn course_average_is_visible_via_avggrades() {
+        let mut uni = build(UniversityConfig::tiny()).unwrap();
+        let sid = uni.student(0);
+        let course = uni.course(0);
+        let session = Session::new(sid);
+        let r = uni
+            .engine
+            .execute(
+                &session,
+                &format!("select avg(grade) from grades where course_id = '{course}'"),
+            )
+            .unwrap();
+        let got = r.rows().unwrap().rows[0].get(0).clone();
+        match uni.true_course_avg(&course) {
+            Some(avg) => assert_eq!(got, Value::Double(avg)),
+            None => assert_eq!(got, Value::Null),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Access-pattern authorization views (Sections 2 and 6): `$$`
+//! parameters, point lookups, and dependent joins.
+//!
+//! Run with `cargo run --example access_patterns`.
+
+use fgac::prelude::*;
+
+fn main() -> Result<()> {
+    let mut engine = Engine::new();
+    engine.admin_script(
+        "
+        create table employees (
+            emp_id varchar not null,
+            name varchar not null,
+            dept varchar not null,
+            salary int not null,
+            primary key (emp_id));
+        create table badges (
+            badge_id varchar not null,
+            emp_id varchar not null,
+            level int not null,
+            primary key (badge_id));
+
+        -- The guard can look up ONE employee at a time by id — think of
+        -- a web form with a mandatory field (Section 2).
+        create authorization view EmployeeLookup as
+            select * from employees where emp_id = $$id;
+
+        -- The guard can see the full badge registry.
+        create authorization view BadgeRegistry as
+            select * from badges;
+
+        insert into employees values
+            ('e1', 'ann',   'eng',   120), ('e2', 'bob',  'eng', 110),
+            ('e3', 'carol', 'sales',  90), ('e4', 'dave', 'ops',  80);
+        insert into badges values
+            ('b1', 'e1', 3), ('b2', 'e2', 1), ('b3', 'e3', 2);
+        ",
+    )?;
+    engine.grant_view("guard", "employeelookup");
+    engine.grant_view("guard", "badgeregistry");
+    let guard = Session::new("guard");
+
+    println!("== point lookups through the $$ parameter ==\n");
+    for sql in [
+        "select name, dept from employees where emp_id = 'e2'",
+        "select salary from employees where emp_id = 'e3'",
+    ] {
+        let r = engine.execute(&guard, sql)?;
+        println!("OK       {sql} -> {:?}", r.rows().unwrap().rows[0]);
+    }
+
+    println!("\n== bulk access is rejected (that's the point of $$) ==\n");
+    for sql in [
+        "select * from employees",
+        "select name from employees where dept = 'eng'",
+        "select avg(salary) from employees",
+    ] {
+        match engine.execute(&guard, sql) {
+            Err(e) => println!("REJECTED {sql}\n         ({e})"),
+            Ok(_) => panic!("must be rejected"),
+        }
+    }
+
+    println!("\n== dependent join (Section 6) ==\n");
+    // badges ⋈ employees on emp_id: the guard can step through the badge
+    // registry and fetch each employee by id — so the join is valid even
+    // though employees as a whole is not visible.
+    let sql = "select b.badge_id, e.name, b.level \
+               from badges b, employees e where b.emp_id = e.emp_id";
+    let report = engine.check(&guard, sql)?;
+    println!("{sql}");
+    println!("  verdict: {:?}", report.verdict);
+    for rule in &report.rules {
+        if rule.contains("dependent") {
+            println!("  rule: {rule}");
+        }
+    }
+    let r = engine.execute(&guard, sql)?;
+    println!("{}", r.rows().unwrap().to_table());
+
+    // But joining on a non-key column cannot be executed with lookups:
+    let bad = "select e.name from badges b, employees e where b.level = e.salary";
+    match engine.execute(&guard, bad) {
+        Err(e) => println!("REJECTED {bad}\n         ({e})"),
+        Ok(_) => panic!("must be rejected"),
+    }
+    Ok(())
+}

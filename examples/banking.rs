@@ -1,0 +1,85 @@
+//! The introduction's bank scenario: customers, tellers, cell-level
+//! security via projections, and access-pattern lookups.
+//!
+//! Run with `cargo run --example banking`.
+
+use fgac::prelude::*;
+use fgac::workload::bank::{build, BankConfig};
+use fgac::workload::datagen;
+
+fn main() -> Result<()> {
+    let mut engine = build(BankConfig {
+        customers: 8,
+        accounts_per_customer: 2,
+        seed: 42,
+    })?;
+
+    let alice = datagen::customer_id(0);
+    let bob = datagen::customer_id(1);
+
+    println!("==== customer {alice} ====\n");
+    let session = Session::new(alice.clone());
+    for (sql, expect_ok) in [
+        (
+            format!("select account_id, balance from accounts where customer_id = '{alice}'"),
+            true,
+        ),
+        (
+            format!("select balance from accounts where customer_id = '{bob}'"),
+            false,
+        ),
+        ("select avg(balance) from accounts".to_string(), false),
+    ] {
+        show(&mut engine, &session, &sql, expect_ok)?;
+    }
+
+    println!("\n==== teller ====\n");
+    let teller = Session::new("teller-1");
+    for (sql, expect_ok) in [
+        // Balances of all accounts: granted via TellerBalances.
+        ("select account_id, balance from accounts".to_string(), true),
+        // Aggregates over balances too (U2 on top of the view).
+        ("select branch, avg(balance) from accounts group by branch".to_string(), true),
+        // Customer addresses: the teller's views never expose them.
+        ("select address from customers".to_string(), false),
+        // Single-customer lookup by id: the access-pattern authorization.
+        (
+            format!("select name from customers where customer_id = '{bob}'"),
+            true,
+        ),
+        // Dumping the whole customer list: rejected.
+        ("select name from customers".to_string(), false),
+    ] {
+        show(&mut engine, &teller, &sql, expect_ok)?;
+    }
+
+    println!("\n==== updates ====\n");
+    let n = engine.execute(
+        &session,
+        &format!("update customers set address = '1 New Road' where customer_id = '{alice}'"),
+    )?;
+    println!("alice updates her own address: {} row(s)", n.affected().unwrap());
+    match engine.execute(
+        &session,
+        &format!("update customers set address = 'hijacked' where customer_id = '{bob}'"),
+    ) {
+        Err(e) => println!("alice updates bob's address: {e}"),
+        Ok(_) => panic!("must be rejected"),
+    }
+    Ok(())
+}
+
+fn show(engine: &mut Engine, session: &Session, sql: &str, expect_ok: bool) -> Result<()> {
+    match engine.execute(session, sql) {
+        Ok(r) => {
+            assert!(expect_ok, "unexpected acceptance of `{sql}`");
+            let rows = r.rows().unwrap();
+            println!("OK       {sql}  -> {} row(s)", rows.rows.len());
+        }
+        Err(e) => {
+            assert!(!expect_ok, "unexpected rejection of `{sql}`: {e}");
+            println!("REJECTED {sql}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the paper's Section 1 scenario in a dozen lines.
+//!
+//! A student may see only her own grades. Under the Non-Truman model her
+//! queries run untouched when they are answerable from her authorization
+//! views and are rejected otherwise — never silently narrowed.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fgac::prelude::*;
+
+fn main() -> Result<()> {
+    let mut engine = Engine::new();
+    engine.admin_script(
+        "
+        create table grades (
+            student_id varchar not null,
+            course_id varchar not null,
+            grade int,
+            primary key (student_id, course_id));
+
+        -- Section 1: 'lets the user see all tuples in the Grades
+        -- relation where the student-id matches her user-id'.
+        create authorization view MyGrades as
+            select * from grades where student_id = $user_id;
+
+        insert into grades values
+            ('11', 'cs101', 90), ('11', 'cs202', 80),
+            ('12', 'cs101', 70), ('13', 'cs202', 60);
+        ",
+    )?;
+    engine.grant_view("11", "mygrades");
+
+    let session = Session::new("11");
+
+    println!("== Valid queries (run exactly as written) ==\n");
+    for sql in [
+        "select * from grades where student_id = '11'",
+        "select grade from grades where student_id = '11' and grade > 85",
+        "select avg(grade) from grades where student_id = '11'",
+    ] {
+        let report = engine.check(&session, sql)?;
+        let result = engine.execute(&session, sql)?;
+        println!("{sql}\n  verdict: {:?}", report.verdict);
+        println!("{}", indent(&result.rows().unwrap().to_table()));
+    }
+
+    println!("== Invalid queries (rejected, not modified) ==\n");
+    for sql in [
+        "select avg(grade) from grades",              // the Truman pitfall
+        "select * from grades where student_id = '12'", // someone else
+    ] {
+        match engine.execute(&session, sql) {
+            Err(Error::Unauthorized(reason)) => {
+                println!("{sql}\n  rejected: {reason}\n");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    println!("A Truman-model system would instead silently answer the");
+    println!("average query with avg of user 11's own grades — a");
+    println!("misleading result (paper, Section 3.3):\n");
+    let policy = TrumanPolicy::new().substitute_view("grades", "mygrades");
+    let misleading = engine.truman_execute(&policy, &session, "select avg(grade) from grades")?;
+    println!("  Truman says avg(grade) = {}", misleading.rows[0].get(0));
+    println!("  (true answer over all grades is 75.0)");
+    Ok(())
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}

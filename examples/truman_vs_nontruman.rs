@@ -1,0 +1,77 @@
+//! Side-by-side comparison of the Truman and Non-Truman models on the
+//! pitfall queries of Section 3.3.
+//!
+//! Run with `cargo run --example truman_vs_nontruman`.
+
+use fgac::prelude::*;
+use fgac::workload::university::{build, UniversityConfig};
+
+fn main() -> Result<()> {
+    let mut uni = build(UniversityConfig::default())?;
+    let student = uni.student(0);
+    let session = Session::new(student.clone());
+
+    // The Truman policy the paper describes: every Grades access is
+    // silently replaced by MyGrades.
+    let policy = TrumanPolicy::new().substitute_view("grades", "mygrades");
+
+    println!("user: {student}\n");
+    println!(
+        "{:<58} {:>14} {:>16}",
+        "query", "Truman", "Non-Truman"
+    );
+    println!("{}", "-".repeat(92));
+
+    for sql in [
+        "select avg(grade) from grades".to_string(),
+        "select count(*) from grades".to_string(),
+        format!("select avg(grade) from grades where student_id = '{student}'"),
+        "select max(grade) from grades".to_string(),
+    ] {
+        // Truman: always answers — possibly misleadingly.
+        let truman = uni.engine.truman_execute(&policy, &session, &sql)?;
+        let truman_answer = truman.rows[0].get(0).to_string();
+
+        // Non-Truman: answers correctly or rejects.
+        let nt = match uni.engine.execute(&session, &sql) {
+            Ok(r) => r.rows().unwrap().rows[0].get(0).to_string(),
+            Err(_) => "REJECTED".to_string(),
+        };
+
+        // Ground truth, bypassing access control.
+        let truth = fgac::exec::run_query_sql(
+            uni.engine.database(),
+            &sql,
+            session.params(),
+        )?;
+        let truth_answer = truth.rows[0].get(0).to_string();
+
+        let marker = if truman_answer != truth_answer { " (!)" } else { "" };
+        println!(
+            "{:<58} {:>14} {:>16}   [truth: {}{}]",
+            sql, truman_answer, nt, truth_answer, marker
+        );
+    }
+
+    println!();
+    println!("(!) = the Truman model silently returned an answer different");
+    println!("from the true result — the paper's Section 3.3 pitfall. The");
+    println!("Non-Truman model never does this: it answers exactly or");
+    println!("rejects.");
+
+    // The redundant-join effect (Section 3.3, third bullet): policies
+    // whose views contain joins make the rewritten query scan more
+    // relations than the original.
+    println!();
+    let join_policy = TrumanPolicy::new().substitute_view("grades", "costudentgrades");
+    let q = format!("select grade from grades where course_id = '{}'", uni.course(0));
+    let (orig, rewritten) = fgac::core::truman::scan_count_delta(
+        uni.engine.database(),
+        &join_policy,
+        &session,
+        &q,
+    )?;
+    println!("redundant-join effect with the CoStudentGrades policy:");
+    println!("  original query scans {orig} relation(s); Truman-rewritten scans {rewritten}");
+    Ok(())
+}

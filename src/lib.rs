@@ -1,0 +1,68 @@
+//! # fgac — authorization-transparent fine-grained access control
+//!
+//! A from-scratch Rust implementation of
+//! *"Extending Query Rewriting Techniques for Fine-Grained Access
+//! Control"* (Rizvi, Mendelzon, Sudarshan, Roy — SIGMOD 2004): the
+//! **Non-Truman** access-control model, in which users write queries
+//! against base relations, the system infers whether each query can be
+//! answered from the user's **authorization views** (parameterized
+//! and access-pattern views), and valid queries execute **unmodified**
+//! while invalid ones are rejected — no silent Truman-style rewriting.
+//!
+//! ```
+//! use fgac::prelude::*;
+//!
+//! let mut engine = Engine::new();
+//! engine.admin_script("
+//!     create table grades (
+//!         student_id varchar not null,
+//!         course_id varchar not null,
+//!         grade int,
+//!         primary key (student_id, course_id));
+//!     create authorization view MyGrades as
+//!         select * from grades where student_id = $user_id;
+//!     insert into grades values ('11', 'cs101', 90), ('12', 'cs101', 70);
+//! ").unwrap();
+//! engine.grant_view("11", "mygrades");
+//!
+//! let session = Session::new("11");
+//! // Valid: answerable from MyGrades — runs as written.
+//! let rows = engine
+//!     .execute(&session, "select avg(grade) from grades where student_id = '11'")
+//!     .unwrap();
+//! assert!(rows.rows().is_some());
+//! // Invalid: would reveal other students' grades — rejected outright,
+//! // never silently narrowed to "your average" (the Truman pitfall).
+//! assert!(engine.execute(&session, "select avg(grade) from grades").is_err());
+//! ```
+//!
+//! The workspace crates, re-exported here:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`types`] | values, schemas, rows, identifiers, errors |
+//! | [`sql`] | lexer/parser/printer for the paper's SQL dialect |
+//! | [`storage`] | in-memory tables, catalog, integrity constraints |
+//! | [`algebra`] | bound relational algebra, binder, implication prover |
+//! | [`exec`] | multiset-semantics executor |
+//! | [`optimizer`] | Volcano AND-OR DAG, expansion rules, validity marking |
+//! | [`core`] | authorization views, Truman & Non-Truman models, updates |
+//! | [`workload`] | university/bank scenarios and data generators |
+
+pub use fgac_algebra as algebra;
+pub use fgac_core as core;
+pub use fgac_exec as exec;
+pub use fgac_optimizer as optimizer;
+pub use fgac_sql as sql;
+pub use fgac_storage as storage;
+pub use fgac_types as types;
+pub use fgac_workload as workload;
+
+/// The common imports for applications embedding the engine.
+pub mod prelude {
+    pub use fgac_core::{
+        truman::TrumanPolicy, AuthorizationView, CheckOptions, Engine, EngineResponse, Grants,
+        Session, Validator, Verdict, ValidityReport,
+    };
+    pub use fgac_types::{Error, Ident, Result, Row, Value};
+}

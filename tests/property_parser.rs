@@ -1,0 +1,116 @@
+//! Property test: printing any generated query AST and re-parsing it
+//! yields the identical AST (printer/parser round-trip).
+
+use fgac::sql::{self, parse_query, printer::print_query, BinaryOp, Expr, Query, SelectItem};
+use fgac_types::{Ident, Value};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = Ident> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(Ident::new)
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        // Finite doubles with short decimal forms survive printing.
+        (-1000i32..1000).prop_map(|i| Value::Double(i as f64 / 4.0)),
+        "[a-z ]{0,8}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(|name| Expr::Column {
+            qualifier: None,
+            name
+        }),
+        (ident(), ident()).prop_map(|(q, name)| Expr::Column {
+            qualifier: Some(q),
+            name
+        }),
+        literal().prop_map(Expr::Literal),
+        "[a-z][a-z0-9_]{0,5}".prop_map(Expr::Param),
+        "[a-z0-9]{1,4}".prop_map(Expr::AccessParam),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let op = prop_oneof![
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+    ];
+    leaf_expr().prop_recursive(3, 24, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), op.clone(), inner.clone()).prop_map(|(l, o, r)| Expr::Binary {
+                left: Box::new(l),
+                op: o,
+                right: Box::new(r),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n,
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: sql::UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        proptest::collection::vec((expr(), proptest::option::of(ident())), 1..4),
+        proptest::collection::vec(ident(), 1..3),
+        proptest::option::of(expr()),
+        proptest::option::of((0u64..100).prop_map(Some)),
+    )
+        .prop_map(|(distinct, items, tables, selection, limit)| {
+            // Distinct table names to keep the query bindable in form
+            // (the parser does not care, but dedup avoids alias clashes
+            // in printing).
+            let mut seen = std::collections::BTreeSet::new();
+            let from: Vec<sql::TableRef> = tables
+                .into_iter()
+                .filter(|t| seen.insert(t.clone()))
+                .map(sql::TableRef::named)
+                .collect();
+            Query {
+                distinct,
+                projection: items
+                    .into_iter()
+                    .map(|(e, alias)| SelectItem::Expr { expr: e, alias })
+                    .collect(),
+                from,
+                selection,
+                group_by: vec![],
+                having: None,
+                order_by: vec![],
+                limit: limit.flatten(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let printed = print_query(&q);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        prop_assert_eq!(q, reparsed, "printed form: {}", printed);
+    }
+}

@@ -1,0 +1,306 @@
+//! Property-based soundness tests.
+//!
+//! * the implication prover never affirms a false implication (checked
+//!   against brute-force evaluation over small domains);
+//! * DAG expansion + extraction preserves query semantics on random
+//!   plans and data;
+//! * **validity soundness** (the paper's Theorems 5.1/5.2, empirically):
+//!   a query accepted for a user must return identical results on any
+//!   two database states that are PA-equivalent for that user's
+//!   instantiated views (Definition 4.2) — i.e. accepted queries reveal
+//!   nothing beyond the views.
+
+use fgac::prelude::*;
+use fgac_algebra::{implication::implies, CmpOp, Plan, ScalarExpr};
+use fgac_exec::execute_plan;
+use fgac_types::{multiset_eq, Column, DataType, Row, Schema};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// 1. Implication prover soundness.
+// ---------------------------------------------------------------------
+
+/// Atoms over 3 integer columns with constants in -2..=4.
+fn atom() -> impl Strategy<Value = ScalarExpr> {
+    let col = 0..3usize;
+    let k = -2i64..=4;
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::NotEq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::LtEq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::GtEq),
+    ];
+    prop_oneof![
+        (col.clone(), op.clone(), k).prop_map(|(c, o, v)| ScalarExpr::cmp(
+            o,
+            ScalarExpr::col(c),
+            ScalarExpr::lit(v)
+        )),
+        (col.clone(), op, 0..3usize).prop_map(|(a, o, b)| ScalarExpr::cmp(
+            o,
+            ScalarExpr::col(a),
+            ScalarExpr::col(b)
+        )),
+        col.prop_map(|c| ScalarExpr::IsNull {
+            expr: Box::new(ScalarExpr::col(c)),
+            negated: false,
+        }),
+    ]
+}
+
+fn conjunction() -> impl Strategy<Value = Vec<ScalarExpr>> {
+    proptest::collection::vec(atom(), 1..4)
+}
+
+/// Evaluates the conjunction on a row under SQL semantics: true iff all
+/// conjuncts evaluate to TRUE.
+fn holds(conjuncts: &[ScalarExpr], row: &Row) -> bool {
+    conjuncts
+        .iter()
+        .all(|c| fgac_exec::eval_predicate(c, row).unwrap_or(false))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// If `implies(P, Q)` then on every valuation where P holds, Q holds.
+    #[test]
+    fn implication_prover_is_sound(p in conjunction(), q in conjunction()) {
+        if implies(&p, &q, 3) {
+            // Domain: -3..=5 plus NULL for each of the 3 columns.
+            let domain: Vec<fgac_types::Value> = (-3i64..=5)
+                .map(fgac_types::Value::Int)
+                .chain(std::iter::once(fgac_types::Value::Null))
+                .collect();
+            for a in &domain {
+                for b in &domain {
+                    for c in &domain {
+                        let row = Row(vec![a.clone(), b.clone(), c.clone()]);
+                        if holds(&p, &row) {
+                            prop_assert!(
+                                holds(&q, &row),
+                                "P={p:?} holds but Q={q:?} fails on {row}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. DAG expansion preserves semantics.
+// ---------------------------------------------------------------------
+
+fn small_db(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> fgac::storage::Database {
+    let mut db = fgac::storage::Database::new();
+    let schema = || {
+        Schema::new(vec![
+            Column::new("x", DataType::Int).nullable(),
+            Column::new("y", DataType::Int).nullable(),
+        ])
+    };
+    db.create_table("ta", schema(), None).unwrap();
+    db.create_table("tb", schema(), None).unwrap();
+    for &(x, y) in rows_a {
+        db.insert(&"ta".into(), Row(vec![x.into(), y.into()])).unwrap();
+    }
+    for &(x, y) in rows_b {
+        db.insert(&"tb".into(), Row(vec![x.into(), y.into()])).unwrap();
+    }
+    db
+}
+
+/// Random SPJ plans over ta ⋈ tb.
+fn random_plan() -> impl Strategy<Value = Plan> {
+    let schema = Schema::new(vec![
+        Column::new("x", DataType::Int).nullable(),
+        Column::new("y", DataType::Int).nullable(),
+    ]);
+    (
+        proptest::collection::vec((0..4usize, -2i64..=2), 0..3),
+        proptest::option::of((0..2usize, 2..4usize)),
+        proptest::collection::vec(0..4usize, 1..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(move |(filters, join_on, proj, distinct)| {
+            let a = Plan::scan("ta", schema.clone());
+            let b = Plan::scan("tb", schema.clone());
+            let join_conj = join_on
+                .map(|(l, r)| {
+                    vec![ScalarExpr::eq(ScalarExpr::col(l), ScalarExpr::col(r))]
+                })
+                .unwrap_or_default();
+            let mut plan = a.join(b, join_conj);
+            let selection: Vec<ScalarExpr> = filters
+                .into_iter()
+                .map(|(c, k)| {
+                    ScalarExpr::cmp(CmpOp::GtEq, ScalarExpr::col(c), ScalarExpr::lit(k))
+                })
+                .collect();
+            if !selection.is_empty() {
+                plan = plan.select(selection);
+            }
+            plan = plan.project(proj.into_iter().map(ScalarExpr::Col).collect());
+            if distinct {
+                plan = plan.distinct();
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every plan the optimizer picks computes the same multiset as the
+    /// original plan.
+    #[test]
+    fn expansion_preserves_semantics(
+        plan in random_plan(),
+        rows_a in proptest::collection::vec((-2i64..=2, -2i64..=2), 0..6),
+        rows_b in proptest::collection::vec((-2i64..=2, -2i64..=2), 0..6),
+    ) {
+        let db = small_db(&rows_a, &rows_b);
+        let expected = execute_plan(&db, &plan).unwrap();
+
+        let mut dag = fgac::optimizer::Dag::new();
+        let root = dag.insert_plan(&plan);
+        fgac::optimizer::expand(&mut dag, &fgac::optimizer::ExpandOptions::default());
+
+        // Cheapest plan.
+        let model = fgac::optimizer::CostModel::new(
+            fgac::optimizer::TableStats::from_database(&db),
+        );
+        let (best, _) = fgac::optimizer::extract_best(&dag, root, &model).unwrap();
+        let got = execute_plan(&db, &best).unwrap();
+        prop_assert!(
+            multiset_eq(&expected, &got),
+            "best plan diverges\noriginal:\n{plan}\nbest:\n{best}"
+        );
+
+        // Smallest plan.
+        let any = fgac::optimizer::extract_any(&dag, root).unwrap();
+        let got = execute_plan(&db, &any).unwrap();
+        prop_assert!(multiset_eq(&expected, &got), "min plan diverges");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Validity soundness via PA-equivalence.
+// ---------------------------------------------------------------------
+
+/// Schema: grades(student_id, course_id, grade). View granted to user
+/// "11": MyGrades. A mutation of rows outside the view keeps the states
+/// PA-equivalent for that user, so any accepted query must answer
+/// identically on both states.
+fn grades_engine(rows: &[(String, String, i64)]) -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(
+        "create table grades (student_id varchar not null, \
+         course_id varchar not null, grade int);
+         create authorization view MyGrades as \
+           select * from grades where student_id = $user_id;
+         create authorization view AvgGrades as \
+           select course_id, avg(grade) from grades group by course_id;",
+    )
+    .unwrap();
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|(s, c, g)| Row(vec![s.clone().into(), c.clone().into(), (*g).into()]))
+        .collect();
+    e.admin_load(&"grades".into(), rows).unwrap();
+    e.grant_view("11", "mygrades");
+    e
+}
+
+/// A small grammar of candidate queries, some valid some not.
+fn candidate_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("select * from grades where student_id = '11'".to_string()),
+        Just("select grade from grades where student_id = '11'".to_string()),
+        Just("select avg(grade) from grades where student_id = '11'".to_string()),
+        Just("select * from grades".to_string()),
+        Just("select avg(grade) from grades".to_string()),
+        Just("select * from grades where student_id = '12'".to_string()),
+        Just("select count(*) from grades where student_id = '11' and grade > 50".to_string()),
+        Just("select distinct course_id from grades where student_id = '11'".to_string()),
+        Just("select grade from grades where student_id = '11' and course_id = 'c1'".to_string()),
+        Just("select max(grade) from grades where student_id = '12'".to_string()),
+    ]
+}
+
+fn grade_rows() -> impl Strategy<Value = Vec<(String, String, i64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![Just("11".to_string()), Just("12".to_string()), Just("13".to_string())],
+            prop_oneof![Just("c1".to_string()), Just("c2".to_string())],
+            0i64..100,
+        ),
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accepted (unconditionally valid) queries are invariant across
+    /// PA-equivalent states: mutating invisible rows must not change the
+    /// answer. A leaky checker (e.g. one accepting `select * from
+    /// grades`) fails this property immediately.
+    #[test]
+    fn accepted_queries_reveal_only_view_contents(
+        rows in grade_rows(),
+        sql in candidate_query(),
+        mutation_grade in 0i64..100,
+    ) {
+        let mut e1 = grades_engine(&rows);
+        let session = Session::new("11");
+        let report = e1.check(&session, &sql).unwrap();
+        prop_assume!(report.verdict == Verdict::Unconditional);
+
+        let out1 = e1.execute(&session, &sql).unwrap();
+
+        // Mutate every row NOT visible through MyGrades(user=11): change
+        // other students' grades. The instantiated view results are
+        // untouched -> states are PA-equivalent for user 11.
+        let mut mutated = rows.clone();
+        let mut any_mutation = false;
+        for r in &mut mutated {
+            if r.0 != "11" {
+                r.2 = mutation_grade;
+                any_mutation = true;
+            }
+        }
+        // Also add an entirely new invisible row.
+        mutated.push(("99".to_string(), "c1".to_string(), mutation_grade));
+        let _ = any_mutation;
+
+        let mut e2 = grades_engine(&mutated);
+        let out2 = e2.execute(&session, &sql).unwrap();
+        prop_assert_eq!(
+            out1.rows().unwrap().rows.clone(),
+            out2.rows().unwrap().rows.clone(),
+            "query `{}` leaked information about invisible rows", sql
+        );
+    }
+
+    /// The Truman baseline (predicate append) always returns a subset of
+    /// the unrestricted answer for monotone (non-aggregate) queries.
+    #[test]
+    fn truman_filtered_answers_are_subsets(rows in grade_rows()) {
+        let e = grades_engine(&rows);
+        let session = Session::new("11");
+        let policy = TrumanPolicy::new()
+            .append_predicate("grades", "student_id = $user_id")
+            .unwrap();
+        let q = "select student_id, grade from grades";
+        let truman = e.truman_execute(&policy, &session, q).unwrap();
+        let full = fgac::exec::run_query_sql(e.database(), q, session.params()).unwrap();
+        for row in &truman.rows {
+            prop_assert!(full.rows.contains(row));
+        }
+    }
+}
