@@ -22,9 +22,12 @@
 
 use crate::expr::{CmpOp, ScalarExpr};
 use crate::normalize::normalize_expr;
-use fgac_types::Value;
+use fgac_types::{BudgetMeter, Result, Value};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Phase label the prover charges its budget under.
+const PHASE: &str = "implication prover";
 
 /// A constant: a literal value or an opaque access-pattern symbol.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -159,8 +162,8 @@ fn as_const(e: &ScalarExpr) -> Option<Const> {
 }
 
 /// Builds the fact base from a conjunction. `arity` bounds column
-/// offsets.
-fn extract(conjuncts: &[ScalarExpr], arity: usize) -> Facts {
+/// offsets. Charges the meter one step per conjunct absorbed.
+fn extract(conjuncts: &[ScalarExpr], arity: usize, meter: &BudgetMeter) -> Result<Facts> {
     let mut facts = Facts {
         parent: (0..arity).collect(),
         class: BTreeMap::new(),
@@ -168,6 +171,7 @@ fn extract(conjuncts: &[ScalarExpr], arity: usize) -> Facts {
         unsat: false,
     };
     for c in conjuncts {
+        meter.charge(PHASE, 1)?;
         let c = normalize_expr(c);
         if c == ScalarExpr::Lit(Value::Bool(false)) {
             facts.unsat = true;
@@ -197,7 +201,7 @@ fn extract(conjuncts: &[ScalarExpr], arity: usize) -> Facts {
             }
         }
     }
-    facts
+    Ok(facts)
 }
 
 fn absorb(facts: &mut Facts, c: &ScalarExpr) {
@@ -301,23 +305,63 @@ fn absorb(facts: &mut Facts, c: &ScalarExpr) {
 /// Proves `∧p ⟹ ∧q` for predicates over the same input row (offsets in
 /// `0..arity`). Sound; incomplete.
 pub fn implies(p: &[ScalarExpr], q: &[ScalarExpr], arity: usize) -> bool {
-    let mut facts = extract(p, arity);
-    if facts.unsat {
-        return true;
-    }
-    q.iter().all(|c| proves(&mut facts, &normalize_expr(c)))
+    // An unlimited meter never trips, so "cannot prove" is the only
+    // possible failure mode here.
+    implies_metered(p, q, arity, &BudgetMeter::unlimited()).unwrap_or(false)
 }
 
-fn proves(facts: &mut Facts, c: &ScalarExpr) -> bool {
+/// [`implies`] under a resource budget: charges the meter one step per
+/// conjunct absorbed or proof attempted and propagates
+/// [`fgac_types::Error::ResourceExhausted`] instead of finishing.
+/// Callers must treat the error as *cannot prove* (fail closed), never
+/// as an affirmative answer.
+pub fn implies_metered(
+    p: &[ScalarExpr],
+    q: &[ScalarExpr],
+    arity: usize,
+    meter: &BudgetMeter,
+) -> Result<bool> {
+    let mut facts = extract(p, arity, meter)?;
+    if facts.unsat {
+        return Ok(true);
+    }
+    for c in q {
+        if !proves(&mut facts, &normalize_expr(c), meter)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn proves(facts: &mut Facts, c: &ScalarExpr, meter: &BudgetMeter) -> Result<bool> {
+    meter.charge(PHASE, 1)?;
     if c == &ScalarExpr::Lit(Value::Bool(true)) {
-        return true;
+        return Ok(true);
     }
     if facts.opaque.contains(c) {
-        return true;
+        return Ok(true);
     }
-    match c {
-        ScalarExpr::Or(disjuncts) => disjuncts.iter().any(|d| proves(facts, d)),
-        ScalarExpr::And(cs) => cs.iter().all(|d| proves(facts, d)),
+    let proved = match c {
+        ScalarExpr::Or(disjuncts) => {
+            let mut any = false;
+            for d in disjuncts {
+                if proves(facts, d, meter)? {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        }
+        ScalarExpr::And(cs) => {
+            let mut all = true;
+            for d in cs {
+                if !proves(facts, d, meter)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
         ScalarExpr::IsNull { expr, negated } => {
             if let ScalarExpr::Col(a) = &**expr {
                 let f = facts.facts(*a);
@@ -341,7 +385,8 @@ fn proves(facts: &mut Facts, c: &ScalarExpr) -> bool {
             _ => false,
         },
         _ => false,
-    }
+    };
+    Ok(proved)
 }
 
 fn prove_col_col(facts: &mut Facts, op: CmpOp, a: usize, b: usize) -> bool {

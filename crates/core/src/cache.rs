@@ -58,9 +58,9 @@ impl ValidityCache {
     }
 
     /// Fingerprint of a bound plan *in a session context*. Verdicts
-    /// depend on every session parameter (views like `... where $hour
-    /// >= 9` instantiate differently per session), so the parameters are
-    /// part of the key — not just the user.
+    /// depend on every session parameter (views like
+    /// `... where $hour >= 9` instantiate differently per session), so
+    /// the parameters are part of the key — not just the user.
     pub fn fingerprint_in_session(plan: &Plan, params: &fgac_algebra::ParamScope) -> u64 {
         let mut h = DefaultHasher::new();
         plan.hash(&mut h);

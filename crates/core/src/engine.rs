@@ -242,7 +242,48 @@ impl Engine {
 
     /// Executes an already-parsed statement (the prepared-statement
     /// path; see [`crate::Prepared`]).
+    ///
+    /// The user path is panic-isolated: an unwind anywhere below this
+    /// frame becomes [`Error::Internal`], a DML target mutated before
+    /// the panic is rolled back to its pre-statement rows, and the
+    /// engine remains usable for subsequent statements.
     pub fn execute_statement(
+        &mut self,
+        session: &Session,
+        stmt: &Statement,
+    ) -> Result<EngineResponse> {
+        let undo = match stmt {
+            Statement::Insert(i) => self.db.snapshot_table(&i.table).ok(),
+            Statement::Update(u) => self.db.snapshot_table(&u.table).ok(),
+            Statement::Delete(d) => self.db.snapshot_table(&d.table).ok(),
+            _ => None,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_statement_inner(session, stmt)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                if let Some(snap) = undo {
+                    // The table existed when the snapshot was taken and
+                    // DDL is admin-only, so this cannot fail.
+                    let _ = self.db.restore_table(snap);
+                }
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(Error::Internal(format!(
+                    "statement execution panicked: {msg}"
+                )))
+            }
+        }
+    }
+
+    fn execute_statement_inner(
         &mut self,
         session: &Session,
         stmt: &Statement,
@@ -251,6 +292,13 @@ impl Engine {
             Statement::Query(q) => {
                 let report = self.check_cached(session, q)?;
                 if !report.is_valid() {
+                    // Fail closed. An exhausted check keeps its own error
+                    // class so callers can distinguish "proved invalid"
+                    // from "ran out of budget before proving validity" —
+                    // but both deny.
+                    if let Some(phase) = report.exhausted {
+                        return Err(Error::ResourceExhausted(phase));
+                    }
                     return Err(Error::Unauthorized(report.reason.unwrap_or_else(|| {
                         "query rejected by the Non-Truman validity check".into()
                     })));
@@ -310,11 +358,32 @@ impl Engine {
                 },
                 dag_stats: Default::default(),
                 views_considered: 0,
+                exhausted: None,
             });
         }
-        let report = Validator::new(&self.db, &self.grants)
+        let report = match Validator::new(&self.db, &self.grants)
             .with_options(self.options.clone())
-            .check_plan(session, &plan)?;
+            .check_plan(session, &plan)
+        {
+            Ok(report) => report,
+            Err(Error::ResourceExhausted(phase)) => {
+                // Fail closed: an interrupted check denies. The verdict is
+                // NOT cached — a retry under a larger budget (or a calmer
+                // system) may legitimately accept the same query.
+                return Ok(ValidityReport {
+                    verdict: Verdict::Invalid,
+                    rules: vec![format!("check aborted: budget exhausted in {phase}")],
+                    reason: Some(format!(
+                        "validity check exhausted its resource budget ({phase}); \
+                         denied fail-closed"
+                    )),
+                    dag_stats: Default::default(),
+                    views_considered: 0,
+                    exhausted: Some(phase),
+                });
+            }
+            Err(e) => return Err(e),
+        };
         self.cache
             .store(session.user(), fp, self.data_version, report.verdict);
         Ok(report)
@@ -380,6 +449,29 @@ mod tests {
         assert!(err.is_unauthorized());
         // The misleading Truman behaviour does NOT happen: no silent
         // partial answer.
+    }
+
+    #[test]
+    fn starved_budget_denies_with_resource_exhausted() {
+        use fgac_types::Budget;
+        // This exact query is accepted under the default budget (see
+        // valid_query_executes_unmodified). Starving the checker must
+        // turn it into a ResourceExhausted-backed DENY, never an ALLOW.
+        let mut e = engine().with_check_options(CheckOptions {
+            budget: Budget::with_max_steps(2),
+            ..CheckOptions::default()
+        });
+        let s = Session::new("11");
+        let q = "select grade from grades where student_id = '11'";
+        let report = e.check(&s, q).unwrap();
+        assert_eq!(report.verdict, Verdict::Invalid);
+        assert!(report.exhausted.is_some());
+        let err = e.execute(&s, q).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "got {err:?}");
+        // The exhausted verdict must NOT be cached: nothing stored means
+        // a later retry with a larger budget re-runs the check.
+        let (hits, _) = e.cache().stats();
+        assert_eq!(hits, 0);
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! marking and the executor, so this module only *constructs* the
 //! candidate; `nontruman::Validator` verifies it.
 
-use fgac_algebra::implication::implies;
+use fgac_algebra::implication::implies_metered;
 use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
 use fgac_storage::Catalog;
-use fgac_types::Value;
+use fgac_types::{BudgetMeter, Result, Value};
+
+/// Phase label C3 candidate construction charges its budget under.
+const PHASE: &str = "C3 candidates";
 
 /// A C3 candidate produced from (query, valid block, remainder choice).
 #[derive(Debug, Clone)]
@@ -41,13 +44,27 @@ pub struct C3Candidate {
 
 /// Enumerates C3 candidates justifying `query` from `valid`.
 pub fn candidates(catalog: &Catalog, query: &SpjBlock, valid: &SpjBlock) -> Vec<C3Candidate> {
+    // An unlimited meter never trips, so Err is unreachable here.
+    candidates_metered(catalog, query, valid, &BudgetMeter::unlimited()).unwrap_or_default()
+}
+
+/// [`candidates`] under a resource budget. Charges per remainder choice
+/// and inside the implication prover; propagates exhaustion so the
+/// caller fails closed.
+pub fn candidates_metered(
+    catalog: &Catalog,
+    query: &SpjBlock,
+    valid: &SpjBlock,
+    meter: &BudgetMeter,
+) -> Result<Vec<C3Candidate>> {
     let mut out = Vec::new();
     if valid.scans.len() < 2 || query.scans.len() != valid.scans.len() - 1 {
-        return out;
+        return Ok(out);
     }
     let flat = valid.flat_arity();
 
     'rem: for r_idx in 0..valid.scans.len() {
+        meter.charge(PHASE, 1)?;
         let (rs, re) = valid.scan_range(r_idx);
         let in_rem = |c: usize| c >= rs && c < re;
 
@@ -121,7 +138,7 @@ pub fn candidates(catalog: &Catalog, query: &SpjBlock, valid: &SpjBlock) -> Vec<
         let mut pins: Vec<(usize, Value)> = Vec::new();
         for &(core_col, rem_col) in &pj_pairs {
             let cc = shift(core_col);
-            let Some(v) = pinned_value(&qc_in_core, cc, core_arity) else {
+            let Some(v) = pinned_value(&qc_in_core, cc, core_arity, meter)? else {
                 continue 'rem;
             };
             pic.push(ScalarExpr::eq(ScalarExpr::Col(cc), ScalarExpr::Lit(v.clone())));
@@ -136,7 +153,8 @@ pub fn candidates(catalog: &Catalog, query: &SpjBlock, valid: &SpjBlock) -> Vec<
         let pc_core: Vec<ScalarExpr> = pc.iter().map(|c| c.map_cols(&shift)).collect();
         let mut pc_pic = pc_core.clone();
         pc_pic.extend(pic.iter().cloned());
-        if !implies(&qc_in_core, &pc_pic, core_arity) || !implies(&pc_pic, &qc_in_core, core_arity)
+        if !implies_metered(&qc_in_core, &pc_pic, core_arity, meter)?
+            || !implies_metered(&pc_pic, &qc_in_core, core_arity, meter)?
         {
             continue;
         }
@@ -201,7 +219,7 @@ pub fn candidates(catalog: &Catalog, query: &SpjBlock, valid: &SpjBlock) -> Vec<
             ),
         });
     }
-    out
+    Ok(out)
 }
 
 /// Finds an alignment (flat-offset map) from `q`'s frame onto the frame
@@ -264,7 +282,12 @@ fn align_scans(
 }
 
 /// The literal `col` is pinned to by the conjuncts, if any.
-fn pinned_value(conjuncts: &[ScalarExpr], col: usize, arity: usize) -> Option<Value> {
+fn pinned_value(
+    conjuncts: &[ScalarExpr],
+    col: usize,
+    arity: usize,
+    meter: &BudgetMeter,
+) -> Result<Option<Value>> {
     // Fast path: a syntactic col = lit conjunct.
     for c in conjuncts {
         if let ScalarExpr::Cmp {
@@ -275,7 +298,7 @@ fn pinned_value(conjuncts: &[ScalarExpr], col: usize, arity: usize) -> Option<Va
         {
             if matches!(&**left, ScalarExpr::Col(i) if *i == col) {
                 if let ScalarExpr::Lit(v) = &**right {
-                    return Some(v.clone());
+                    return Ok(Some(v.clone()));
                 }
             }
         }
@@ -295,13 +318,17 @@ fn pinned_value(conjuncts: &[ScalarExpr], col: usize, arity: usize) -> Option<Va
             lits
         })
         .collect();
-    literals.into_iter().find(|v| {
-        implies(
+    for v in literals {
+        if implies_metered(
             conjuncts,
             &[ScalarExpr::eq(ScalarExpr::Col(col), ScalarExpr::Lit(v.clone()))],
             arity,
-        )
-    })
+            meter,
+        )? {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -469,10 +496,11 @@ mod tests {
             ScalarExpr::eq(ScalarExpr::Col(0), ScalarExpr::Col(1)),
             ScalarExpr::eq(ScalarExpr::Col(1), ScalarExpr::lit("cs101")),
         ];
+        let meter = BudgetMeter::unlimited();
         assert_eq!(
-            pinned_value(&conj, 0, 2),
+            pinned_value(&conj, 0, 2, &meter).unwrap(),
             Some(Value::Str("cs101".into()))
         );
-        assert_eq!(pinned_value(&conj[..1], 0, 2), None);
+        assert_eq!(pinned_value(&conj[..1], 0, 2, &meter).unwrap(), None);
     }
 }

@@ -19,10 +19,13 @@
 //!   paper's Example 5.5 "since the Grades table has a primary key, the
 //!   distinct keyword can be dropped").
 
-use fgac_algebra::implication::implies;
+use fgac_algebra::implication::implies_metered;
 use fgac_algebra::{ScalarExpr, SpjBlock};
 use fgac_storage::Catalog;
-use fgac_types::Ident;
+use fgac_types::{BudgetMeter, Ident, Result};
+
+/// Phase label the matcher charges its budget under.
+const PHASE: &str = "view matcher";
 
 /// A successful match: how `Q` is computed from `V`.
 #[derive(Debug, Clone)]
@@ -37,8 +40,22 @@ pub struct MatchWitness {
 
 /// Attempts to compute `q` from `v`. Both blocks are over base tables.
 pub fn match_block(catalog: &Catalog, q: &SpjBlock, v: &SpjBlock) -> Option<MatchWitness> {
+    // An unlimited meter never trips, so Err is unreachable here.
+    match_block_metered(catalog, q, v, &BudgetMeter::unlimited()).unwrap_or(None)
+}
+
+/// [`match_block`] under a resource budget. Charges the meter per
+/// alignment attempt and inside the implication prover; propagates
+/// exhaustion so the caller fails closed instead of matching.
+pub fn match_block_metered(
+    catalog: &Catalog,
+    q: &SpjBlock,
+    v: &SpjBlock,
+    meter: &BudgetMeter,
+) -> Result<Option<MatchWitness>> {
+    meter.charge(PHASE, 1)?;
     if q.scans.len() != v.scans.len() {
-        return None;
+        return Ok(None);
     }
     // Multiset of table names must agree.
     let mut qt: Vec<&Ident> = q.scans.iter().map(|(t, _)| t).collect();
@@ -46,14 +63,15 @@ pub fn match_block(catalog: &Catalog, q: &SpjBlock, v: &SpjBlock) -> Option<Matc
     qt.sort();
     vt.sort();
     if qt != vt {
-        return None;
+        return Ok(None);
     }
     // Try alignments of Q scan instances onto V scan instances.
     let mut assignment: Vec<Option<usize>> = vec![None; q.scans.len()];
     let mut used = vec![false; v.scans.len()];
-    align(catalog, q, v, 0, &mut assignment, &mut used)
+    align(catalog, q, v, 0, &mut assignment, &mut used, meter)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn align(
     catalog: &Catalog,
     q: &SpjBlock,
@@ -61,23 +79,25 @@ fn align(
     idx: usize,
     assignment: &mut Vec<Option<usize>>,
     used: &mut Vec<bool>,
-) -> Option<MatchWitness> {
+    meter: &BudgetMeter,
+) -> Result<Option<MatchWitness>> {
     if idx == q.scans.len() {
-        return check_aligned(catalog, q, v, assignment);
+        return check_aligned(catalog, q, v, assignment, meter);
     }
     for vi in 0..v.scans.len() {
         if used[vi] || v.scans[vi].0 != q.scans[idx].0 {
             continue;
         }
+        meter.charge(PHASE, 1)?;
         assignment[idx] = Some(vi);
         used[vi] = true;
-        if let Some(w) = align(catalog, q, v, idx + 1, assignment, used) {
-            return Some(w);
+        if let Some(w) = align(catalog, q, v, idx + 1, assignment, used, meter)? {
+            return Ok(Some(w));
         }
         assignment[idx] = None;
         used[vi] = false;
     }
-    None
+    Ok(None)
 }
 
 fn check_aligned(
@@ -85,7 +105,8 @@ fn check_aligned(
     q: &SpjBlock,
     v: &SpjBlock,
     assignment: &[Option<usize>],
-) -> Option<MatchWitness> {
+    meter: &BudgetMeter,
+) -> Result<Option<MatchWitness>> {
     // Flat-offset mapping from Q's frame into V's frame.
     let flat = q.flat_arity();
     let mut q_to_v = vec![0usize; flat];
@@ -104,8 +125,8 @@ fn check_aligned(
         .collect();
 
     // Q's rows must be a subset of V's: Qc ⟹ Vc.
-    if !implies(&qc_in_v, &v.conjuncts, v.flat_arity()) {
-        return None;
+    if !implies_metered(&qc_in_v, &v.conjuncts, v.flat_arity(), meter)? {
+        return Ok(None);
     }
 
     // Every base column Q needs (in projection or predicate) must be
@@ -133,41 +154,47 @@ fn check_aligned(
     };
     let mut extra = Vec::with_capacity(qc_in_v.len());
     for c in &qc_in_v {
-        extra.push(remap(c, &|i| i)?);
+        match remap(c, &|i| i) {
+            Some(e) => extra.push(e),
+            None => return Ok(None),
+        }
     }
     let mut projection = Vec::with_capacity(q.projection.len());
     for p in &q.projection {
-        projection.push(remap(p, &|i| q_to_v[i])?);
+        match remap(p, &|i| q_to_v[i]) {
+            Some(e) => projection.push(e),
+            None => return Ok(None),
+        }
     }
 
     // Multiplicity reasoning.
     if q.distinct {
         // Final Distinct absorbs everything.
-        return Some(MatchWitness {
+        return Ok(Some(MatchWitness {
             extra_conjuncts: extra,
             projection,
             distinct: true,
-        });
+        }));
     }
     if !v.distinct {
         // Duplicate-preserving all the way: σ_extra(V) reproduces Q's
         // base-row multiset exactly, π preserves it.
-        return Some(MatchWitness {
+        return Ok(Some(MatchWitness {
             extra_conjuncts: extra,
             projection,
             distinct: false,
-        });
+        }));
     }
     // V is a set; Q wants multiplicities. Sound only if Q is provably
     // duplicate-free (then sets = multisets).
     if is_duplicate_free(catalog, q) {
-        return Some(MatchWitness {
+        return Ok(Some(MatchWitness {
             extra_conjuncts: extra,
             projection,
             distinct: false,
-        });
+        }));
     }
-    None
+    Ok(None)
 }
 
 /// A block is duplicate-free if it ends in DISTINCT, or if its projection

@@ -36,8 +36,11 @@ use crate::session::Session;
 use fgac_algebra::{normalize, Plan, SpjBlock};
 use fgac_optimizer::{expand, mark_valid, Dag, DagStats, EqId, ExpandOptions, Marking, Operator};
 use fgac_storage::Database;
-use fgac_types::{Ident, Result};
+use fgac_types::{Budget, BudgetMeter, Ident, Result};
 use std::collections::BTreeSet;
+
+/// Phase label the validator's own pipeline steps charge under.
+const PHASE: &str = "inference rounds";
 
 /// The outcome of a validity check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +68,12 @@ pub struct ValidityReport {
     /// Number of instantiated authorization views considered (after
     /// pruning).
     pub views_considered: usize,
+    /// Set when the check's resource budget ran out before the pipeline
+    /// finished, naming the phase that exhausted it. The verdict is then
+    /// necessarily [`Verdict::Invalid`] — fail closed: an interrupted
+    /// check can reject a provable query but never accept an unprovable
+    /// one.
+    pub exhausted: Option<String>,
 }
 
 impl ValidityReport {
@@ -89,6 +98,12 @@ pub struct CheckOptions {
     pub prune_irrelevant_views: bool,
     /// Fixpoint bound on U3/matcher rounds.
     pub max_rounds: usize,
+    /// Resource allowance for one check: inference steps plus an
+    /// optional wall-clock deadline. The default is generous enough that
+    /// every verdict on ordinary workloads is unchanged; exhaustion
+    /// surfaces as `Error::ResourceExhausted` and the engine maps it to
+    /// a fail-closed DENY.
+    pub budget: Budget,
 }
 
 impl Default for CheckOptions {
@@ -100,6 +115,7 @@ impl Default for CheckOptions {
             enable_access_patterns: true,
             prune_irrelevant_views: true,
             max_rounds: 4,
+            budget: Budget::default(),
         }
     }
 }
@@ -163,12 +179,14 @@ impl<'a> Validator<'a> {
     pub fn check_plan(&self, session: &Session, plan: &Plan) -> Result<ValidityReport> {
         let qplan = normalize(plan);
         let mut rules: Vec<String> = Vec::new();
+        let meter = self.options.budget.start();
 
         // --- Gather and instantiate the user's views. -----------------
         let query_tables: BTreeSet<Ident> = qplan.scanned_tables().into_iter().collect();
         let mut all_views: Vec<(Ident, Plan)> = Vec::new();
         let mut ap_views: Vec<AuthorizationView> = Vec::new();
         for name in self.grants.views_for(session.user()) {
+            meter.charge(PHASE, 1)?;
             let Some(def) = self.db.catalog().view(&name) else {
                 continue;
             };
@@ -255,6 +273,10 @@ impl<'a> Validator<'a> {
         distinct_elimination(&mut dag, self.db);
         let dag_stats = expand(&mut dag, &self.options.expand);
         distinct_elimination(&mut dag, self.db);
+        // Expansion is internally bounded by `expand.max_ops`; charge
+        // its actual size so a large DAG eats into what the rounds may
+        // still spend.
+        meter.charge("DAG expansion", dag_stats.op_nodes as u64)?;
         let mut marking = mark_valid(&dag, &view_roots);
 
         let done = |dag: &Dag, marking: &Marking, rules: &mut Vec<String>, why: &str| -> bool {
@@ -286,6 +308,7 @@ impl<'a> Validator<'a> {
 
         let qblock = SpjBlock::decompose(&qplan);
         for _round in 0..self.options.max_rounds {
+            meter.charge(PHASE, 1)?;
             let mut changed = false;
 
             // Goal-directed strengthening (U2 moves toward the query):
@@ -296,6 +319,7 @@ impl<'a> Validator<'a> {
                 if let Some(qb) = &qblock {
                     let snapshot: Vec<ValidBlock> = valid_blocks.clone();
                     for vb in &snapshot {
+                        meter.charge(PHASE, 1)?;
                         if let Some(restricted) = strengthen::restrict_by_query(qb, &vb.block) {
                             if push_block(
                                 &mut valid_blocks,
@@ -345,6 +369,7 @@ impl<'a> Validator<'a> {
                                 continue;
                             }
                             for (x, y) in [(a, b), (b, a)] {
+                                meter.charge(PHASE, 1)?;
                                 if let Some(composed) = strengthen::compose(&x.block, &y.block) {
                                     // Must cover the query's tables and
                                     // stay within the multiset budget.
@@ -382,7 +407,7 @@ impl<'a> Validator<'a> {
             if self.options.enable_u3 {
                 let snapshot: Vec<ValidBlock> = valid_blocks.clone();
                 for vb in &snapshot {
-                    for d in u3::derive(self.db.catalog(), &visible, &vb.block) {
+                    for d in u3::derive_metered(self.db.catalog(), &visible, &vb.block, &meter)? {
                         if push_block(
                             &mut valid_blocks,
                             d.core.clone(),
@@ -401,7 +426,7 @@ impl<'a> Validator<'a> {
                         }
                         // U3c: multiplicity witness must itself be valid.
                         if let Some(w) = &d.multiplicity_witness {
-                            if self.block_is_valid(&dag, &marking, &valid_blocks, w) {
+                            if self.block_is_valid(&dag, &marking, &valid_blocks, w, &meter)? {
                                 let mut non_distinct = d.core.clone();
                                 non_distinct.distinct = false;
                                 if push_block(
@@ -438,7 +463,9 @@ impl<'a> Validator<'a> {
                     continue;
                 };
                 for vb in &valid_blocks {
-                    if let Some(_w) = matcher::match_block(self.db.catalog(), &block, &vb.block) {
+                    if let Some(_w) =
+                        matcher::match_block_metered(self.db.catalog(), &block, &vb.block, &meter)?
+                    {
                         marking.mark(&dag, class);
                         rules.push(format!(
                             "U2 (view matching): subexpression computed from {}",
@@ -462,12 +489,17 @@ impl<'a> Validator<'a> {
         // --- Dependent joins over access-pattern views (Section 6). ---
         if self.options.enable_access_patterns && !capabilities.is_empty() {
             if let Some(qblock) = SpjBlock::decompose(&qplan) {
-                let directly_valid: Vec<bool> = (0..qblock.scans.len())
-                    .map(|i| {
-                        let restriction = instance_restriction(&qblock, i);
-                        self.block_is_valid(&dag, &marking, &valid_blocks, &restriction)
-                    })
-                    .collect();
+                let mut directly_valid: Vec<bool> = Vec::with_capacity(qblock.scans.len());
+                for i in 0..qblock.scans.len() {
+                    let restriction = instance_restriction(&qblock, i);
+                    directly_valid.push(self.block_is_valid(
+                        &dag,
+                        &marking,
+                        &valid_blocks,
+                        &restriction,
+                        &meter,
+                    )?);
+                }
                 if let Some(trace) = access_pattern::dependent_join_covers(
                     &qblock,
                     &directly_valid,
@@ -489,20 +521,29 @@ impl<'a> Validator<'a> {
         if self.options.enable_c3 {
             if let Some(qblock) = SpjBlock::decompose(&qplan) {
                 for vb in &valid_blocks {
-                    for cand in c3::candidates(self.db.catalog(), &qblock, &vb.block) {
+                    for cand in
+                        c3::candidates_metered(self.db.catalog(), &qblock, &vb.block, &meter)?
+                    {
                         // Condition 3: v_r must be (conditionally) valid…
                         let vr_ok =
-                            self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r);
+                            self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r, &meter)?;
                         if !vr_ok {
                             continue;
                         }
                         if cand.requires_c3b
-                            && !self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r_count)
+                            && !self.block_is_valid(
+                                &dag,
+                                &marking,
+                                &valid_blocks,
+                                &cand.v_r_count,
+                                &meter,
+                            )?
                         {
                             continue;
                         }
                         // …and non-empty on the current database state.
                         let vr_plan = cand.v_r.to_plan();
+                        meter.charge("C3 state probe", 1)?;
                         let vr_rows = fgac_exec::execute_plan(self.db, &vr_plan)?;
                         if vr_rows.is_empty() {
                             rules.push(format!(
@@ -544,21 +585,23 @@ impl<'a> Validator<'a> {
         marking: &Marking,
         valid_blocks: &[ValidBlock],
         block: &SpjBlock,
-    ) -> bool {
+        meter: &BudgetMeter,
+    ) -> Result<bool> {
         // Matcher first: it is semantic and cheap.
-        if valid_blocks
-            .iter()
-            .any(|vb| matcher::match_block(self.db.catalog(), block, &vb.block).is_some())
-        {
-            return true;
+        for vb in valid_blocks {
+            if matcher::match_block_metered(self.db.catalog(), block, &vb.block, meter)?.is_some() {
+                return Ok(true);
+            }
         }
         // DAG: the block's plan may already have a valid class. Inserting
         // requires mutation, so only probe via a cloned DAG when small.
+        // The clone + re-propagation walks the whole DAG; charge its size.
+        meter.charge(PHASE, dag.stats().op_nodes as u64)?;
         let mut probe = dag.clone();
         let class = probe.insert_plan(&block.to_plan());
         let mut m = marking.clone();
         m.propagate(&probe);
-        m.is_valid(&probe, class)
+        Ok(m.is_valid(&probe, class))
     }
 
     fn report(
@@ -574,6 +617,7 @@ impl<'a> Validator<'a> {
             reason: None,
             dag_stats,
             views_considered,
+            exhausted: None,
         }
     }
 }

@@ -16,11 +16,14 @@
 //! `SELECT A_rj FROM R_r WHERE P_r` is itself valid), the multiplicity
 //! of the core can be reconstructed and the `DISTINCT` dropped.
 
-use fgac_algebra::implication::implies;
+use fgac_algebra::implication::implies_metered;
 use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
 use fgac_storage::{Catalog, InclusionDependency};
-use fgac_types::Ident;
+use fgac_types::{BudgetMeter, Ident, Result};
 use std::collections::BTreeSet;
+
+/// Phase label U3 derivations charge their budget under.
+const PHASE: &str = "U3 derivations";
 
 /// A U3 derivation: the core block that became valid, and whether the
 /// duplicate-preserving version is also valid (U3c).
@@ -42,9 +45,23 @@ pub fn derive(
     visible_constraints: &BTreeSet<Ident>,
     valid: &SpjBlock,
 ) -> Vec<U3Derivation> {
+    // An unlimited meter never trips, so Err is unreachable here.
+    derive_metered(catalog, visible_constraints, valid, &BudgetMeter::unlimited())
+        .unwrap_or_default()
+}
+
+/// [`derive`] under a resource budget. Charges per candidate
+/// (remainder, constraint) pair and inside the implication prover;
+/// propagates exhaustion so the caller fails closed.
+pub fn derive_metered(
+    catalog: &Catalog,
+    visible_constraints: &BTreeSet<Ident>,
+    valid: &SpjBlock,
+    meter: &BudgetMeter,
+) -> Result<Vec<U3Derivation>> {
     let mut out = Vec::new();
     if valid.scans.len() < 2 {
-        return out;
+        return Ok(out);
     }
     let flat = valid.flat_arity();
     let inclusions: Vec<InclusionDependency> = catalog
@@ -119,6 +136,7 @@ pub fn derive(
         let rem_schema = &valid.scans[r_idx].1;
 
         for dep in &inclusions {
+            meter.charge(PHASE, 1)?;
             if &dep.dst_table != rem_table {
                 continue;
             }
@@ -176,7 +194,7 @@ pub fn derive(
                 if !align_ok {
                     continue;
                 }
-                if !eq_needed.is_empty() && !implies(&pc, &eq_needed, flat) {
+                if !eq_needed.is_empty() && !implies_metered(&pc, &eq_needed, flat, meter)? {
                     continue;
                 }
 
@@ -190,7 +208,7 @@ pub fn derive(
                         continue;
                     };
                     let shifted = bound.map_cols(&|i| cs + i);
-                    if !implies(&pc, &[shifted], flat) {
+                    if !implies_metered(&pc, &[shifted], flat, meter)? {
                         continue;
                     }
                 }
@@ -209,7 +227,7 @@ pub fn derive(
                         }
                         None => Vec::new(),
                     };
-                    if !implies(&dst_conjuncts, &pr, flat) {
+                    if !implies_metered(&dst_conjuncts, &pr, flat, meter)? {
                         continue;
                     }
                 }
@@ -262,7 +280,7 @@ pub fn derive(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -54,12 +54,9 @@ impl<'a> UpdateAuthorizer<'a> {
                 )));
             }
         }
-        let mut n = 0;
-        for row in rows {
-            db.insert(&stmt.table, row)?;
-            n += 1;
-        }
-        Ok(n)
+        // Every tuple is authorized: apply all-or-nothing so a
+        // constraint failure on a later row cannot strand earlier ones.
+        fgac_exec::insert_all_atomic(db, &stmt.table, rows)
     }
 
     /// Authorizes and (if allowed) executes a DELETE.
@@ -78,7 +75,7 @@ impl<'a> UpdateAuthorizer<'a> {
         // Phase 1: find affected tuples and authorize each.
         let table = db.table_required(&stmt.table)?;
         let mut victims = Vec::new();
-        for row in table.rows() {
+        for (i, row) in table.rows().iter().enumerate() {
             let hit = match &filter {
                 None => true,
                 Some(f) => fgac_exec::eval_predicate(f, row)?,
@@ -98,11 +95,11 @@ impl<'a> UpdateAuthorizer<'a> {
                     stmt.table
                 )));
             }
-            victims.push(row.clone());
+            victims.push(i);
         }
-        // Phase 2: apply.
-        let n = db.delete_where(&stmt.table, |r| victims.contains(r))?;
-        Ok(n.min(victims.len()))
+        // Phase 2: apply by position — exact even for duplicate rows
+        // (bag semantics), and nothing was touched if phase 1 failed.
+        db.delete_at(&stmt.table, &victims)
     }
 
     /// Authorizes and (if allowed) executes an UPDATE.

@@ -16,16 +16,37 @@ pub struct DmlOutcome {
     pub affected: usize,
 }
 
-/// Executes an `INSERT` (constraint-checked).
+/// Executes an `INSERT` (constraint-checked). Multi-row inserts are
+/// atomic: if any row fails its constraint check, rows inserted earlier
+/// in the same statement are rolled back.
 pub fn execute_insert(db: &mut Database, stmt: &sql::Insert, params: &ParamScope) -> Result<DmlOutcome> {
     let rows = insert_rows(db, stmt, params)?;
-    let table = stmt.table.clone();
+    let affected = insert_all_atomic(db, &stmt.table, rows)?;
+    Ok(DmlOutcome { affected })
+}
+
+/// Inserts every row or none: on any constraint/type failure the table
+/// is restored to its pre-statement state before the error propagates.
+pub fn insert_all_atomic(db: &mut Database, table: &Ident, rows: Vec<Row>) -> Result<usize> {
+    let snap = db.snapshot_table(table)?;
+    match try_insert_all(db, table, rows) {
+        Ok(n) => Ok(n),
+        Err(e) => {
+            db.restore_table(snap)?;
+            Err(e)
+        }
+    }
+}
+
+fn try_insert_all(db: &mut Database, table: &Ident, rows: Vec<Row>) -> Result<usize> {
     let mut n = 0;
     for row in rows {
-        db.insert(&table, row)?;
+        #[cfg(feature = "fault-injection")]
+        fgac_types::faults::hit("exec::insert_row")?;
+        db.insert(table, row)?;
         n += 1;
     }
-    Ok(DmlOutcome { affected: n })
+    Ok(n)
 }
 
 /// Materializes the full-width rows an `INSERT` statement denotes,
@@ -119,43 +140,38 @@ pub fn execute_update(db: &mut Database, stmt: &sql::Update, params: &ParamScope
 
 /// Applies bound assignments to rows matching the filter; returns the
 /// number of rows updated.
+///
+/// Evaluate-before-mutate: the filter and every assignment are
+/// evaluated for **all** matching rows before the first row is written,
+/// so an evaluation error on the Nth match leaves the table untouched
+/// rather than half-updated. The write itself goes through
+/// `Database::apply_row_updates`, which type-checks every replacement
+/// row before applying any.
 pub fn update_matching(
     db: &mut Database,
     table: &Ident,
     filter: Option<&ScalarExpr>,
     assignments: &[(usize, ScalarExpr)],
 ) -> Result<usize> {
-    // Both closures may hit evaluation errors; stash the first one.
-    let eval_err = std::cell::RefCell::new(None);
-    let n = db.update_where(
-        table,
-        |row| match filter {
+    let t = db.table_required(table)?;
+    let mut updates = Vec::new();
+    for (i, row) in t.rows().iter().enumerate() {
+        let hit = match filter {
             None => true,
-            Some(f) => match eval_predicate(f, row) {
-                Ok(b) => b,
-                Err(e) => {
-                    eval_err.borrow_mut().get_or_insert(e);
-                    false
-                }
-            },
-        },
-        |row| {
-            let mut new = row.clone();
-            for (idx, e) in assignments {
-                match eval(e, row) {
-                    Ok(v) => new.0[*idx] = v,
-                    Err(e) => {
-                        eval_err.borrow_mut().get_or_insert(e);
-                    }
-                }
-            }
-            new
-        },
-    )?;
-    if let Some(e) = eval_err.into_inner() {
-        return Err(e);
+            Some(f) => eval_predicate(f, row)?,
+        };
+        if !hit {
+            continue;
+        }
+        #[cfg(feature = "fault-injection")]
+        fgac_types::faults::hit("exec::update_row")?;
+        let mut new = row.clone();
+        for (idx, e) in assignments {
+            new.0[*idx] = eval(e, row)?;
+        }
+        updates.push((i, new));
     }
-    Ok(n)
+    db.apply_row_updates(table, updates)
 }
 
 /// Executes a `DELETE`.
@@ -165,20 +181,23 @@ pub fn execute_delete(db: &mut Database, stmt: &sql::Delete, params: &ParamScope
         .as_ref()
         .map(|f| bind_table_expr(db.catalog(), &stmt.table, f, params))
         .transpose()?;
-    let mut eval_err = None;
-    let affected = db.delete_where(&stmt.table, |row| match &filter {
-        None => true,
-        Some(f) => match eval_predicate(f, row) {
-            Ok(b) => b,
-            Err(e) => {
-                eval_err.get_or_insert(e);
-                false
-            }
-        },
-    })?;
-    if let Some(e) = eval_err {
-        return Err(e);
+    // Evaluate-before-mutate: decide the full victim set first so a
+    // filter evaluation error deletes nothing.
+    let t = db.table_required(&stmt.table)?;
+    let mut victims = Vec::new();
+    for (i, row) in t.rows().iter().enumerate() {
+        let hit = match &filter {
+            None => true,
+            Some(f) => eval_predicate(f, row)?,
+        };
+        if !hit {
+            continue;
+        }
+        #[cfg(feature = "fault-injection")]
+        fgac_types::faults::hit("exec::delete_row")?;
+        victims.push(i);
     }
+    let affected = db.delete_at(&stmt.table, &victims)?;
     Ok(DmlOutcome { affected })
 }
 
@@ -205,13 +224,27 @@ pub fn audit_inclusion(db: &Database, dep: &InclusionDependency) -> Result<Vec<R
     let src_idx: Vec<usize> = dep
         .src_columns
         .iter()
-        .map(|c| src_meta.schema.index_of(c).expect("validated"))
-        .collect();
+        .map(|c| {
+            src_meta.schema.index_of(c).ok_or_else(|| {
+                Error::Internal(format!(
+                    "inclusion dependency {} names unknown column {c} in {}",
+                    dep.name, dep.src_table
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
     let dst_idx: Vec<usize> = dep
         .dst_columns
         .iter()
-        .map(|c| dst_meta.schema.index_of(c).expect("validated"))
-        .collect();
+        .map(|c| {
+            dst_meta.schema.index_of(c).ok_or_else(|| {
+                Error::Internal(format!(
+                    "inclusion dependency {} names unknown column {c} in {}",
+                    dep.name, dep.dst_table
+                ))
+            })
+        })
+        .collect::<Result<_>>()?;
 
     // Materialize target keys.
     let mut dst_keys = std::collections::HashSet::new();
@@ -349,6 +382,66 @@ mod tests {
         let out = execute_delete(&mut d, &del, &ParamScope::new()).unwrap();
         assert_eq!(out.affected, 2);
         assert_eq!(d.table(&Ident::new("students")).unwrap().len(), 1);
+    }
+
+    fn scores_db() -> (Database, Ident) {
+        let mut d = db();
+        d.create_table(
+            "scores",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("points", DataType::Int),
+            ]),
+            None,
+        )
+        .unwrap();
+        let t = Ident::new("scores");
+        for (s, p) in [("11", 4), ("12", 0), ("13", 2)] {
+            d.insert(&t, Row(vec![s.into(), Value::Int(p)])).unwrap();
+        }
+        (d, t)
+    }
+
+    #[test]
+    fn update_eval_error_mid_statement_leaves_table_unchanged() {
+        let (mut d, t) = scores_db();
+        let before = d.table(&t).unwrap().rows().to_vec();
+        // The assignment divides by zero on the 2nd of 3 matching rows;
+        // the 1st row must not have been updated when the error lands.
+        let Statement::Update(u) = stmt("update scores set points = 100 / points") else {
+            panic!()
+        };
+        let err = execute_update(&mut d, &u, &ParamScope::new()).unwrap_err();
+        assert!(matches!(err, Error::Execution(_)));
+        assert_eq!(d.table(&t).unwrap().rows(), &before[..]);
+    }
+
+    #[test]
+    fn delete_eval_error_mid_statement_leaves_table_unchanged() {
+        let (mut d, t) = scores_db();
+        let before = d.table(&t).unwrap().rows().to_vec();
+        // The filter errors on the 2nd row; the 1st (matching) row must
+        // survive.
+        let Statement::Delete(del) = stmt("delete from scores where 100 / points > 10") else {
+            panic!()
+        };
+        let err = execute_delete(&mut d, &del, &ParamScope::new()).unwrap_err();
+        assert!(matches!(err, Error::Execution(_)));
+        assert_eq!(d.table(&t).unwrap().rows(), &before[..]);
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let mut d = db();
+        let Statement::Insert(i) = stmt(
+            "insert into students values ('21', 'a', 'x'), ('21', 'b', 'x'), ('22', 'c', 'x')",
+        ) else {
+            panic!()
+        };
+        // 2nd row duplicates the 1st row's primary key: nothing lands.
+        let err = execute_insert(&mut d, &i, &ParamScope::new()).unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        assert!(d.table(&Ident::new("students")).unwrap().is_empty());
     }
 
     #[test]

@@ -6,6 +6,8 @@ use fgac_types::{Error, Result, Row, Value};
 /// Evaluates `expr` on `row`. NULL propagates per SQL 3VL; comparisons
 /// between non-NULL values of incompatible types are type errors.
 pub fn eval(expr: &ScalarExpr, row: &Row) -> Result<Value> {
+    #[cfg(feature = "fault-injection")]
+    fgac_types::faults::hit("exec::eval")?;
     match expr {
         ScalarExpr::Col(i) => row
             .values()

@@ -92,9 +92,19 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 character.
-                    let rest = &self.src[self.pos..];
-                    let ch = rest.chars().next().expect("in-bounds char");
+                    // Advance one full UTF-8 character. Indexing by a
+                    // checked `get` so a mid-character position surfaces
+                    // as a parse error instead of a slice panic.
+                    let ch = self
+                        .src
+                        .get(self.pos..)
+                        .and_then(|rest| rest.chars().next())
+                        .ok_or_else(|| {
+                            Error::Parse(format!(
+                                "malformed UTF-8 at byte {} in string literal",
+                                self.pos
+                            ))
+                        })?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

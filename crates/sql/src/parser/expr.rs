@@ -13,6 +13,12 @@ const P_CMP: u8 = 4;
 const P_ADD: u8 = 5;
 const P_MUL: u8 = 6;
 
+/// Maximum expression nesting before the parser gives up. Recursive
+/// descent spends one native stack frame per level; bounding it turns a
+/// pathological input (e.g. ten thousand opening parens) into a parse
+/// error instead of a stack overflow that kills the process.
+const MAX_EXPR_DEPTH: usize = 128;
+
 impl Parser {
     /// Parses a full expression.
     pub(crate) fn expr(&mut self) -> Result<Expr> {
@@ -20,6 +26,19 @@ impl Parser {
     }
 
     fn expr_bp(&mut self, min_bp: u8) -> Result<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(Error::Parse(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        let result = self.expr_bp_at_depth(min_bp);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_bp_at_depth(&mut self, min_bp: u8) -> Result<Expr> {
         let mut lhs = self.prefix()?;
         loop {
             let (op_bp, op): (u8, Option<BinaryOp>) = match self.peek() {

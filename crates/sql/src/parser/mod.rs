@@ -56,6 +56,8 @@ pub fn parse_expr(sql: &str) -> Result<Expr> {
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression-recursion depth (bounded; see `expr.rs`).
+    pub(crate) depth: usize,
 }
 
 impl Parser {
@@ -63,6 +65,7 @@ impl Parser {
         Ok(Parser {
             tokens: lex(sql)?,
             pos: 0,
+            depth: 0,
         })
     }
 

@@ -17,6 +17,30 @@ pub struct Database {
     tables: BTreeMap<Ident, Table>,
 }
 
+/// Undo record for one table: the rows as they were when the snapshot
+/// was taken. See [`Database::snapshot_table`].
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    table: Ident,
+    rows: Vec<Row>,
+}
+
+impl TableSnapshot {
+    /// The table this snapshot belongs to.
+    pub fn table(&self) -> &Ident {
+        &self.table
+    }
+
+    /// Number of rows captured.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 impl Database {
     pub fn new() -> Self {
         Self::default()
@@ -73,6 +97,8 @@ impl Database {
     /// Inserts a row, enforcing primary-key uniqueness and foreign-key
     /// existence.
     pub fn insert(&mut self, table: &Ident, row: Row) -> Result<()> {
+        #[cfg(feature = "fault-injection")]
+        fgac_types::faults::hit("storage::insert")?;
         self.check_pk_free(table, &row)?;
         self.check_fk_parents(table, &row)?;
         self.tables
@@ -165,6 +191,50 @@ impl Database {
             .get_mut(table)
             .ok_or_else(|| Error::Bind(format!("unknown table {table}")))
             .map(|t| t.delete_where(pred))
+    }
+
+    /// Replaces row `i` of `table` for each `(i, row)` pair; all
+    /// replacements type-check before any is applied.
+    pub fn apply_row_updates(
+        &mut self,
+        table: &Ident,
+        updates: Vec<(usize, Row)>,
+    ) -> Result<usize> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
+            .apply_row_updates(updates)
+    }
+
+    /// Removes the rows of `table` at the given positions; returns how
+    /// many were removed.
+    pub fn delete_at(&mut self, table: &Ident, indexes: &[usize]) -> Result<usize> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {table}")))
+            .map(|t| t.delete_at(indexes))
+    }
+
+    /// Captures the current rows of `table` for undo. Pair with
+    /// [`Database::restore_table`] to roll a failed multi-row mutation
+    /// back to exactly this state.
+    pub fn snapshot_table(&self, table: &Ident) -> Result<TableSnapshot> {
+        Ok(TableSnapshot {
+            table: table.clone(),
+            rows: self.table_required(table)?.snapshot_rows(),
+        })
+    }
+
+    /// Restores a table to a previously captured snapshot, discarding
+    /// every mutation since. The schema cannot have changed in between:
+    /// snapshots live within a single statement and DDL runs on the
+    /// admin path only.
+    pub fn restore_table(&mut self, snap: TableSnapshot) -> Result<()> {
+        self.tables
+            .get_mut(&snap.table)
+            .ok_or_else(|| Error::Bind(format!("unknown table {}", snap.table)))?
+            .restore_rows(snap.rows);
+        Ok(())
     }
 
     /// Updates rows matching `pred` via `f`; returns how many.

@@ -26,5 +26,5 @@ mod table;
 
 pub use catalog::{Catalog, TableMeta, ViewDef};
 pub use constraint::{ForeignKey, InclusionDependency};
-pub use database::Database;
+pub use database::{Database, TableSnapshot};
 pub use table::Table;

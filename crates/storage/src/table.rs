@@ -127,6 +127,62 @@ impl Table {
         Ok(n)
     }
 
+    /// Replaces row `i` for each `(i, row)` pair, after type-checking
+    /// **all** replacements — either every update lands or none do.
+    /// Indexes must be in bounds (callers derive them from `rows()`).
+    pub fn apply_row_updates(&mut self, updates: Vec<(usize, Row)>) -> Result<usize> {
+        let mut checked = Vec::with_capacity(updates.len());
+        for (i, new) in updates {
+            if i >= self.rows.len() {
+                return Err(Error::Execution(format!(
+                    "row index {i} out of bounds in {} ({} rows)",
+                    self.name,
+                    self.rows.len()
+                )));
+            }
+            self.check_row(&new)?;
+            checked.push((i, self.coerce(new)));
+        }
+        let n = checked.len();
+        for (i, new) in checked {
+            self.rows[i] = new;
+        }
+        Ok(n)
+    }
+
+    /// Removes the rows at the given positions (any order, duplicates
+    /// ignored); returns how many were removed. Infallible by design:
+    /// callers decide *what* to delete before any row is touched.
+    pub fn delete_at(&mut self, indexes: &[usize]) -> usize {
+        if indexes.is_empty() {
+            return 0;
+        }
+        let victim: std::collections::BTreeSet<usize> = indexes
+            .iter()
+            .copied()
+            .filter(|&i| i < self.rows.len())
+            .collect();
+        let before = self.rows.len();
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let keep = !victim.contains(&i);
+            i += 1;
+            keep
+        });
+        before - self.rows.len()
+    }
+
+    /// A copy of the stored rows, for undo (see `Database::snapshot_table`).
+    pub(crate) fn snapshot_rows(&self) -> Vec<Row> {
+        self.rows.clone()
+    }
+
+    /// Replaces the stored rows wholesale with a previously taken
+    /// snapshot. Bypasses type checks: the snapshot was valid when taken.
+    pub(crate) fn restore_rows(&mut self, rows: Vec<Row>) {
+        self.rows = rows;
+    }
+
     /// True if some row has the given values at the given column indexes.
     pub fn contains_key(&self, indexes: &[usize], key: &[Value]) -> bool {
         self.rows

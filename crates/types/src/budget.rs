@@ -1,0 +1,186 @@
+//! Resource governor for the validity-checking pipeline.
+//!
+//! A [`Budget`] is a declarative spec — a step allowance plus an
+//! optional wall-clock deadline — carried by `CheckOptions`. At check
+//! time it is turned into a [`BudgetMeter`], the runtime counter that
+//! inference code charges as it works. Exhaustion surfaces as
+//! [`Error::ResourceExhausted`] naming the phase that ran dry; the
+//! engine maps that to a fail-closed DENY, never a wrong ALLOW
+//! (rejection is always safe in the non-Truman model, Section 4).
+//!
+//! The meter uses interior mutability so it can be threaded through
+//! `&self` call chains (the implication prover, DAG matcher, and
+//! inference rounds all borrow immutably). It is intentionally not
+//! `Sync`; a meter belongs to one check.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use crate::{Error, Result};
+
+/// How often (in charges) the meter consults the wall clock when a
+/// deadline is set. `Instant::now()` per charge would dominate the
+/// very work being metered.
+const CLOCK_CHECK_INTERVAL: u64 = 256;
+
+/// Declarative resource allowance for one validity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of inference steps (prover facts, matcher probes,
+    /// expansion passes, composed restrictions) a check may spend.
+    pub max_steps: u64,
+    /// Optional wall-clock allowance for the whole check.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// Default step allowance. Generous: the paper's university workload
+    /// needs well under 1% of this, so default budgets never change a
+    /// verdict; the ceiling exists to bound adversarial inputs.
+    pub const DEFAULT_MAX_STEPS: u64 = 5_000_000;
+
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Self {
+        Budget {
+            max_steps: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// A budget capped at `max_steps` inference steps.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        Budget {
+            max_steps,
+            deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline to the budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Starts the runtime meter for one check.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            remaining: Cell::new(self.max_steps),
+            spent: Cell::new(0),
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            charges: Cell::new(0),
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_steps: Self::DEFAULT_MAX_STEPS,
+            deadline: None,
+        }
+    }
+}
+
+/// Runtime counter for one validity check. Obtained from
+/// [`Budget::start`]; inference code calls [`charge`](Self::charge)
+/// as it works and propagates the error on exhaustion.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    remaining: Cell<u64>,
+    spent: Cell<u64>,
+    deadline: Option<Instant>,
+    charges: Cell<u64>,
+}
+
+impl BudgetMeter {
+    /// A meter that never exhausts (back-compat paths and tests).
+    pub fn unlimited() -> Self {
+        Budget::unlimited().start()
+    }
+
+    /// Spends `steps` from the allowance on behalf of `phase`.
+    ///
+    /// Returns [`Error::ResourceExhausted`] naming the phase once the
+    /// step allowance is gone or the deadline has passed. After the
+    /// first failure every subsequent charge fails too, so callers
+    /// deep in the pipeline cannot accidentally resume.
+    pub fn charge(&self, phase: &str, steps: u64) -> Result<()> {
+        let remaining = self.remaining.get();
+        if remaining < steps {
+            self.remaining.set(0);
+            return Err(Error::ResourceExhausted(format!(
+                "{phase}: step budget exhausted after {} steps",
+                self.spent.get()
+            )));
+        }
+        self.remaining.set(remaining - steps);
+        self.spent.set(self.spent.get() + steps);
+        if let Some(deadline) = self.deadline {
+            let charges = self.charges.get().wrapping_add(1);
+            self.charges.set(charges);
+            if charges.is_multiple_of(CLOCK_CHECK_INTERVAL) && Instant::now() >= deadline {
+                self.remaining.set(0);
+                return Err(Error::ResourceExhausted(format!(
+                    "{phase}: deadline exceeded after {} steps",
+                    self.spent.get()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps successfully charged so far.
+    pub fn steps_used(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// True once nothing is left to spend (a failed charge zeroes the
+    /// allowance, so this is sticky after the first failure).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining.get() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generous_and_unlimited_never_trips() {
+        let meter = Budget::default().start();
+        for _ in 0..10_000 {
+            meter.charge("prover", 1).unwrap();
+        }
+        let unlimited = BudgetMeter::unlimited();
+        unlimited.charge("prover", u64::MAX - 1).unwrap();
+    }
+
+    #[test]
+    fn exhaustion_names_the_phase_and_sticks() {
+        let meter = Budget::with_max_steps(10).start();
+        meter.charge("rounds", 10).unwrap();
+        let err = meter.charge("prover", 1).unwrap_err();
+        match &err {
+            Error::ResourceExhausted(m) => assert!(m.starts_with("prover:"), "{m}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Sticky: once tripped, every later charge fails too.
+        assert!(meter.charge("matcher", 1).is_err());
+        assert_eq!(meter.steps_used(), 10);
+        assert!(meter.is_exhausted());
+    }
+
+    #[test]
+    fn deadline_trips_after_interval() {
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(0));
+        let meter = budget.start();
+        let mut tripped = false;
+        for _ in 0..=super::CLOCK_CHECK_INTERVAL {
+            if meter.charge("rounds", 1).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "zero deadline never tripped");
+    }
+}

@@ -26,6 +26,11 @@ pub enum Error {
     /// Feature outside the supported SQL subset (e.g. nested subqueries,
     /// which the paper also excludes in Section 5).
     Unsupported(String),
+    /// A resource budget (inference steps or wall-clock deadline) was
+    /// exhausted before the operation finished. Carries the phase that
+    /// ran out. The engine maps this to fail-closed DENY: an exhausted
+    /// validity check never turns into an ALLOW.
+    ResourceExhausted(String),
     /// Internal invariant violation — a bug.
     Internal(String),
 }
@@ -49,6 +54,7 @@ impl fmt::Display for Error {
             Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

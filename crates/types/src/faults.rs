@@ -1,0 +1,100 @@
+//! Test-only fault injection (compiled under `feature = "fault-injection"`).
+//!
+//! Instrumented sites in the storage and execution layers call
+//! [`hit`] with a stable site name; tests arm a site with [`arm`] to
+//! make its Nth hit return an error or panic. The registry is
+//! thread-local so concurrently running tests cannot trip each other's
+//! faults. With nothing armed, `hit` is a counter increment and the
+//! instrumented code behaves exactly as in a normal build.
+
+use crate::{Error, Result};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// What an armed site does when its trigger count is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Return `Error::Internal` on the Nth hit (1-based).
+    ErrorOnNth(u64),
+    /// Panic on the Nth hit (1-based) — exercises unwind isolation.
+    PanicOnNth(u64),
+}
+
+thread_local! {
+    static ARMED: RefCell<HashMap<&'static str, (Fault, u64)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Arms `site` with `fault`, resetting its hit counter.
+pub fn arm(site: &'static str, fault: Fault) {
+    ARMED.with(|m| {
+        m.borrow_mut().insert(site, (fault, 0));
+    });
+}
+
+/// Disarms every site and clears all hit counters.
+pub fn disarm_all() {
+    ARMED.with(|m| m.borrow_mut().clear());
+}
+
+/// Number of times `site` has been hit since it was armed.
+pub fn hits(site: &str) -> u64 {
+    ARMED.with(|m| m.borrow().get(site).map_or(0, |(_, n)| *n))
+}
+
+/// Called by instrumented code. Counts the hit and fires the armed
+/// fault when the trigger count is reached.
+pub fn hit(site: &str) -> Result<()> {
+    let fire = ARMED.with(|m| {
+        let mut m = m.borrow_mut();
+        let (fault, count) = m.get_mut(site)?;
+        *count += 1;
+        let n = *count;
+        match *fault {
+            Fault::ErrorOnNth(target) if n == target => Some((false, n)),
+            Fault::PanicOnNth(target) if n == target => Some((true, n)),
+            _ => None,
+        }
+    });
+    match fire {
+        None => Ok(()),
+        Some((false, n)) => Err(Error::Internal(format!(
+            "injected fault at {site} (hit {n})"
+        ))),
+        Some((true, n)) => panic!("injected panic at {site} (hit {n})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_is_a_no_op() {
+        disarm_all();
+        assert!(hit("nowhere").is_ok());
+        assert_eq!(hits("nowhere"), 0);
+    }
+
+    #[test]
+    fn error_fires_on_nth_hit_only() {
+        disarm_all();
+        arm("site", Fault::ErrorOnNth(2));
+        assert!(hit("site").is_ok());
+        let err = hit("site").unwrap_err();
+        assert!(matches!(err, Error::Internal(_)));
+        // After firing, later hits pass again (one-shot trigger).
+        assert!(hit("site").is_ok());
+        assert_eq!(hits("site"), 3);
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_fires_on_nth_hit() {
+        disarm_all();
+        arm("psite", Fault::PanicOnNth(1));
+        let r = std::panic::catch_unwind(|| hit("psite"));
+        assert!(r.is_err());
+        disarm_all();
+    }
+}

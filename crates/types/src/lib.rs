@@ -9,12 +9,16 @@
 //! *total* order (NULLs first, doubles via `total_cmp`) making rows usable
 //! as keys for grouping, duplicate elimination, and multiset comparison.
 
+mod budget;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 mod ident;
 mod row;
 mod schema;
 mod value;
 
+pub use budget::{Budget, BudgetMeter};
 pub use error::{Error, Result};
 pub use ident::Ident;
 pub use row::{multiset_eq, Row};

@@ -254,3 +254,59 @@ fn truman_and_nontruman_agree_when_query_is_within_the_view() {
     let nt = e.execute(&s, q).unwrap();
     assert_eq!(&truman.rows, &nt.rows().unwrap().rows);
 }
+
+#[test]
+fn failed_dml_does_not_bump_version_or_evict_cache() {
+    // A rolled-back statement must be invisible to the cache layer: the
+    // data version stays put and version-pinned (Conditional) verdicts
+    // keep being served from cache.
+    let mut e = engine();
+    e.grant_view("11", "costudentgrades");
+    e.grant_view("11", "myregistrations");
+    e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
+        .unwrap();
+    let s = Session::new("11");
+    e.execute(&s, "insert into registered values ('11', 'cs101')")
+        .unwrap();
+
+    // Conditional verdict, pinned to the current data version.
+    let q = "select * from grades where course_id = 'cs101'";
+    assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Conditional);
+    let v0 = e.data_version();
+    let (hits_before, _) = e.cache().stats();
+
+    // Unauthorized tuple: statement rejected and rolled back.
+    let err = e.execute(&s, "insert into registered values ('12', 'cs202')");
+    assert!(err.is_err());
+    assert_eq!(e.data_version(), v0, "failed DML must not bump the version");
+
+    // The pinned verdict is still served from cache.
+    assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Conditional);
+    let (hits_after, _) = e.cache().stats();
+    assert!(hits_after > hits_before, "expected a cache hit after failed DML");
+}
+
+#[test]
+fn committed_dml_bumps_version_and_reverifies_conditional_verdicts() {
+    let mut e = engine();
+    e.grant_view("11", "costudentgrades");
+    e.grant_view("11", "myregistrations");
+    e.grant_update_sql("11", "authorize delete on registered where student_id = $user_id")
+        .unwrap();
+    e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
+        .unwrap();
+    let s = Session::new("11");
+    e.execute(&s, "insert into registered values ('11', 'cs101')")
+        .unwrap();
+
+    let q = "select * from grades where course_id = 'cs101'";
+    assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Conditional);
+    let v0 = e.data_version();
+
+    // Committed DML invalidates the pinned verdict: deleting the
+    // registration flips the query back to Invalid.
+    e.execute(&s, "delete from registered where student_id = '11'")
+        .unwrap();
+    assert!(e.data_version() > v0, "committed DML must bump the version");
+    assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Invalid);
+}

@@ -114,3 +114,24 @@ proptest! {
         prop_assert_eq!(q, reparsed, "printed form: {}", printed);
     }
 }
+
+// Regression: pathologically deep nesting used to overflow the parser's
+// native stack; it must now surface as a bounded parse error.
+#[test]
+fn deeply_nested_input_errors_instead_of_overflowing() {
+    for depth in [200usize, 100_000] {
+        let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let err = sql::parse_expr(&src).unwrap_err();
+        assert!(matches!(err, fgac_types::Error::Parse(_)), "depth {depth}: {err:?}");
+    }
+    // Deep prefix chains recurse too.
+    let src = format!("{}b", "not ".repeat(100_000));
+    assert!(sql::parse_expr(&src).is_err());
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    let depth = 60;
+    let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+    assert_eq!(sql::parse_expr(&src).unwrap(), Expr::lit(1));
+}

@@ -1,0 +1,661 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_recursive`,
+//! strategies for integer ranges, tuples, `Just`, `any::<T>()`, a
+//! regex-lite `&'static str` strategy, `collection::vec`, `option::of`,
+//! `bool::ANY`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Cases are generated from a deterministic xoshiro256** stream seeded
+//! by the test name, so failures reproduce across runs. There is no
+//! shrinking: a failing case panics with the formatted assertion
+//! message, which the properties here already make self-describing.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Deterministic generator backing all strategies (xoshiro256**
+    /// seeded from the test name via SplitMix64/FNV).
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let mut x = h;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, n)` (widening multiply; `n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Why a generated case did not count toward the case budget.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject,
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Generic combinator methods carry `where Self: Sized` so the trait
+/// stays object-safe for [`BoxedStrategy`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Recursive strategies up to `depth` nested applications of `f`.
+    ///
+    /// Builds a ladder of strategies — level 0 is `self`, level *i*
+    /// applies `f` to a uniform choice over levels `< i` — and returns
+    /// a uniform choice over all levels, so generated values mix leaf
+    /// and nested shapes while nesting stays bounded. `_desired_size`
+    /// and `_expected_branch` are accepted for signature compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> Union<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let inner = Union {
+                variants: levels.clone(),
+            };
+            levels.push(f(inner.boxed()).boxed());
+        }
+        Union { variants: levels }
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (`Arc` under the hood).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of a common value type
+/// (what `prop_oneof!` builds).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: integer ranges, any::<T>(), regex-lite strings.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u64 as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy for the full domain of `T` (see [`any`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Regex-lite string strategy: a `&'static str` pattern is a sequence
+/// of atoms, each a character class `[...]` (chars and `a-z` ranges) or
+/// a literal character, optionally quantified with `{n}` or `{m,n}`.
+/// Covers patterns like `"[a-z][a-z0-9_]{0,6}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (set, min, max) in &atoms {
+            let count = *min + rng.below((*max - *min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+type PatternAtom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = if c == '[' {
+            let mut set = Vec::new();
+            loop {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                if e == ']' {
+                    break;
+                }
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling '-' in pattern {pat:?}"));
+                    assert!(hi != ']', "dangling '-' in pattern {pat:?}");
+                    set.extend(e..=hi);
+                } else {
+                    set.push(e);
+                }
+            }
+            assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+            set
+        } else {
+            vec![c]
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pat:?}"));
+                if e == '}' {
+                    break;
+                }
+                spec.push(e);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().expect("quantifier lower bound"),
+                    n.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = spec.parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pat:?}");
+        atoms.push((set, min, max));
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------
+// Tuple strategies.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// collection::vec, option::of, bool::ANY.
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors whose length is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range in collection::vec");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) < 3 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct BoolAny;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::bool {
+            rng.bool()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a property; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Discard the current case (does not count toward the case budget)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ..)`
+/// becomes a regular test that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u64 = 0;
+            // prop_assume!-heavy properties get 20 attempts per case
+            // before we call the filter too restrictive.
+            let max_attempts = (config.cases as u64) * 20 + 100;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "prop_assume! rejected too many generated cases in {}",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Self-tests.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_lite_patterns() {
+        let mut rng = TestRng::for_test("regex_lite_patterns");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let s = Strategy::generate(&"[a-z ]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+
+            let s = Strategy::generate(&"[a-z0-9]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges_and_tuples");
+        for _ in 0..1000 {
+            let (a, b, c) = Strategy::generate(&(0..3usize, -2i64..=4, 0u64..100), &mut rng);
+            assert!(a < 3);
+            assert!((-2..=4).contains(&b));
+            assert!(c < 100);
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::for_test("union_and_map");
+        let s = prop_oneof![Just(1i64), 10i64..20, any::<bool>().prop_map(|b| b as i64)];
+        let mut seen_low = false;
+        let mut seen_mid = false;
+        for _ in 0..500 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v == 0 || v == 1 || (10..20).contains(&v));
+            seen_low |= v <= 1;
+            seen_mid |= (10..20).contains(&v);
+        }
+        assert!(seen_low && seen_mid, "union never picked some arms");
+    }
+
+    #[test]
+    fn recursive_strategies_bound_depth() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = Just(()).prop_map(|_| Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = TestRng::for_test("recursive_depth");
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, &mut rng);
+            max_seen = max_seen.max(depth(&t));
+        }
+        assert!(max_seen > 0, "never generated a branch");
+        assert!(max_seen <= 3, "depth bound exceeded: {max_seen}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro path itself: args, assume, and assertions.
+        #[test]
+        fn macro_roundtrip(x in 0i64..50, flag in any::<bool>(), s in "[a-z]{1,3}") {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50 && x != 13);
+            prop_assert_eq!(s.len(), s.chars().count(), "ascii only: {}", s);
+            let _ = flag;
+        }
+    }
+}

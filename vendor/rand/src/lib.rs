@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slice of the rand API the workload generators use:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and [`Rng`] with
+//! `gen_range` (half-open and inclusive integer ranges) and `gen_bool`.
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic
+//! per seed, which is all the data generators need (they fix seeds for
+//! reproducible experiments). Not cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by the workspace, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        // 53 random mantissa bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// A range that can be sampled, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (sample_below(rng, span) as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (sample_below(rng, span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform sample in `[0, span)` by widening multiply (Lemire's method,
+/// without the rejection step — bias is < 2^-64, irrelevant for test
+/// data generation).
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    ((rng.next_u64() as u128 * span) >> 64) as u64
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator, mirroring `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let v: usize = r.gen_range(0usize..3);
+            assert!(v < 3);
+            let v: i64 = r.gen_range(0i64..=50);
+            assert!((0..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

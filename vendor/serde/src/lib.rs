@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The real `serde` cannot be fetched in this build environment, and the
+//! workspace only uses it for `#[derive(Serialize, Deserialize)]`
+//! annotations on plain data types. This crate provides the two marker
+//! traits and re-exports no-op derive macros so those annotations
+//! compile. Nothing in the workspace serializes at runtime today; when a
+//! wire format lands, swap this path dependency back to the real crate.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! `#[derive(serde::Serialize, serde::Deserialize)]` must parse and
+//! expand; the workspace never calls serialization at runtime, so the
+//! expansions are intentionally empty. (Emitting real trait impls would
+//! require parsing generics without `syn`, which is unavailable offline;
+//! empty expansions keep the annotations inert and honest.)
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
