@@ -1,0 +1,199 @@
+//! Hot-path benchmark: cold admission vs warm (plan-cache + validity-
+//! cache) repeat execution, plus the executor's rows-cloned reduction.
+//!
+//! Emits `BENCH_hotpath.json` (see EXPERIMENTS.md for the field
+//! reference) and optionally gates against a checked-in baseline:
+//!
+//! ```text
+//! hotpath [--students N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! With `--check`, the process exits non-zero when the warm repeat-query
+//! throughput falls below 75% of the baseline's `warm_qps`, or when the
+//! warm-over-cold speedup drops under the 5x floor — the CI regression
+//! gate for the admission-to-execution hot path.
+
+use fgac_bench::{pick_triple, university};
+use fgac_core::Session;
+use std::time::Instant;
+
+/// Minimum acceptable warm-over-cold speedup.
+const MIN_WARM_OVER_COLD: f64 = 5.0;
+/// Fraction of the baseline throughput that still passes.
+const QPS_TOLERANCE: f64 = 0.75;
+
+struct Args {
+    students: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        students: 100,
+        out: "BENCH_hotpath.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--students" => args.students = value("--students").parse().expect("--students: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Median of already-collected microsecond samples.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own baseline files without a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut uni = university(args.students);
+    let (student, _reg, _unreg) = pick_triple(&uni);
+    let session = Session::new(student.clone());
+
+    // The canonical repeated query: the student's own grades, valid via
+    // the MyGrades authorization view.
+    let sql = "select course_id, grade from grades where student_id = $user_id";
+
+    // --- Cold: every iteration pays parse + bind + validity inference.
+    let cold_iters = 21;
+    let mut cold = Vec::with_capacity(cold_iters);
+    for _ in 0..cold_iters {
+        uni.engine.plan_cache().clear();
+        uni.engine.cache().clear();
+        let t = Instant::now();
+        std::hint::black_box(uni.engine.execute(&session, sql).expect("valid query"));
+        cold.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let cold_us = median(&mut cold);
+
+    // --- Warm: plan cache + validity cache both hit.
+    uni.engine.plan_cache().clear();
+    uni.engine.cache().clear();
+    uni.engine.execute(&session, sql).expect("warmup");
+    let warm_iters = 201;
+    let mut warm = Vec::with_capacity(warm_iters);
+    for _ in 0..warm_iters {
+        let t = Instant::now();
+        std::hint::black_box(uni.engine.execute(&session, sql).expect("valid query"));
+        warm.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let warm_us = median(&mut warm);
+    let warm_over_cold = cold_us / warm_us.max(1e-9);
+
+    // --- Warm throughput over a fixed window.
+    let tp_iters = 2_000u64;
+    let t = Instant::now();
+    for _ in 0..tp_iters {
+        std::hint::black_box(uni.engine.execute(&session, sql).expect("valid query"));
+    }
+    let warm_qps = tp_iters as f64 / t.elapsed().as_secs_f64();
+
+    let plan = uni.engine.plan_cache().snapshot();
+    let validity = uni.engine.cache().snapshot();
+
+    // --- Executor copy cost: full scan vs selective lookup. The admin
+    // bypasses validity checking, so this measures the executor alone.
+    let table_rows = uni
+        .engine
+        .database()
+        .table(&"grades".into())
+        .expect("grades exists")
+        .rows()
+        .len() as u64;
+    fgac_exec::reset_rows_cloned();
+    let full = fgac_exec::run_query_sql(
+        uni.engine.database(),
+        "select * from grades",
+        session.params(),
+    )
+    .expect("full scan runs");
+    let rows_cloned_full = fgac_exec::rows_cloned();
+    fgac_exec::reset_rows_cloned();
+    let selective = fgac_exec::run_query_sql(
+        uni.engine.database(),
+        &format!("select grade from grades where student_id = '{student}'"),
+        session.params(),
+    )
+    .expect("selective query runs");
+    let rows_cloned_selective = fgac_exec::rows_cloned();
+
+    // --- Gates.
+    let speedup_ok = warm_over_cold >= MIN_WARM_OVER_COLD;
+    let baseline_qps = args.check.as_deref().map(|path| {
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        json_number(&doc, "warm_qps").unwrap_or_else(|| panic!("baseline {path} lacks warm_qps"))
+    });
+    let qps_ok = baseline_qps.is_none_or(|b| warm_qps >= QPS_TOLERANCE * b);
+    let pass = speedup_ok && qps_ok;
+
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-hotpath-v1\",\n  \"students\": {},\n  \"table_rows\": {},\n  \"cold_check_us\": {:.1},\n  \"warm_check_us\": {:.1},\n  \"warm_over_cold\": {:.1},\n  \"warm_qps\": {:.0},\n  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"validity_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n  \"rows_cloned_full_scan\": {},\n  \"rows_cloned_selective\": {},\n  \"selective_result_rows\": {},\n  \"gates\": {{ \"min_warm_over_cold\": {:.1}, \"qps_tolerance\": {:.2}, \"baseline_warm_qps\": {}, \"pass\": {} }}\n}}\n",
+        args.students,
+        table_rows,
+        cold_us,
+        warm_us,
+        warm_over_cold,
+        warm_qps,
+        plan.hits,
+        plan.misses,
+        plan.entries,
+        validity.hits,
+        validity.misses,
+        validity.entries,
+        rows_cloned_full,
+        rows_cloned_selective,
+        selective.rows.len(),
+        MIN_WARM_OVER_COLD,
+        QPS_TOLERANCE,
+        baseline_qps.map_or("null".to_string(), |b| format!("{b:.0}")),
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+    assert_eq!(full.rows.len() as u64, table_rows, "full scan sees every row");
+    eprintln!(
+        "cold {cold_us:.1}µs -> warm {warm_us:.1}µs ({warm_over_cold:.1}x), \
+         {warm_qps:.0} q/s warm; cloned {rows_cloned_selective}/{table_rows} rows selective"
+    );
+
+    if !speedup_ok {
+        eprintln!(
+            "GATE FAIL: warm-over-cold {warm_over_cold:.1}x < required {MIN_WARM_OVER_COLD:.1}x"
+        );
+    }
+    if !qps_ok {
+        eprintln!(
+            "GATE FAIL: warm throughput {warm_qps:.0} q/s under {:.0}% of baseline {:.0} q/s",
+            QPS_TOLERANCE * 100.0,
+            baseline_qps.unwrap_or(0.0)
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

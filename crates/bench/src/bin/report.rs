@@ -366,8 +366,14 @@ fn e5() {
             )
         );
     }
-    let (hits, misses) = uni.engine.cache().stats();
-    println!("\ncache counters: {hits} hits / {misses} misses");
+    let snap = uni.engine.cache().snapshot();
+    println!(
+        "\ncache counters: {} hits / {} misses ({} entries, {:.0}% hit rate)",
+        snap.hits,
+        snap.misses,
+        snap.entries,
+        snap.hit_rate() * 100.0
+    );
     println!(
         "shape check (paper §5.6): 'if the same query is reissued multiple\n\
          times in a session, we can cache the results of the validity\n\

@@ -16,6 +16,14 @@
 //! mutation; unconditional verdicts and rejections survive data changes
 //! (they quantify over all states) but not authorization/schema changes,
 //! which bump the policy epoch and clear everything.
+//!
+//! ## Concurrency
+//!
+//! The map is split into [`SHARDS`] independently-locked shards selected
+//! by the key's hash, so concurrent lookups for different keys rarely
+//! contend, and the hit/miss counters are a single packed [`AtomicU64`]
+//! — one relaxed `fetch_add` per lookup instead of the three mutex
+//! acquisitions (entries + hits + misses) the first implementation paid.
 
 use crate::nontruman::Verdict;
 use fgac_algebra::Plan;
@@ -23,6 +31,16 @@ use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards. A power of two so shard
+/// selection is a mask.
+const SHARDS: usize = 16;
+
+/// One lookup outcome unit in the packed counter word: hits live in the
+/// high 32 bits, misses in the low 32.
+const HIT_UNIT: u64 = 1 << 32;
+const MISS_UNIT: u64 = 1;
 
 /// Cache lookup result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,18 +49,58 @@ pub enum CacheOutcome {
     Miss,
 }
 
+/// A coherent point-in-time view of the cache counters.
+///
+/// Both counters come from a *single* atomic load of the packed counter
+/// word, so a snapshot can never observe a lookup half-applied (a hit
+/// counted but visible as neither hit nor miss, or vice versa) — the
+/// tearing the old two-lock `stats()` allowed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Live entries across all shards at (approximately) snapshot time.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     verdict: Verdict,
     data_version: u64,
 }
 
-/// A concurrent validity cache.
-#[derive(Debug, Default)]
+/// A concurrent, sharded validity cache.
+#[derive(Debug)]
 pub struct ValidityCache {
-    entries: Mutex<HashMap<(String, u64), Entry>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    shards: [Mutex<HashMap<(String, u64), Entry>>; SHARDS],
+    /// `hits << 32 | misses`, updated with one relaxed fetch_add per
+    /// lookup. Each half holds 2^32 lookups; the process-lifetime counts
+    /// this engine sees stay far below that.
+    counters: AtomicU64,
+}
+
+impl Default for ValidityCache {
+    fn default() -> Self {
+        ValidityCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            counters: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ValidityCache {
@@ -68,28 +126,43 @@ impl ValidityCache {
         h.finish()
     }
 
+    fn shard(&self, user: &str, fingerprint: u64) -> &Mutex<HashMap<(String, u64), Entry>> {
+        let mut h = DefaultHasher::new();
+        user.hash(&mut h);
+        fingerprint.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    fn count_hit(&self) {
+        self.counters.fetch_add(HIT_UNIT, Ordering::Relaxed);
+    }
+
+    fn count_miss(&self) {
+        self.counters.fetch_add(MISS_UNIT, Ordering::Relaxed);
+    }
+
     /// Looks up a verdict for (user, plan) at the given data version.
     pub fn lookup(&self, user: &str, fingerprint: u64, data_version: u64) -> CacheOutcome {
-        let entries = self.entries.lock();
-        match entries.get(&(user.to_string(), fingerprint)) {
+        let shard = self.shard(user, fingerprint).lock();
+        match shard.get(&(user.to_string(), fingerprint)) {
             Some(e) => {
-                // Conditional verdicts are state-dependent.
-                if e.verdict == Verdict::Conditional && e.data_version != data_version {
-                    *self.misses.lock() += 1;
+                // Conditional verdicts are state-dependent; Invalid
+                // verdicts may become Conditional after inserts (the C3
+                // probe can flip from empty to non-empty). Both are
+                // state-pinned; only Unconditional survives data changes.
+                if e.verdict != Verdict::Unconditional && e.data_version != data_version {
+                    drop(shard);
+                    self.count_miss();
                     return CacheOutcome::Miss;
                 }
-                // Invalid verdicts may become Conditional after inserts
-                // (the C3 probe can flip from empty to non-empty), so
-                // they are also state-pinned.
-                if e.verdict == Verdict::Invalid && e.data_version != data_version {
-                    *self.misses.lock() += 1;
-                    return CacheOutcome::Miss;
-                }
-                *self.hits.lock() += 1;
-                CacheOutcome::Hit(e.verdict)
+                let verdict = e.verdict;
+                drop(shard);
+                self.count_hit();
+                CacheOutcome::Hit(verdict)
             }
             None => {
-                *self.misses.lock() += 1;
+                drop(shard);
+                self.count_miss();
                 CacheOutcome::Miss
             }
         }
@@ -97,7 +170,7 @@ impl ValidityCache {
 
     /// Records a verdict.
     pub fn store(&self, user: &str, fingerprint: u64, data_version: u64, verdict: Verdict) {
-        self.entries.lock().insert(
+        self.shard(user, fingerprint).lock().insert(
             (user.to_string(), fingerprint),
             Entry {
                 verdict,
@@ -109,20 +182,34 @@ impl ValidityCache {
     /// Clears everything — required when views, grants, or schema change
     /// (a new policy epoch).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
-    /// (hits, misses) counters — experiment E5 instrumentation.
+    /// (hits, misses) counters — experiment E5 instrumentation. The pair
+    /// comes from one atomic load, so it is internally consistent.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        let packed = self.counters.load(Ordering::Relaxed);
+        (packed >> 32, packed & 0xFFFF_FFFF)
+    }
+
+    /// A coherent snapshot of counters and occupancy.
+    pub fn snapshot(&self) -> CacheStats {
+        let (hits, misses) = self.stats();
+        CacheStats {
+            hits,
+            misses,
+            entries: self.len(),
+        }
     }
 }
 
@@ -187,5 +274,34 @@ mod tests {
         assert_eq!(c.stats(), (1, 1));
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_counters() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("u", fp, 0, Verdict::Unconditional);
+        for _ in 0..5 {
+            let _ = c.lookup("u", fp, 0);
+        }
+        let _ = c.lookup("u", fp ^ 1, 0);
+        let snap = c.snapshot();
+        assert_eq!((snap.hits, snap.misses), (5, 1));
+        assert_eq!(snap.lookups(), 6);
+        assert!(snap.hit_rate() > 0.8);
+        assert_eq!(snap.entries, 1);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        // Not a correctness requirement, but the sharding is pointless if
+        // everything lands in one shard; check a spread of keys occupies
+        // several.
+        let c = ValidityCache::new();
+        for i in 0..64u64 {
+            c.store(&format!("user{i}"), i.wrapping_mul(0x9E37_79B9_7F4A_7C15), 0, Verdict::Unconditional);
+        }
+        let occupied = c.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(occupied >= SHARDS / 2, "only {occupied} shards occupied");
     }
 }

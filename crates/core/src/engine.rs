@@ -4,10 +4,19 @@
 //! caching), per-tuple update authorization, and the Truman baseline.
 //! DDL and grant management run through `admin_*` methods (the DBA
 //! path); `execute` is the user path and enforces access control.
+//!
+//! ## The hot path
+//!
+//! A repeated query under warm caches costs: one plan-cache lookup
+//! (skips parse + bind + normalize + fingerprint), one validity-cache
+//! lookup (skips the whole inference pipeline), and one executor run
+//! over borrowed scans (clones only the surviving rows). See
+//! DESIGN.md "Hot path & caching layers".
 
 use crate::cache::{CacheOutcome, ValidityCache};
 use crate::grants::Grants;
 use crate::nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
+use crate::plancache::{CachedPlan, PlanCache};
 use crate::session::Session;
 use crate::truman::TrumanPolicy;
 use crate::updates::UpdateAuthorizer;
@@ -15,6 +24,7 @@ use fgac_exec::QueryResult;
 use fgac_sql::Statement;
 use fgac_storage::{Database, ForeignKey, InclusionDependency, ViewDef};
 use fgac_types::{Error, Ident, Result, Row, Schema};
+use std::sync::Arc;
 
 /// Response from [`Engine::execute`].
 #[derive(Debug, Clone, PartialEq)]
@@ -46,9 +56,13 @@ pub struct Engine {
     db: Database,
     grants: Grants,
     cache: ValidityCache,
+    plan_cache: PlanCache,
     options: CheckOptions,
     /// Bumped on every successful DML — versions conditional verdicts.
     data_version: u64,
+    /// Bumped on every catalog or authorization change — versions cached
+    /// plans (binding depends on the catalog; validity depends on both).
+    policy_epoch: u64,
 }
 
 impl Engine {
@@ -57,8 +71,10 @@ impl Engine {
             db: Database::new(),
             grants: Grants::new(),
             cache: ValidityCache::new(),
+            plan_cache: PlanCache::new(),
             options: CheckOptions::default(),
             data_version: 0,
+            policy_epoch: 0,
         }
     }
 
@@ -80,8 +96,30 @@ impl Engine {
         &self.cache
     }
 
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
     pub fn data_version(&self) -> u64 {
         self.data_version
+    }
+
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch
+    }
+
+    /// An authorization or view-definition change: cached verdicts are
+    /// no longer sound, and cached plans may embed stale view bodies.
+    fn policy_change(&mut self) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+    }
+
+    /// A pure catalog extension (new table): existing verdicts stay
+    /// sound — they quantify over the relations they mention — but
+    /// binding outcomes can change, so cached plans are retired.
+    fn schema_change(&mut self) {
+        self.policy_epoch += 1;
     }
 
     // ---------------- DBA path ----------------
@@ -122,6 +160,7 @@ impl Engine {
                         parent_columns: fk.parent_columns.clone(),
                     })?;
                 }
+                self.schema_change();
             }
             Statement::CreateView(v) => {
                 self.db.add_view(ViewDef {
@@ -129,7 +168,7 @@ impl Engine {
                     authorization: v.authorization,
                     query: v.query.clone(),
                 })?;
-                self.cache.clear();
+                self.policy_change();
             }
             Statement::CreateInclusionDependency(d) => {
                 self.db.add_inclusion_dependency(InclusionDependency {
@@ -141,7 +180,7 @@ impl Engine {
                     dst_columns: d.dst_columns.clone(),
                     dst_filter: d.dst_filter.clone(),
                 })?;
-                self.cache.clear();
+                self.policy_change();
             }
             Statement::Insert(i) => {
                 let n = fgac_exec::execute_insert(
@@ -195,14 +234,21 @@ impl Engine {
     /// Grants an authorization view to a principal.
     pub fn grant_view(&mut self, principal: &str, view: &str) {
         self.grants.grant_view(principal, view);
-        self.cache.clear();
+        self.policy_change();
+    }
+
+    /// Revokes an authorization view from a principal. Cached verdicts
+    /// and plans derived under the old grant set are discarded.
+    pub fn revoke_view(&mut self, principal: &str, view: &str) {
+        self.grants.revoke_view(principal, &Ident::new(view));
+        self.policy_change();
     }
 
     /// Makes an integrity constraint visible to a principal (U3a
     /// condition 2).
     pub fn grant_constraint(&mut self, principal: &str, name: &str) {
         self.grants.grant_constraint(principal, name);
-        self.cache.clear();
+        self.policy_change();
     }
 
     /// Grants an `AUTHORIZE ...` update authorization (SQL text).
@@ -219,14 +265,14 @@ impl Engine {
     /// Adds a user to a role.
     pub fn add_role(&mut self, user: &str, role: &str) {
         self.grants.add_role(user, role);
-        self.cache.clear();
+        self.policy_change();
     }
 
     /// Delegates a view grant between users (Section 6). The delegator
     /// must hold the view.
     pub fn delegate_view(&mut self, from: &str, to: &str, view: &str) -> Result<()> {
         self.grants.delegate_view(from, to, &Ident::new(view))?;
-        self.cache.clear();
+        self.policy_change();
         Ok(())
     }
 
@@ -235,9 +281,80 @@ impl Engine {
     /// Executes a statement under the **Non-Truman model**: queries are
     /// validity-checked and run unmodified or rejected; DML is authorized
     /// per tuple (Section 4.4).
+    ///
+    /// Repeated query texts take the zero-parse fast path: the admitted
+    /// plan comes from the plan cache keyed on `(policy epoch, SQL,
+    /// session parameters)`, so steady-state admission is two cache
+    /// lookups.
     pub fn execute(&mut self, session: &Session, sql: &str) -> Result<EngineResponse> {
+        if let Some(cached) = self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+            return self.execute_cached_query(session, &cached);
+        }
         let stmt = fgac_sql::parse_statement(sql)?;
+        if let Statement::Query(q) = &stmt {
+            let cached = self.admit_query(session, sql, q)?;
+            return self.execute_cached_query(session, &cached);
+        }
         self.execute_statement(session, &stmt)
+    }
+
+    /// Binds, normalizes, and fingerprints a parsed query, publishing
+    /// the result in the plan cache under the current policy epoch.
+    /// Bind failures are returned (and not cached).
+    pub(crate) fn admit_query(
+        &self,
+        session: &Session,
+        sql: &str,
+        q: &fgac_sql::Query,
+    ) -> Result<Arc<CachedPlan>> {
+        let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
+        let normalized = fgac_algebra::normalize(&bound.plan);
+        let validity_fp = ValidityCache::fingerprint_in_session(&normalized, session.params());
+        let cached = Arc::new(CachedPlan {
+            bound,
+            normalized,
+            validity_fp,
+        });
+        self.plan_cache
+            .insert(self.policy_epoch, sql, session.params(), cached.clone());
+        Ok(cached)
+    }
+
+    /// Validity-checks and runs an admitted query. Panic-isolated like
+    /// [`Engine::execute_statement`]; queries never mutate tables, so no
+    /// undo snapshot is needed.
+    pub(crate) fn execute_cached_query(
+        &self,
+        session: &Session,
+        cached: &CachedPlan,
+    ) -> Result<EngineResponse> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_cached_query_inner(session, cached)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(Error::Internal(format!(
+                "statement execution panicked: {}",
+                panic_message(payload)
+            ))),
+        }
+    }
+
+    fn execute_cached_query_inner(
+        &self,
+        session: &Session,
+        cached: &CachedPlan,
+    ) -> Result<EngineResponse> {
+        let report = self.check_admitted(session, &cached.normalized, cached.validity_fp)?;
+        if !report.is_valid() {
+            return Err(deny_error(report));
+        }
+        // Valid: execute the ORIGINAL query, unmodified.
+        let rows = fgac_exec::execute_bound(&self.db, &cached.bound)?;
+        Ok(EngineResponse::Rows(QueryResult {
+            names: cached.bound.output_names.clone(),
+            rows,
+        }))
     }
 
     /// Executes an already-parsed statement (the prepared-statement
@@ -269,15 +386,9 @@ impl Engine {
                     // DDL is admin-only, so this cannot fail.
                     let _ = self.db.restore_table(snap);
                 }
-                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
                 Err(Error::Internal(format!(
-                    "statement execution panicked: {msg}"
+                    "statement execution panicked: {}",
+                    panic_message(payload)
                 )))
             }
         }
@@ -290,21 +401,17 @@ impl Engine {
     ) -> Result<EngineResponse> {
         match stmt {
             Statement::Query(q) => {
-                let report = self.check_cached(session, q)?;
+                // No SQL text here, so the plan cache is bypassed (the
+                // textful paths — execute / prepared statements — hit
+                // it); admission still happens exactly once.
+                let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
+                let normalized = fgac_algebra::normalize(&bound.plan);
+                let fp = ValidityCache::fingerprint_in_session(&normalized, session.params());
+                let report = self.check_admitted(session, &normalized, fp)?;
                 if !report.is_valid() {
-                    // Fail closed. An exhausted check keeps its own error
-                    // class so callers can distinguish "proved invalid"
-                    // from "ran out of budget before proving validity" —
-                    // but both deny.
-                    if let Some(phase) = report.exhausted {
-                        return Err(Error::ResourceExhausted(phase));
-                    }
-                    return Err(Error::Unauthorized(report.reason.unwrap_or_else(|| {
-                        "query rejected by the Non-Truman validity check".into()
-                    })));
+                    return Err(deny_error(report));
                 }
                 // Valid: execute the ORIGINAL query, unmodified.
-                let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
                 let rows = fgac_exec::execute_bound(&self.db, &bound)?;
                 Ok(EngineResponse::Rows(QueryResult {
                     names: bound.output_names,
@@ -336,16 +443,27 @@ impl Engine {
     }
 
     /// The validity check alone (with caching) — what the optimizer
-    /// would run at prepare time.
+    /// would run at prepare time. Warms both the plan cache and the
+    /// validity cache.
     pub fn check(&self, session: &Session, sql: &str) -> Result<ValidityReport> {
-        let q = fgac_sql::parse_query(sql)?;
-        self.check_cached(session, &q)
+        let cached = match self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+            Some(c) => c,
+            None => {
+                let q = fgac_sql::parse_query(sql)?;
+                self.admit_query(session, sql, &q)?
+            }
+        };
+        self.check_admitted(session, &cached.normalized, cached.validity_fp)
     }
 
-    fn check_cached(&self, session: &Session, q: &fgac_sql::Query) -> Result<ValidityReport> {
-        let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
-        let plan = fgac_algebra::normalize(&bound.plan);
-        let fp = ValidityCache::fingerprint_in_session(&plan, session.params());
+    /// Validity check of an admitted (bound + normalized) plan through
+    /// the validity cache.
+    fn check_admitted(
+        &self,
+        session: &Session,
+        plan: &fgac_algebra::Plan,
+        fp: u64,
+    ) -> Result<ValidityReport> {
         if let CacheOutcome::Hit(verdict) = self.cache.lookup(session.user(), fp, self.data_version)
         {
             return Ok(ValidityReport {
@@ -363,7 +481,7 @@ impl Engine {
         }
         let report = match Validator::new(&self.db, &self.grants)
             .with_options(self.options.clone())
-            .check_plan(session, &plan)
+            .check_plan(session, plan)
         {
             Ok(report) => report,
             Err(Error::ResourceExhausted(phase)) => {
@@ -401,6 +519,28 @@ impl Engine {
 
     fn bump(&mut self) {
         self.data_version += 1;
+    }
+}
+
+/// Maps a non-valid report to the engine's deny error, preserving the
+/// ResourceExhausted class so callers can distinguish "proved invalid"
+/// from "ran out of budget before proving validity" — both deny.
+fn deny_error(report: ValidityReport) -> Error {
+    if let Some(phase) = report.exhausted {
+        return Error::ResourceExhausted(phase);
+    }
+    Error::Unauthorized(report.reason.unwrap_or_else(|| {
+        "query rejected by the Non-Truman validity check".into()
+    }))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -486,6 +626,18 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_hits_on_repeat() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let q = "select grade from grades where student_id = '11'";
+        e.execute(&s, q).unwrap();
+        e.execute(&s, q).unwrap();
+        e.execute(&s, q).unwrap();
+        let (hits, misses) = e.plan_cache().stats();
+        assert!(hits >= 2, "plan cache hits {hits} misses {misses}");
+    }
+
+    #[test]
     fn dml_requires_authorization() {
         let mut e = engine();
         let s = Session::new("11");
@@ -507,6 +659,17 @@ mod tests {
         let s = Session::new("11");
         let err = e.execute(&s, "create table t (a int)");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn revoked_view_rejects_previously_valid_query() {
+        let mut e = engine();
+        let s = Session::new("11");
+        let q = "select grade from grades where student_id = '11'";
+        e.execute(&s, q).unwrap();
+        e.revoke_view("11", "mygrades");
+        let err = e.execute(&s, q).unwrap_err();
+        assert!(err.is_unauthorized(), "got {err:?}");
     }
 
     #[test]

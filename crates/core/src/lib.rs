@@ -19,8 +19,11 @@
 //!   of the Volcano AND-OR DAG.
 //! * [`UpdateAuthorizer`] (`updates`) — per-tuple authorization of INSERT/UPDATE/DELETE
 //!   (Section 4.4).
-//! * [`ValidityCache`] (`cache`) — validity-check caching for repeated/prepared queries
-//!   (the Section 5.6 optimizations).
+//! * [`ValidityCache`] (`cache`) — sharded validity-check caching for
+//!   repeated/prepared queries (the Section 5.6 optimizations).
+//! * [`PlanCache`] (`plancache`) — memoized parse+bind so repeated
+//!   statements skip admission entirely (DESIGN.md "Hot path & caching
+//!   layers").
 //! * [`Engine`] — the façade a downstream application uses: DDL, grants,
 //!   policy setup, and `execute` which enforces the chosen model.
 
@@ -29,14 +32,16 @@ mod cache;
 mod engine;
 mod grants;
 pub mod nontruman;
+mod plancache;
 mod prepared;
 mod session;
 pub mod truman;
 mod updates;
 
 pub use authview::AuthorizationView;
-pub use cache::{CacheOutcome, ValidityCache};
+pub use cache::{CacheOutcome, CacheStats, ValidityCache};
 pub use engine::{Engine, EngineResponse};
+pub use plancache::{CachedPlan, PlanCache};
 pub use grants::Grants;
 pub use prepared::Prepared;
 pub use nontruman::{CheckOptions, Validator, Verdict, ValidityReport};

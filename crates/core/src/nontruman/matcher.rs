@@ -226,6 +226,50 @@ pub fn is_duplicate_free(catalog: &Catalog, block: &SpjBlock) -> bool {
     })
 }
 
+/// An index of SPJ blocks by their base-relation multiset.
+///
+/// [`match_block_metered`] can only ever succeed when `Q` and `V` scan
+/// the *same multiset* of base tables — its first two checks reject
+/// everything else. The validator accumulates hundreds of valid blocks
+/// (views, σ-restrictions, U2 compositions, U3 cores), so probing each
+/// one linearly pays a sort + comparison per pair just to discover the
+/// mismatch. This index buckets blocks by their sorted scan-table list;
+/// a lookup returns only the blocks that could possibly align, and every
+/// returned candidate goes straight to the alignment search.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateIndex {
+    by_tables: std::collections::HashMap<Vec<Ident>, Vec<usize>>,
+}
+
+impl CandidateIndex {
+    /// The block's matching signature: its scan tables, sorted (a
+    /// canonical multiset encoding).
+    pub fn signature(block: &SpjBlock) -> Vec<Ident> {
+        let mut tables: Vec<Ident> = block.scans.iter().map(|(t, _)| t.clone()).collect();
+        tables.sort();
+        tables
+    }
+
+    /// Records that the block with handle `idx` has `signature`.
+    pub fn insert(&mut self, signature: Vec<Ident>, idx: usize) {
+        self.by_tables.entry(signature).or_default().push(idx);
+    }
+
+    /// Handles of every indexed block with exactly this signature.
+    pub fn bucket(&self, signature: &[Ident]) -> &[usize] {
+        self.by_tables
+            .get(signature)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Handles of the blocks that could possibly match `block` — i.e.
+    /// whose scan-table multiset equals `block`'s.
+    pub fn candidates(&self, block: &SpjBlock) -> &[usize] {
+        self.bucket(&Self::signature(block))
+    }
+}
+
 /// Is `col` forced to a single value by the conjuncts?
 fn pinned_by(conjuncts: &[ScalarExpr], col: usize, arity: usize) -> bool {
     use fgac_algebra::CmpOp;

@@ -148,6 +148,56 @@ struct ValidBlock {
     origin: String,
 }
 
+/// The growing set of known-valid blocks, kept in insertion order plus a
+/// [`matcher::CandidateIndex`] over base-relation multisets. The matcher
+/// passes consult only the candidate bucket for a query block's
+/// signature instead of scanning the whole set — the SPJ matcher can
+/// only succeed on an exact scan-multiset match, so everything outside
+/// the bucket is a guaranteed miss.
+#[derive(Debug, Clone, Default)]
+struct ValidSet {
+    blocks: Vec<ValidBlock>,
+    index: matcher::CandidateIndex,
+}
+
+impl ValidSet {
+    /// Adds `block` unless an identical one is present (the duplicate
+    /// scan is confined to the same-signature bucket). Returns whether
+    /// the set grew.
+    fn push(&mut self, block: SpjBlock, origin: String) -> bool {
+        let signature = matcher::CandidateIndex::signature(&block);
+        if self
+            .index
+            .bucket(&signature)
+            .iter()
+            .any(|&i| self.blocks[i].block == block)
+        {
+            return false;
+        }
+        self.index.insert(signature, self.blocks.len());
+        self.blocks.push(ValidBlock { block, origin });
+        true
+    }
+
+    /// Every valid block, in insertion order.
+    fn iter(&self) -> impl Iterator<Item = &ValidBlock> {
+        self.blocks.iter()
+    }
+
+    /// Only the blocks whose scan-table multiset equals `block`'s — the
+    /// ones [`matcher::match_block_metered`] could possibly accept.
+    fn candidates(&self, block: &SpjBlock) -> impl Iterator<Item = &ValidBlock> {
+        self.index
+            .candidates(block)
+            .iter()
+            .map(move |&i| &self.blocks[i])
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
 impl<'a> Validator<'a> {
     pub fn new(db: &'a Database, grants: &'a Grants) -> Self {
         Validator {
@@ -293,13 +343,10 @@ impl<'a> Validator<'a> {
         }
 
         // --- Valid blocks for the matcher + U3 derivations. -----------
-        let mut valid_blocks: Vec<ValidBlock> = Vec::new();
+        let mut valid_blocks = ValidSet::default();
         for (name, vplan) in &regular {
             if let Some(block) = SpjBlock::decompose(vplan) {
-                valid_blocks.push(ValidBlock {
-                    block,
-                    origin: format!("view {name}"),
-                });
+                valid_blocks.push(block, format!("view {name}"));
             }
         }
 
@@ -317,15 +364,13 @@ impl<'a> Validator<'a> {
             // tables than any single one (Examples 5.3 and 5.4).
             if self.options.enable_u3 || self.options.enable_c3 {
                 if let Some(qb) = &qblock {
-                    let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                    let snapshot: Vec<ValidBlock> = valid_blocks.blocks.clone();
                     for vb in &snapshot {
                         meter.charge(PHASE, 1)?;
                         if let Some(restricted) = strengthen::restrict_by_query(qb, &vb.block) {
-                            if push_block(
-                                &mut valid_blocks,
-                                restricted,
-                                format!("σ-restriction of {}", vb.origin),
-                            ) {
+                            if valid_blocks
+                                .push(restricted, format!("σ-restriction of {}", vb.origin))
+                            {
                                 changed = true;
                             }
                         }
@@ -360,7 +405,7 @@ impl<'a> Validator<'a> {
                             *slot >= 0
                         })
                     };
-                    let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                    let snapshot: Vec<ValidBlock> = valid_blocks.blocks.clone();
                     for (i, a) in snapshot.iter().enumerate() {
                         for b in snapshot.iter().skip(i + 1) {
                             if a.block.scans.len() + b.block.scans.len() > 4
@@ -381,15 +426,13 @@ impl<'a> Validator<'a> {
                                     }
                                     let origin =
                                         format!("U2 join of {} and {}", x.origin, y.origin);
-                                    if push_block(&mut valid_blocks, composed.clone(), origin.clone())
-                                    {
+                                    if valid_blocks.push(composed.clone(), origin.clone()) {
                                         changed = true;
                                     }
                                     if let Some(restricted) =
                                         strengthen::restrict_by_query(qb, &composed)
                                     {
-                                        if push_block(
-                                            &mut valid_blocks,
+                                        if valid_blocks.push(
                                             restricted,
                                             format!("σ-restriction of {origin}"),
                                         ) {
@@ -405,11 +448,10 @@ impl<'a> Validator<'a> {
 
             // U3 derivations from every known-valid block.
             if self.options.enable_u3 {
-                let snapshot: Vec<ValidBlock> = valid_blocks.clone();
+                let snapshot: Vec<ValidBlock> = valid_blocks.blocks.clone();
                 for vb in &snapshot {
                     for d in u3::derive_metered(self.db.catalog(), &visible, &vb.block, &meter)? {
-                        if push_block(
-                            &mut valid_blocks,
+                        if valid_blocks.push(
                             d.core.clone(),
                             format!(
                                 "U3a/U3b on {} with constraint {} (remainder {})",
@@ -429,8 +471,7 @@ impl<'a> Validator<'a> {
                             if self.block_is_valid(&dag, &marking, &valid_blocks, w, &meter)? {
                                 let mut non_distinct = d.core.clone();
                                 non_distinct.distinct = false;
-                                if push_block(
-                                    &mut valid_blocks,
+                                if valid_blocks.push(
                                     non_distinct.clone(),
                                     format!("U3c on {}", vb.origin),
                                 ) {
@@ -462,7 +503,7 @@ impl<'a> Validator<'a> {
                 let Some(block) = SpjBlock::decompose(&plan) else {
                     continue;
                 };
-                for vb in &valid_blocks {
+                for vb in valid_blocks.candidates(&block) {
                     if let Some(_w) =
                         matcher::match_block_metered(self.db.catalog(), &block, &vb.block, &meter)?
                     {
@@ -520,7 +561,7 @@ impl<'a> Validator<'a> {
         // --- Conditional validity: C3a/C3b. ---------------------------
         if self.options.enable_c3 {
             if let Some(qblock) = SpjBlock::decompose(&qplan) {
-                for vb in &valid_blocks {
+                for vb in valid_blocks.iter() {
                     for cand in
                         c3::candidates_metered(self.db.catalog(), &qblock, &vb.block, &meter)?
                     {
@@ -544,7 +585,9 @@ impl<'a> Validator<'a> {
                         // …and non-empty on the current database state.
                         let vr_plan = cand.v_r.to_plan();
                         meter.charge("C3 state probe", 1)?;
-                        let vr_rows = fgac_exec::execute_plan(self.db, &vr_plan)?;
+                        // Borrowed execution: the probe only needs the
+                        // cardinality, so nothing is materialized.
+                        let vr_rows = fgac_exec::execute_plan_cow(self.db, &vr_plan)?;
                         if vr_rows.is_empty() {
                             rules.push(format!(
                                 "{} rejected: remainder probe is empty on this state",
@@ -583,12 +626,13 @@ impl<'a> Validator<'a> {
         &self,
         dag: &Dag,
         marking: &Marking,
-        valid_blocks: &[ValidBlock],
+        valid_blocks: &ValidSet,
         block: &SpjBlock,
         meter: &BudgetMeter,
     ) -> Result<bool> {
-        // Matcher first: it is semantic and cheap.
-        for vb in valid_blocks {
+        // Matcher first: it is semantic and cheap, and only the blocks
+        // sharing the query block's scan multiset can match.
+        for vb in valid_blocks.candidates(block) {
             if matcher::match_block_metered(self.db.catalog(), block, &vb.block, meter)?.is_some() {
                 return Ok(true);
             }
@@ -620,15 +664,6 @@ impl<'a> Validator<'a> {
             exhausted: None,
         }
     }
-}
-
-/// Adds `block` to the valid set unless an identical one is present.
-fn push_block(blocks: &mut Vec<ValidBlock>, block: SpjBlock, origin: String) -> bool {
-    if blocks.iter().any(|vb| vb.block == block) {
-        return false;
-    }
-    blocks.push(ValidBlock { block, origin });
-    true
 }
 
 /// The single-instance restriction of a query block: the scan of

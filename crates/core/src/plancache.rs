@@ -1,0 +1,273 @@
+//! Plan caching: memoized parse + bind for repeated statements.
+//!
+//! The paper's Section 5.6 observes that "the same queries are executed
+//! repeatedly, albeit with different constant values, for different
+//! users" and proposes amortizing the *validity check* across
+//! re-executions. The [`crate::ValidityCache`] does that; this module
+//! removes the rest of the admission cost. On a warm hit,
+//! [`crate::Engine::execute`] skips SQL parsing, name resolution /
+//! view expansion (binding), plan normalization, and fingerprint
+//! hashing — the statement goes straight to a validity-cache lookup and
+//! then to the executor.
+//!
+//! ## Keying and invalidation
+//!
+//! Binding substitutes `$` session parameters into the plan, so a cached
+//! bound plan is only reusable when the parameter environment is
+//! identical: the key is `(policy epoch, SQL text, parameter
+//! fingerprint)`. The same SQL text issued by a different `$user_id`
+//! therefore occupies a different slot — plans never alias across
+//! sessions with different parameters.
+//!
+//! The policy epoch is bumped by the engine on every catalog or
+//! authorization change (CREATE TABLE / CREATE [AUTHORIZATION] VIEW /
+//! inclusion dependencies / grants / revocations / role changes). Old
+//! entries become unreachable immediately — binding depends on the
+//! catalog, so a stale bound plan must never survive DDL — and are
+//! recycled by LRU eviction. DML does *not* bump the epoch: plans are
+//! data-independent, which is exactly what makes the steady state cheap
+//! (the data-version handling of conditional verdicts stays entirely
+//! inside the validity cache).
+
+use fgac_algebra::{BoundQuery, ParamScope, Plan};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cache::CacheStats;
+
+/// Default number of cached plans (per engine).
+const DEFAULT_CAPACITY: usize = 256;
+
+/// Everything admission computed for a query, ready for reuse.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The bound query (base-table plan + presentation), executor input.
+    pub bound: BoundQuery,
+    /// The normalized plan the validity checker reasons over.
+    pub normalized: Plan,
+    /// Session-contextual fingerprint of `normalized` — the
+    /// [`crate::ValidityCache`] lookup key, precomputed so warm
+    /// executions do not re-hash the plan.
+    pub validity_fp: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    epoch: u64,
+    params_fp: u64,
+    sql: String,
+}
+
+#[derive(Debug)]
+struct Slot {
+    value: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Key, Slot>,
+    /// Monotonic use counter backing the LRU ordering.
+    tick: u64,
+}
+
+/// A bounded LRU cache of admitted plans. Interior-mutable: lookups work
+/// through `&self` so the read path shares the engine immutably.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// `hits << 32 | misses`, one relaxed fetch_add per lookup (see
+    /// [`crate::cache::ValidityCache`] for the packing rationale).
+    counters: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            counters: AtomicU64::new(0),
+        }
+    }
+
+    fn params_fp(params: &ParamScope) -> u64 {
+        let mut h = DefaultHasher::new();
+        params.hash(&mut h);
+        h.finish()
+    }
+
+    /// Looks up the admitted plan for `sql` under the given policy epoch
+    /// and parameter environment.
+    pub fn get(&self, epoch: u64, sql: &str, params: &ParamScope) -> Option<Arc<CachedPlan>> {
+        let key = Key {
+            epoch,
+            params_fp: Self::params_fp(params),
+            sql: sql.to_string(),
+        };
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.map.get_mut(&key).map(|slot| {
+            slot.last_used = tick;
+            slot.value.clone()
+        });
+        drop(inner);
+        if found.is_some() {
+            self.counters.fetch_add(1 << 32, Ordering::Relaxed);
+        } else {
+            self.counters.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts an admitted plan, evicting the least-recently-used entry
+    /// when full. Entries from older epochs are evicted first — they can
+    /// never be hit again.
+    pub fn insert(&self, epoch: u64, sql: &str, params: &ParamScope, plan: Arc<CachedPlan>) {
+        let key = Key {
+            epoch,
+            params_fp: Self::params_fp(params),
+            sql: sql.to_string(),
+        };
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Prefer dead epochs; otherwise plain LRU.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(k, slot)| (k.epoch == epoch, slot.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                inner.map.remove(&v);
+            }
+        }
+        inner.map.insert(
+            key,
+            Slot {
+                value: plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) from one atomic load — internally consistent.
+    pub fn stats(&self) -> (u64, u64) {
+        let packed = self.counters.load(Ordering::Relaxed);
+        (packed >> 32, packed & 0xFFFF_FFFF)
+    }
+
+    /// Coherent counter + occupancy snapshot.
+    pub fn snapshot(&self) -> CacheStats {
+        let (hits, misses) = self.stats();
+        CacheStats {
+            hits,
+            misses,
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::Schema;
+
+    fn cached_plan() -> Arc<CachedPlan> {
+        let plan = Plan::scan("t", Schema::new(vec![]));
+        Arc::new(CachedPlan {
+            bound: BoundQuery {
+                plan: plan.clone(),
+                output_names: vec![],
+                order_by: vec![],
+                limit: None,
+            },
+            normalized: plan,
+            validity_fp: 7,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = PlanCache::new();
+        let params = ParamScope::with_user("11");
+        assert!(c.get(0, "select 1", &params).is_none());
+        c.insert(0, "select 1", &params, cached_plan());
+        assert!(c.get(0, "select 1", &params).is_some());
+        let snap = c.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        assert_eq!(snap.entries, 1);
+    }
+
+    #[test]
+    fn epoch_bump_makes_entries_unreachable() {
+        let c = PlanCache::new();
+        let params = ParamScope::with_user("11");
+        c.insert(0, "q", &params, cached_plan());
+        assert!(c.get(1, "q", &params).is_none());
+    }
+
+    #[test]
+    fn params_key_plans_separately() {
+        let c = PlanCache::new();
+        c.insert(0, "q", &ParamScope::with_user("11"), cached_plan());
+        assert!(c.get(0, "q", &ParamScope::with_user("12")).is_none());
+        assert!(c.get(0, "q", &ParamScope::with_user("11")).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_bounds_size() {
+        let c = PlanCache::with_capacity(2);
+        let params = ParamScope::new();
+        c.insert(0, "a", &params, cached_plan());
+        c.insert(0, "b", &params, cached_plan());
+        // Touch "a" so "b" is the LRU victim.
+        assert!(c.get(0, "a", &params).is_some());
+        c.insert(0, "c", &params, cached_plan());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, "a", &params).is_some());
+        assert!(c.get(0, "b", &params).is_none());
+        assert!(c.get(0, "c", &params).is_some());
+    }
+
+    #[test]
+    fn dead_epoch_entries_evicted_first() {
+        let c = PlanCache::with_capacity(2);
+        let params = ParamScope::new();
+        c.insert(0, "old", &params, cached_plan());
+        c.insert(1, "a", &params, cached_plan());
+        // "old" is from a dead epoch; though "a" is not more recent
+        // enough to matter, "old" must be the victim.
+        c.insert(1, "b", &params, cached_plan());
+        assert!(c.get(1, "a", &params).is_some());
+        assert!(c.get(1, "b", &params).is_some());
+    }
+}

@@ -21,8 +21,8 @@ use fgac_types::{Error, Result};
 /// A parsed, reusable statement.
 #[derive(Debug, Clone)]
 pub struct Prepared {
-    stmt: Statement,
-    text: String,
+    pub(crate) stmt: Statement,
+    pub(crate) text: String,
 }
 
 impl Prepared {
@@ -59,9 +59,25 @@ impl Engine {
         session: &Session,
         prepared: &Prepared,
     ) -> Result<EngineResponse> {
-        // The engine re-dispatches on the stored statement; parsing is
-        // skipped, binding+checking hit the validity cache.
-        self.execute_statement(session, &prepared.stmt)
+        match &prepared.stmt {
+            // Queries ride the full hot path: the prepared text keys the
+            // plan cache, so a re-execution reuses the cached bound plan
+            // (no re-bind) and its precomputed validity fingerprint.
+            Statement::Query(q) => {
+                let cached = match self.plan_cache().get(
+                    self.policy_epoch(),
+                    &prepared.text,
+                    session.params(),
+                ) {
+                    Some(c) => c,
+                    None => self.admit_query(session, &prepared.text, q)?,
+                };
+                self.execute_cached_query(session, &cached)
+            }
+            // DML re-dispatches on the stored statement; parsing is
+            // skipped, per-tuple authorization runs every time.
+            _ => self.execute_statement(session, &prepared.stmt),
+        }
     }
 }
 

@@ -11,9 +11,11 @@
 //!
 //! Operators: filter, duplicate-preserving project, distinct, hash /
 //! nested-loop join (picked per predicate shape), hash aggregate, sort +
-//! limit for presentation. Execution is materialized (`Vec<Row>` between
-//! operators) — simple, allocation-friendly at bench scale, and
-//! semantics-first.
+//! limit for presentation. Scans are *borrowed* ([`execute_plan_cow`]):
+//! the leaf returns the table's own row slice and operators clone rows
+//! only when they must produce owned data, so a selective query pays
+//! O(|result|) clones rather than O(|table|). The [`rows_cloned`]
+//! counter makes that cost observable to tests and benches.
 
 mod dml;
 mod eval;
@@ -25,5 +27,8 @@ pub use dml::{
     insert_all_atomic, insert_rows, update_matching, DmlOutcome,
 };
 pub use eval::{eval, eval_predicate};
-pub use exec::{execute_bound, execute_plan, run_query_sql, QueryResult};
+pub use exec::{
+    execute_bound, execute_plan, execute_plan_cow, reset_rows_cloned, rows_cloned, run_query_sql,
+    QueryResult,
+};
 pub use pushdown::push_selections;
