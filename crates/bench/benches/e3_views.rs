@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         // pruning can discard (see the report binary's E3).
         for (name, body) in synthetic_view_family(4) {
             uni.engine.admin_script(&body).unwrap();
-            uni.engine.grant_view("student", &name);
+            uni.engine.grant_view("student", &name).unwrap();
         }
         for i in 0..n.saturating_sub(4) {
             let noise = format!(
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
                 i % 10
             );
             uni.engine.admin_script(&noise).unwrap();
-            uni.engine.grant_view("student", &format!("noise{i}"));
+            uni.engine.grant_view("student", &format!("noise{i}")).unwrap();
         }
         let (student, _, _) = pick_triple(&uni);
         let sql = format!("select grade from grades where student_id = '{student}'");

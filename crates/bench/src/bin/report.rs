@@ -214,7 +214,7 @@ fn e3() {
         // grades query never reaches students-courses-only views).
         for (name, body) in synthetic_view_family(4) {
             uni.engine.admin_script(&body).unwrap();
-            uni.engine.grant_view("student", &name);
+            uni.engine.grant_view("student", &name).unwrap();
         }
         for i in 0..n.saturating_sub(4) {
             let noise = format!(
@@ -224,7 +224,7 @@ fn e3() {
                 i % 10
             );
             uni.engine.admin_script(&noise).unwrap();
-            uni.engine.grant_view("student", &format!("noise{i}"));
+            uni.engine.grant_view("student", &format!("noise{i}")).unwrap();
         }
         let (student, _, _) = pick_triple(&uni);
         let sql = format!("select grade from grades where student_id = '{student}'");
@@ -524,8 +524,8 @@ fn e8() {
     );
     let mut uni = build(UniversityConfig::tiny()).unwrap();
     // Extra grants echoing the paper's scenarios.
-    uni.engine.grant_view("registrar", "regstudents");
-    uni.engine.grant_constraint("registrar", "all_registered");
+    uni.engine.grant_view("registrar", "regstudents").unwrap();
+    uni.engine.grant_constraint("registrar", "all_registered").unwrap();
     let (student, reg, unreg) = pick_triple(&uni);
     let policy = TrumanPolicy::new().substitute_view("grades", "mygrades");
 

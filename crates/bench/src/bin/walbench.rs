@@ -1,0 +1,202 @@
+//! Durability benchmark: what write-ahead logging costs on the DML
+//! path, and what recovery costs as the log grows.
+//!
+//! Emits `BENCH_wal.json` (see EXPERIMENTS.md for the field reference)
+//! and optionally gates against a checked-in baseline:
+//!
+//! ```text
+//! walbench [--ops N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Three engines run the same authorized-insert workload: a plain
+//! in-memory engine, a durable engine at the default level (buffered
+//! write per commit, no fsync), and a durable engine with
+//! `sync_on_commit` (fsync per commit, measured over fewer ops — each
+//! one waits on the disk). The gate fails the process when the default
+//! durability level costs more than `max_overhead_ratio` (2x unless the
+//! baseline says otherwise) relative to in-memory throughput. Recovery
+//! is timed at several log lengths so regressions in replay show up as
+//! a curve, not a single noisy point.
+
+use fgac_core::{DurabilityOptions, Engine, Session};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Default ceiling on `inmem_qps / durable_qps` for the no-fsync level.
+const MAX_OVERHEAD_RATIO: f64 = 2.0;
+
+struct Args {
+    ops: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ops: 2_000,
+        out: "BENCH_wal.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--ops" => args.ops = value("--ops").parse().expect("--ops: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own baseline files without a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("fgac-walbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The fixture every mode shares: one table, one authorization to
+/// insert into it. Inserts carry unique keys so none can conflict.
+fn populate(e: &mut Engine) {
+    e.admin_script(
+        "create table registered (student_id varchar not null, course_id varchar not null, \
+         primary key (student_id, course_id))",
+    )
+    .expect("schema applies");
+    e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
+        .expect("authorize applies");
+}
+
+/// Runs `ops` authorized inserts and returns the measured q/s.
+fn insert_qps(e: &mut Engine, ops: usize) -> f64 {
+    let session = Session::new("11");
+    let t = Instant::now();
+    for i in 0..ops {
+        let sql = format!("insert into registered values ('11', 'c{i}')");
+        std::hint::black_box(e.execute(&session, &sql).expect("authorized insert"));
+    }
+    ops as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = parse_args();
+    // Snapshots off in every durable mode: this measures the log itself,
+    // and recovery timing below wants the whole history in the log.
+    let no_sync = DurabilityOptions {
+        sync_on_commit: false,
+        snapshot_every: 0,
+    };
+    let fsync = DurabilityOptions {
+        sync_on_commit: true,
+        snapshot_every: 0,
+    };
+
+    // --- In-memory reference.
+    let mut inmem = Engine::new();
+    populate(&mut inmem);
+    let inmem_qps = insert_qps(&mut inmem, args.ops);
+
+    // --- Durable, default level (buffered write per commit).
+    let durable_dir = tmp_dir("durable");
+    let (mut durable, _) = Engine::open_with(&durable_dir, no_sync.clone()).expect("open durable");
+    populate(&mut durable);
+    let durable_qps = insert_qps(&mut durable, args.ops);
+    drop(durable); // dirty: recovery below starts from a crash
+
+    // --- Durable with fsync per commit. Far fewer ops: each one waits
+    // on the disk, and the point is the per-commit price, not volume.
+    let fsync_ops = (args.ops / 20).max(20);
+    let fsync_dir = tmp_dir("fsync");
+    let (mut synced, _) = Engine::open_with(&fsync_dir, fsync).expect("open fsync");
+    populate(&mut synced);
+    let fsync_qps = insert_qps(&mut synced, fsync_ops);
+    drop(synced);
+    let _ = std::fs::remove_dir_all(&fsync_dir);
+
+    // --- Recovery time vs log length. The full-length point reuses the
+    // durable run's directory; shorter points get their own logs.
+    let mut recovery = Vec::new();
+    for frac in [4usize, 2, 1] {
+        let records = args.ops / frac;
+        let (dir, cleanup) = if frac == 1 {
+            (durable_dir.clone(), true)
+        } else {
+            let dir = tmp_dir(&format!("recover-{records}"));
+            let (mut e, _) = Engine::open_with(&dir, no_sync.clone()).expect("open for recovery");
+            populate(&mut e);
+            insert_qps(&mut e, records);
+            drop(e);
+            (dir, true)
+        };
+        let t = Instant::now();
+        let (recovered, report) = Engine::open_with(&dir, no_sync.clone()).expect("recover");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(report.records_replayed >= records, "log shorter than expected");
+        drop(recovered);
+        if cleanup {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        recovery.push((report.records_replayed, ms));
+    }
+
+    // --- Gate.
+    let max_ratio = args.check.as_deref().map_or(MAX_OVERHEAD_RATIO, |path| {
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        json_number(&doc, "max_overhead_ratio")
+            .unwrap_or_else(|| panic!("baseline {path} lacks max_overhead_ratio"))
+    });
+    let overhead_ratio = inmem_qps / durable_qps.max(1e-9);
+    let pass = overhead_ratio <= max_ratio;
+
+    let recovery_json = recovery
+        .iter()
+        .map(|(records, ms)| format!("{{ \"records\": {records}, \"ms\": {ms:.2} }}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-wal-v1\",\n  \"ops\": {},\n  \"inmem_qps\": {:.0},\n  \"durable_qps\": {:.0},\n  \"fsync_ops\": {},\n  \"fsync_qps\": {:.0},\n  \"overhead_ratio\": {:.3},\n  \"recovery\": [{}],\n  \"gates\": {{ \"max_overhead_ratio\": {:.2}, \"pass\": {} }}\n}}\n",
+        args.ops,
+        inmem_qps,
+        durable_qps,
+        fsync_ops,
+        fsync_qps,
+        overhead_ratio,
+        recovery_json,
+        max_ratio,
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+    eprintln!(
+        "inmem {inmem_qps:.0} q/s, durable {durable_qps:.0} q/s ({overhead_ratio:.2}x), \
+         fsync {fsync_qps:.0} q/s; recovery {:?}",
+        recovery
+            .iter()
+            .map(|(r, ms)| format!("{r} rec / {ms:.1}ms"))
+            .collect::<Vec<_>>()
+    );
+
+    if !pass {
+        eprintln!(
+            "GATE FAIL: logging overhead {overhead_ratio:.2}x exceeds allowed {max_ratio:.2}x"
+        );
+        std::process::exit(1);
+    }
+}

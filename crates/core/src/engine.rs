@@ -14,6 +14,7 @@
 //! DESIGN.md "Hot path & caching layers".
 
 use crate::cache::{CacheOutcome, ValidityCache};
+use crate::durability::Durability;
 use crate::grants::Grants;
 use crate::nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
 use crate::plancache::{CachedPlan, PlanCache};
@@ -24,6 +25,7 @@ use fgac_exec::QueryResult;
 use fgac_sql::Statement;
 use fgac_storage::{Database, ForeignKey, InclusionDependency, ViewDef};
 use fgac_types::{Error, Ident, Result, Row, Schema};
+use fgac_wal::WalRecord;
 use std::sync::Arc;
 
 /// Response from [`Engine::execute`].
@@ -53,16 +55,18 @@ impl EngineResponse {
 
 /// The fine-grained access control engine.
 pub struct Engine {
-    db: Database,
-    grants: Grants,
-    cache: ValidityCache,
-    plan_cache: PlanCache,
+    pub(crate) db: Database,
+    pub(crate) grants: Grants,
+    pub(crate) cache: ValidityCache,
+    pub(crate) plan_cache: PlanCache,
     options: CheckOptions,
     /// Bumped on every successful DML — versions conditional verdicts.
-    data_version: u64,
+    pub(crate) data_version: u64,
     /// Bumped on every catalog or authorization change — versions cached
     /// plans (binding depends on the catalog; validity depends on both).
-    policy_epoch: u64,
+    pub(crate) policy_epoch: u64,
+    /// `Some` when the engine writes a WAL (see [`Engine::open`]).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl Engine {
@@ -75,6 +79,7 @@ impl Engine {
             options: CheckOptions::default(),
             data_version: 0,
             policy_epoch: 0,
+            durability: None,
         }
     }
 
@@ -110,7 +115,7 @@ impl Engine {
 
     /// An authorization or view-definition change: cached verdicts are
     /// no longer sound, and cached plans may embed stale view bodies.
-    fn policy_change(&mut self) {
+    pub(crate) fn policy_change(&mut self) {
         self.policy_epoch += 1;
         self.cache.clear();
     }
@@ -118,7 +123,7 @@ impl Engine {
     /// A pure catalog extension (new table): existing verdicts stay
     /// sound — they quantify over the relations they mention — but
     /// binding outcomes can change, so cached plans are retired.
-    fn schema_change(&mut self) {
+    pub(crate) fn schema_change(&mut self) {
         self.policy_epoch += 1;
     }
 
@@ -135,6 +140,32 @@ impl Engine {
 
     /// Executes one admin statement.
     pub fn admin_statement(&mut self, stmt: &Statement) -> Result<()> {
+        match stmt {
+            Statement::CreateTable(_)
+            | Statement::CreateView(_)
+            | Statement::CreateInclusionDependency(_) => self.apply_ddl_logged(stmt),
+            Statement::Insert(i) => self.admin_dml(&i.table, |db| {
+                fgac_exec::execute_insert(db, i, &fgac_algebra::ParamScope::new()).map(|_| ())
+            }),
+            Statement::Update(u) => self.admin_dml(&u.table, |db| {
+                fgac_exec::execute_update(db, u, &fgac_algebra::ParamScope::new()).map(|_| ())
+            }),
+            Statement::Delete(d) => self.admin_dml(&d.table, |db| {
+                fgac_exec::execute_delete(db, d, &fgac_algebra::ParamScope::new()).map(|_| ())
+            }),
+            Statement::Authorize(_) => Err(Error::Unsupported(
+                "AUTHORIZE statements are granted to principals: use grant_update_sql".into(),
+            )),
+            Statement::Query(_) => Err(Error::Unsupported(
+                "admin_script does not run queries; use execute".into(),
+            )),
+        }
+    }
+
+    /// Applies one DDL statement to the catalog and bumps the epoch.
+    /// Shared by the live admin path and WAL replay — both must produce
+    /// the same catalog state and version counters.
+    pub(crate) fn apply_ddl(&mut self, stmt: &Statement) -> Result<()> {
         match stmt {
             Statement::CreateTable(t) => {
                 let schema = Schema::new(
@@ -161,6 +192,7 @@ impl Engine {
                     })?;
                 }
                 self.schema_change();
+                Ok(())
             }
             Statement::CreateView(v) => {
                 self.db.add_view(ViewDef {
@@ -169,6 +201,7 @@ impl Engine {
                     query: v.query.clone(),
                 })?;
                 self.policy_change();
+                Ok(())
             }
             Statement::CreateInclusionDependency(d) => {
                 self.db.add_inclusion_dependency(InclusionDependency {
@@ -181,81 +214,142 @@ impl Engine {
                     dst_filter: d.dst_filter.clone(),
                 })?;
                 self.policy_change();
+                Ok(())
             }
-            Statement::Insert(i) => {
-                let n = fgac_exec::execute_insert(
-                    &mut self.db,
-                    i,
-                    &fgac_algebra::ParamScope::new(),
-                )?;
-                let _ = n;
-                self.bump();
+            _ => Err(Error::Internal("apply_ddl called on non-DDL".into())),
+        }
+    }
+
+    /// DDL commit protocol: apply, then log. If the WAL append fails,
+    /// the catalog change is structurally undone and the statement fails
+    /// — the catalog never runs ahead of the log.
+    fn apply_ddl_logged(&mut self, stmt: &Statement) -> Result<()> {
+        if self.durability.is_none() {
+            return self.apply_ddl(stmt);
+        }
+        let fks_before = self.db.catalog().foreign_keys().len();
+        let deps_before = self.db.catalog().inclusion_dependencies().len();
+        self.apply_ddl(stmt)?;
+        if let Err(e) = self.log_commit(WalRecord::Ddl {
+            sql: fgac_sql::print_statement(stmt),
+        }) {
+            match stmt {
+                Statement::CreateTable(t) => {
+                    let _ = self.db.drop_table(&t.name);
+                    self.db.catalog_mut().truncate_foreign_keys(fks_before);
+                }
+                Statement::CreateView(v) => {
+                    let _ = self.db.drop_view(&v.name);
+                }
+                Statement::CreateInclusionDependency(_) => {
+                    self.db
+                        .catalog_mut()
+                        .truncate_inclusion_dependencies(deps_before);
+                }
+                _ => {}
             }
-            Statement::Update(u) => {
-                fgac_exec::execute_update(&mut self.db, u, &fgac_algebra::ParamScope::new())?;
-                self.bump();
-            }
-            Statement::Delete(d) => {
-                fgac_exec::execute_delete(&mut self.db, d, &fgac_algebra::ParamScope::new())?;
-                self.bump();
-            }
-            Statement::Authorize(_) => {
-                return Err(Error::Unsupported(
-                    "AUTHORIZE statements are granted to principals: use grant_update_sql".into(),
-                ))
-            }
-            Statement::Query(_) => {
-                return Err(Error::Unsupported(
-                    "admin_script does not run queries; use execute".into(),
-                ))
+            return Err(e);
+        }
+        self.maybe_snapshot();
+        Ok(())
+    }
+
+    /// Admin DML commit protocol: execute against the database, then
+    /// commit the recorded deltas ([`Engine::commit_dml`]). On failure
+    /// the target table is restored and the deltas are dropped.
+    fn admin_dml(&mut self, table: &Ident, f: impl FnOnce(&mut Database) -> Result<()>) -> Result<()> {
+        let undo = self.db.snapshot_table(table).ok();
+        match f(&mut self.db) {
+            Ok(()) => self.commit_dml(undo),
+            Err(e) => {
+                self.discard_deltas();
+                Err(e)
             }
         }
-        Ok(())
     }
 
     /// Direct (unchecked) row insertion for loaders/benches.
     pub fn admin_insert(&mut self, table: &Ident, row: Row) -> Result<()> {
-        self.db.insert(table, row)?;
-        self.bump();
-        Ok(())
+        let undo = self.db.snapshot_table(table).ok();
+        let recorded = self.db.insert(table, row);
+        match recorded {
+            Ok(()) => self.commit_dml(undo),
+            Err(e) => {
+                self.discard_deltas();
+                Err(e)
+            }
+        }
     }
 
-    /// Bulk load without per-row constraint checks.
+    /// Bulk load without per-row constraint checks. Atomic: a failure
+    /// mid-load restores the table to its pre-load rows.
     pub fn admin_load(&mut self, table: &Ident, rows: Vec<Row>) -> Result<usize> {
+        let undo = self.db.snapshot_table(table).ok();
         let mut n = 0;
         for row in rows {
-            self.db.insert_unchecked(table, row)?;
+            if let Err(e) = self.db.insert_unchecked(table, row) {
+                self.discard_deltas();
+                if let Some(snap) = undo {
+                    let _ = self.db.restore_table(snap);
+                }
+                return Err(e);
+            }
             n += 1;
         }
-        self.bump();
+        self.commit_dml(undo)?;
         Ok(n)
     }
 
-    /// Grants an authorization view to a principal.
-    pub fn grant_view(&mut self, principal: &str, view: &str) {
+    /// Grants an authorization view to a principal. Log-then-apply: on a
+    /// durable engine the record is committed first, so the grant tables
+    /// never run ahead of the log.
+    pub fn grant_view(&mut self, principal: &str, view: &str) -> Result<()> {
+        self.log_commit(WalRecord::GrantView {
+            principal: principal.into(),
+            view: view.into(),
+        })?;
         self.grants.grant_view(principal, view);
         self.policy_change();
+        self.maybe_snapshot();
+        Ok(())
     }
 
     /// Revokes an authorization view from a principal. Cached verdicts
     /// and plans derived under the old grant set are discarded.
-    pub fn revoke_view(&mut self, principal: &str, view: &str) {
+    pub fn revoke_view(&mut self, principal: &str, view: &str) -> Result<()> {
+        self.log_commit(WalRecord::RevokeView {
+            principal: principal.into(),
+            view: view.into(),
+        })?;
         self.grants.revoke_view(principal, &Ident::new(view));
         self.policy_change();
+        self.maybe_snapshot();
+        Ok(())
     }
 
     /// Makes an integrity constraint visible to a principal (U3a
     /// condition 2).
-    pub fn grant_constraint(&mut self, principal: &str, name: &str) {
+    pub fn grant_constraint(&mut self, principal: &str, name: &str) -> Result<()> {
+        self.log_commit(WalRecord::GrantConstraint {
+            principal: principal.into(),
+            name: name.into(),
+        })?;
         self.grants.grant_constraint(principal, name);
         self.policy_change();
+        self.maybe_snapshot();
+        Ok(())
     }
 
     /// Grants an `AUTHORIZE ...` update authorization (SQL text).
     pub fn grant_update_sql(&mut self, principal: &str, sql: &str) -> Result<()> {
         match fgac_sql::parse_statement(sql)? {
             Statement::Authorize(a) => {
+                self.log_commit(WalRecord::GrantUpdate {
+                    principal: principal.into(),
+                    sql: sql.into(),
+                })?;
                 self.grants.grant_update(principal, a);
+                self.maybe_snapshot();
                 Ok(())
             }
             _ => Err(Error::Parse("expected an AUTHORIZE statement".into())),
@@ -263,16 +357,35 @@ impl Engine {
     }
 
     /// Adds a user to a role.
-    pub fn add_role(&mut self, user: &str, role: &str) {
+    pub fn add_role(&mut self, user: &str, role: &str) -> Result<()> {
+        self.log_commit(WalRecord::AddRole {
+            user: user.into(),
+            role: role.into(),
+        })?;
         self.grants.add_role(user, role);
         self.policy_change();
+        self.maybe_snapshot();
+        Ok(())
     }
 
     /// Delegates a view grant between users (Section 6). The delegator
-    /// must hold the view.
+    /// must hold the view — validated *before* logging, so only
+    /// legitimate delegations ever reach the log.
     pub fn delegate_view(&mut self, from: &str, to: &str, view: &str) -> Result<()> {
-        self.grants.delegate_view(from, to, &Ident::new(view))?;
+        let v = Ident::new(view);
+        if !self.grants.views_for(from).contains(&v) {
+            return Err(Error::Unauthorized(format!(
+                "user {from} does not hold view {v} and cannot delegate it"
+            )));
+        }
+        self.log_commit(WalRecord::DelegateView {
+            from: from.into(),
+            to: to.into(),
+            view: view.into(),
+        })?;
+        self.grants.grant_view(to, v);
         self.policy_change();
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -369,6 +482,10 @@ impl Engine {
         session: &Session,
         stmt: &Statement,
     ) -> Result<EngineResponse> {
+        let is_dml = matches!(
+            stmt,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+        );
         let undo = match stmt {
             Statement::Insert(i) => self.db.snapshot_table(&i.table).ok(),
             Statement::Update(u) => self.db.snapshot_table(&u.table).ok(),
@@ -379,8 +496,23 @@ impl Engine {
             self.execute_statement_inner(session, stmt)
         }));
         match outcome {
-            Ok(result) => result,
+            Ok(Ok(response)) => {
+                if is_dml {
+                    // Commit point: log the deltas (durable engines) and
+                    // bump the data version. A WAL failure rolls the
+                    // statement back and fails it.
+                    self.commit_dml(undo)?;
+                }
+                Ok(response)
+            }
+            Ok(Err(e)) => {
+                if is_dml {
+                    self.discard_deltas();
+                }
+                Err(e)
+            }
             Err(payload) => {
+                self.discard_deltas();
                 if let Some(snap) = undo {
                     // The table existed when the snapshot was taken and
                     // DDL is admin-only, so this cannot fail.
@@ -418,22 +550,22 @@ impl Engine {
                     rows,
                 }))
             }
+            // DML arms do not bump the data version themselves: the
+            // commit point (log + bump) lives in `execute_statement`,
+            // after the WAL append is known to have succeeded.
             Statement::Insert(i) => {
                 let auth = UpdateAuthorizer::new(&self.grants);
                 let n = auth.insert(&mut self.db, session, i)?;
-                self.bump();
                 Ok(EngineResponse::Affected(n))
             }
             Statement::Update(u) => {
                 let auth = UpdateAuthorizer::new(&self.grants);
                 let n = auth.update(&mut self.db, session, u)?;
-                self.bump();
                 Ok(EngineResponse::Affected(n))
             }
             Statement::Delete(d) => {
                 let auth = UpdateAuthorizer::new(&self.grants);
                 let n = auth.delete(&mut self.db, session, d)?;
-                self.bump();
                 Ok(EngineResponse::Affected(n))
             }
             _ => Err(Error::Unauthorized(
@@ -517,7 +649,7 @@ impl Engine {
         crate::truman::truman_execute(&self.db, policy, session, sql)
     }
 
-    fn bump(&mut self) {
+    pub(crate) fn bump(&mut self) {
         self.data_version += 1;
     }
 }
@@ -550,6 +682,16 @@ impl Default for Engine {
     }
 }
 
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("data_version", &self.data_version)
+            .field("policy_epoch", &self.policy_epoch)
+            .field("durable", &self.durability.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,7 +709,7 @@ mod tests {
              insert into grades values ('11', 'cs101', 90), ('12', 'cs101', 70);",
         )
         .unwrap();
-        e.grant_view("11", "mygrades");
+        e.grant_view("11", "mygrades").unwrap();
         e
     }
 
@@ -667,7 +809,7 @@ mod tests {
         let s = Session::new("11");
         let q = "select grade from grades where student_id = '11'";
         e.execute(&s, q).unwrap();
-        e.revoke_view("11", "mygrades");
+        e.revoke_view("11", "mygrades").unwrap();
         let err = e.execute(&s, q).unwrap_err();
         assert!(err.is_unauthorized(), "got {err:?}");
     }

@@ -42,6 +42,11 @@ impl Grants {
     pub fn revoke_view(&mut self, principal: &str, view: &Ident) {
         if let Some(set) = self.views.get_mut(principal) {
             set.remove(view);
+            // Drop emptied entries so the grant table has one canonical
+            // form — snapshot/recovery round-trips depend on it.
+            if set.is_empty() {
+                self.views.remove(principal);
+            }
         }
     }
 
@@ -108,6 +113,27 @@ impl Grants {
             }
         }
         out
+    }
+
+    /// The raw view-grant table (principal -> views). Snapshot/recovery
+    /// support: iteration order is deterministic (BTreeMap).
+    pub fn view_grants(&self) -> &BTreeMap<String, BTreeSet<Ident>> {
+        &self.views
+    }
+
+    /// The raw constraint-visibility table (principal -> constraints).
+    pub fn constraint_grants(&self) -> &BTreeMap<String, BTreeSet<Ident>> {
+        &self.constraints
+    }
+
+    /// The raw update-authorization table (principal -> AUTHORIZE asts).
+    pub fn update_grants(&self) -> &BTreeMap<String, Vec<Authorize>> {
+        &self.update_auths
+    }
+
+    /// The raw role-membership table (user -> roles).
+    pub fn role_memberships(&self) -> &BTreeMap<String, BTreeSet<String>> {
+        &self.roles
     }
 
     /// Delegates a view grant from one user to another (Section 6:

@@ -29,6 +29,7 @@
 
 mod authview;
 mod cache;
+mod durability;
 mod engine;
 mod grants;
 pub mod nontruman;
@@ -40,6 +41,7 @@ mod updates;
 
 pub use authview::AuthorizationView;
 pub use cache::{CacheOutcome, CacheStats, ValidityCache};
+pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::{Engine, EngineResponse};
 pub use plancache::{CachedPlan, PlanCache};
 pub use grants::Grants;

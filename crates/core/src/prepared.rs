@@ -95,8 +95,8 @@ mod tests {
              insert into grades values ('11','cs101',90), ('12','cs101',70);",
         )
         .unwrap();
-        e.grant_view("11", "mygrades");
-        e.grant_view("12", "mygrades");
+        e.grant_view("11", "mygrades").unwrap();
+        e.grant_view("12", "mygrades").unwrap();
         e
     }
 

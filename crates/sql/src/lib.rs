@@ -28,3 +28,4 @@ pub mod token;
 
 pub use ast::*;
 pub use parser::{parse_expr, parse_query, parse_statement, parse_statements};
+pub use printer::{print_expr, print_query, print_statement};

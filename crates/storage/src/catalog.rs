@@ -135,6 +135,27 @@ impl Catalog {
         &self.foreign_keys
     }
 
+    /// Removes a table's metadata. Undo/recovery helper.
+    pub fn remove_table(&mut self, name: &Ident) -> Option<TableMeta> {
+        self.tables.remove(name)
+    }
+
+    /// Removes a view definition. Undo/recovery helper.
+    pub fn remove_view(&mut self, name: &Ident) -> Option<ViewDef> {
+        self.views.remove(name)
+    }
+
+    /// Drops foreign keys added after position `len` (they are stored in
+    /// declaration order). Used to undo a partially-logged `CREATE TABLE`.
+    pub fn truncate_foreign_keys(&mut self, len: usize) {
+        self.foreign_keys.truncate(len);
+    }
+
+    /// Drops inclusion dependencies added after position `len`.
+    pub fn truncate_inclusion_dependencies(&mut self, len: usize) {
+        self.inclusion_deps.truncate(len);
+    }
+
     pub fn add_inclusion_dependency(&mut self, dep: InclusionDependency) -> Result<()> {
         let src = self.table_required(&dep.src_table)?;
         for c in &dep.src_columns {

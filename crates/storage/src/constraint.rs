@@ -8,7 +8,8 @@
 //! `dst_columns`. Foreign keys are the unconditional special case.
 
 use fgac_sql::Expr;
-use fgac_types::Ident;
+use fgac_types::wire::{Reader, WireDecode, WireEncode};
+use fgac_types::{Ident, Result};
 
 /// `FOREIGN KEY (columns) REFERENCES parent_table (parent_columns)`.
 ///
@@ -40,6 +41,28 @@ impl ForeignKey {
 
     fn dst_cols(&self) -> Vec<Ident> {
         self.parent_columns.clone()
+    }
+}
+
+impl WireEncode for ForeignKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.child_table.encode(out);
+        self.child_columns.encode(out);
+        self.parent_table.encode(out);
+        self.parent_columns.encode(out);
+    }
+}
+
+impl WireDecode for ForeignKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(ForeignKey {
+            name: Ident::decode(r)?,
+            child_table: Ident::decode(r)?,
+            child_columns: Vec::<Ident>::decode(r)?,
+            parent_table: Ident::decode(r)?,
+            parent_columns: Vec::<Ident>::decode(r)?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::catalog::{Catalog, TableMeta, ViewDef};
 use crate::constraint::{ForeignKey, InclusionDependency};
+use crate::delta::TableDelta;
 use crate::table::Table;
 use fgac_types::{Error, Ident, Result, Row, Schema, Value};
 use std::collections::BTreeMap;
@@ -11,10 +12,17 @@ use std::collections::BTreeMap;
 /// enforced on insert/update/delete; declared inclusion dependencies are
 /// *assumed* (they describe the legal database states the inference rules
 /// reason over) but can be audited with [`Database::unsatisfied_inclusions_on`].
+///
+/// When delta recording is on (durable engines only — see
+/// [`Database::set_delta_recording`]), every successful row mutation also
+/// appends a [`TableDelta`] describing it, which the WAL layer drains per
+/// statement. Recording is off by default and costs nothing when off.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     catalog: Catalog,
     tables: BTreeMap<Ident, Table>,
+    recording: bool,
+    deltas: Vec<TableDelta>,
 }
 
 /// Undo record for one table: the rows as they were when the snapshot
@@ -101,18 +109,34 @@ impl Database {
         fgac_types::faults::hit("storage::insert")?;
         self.check_pk_free(table, &row)?;
         self.check_fk_parents(table, &row)?;
+        let recorded = self.recording.then(|| row.clone());
         self.tables
             .get_mut(table)
             .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
-            .insert(row)
+            .insert(row)?;
+        if let Some(row) = recorded {
+            self.deltas.push(TableDelta::Insert {
+                table: table.clone(),
+                row,
+            });
+        }
+        Ok(())
     }
 
     /// Inserts without constraint checks — bulk loading only.
     pub fn insert_unchecked(&mut self, table: &Ident, row: Row) -> Result<()> {
+        let recorded = self.recording.then(|| row.clone());
         self.tables
             .get_mut(table)
             .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
-            .insert(row)
+            .insert(row)?;
+        if let Some(row) = recorded {
+            self.deltas.push(TableDelta::Insert {
+                table: table.clone(),
+                row,
+            });
+        }
+        Ok(())
     }
 
     /// Convenience: insert many rows (checked).
@@ -200,19 +224,36 @@ impl Database {
         table: &Ident,
         updates: Vec<(usize, Row)>,
     ) -> Result<usize> {
-        self.tables
+        let recorded = self.recording.then(|| updates.clone());
+        let n = self
+            .tables
             .get_mut(table)
             .ok_or_else(|| Error::Bind(format!("unknown table {table}")))?
-            .apply_row_updates(updates)
+            .apply_row_updates(updates)?;
+        if let Some(updates) = recorded {
+            self.deltas.push(TableDelta::Update {
+                table: table.clone(),
+                updates,
+            });
+        }
+        Ok(n)
     }
 
     /// Removes the rows of `table` at the given positions; returns how
     /// many were removed.
     pub fn delete_at(&mut self, table: &Ident, indexes: &[usize]) -> Result<usize> {
-        self.tables
+        let n = self
+            .tables
             .get_mut(table)
             .ok_or_else(|| Error::Bind(format!("unknown table {table}")))
-            .map(|t| t.delete_at(indexes))
+            .map(|t| t.delete_at(indexes))?;
+        if self.recording {
+            self.deltas.push(TableDelta::Delete {
+                table: table.clone(),
+                indexes: indexes.to_vec(),
+            });
+        }
+        Ok(n)
     }
 
     /// Captures the current rows of `table` for undo. Pair with
@@ -234,6 +275,61 @@ impl Database {
             .get_mut(&snap.table)
             .ok_or_else(|| Error::Bind(format!("unknown table {}", snap.table)))?
             .restore_rows(snap.rows);
+        Ok(())
+    }
+
+    /// Turns physical delta recording on or off. Off by default; durable
+    /// engines enable it so the WAL can capture committed DML. Turning it
+    /// on or off discards any pending deltas.
+    pub fn set_delta_recording(&mut self, on: bool) {
+        self.recording = on;
+        self.deltas.clear();
+    }
+
+    pub fn delta_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Drains the deltas recorded since the last call. The engine calls
+    /// this once per statement: on success the deltas go to the WAL, on
+    /// failure they are dropped along with the rolled-back mutation.
+    pub fn take_deltas(&mut self) -> Vec<TableDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    /// Re-applies a logged delta during recovery. Constraint checks are
+    /// skipped (the delta already committed once); recording is
+    /// suppressed so replay does not re-log.
+    pub fn apply_delta(&mut self, delta: TableDelta) -> Result<()> {
+        let was_recording = std::mem::replace(&mut self.recording, false);
+        let out = match delta {
+            TableDelta::Insert { table, row } => self.insert_unchecked(&table, row),
+            TableDelta::Update { table, updates } => {
+                self.apply_row_updates(&table, updates).map(|_| ())
+            }
+            TableDelta::Delete { table, indexes } => {
+                self.delete_at(&table, &indexes).map(|_| ())
+            }
+        };
+        self.recording = was_recording;
+        out
+    }
+
+    /// Removes a base table (data and catalog entry). Used to undo a
+    /// `CREATE TABLE` whose WAL append failed — not exposed as SQL.
+    pub fn drop_table(&mut self, name: &Ident) -> Result<()> {
+        if self.tables.remove(name).is_none() {
+            return Err(Error::Bind(format!("unknown table {name}")));
+        }
+        self.catalog.remove_table(name);
+        Ok(())
+    }
+
+    /// Removes a view definition. Undo-only, like [`Database::drop_table`].
+    pub fn drop_view(&mut self, name: &Ident) -> Result<()> {
+        if self.catalog.remove_view(name).is_none() {
+            return Err(Error::Bind(format!("unknown view {name}")));
+        }
         Ok(())
     }
 

@@ -1,0 +1,118 @@
+//! Physical row deltas for write-ahead logging.
+//!
+//! The engine's DML paths funnel through three positional [`Database`]
+//! primitives — append a row, replace rows at indexes, delete rows at
+//! indexes. Recording those calls as [`TableDelta`]s gives the WAL an
+//! *exact physical* description of a committed statement: replaying the
+//! deltas against the same prior state reproduces the same rows in the
+//! same order, without re-running authorization or predicate evaluation.
+//!
+//! [`Database`]: crate::Database
+
+use fgac_types::wire::{Reader, WireDecode, WireEncode};
+use fgac_types::{Error, Ident, Result, Row};
+
+/// One committed physical mutation, in statement order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableDelta {
+    /// A row appended to `table` (insertion order is part of table state).
+    Insert { table: Ident, row: Row },
+    /// Rows replaced in place: `(index, new_row)` pairs.
+    Update {
+        table: Ident,
+        updates: Vec<(usize, Row)>,
+    },
+    /// Rows removed at the given positions (pre-removal indexes).
+    Delete { table: Ident, indexes: Vec<usize> },
+}
+
+impl TableDelta {
+    /// The table this delta mutates.
+    pub fn table(&self) -> &Ident {
+        match self {
+            TableDelta::Insert { table, .. }
+            | TableDelta::Update { table, .. }
+            | TableDelta::Delete { table, .. } => table,
+        }
+    }
+}
+
+impl WireEncode for TableDelta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TableDelta::Insert { table, row } => {
+                out.push(0);
+                table.encode(out);
+                row.encode(out);
+            }
+            TableDelta::Update { table, updates } => {
+                out.push(1);
+                table.encode(out);
+                updates.encode(out);
+            }
+            TableDelta::Delete { table, indexes } => {
+                out.push(2);
+                table.encode(out);
+                indexes.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for TableDelta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            0 => Ok(TableDelta::Insert {
+                table: Ident::decode(r)?,
+                row: Row::decode(r)?,
+            }),
+            1 => Ok(TableDelta::Update {
+                table: Ident::decode(r)?,
+                updates: Vec::<(usize, Row)>::decode(r)?,
+            }),
+            2 => Ok(TableDelta::Delete {
+                table: Ident::decode(r)?,
+                indexes: Vec::<usize>::decode(r)?,
+            }),
+            b => Err(Error::Corrupt(format!("wire decode: delta tag {b}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::Value;
+
+    #[test]
+    fn deltas_roundtrip() {
+        let deltas = vec![
+            TableDelta::Insert {
+                table: Ident::new("grades"),
+                row: Row(vec!["11".into(), Value::Int(90)]),
+            },
+            TableDelta::Update {
+                table: Ident::new("grades"),
+                updates: vec![(3, Row(vec![Value::Null])), (0, Row(vec![]))],
+            },
+            TableDelta::Delete {
+                table: Ident::new("students"),
+                indexes: vec![5, 1, 2],
+            },
+        ];
+        let bytes = deltas.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Vec::<TableDelta>::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(deltas, back);
+    }
+
+    #[test]
+    fn bad_tag_is_corrupt() {
+        let mut r = Reader::new(&[9u8]);
+        assert!(matches!(
+            TableDelta::decode(&mut r),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

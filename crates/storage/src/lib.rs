@@ -22,9 +22,11 @@
 mod catalog;
 mod constraint;
 mod database;
+mod delta;
 mod table;
 
 pub use catalog::{Catalog, TableMeta, ViewDef};
 pub use constraint::{ForeignKey, InclusionDependency};
 pub use database::{Database, TableSnapshot};
+pub use delta::TableDelta;
 pub use table::Table;

@@ -31,6 +31,10 @@ pub enum Error {
     /// ran out. The engine maps this to fail-closed DENY: an exhausted
     /// validity check never turns into an ALLOW.
     ResourceExhausted(String),
+    /// Durable state (WAL record, snapshot) failed a checksum or decode
+    /// check. Recovery treats this as fail-closed: a corrupt *policy*
+    /// record refuses to serve rather than guessing at the grant state.
+    Corrupt(String),
     /// Internal invariant violation — a bug.
     Internal(String),
 }
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -17,6 +17,7 @@ mod ident;
 mod row;
 mod schema;
 mod value;
+pub mod wire;
 
 pub use budget::{Budget, BudgetMeter};
 pub use error::{Error, Result};

@@ -1,0 +1,238 @@
+//! WAL record types and their encoding.
+//!
+//! One record per committed state change. Two families:
+//!
+//! * **Policy records** (DDL, grants/revocations, role membership,
+//!   constraint visibility) — logged as canonical SQL or structural
+//!   fields. Recovery *fails closed* on a corrupt policy record: a lost
+//!   REVOKE silently breaks the Non-Truman validity guarantee, so the
+//!   engine refuses to serve rather than guess.
+//! * **Data records** (`Dml`) — the physical [`TableDelta`]s of one
+//!   committed statement. A corrupt data record at the very tail of the
+//!   log is treated as a torn write and truncated.
+//!
+//! The record's first payload byte is its tag; [`payload_is_policy`]
+//! classifies a frame without decoding it, which is what recovery needs
+//! when the checksum already failed.
+
+use crate::crc::crc32;
+use fgac_storage::TableDelta;
+use fgac_types::wire::{Reader, WireDecode, WireEncode};
+use fgac_types::{Error, Result};
+
+const TAG_DDL: u8 = 0x01;
+const TAG_GRANT_VIEW: u8 = 0x02;
+const TAG_REVOKE_VIEW: u8 = 0x03;
+const TAG_GRANT_CONSTRAINT: u8 = 0x04;
+const TAG_GRANT_UPDATE: u8 = 0x05;
+const TAG_ADD_ROLE: u8 = 0x06;
+const TAG_DELEGATE_VIEW: u8 = 0x07;
+/// Tags below this are policy records; `Dml` is the sole data record.
+const TAG_DML: u8 = 0x40;
+
+/// One committed state change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// DDL as canonical printed SQL (`CREATE TABLE` / `CREATE
+    /// [AUTHORIZATION] VIEW` / `CREATE INCLUSION DEPENDENCY`); replayed
+    /// through the admin path.
+    Ddl { sql: String },
+    GrantView { principal: String, view: String },
+    RevokeView { principal: String, view: String },
+    GrantConstraint { principal: String, name: String },
+    /// An `AUTHORIZE ...` update authorization, as SQL text.
+    GrantUpdate { principal: String, sql: String },
+    AddRole { user: String, role: String },
+    DelegateView {
+        from: String,
+        to: String,
+        view: String,
+    },
+    /// One committed DML statement's physical deltas. May be empty (a
+    /// statement that matched zero rows still commits and bumps the data
+    /// version).
+    Dml { deltas: Vec<TableDelta> },
+}
+
+impl WalRecord {
+    /// Policy records fail closed on corruption; data records at the log
+    /// tail are treated as torn writes.
+    pub fn is_policy(&self) -> bool {
+        !matches!(self, WalRecord::Dml { .. })
+    }
+}
+
+/// Classifies an encoded payload without decoding it. Used when the
+/// frame's checksum already failed: the tag byte may itself be damaged,
+/// so an empty or ambiguous payload defaults to *policy* (fail closed).
+pub fn payload_is_policy(payload: &[u8]) -> bool {
+    payload.first().is_none_or(|&tag| tag != TAG_DML)
+}
+
+impl WireEncode for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Ddl { sql } => {
+                out.push(TAG_DDL);
+                sql.encode(out);
+            }
+            WalRecord::GrantView { principal, view } => {
+                out.push(TAG_GRANT_VIEW);
+                principal.encode(out);
+                view.encode(out);
+            }
+            WalRecord::RevokeView { principal, view } => {
+                out.push(TAG_REVOKE_VIEW);
+                principal.encode(out);
+                view.encode(out);
+            }
+            WalRecord::GrantConstraint { principal, name } => {
+                out.push(TAG_GRANT_CONSTRAINT);
+                principal.encode(out);
+                name.encode(out);
+            }
+            WalRecord::GrantUpdate { principal, sql } => {
+                out.push(TAG_GRANT_UPDATE);
+                principal.encode(out);
+                sql.encode(out);
+            }
+            WalRecord::AddRole { user, role } => {
+                out.push(TAG_ADD_ROLE);
+                user.encode(out);
+                role.encode(out);
+            }
+            WalRecord::DelegateView { from, to, view } => {
+                out.push(TAG_DELEGATE_VIEW);
+                from.encode(out);
+                to.encode(out);
+                view.encode(out);
+            }
+            WalRecord::Dml { deltas } => {
+                out.push(TAG_DML);
+                deltas.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for WalRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        match r.u8()? {
+            TAG_DDL => Ok(WalRecord::Ddl {
+                sql: String::decode(r)?,
+            }),
+            TAG_GRANT_VIEW => Ok(WalRecord::GrantView {
+                principal: String::decode(r)?,
+                view: String::decode(r)?,
+            }),
+            TAG_REVOKE_VIEW => Ok(WalRecord::RevokeView {
+                principal: String::decode(r)?,
+                view: String::decode(r)?,
+            }),
+            TAG_GRANT_CONSTRAINT => Ok(WalRecord::GrantConstraint {
+                principal: String::decode(r)?,
+                name: String::decode(r)?,
+            }),
+            TAG_GRANT_UPDATE => Ok(WalRecord::GrantUpdate {
+                principal: String::decode(r)?,
+                sql: String::decode(r)?,
+            }),
+            TAG_ADD_ROLE => Ok(WalRecord::AddRole {
+                user: String::decode(r)?,
+                role: String::decode(r)?,
+            }),
+            TAG_DELEGATE_VIEW => Ok(WalRecord::DelegateView {
+                from: String::decode(r)?,
+                to: String::decode(r)?,
+                view: String::decode(r)?,
+            }),
+            TAG_DML => Ok(WalRecord::Dml {
+                deltas: Vec::<TableDelta>::decode(r)?,
+            }),
+            b => Err(Error::Corrupt(format!("wal record: unknown tag {b:#x}"))),
+        }
+    }
+}
+
+/// Frames a payload for the log: `len(u32) ‖ crc32(u32) ‖ payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Ident, Row};
+
+    fn roundtrip(rec: WalRecord) {
+        let bytes = rec.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = WalRecord::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(rec, back);
+        assert_eq!(payload_is_policy(&bytes), rec.is_policy());
+    }
+
+    #[test]
+    fn all_records_roundtrip() {
+        roundtrip(WalRecord::Ddl {
+            sql: "create table t (a int)".into(),
+        });
+        roundtrip(WalRecord::GrantView {
+            principal: "11".into(),
+            view: "mygrades".into(),
+        });
+        roundtrip(WalRecord::RevokeView {
+            principal: "11".into(),
+            view: "mygrades".into(),
+        });
+        roundtrip(WalRecord::GrantConstraint {
+            principal: "student".into(),
+            name: "ft_registered".into(),
+        });
+        roundtrip(WalRecord::GrantUpdate {
+            principal: "11".into(),
+            sql: "authorize insert on grades where student_id = $user_id".into(),
+        });
+        roundtrip(WalRecord::AddRole {
+            user: "11".into(),
+            role: "student".into(),
+        });
+        roundtrip(WalRecord::DelegateView {
+            from: "a".into(),
+            to: "b".into(),
+            view: "v".into(),
+        });
+        roundtrip(WalRecord::Dml { deltas: vec![] });
+        roundtrip(WalRecord::Dml {
+            deltas: vec![TableDelta::Insert {
+                table: Ident::new("grades"),
+                row: Row(vec!["11".into()]),
+            }],
+        });
+    }
+
+    #[test]
+    fn empty_payload_classified_as_policy() {
+        assert!(payload_is_policy(&[]));
+    }
+
+    #[test]
+    fn frame_carries_crc_of_payload() {
+        let payload = WalRecord::Dml { deltas: vec![] }.to_bytes();
+        let f = frame(&payload);
+        assert_eq!(
+            u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize,
+            payload.len()
+        );
+        assert_eq!(
+            u32::from_le_bytes([f[4], f[5], f[6], f[7]]),
+            crc32(&payload)
+        );
+        assert_eq!(&f[8..], &payload[..]);
+    }
+}

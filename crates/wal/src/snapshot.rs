@@ -1,0 +1,167 @@
+//! Full-state snapshots.
+//!
+//! A snapshot is a complete, self-contained image of the engine's durable
+//! state: every base table (schema, primary key, rows), foreign keys,
+//! view and inclusion-dependency definitions (as canonical SQL — their
+//! bodies contain expressions the binary format does not model), the full
+//! grant tables, and the version counters. `fgac-core` converts an
+//! `Engine` to/from this; this crate only (de)serializes and stores it.
+//!
+//! The whole snapshot is policy-bearing, so *any* checksum or decode
+//! failure is [`Error::Corrupt`] — there is no torn-tail leniency here.
+//! Atomicity comes from write-to-temp + rename in [`crate::WalStore`].
+
+use fgac_storage::ForeignKey;
+use fgac_types::wire::{Reader, WireDecode, WireEncode};
+use fgac_types::{Ident, Result, Row, Schema};
+
+/// One base table's full state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableState {
+    pub name: Ident,
+    pub schema: Schema,
+    pub primary_key: Option<Vec<Ident>>,
+    pub rows: Vec<Row>,
+}
+
+/// The grant tables, flattened to sorted association lists.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GrantsState {
+    /// principal -> granted authorization views.
+    pub views: Vec<(String, Vec<Ident>)>,
+    /// principal -> visible integrity constraints.
+    pub constraints: Vec<(String, Vec<Ident>)>,
+    /// principal -> `AUTHORIZE ...` statements (canonical SQL).
+    pub update_auths: Vec<(String, Vec<String>)>,
+    /// user -> roles.
+    pub roles: Vec<(String, Vec<String>)>,
+}
+
+/// A complete engine image at one log position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotState {
+    /// WAL records with `lsn < self.lsn` are already folded in and are
+    /// skipped during replay.
+    pub lsn: u64,
+    pub data_version: u64,
+    pub policy_epoch: u64,
+    pub tables: Vec<TableState>,
+    pub foreign_keys: Vec<ForeignKey>,
+    /// `CREATE [AUTHORIZATION] VIEW ...` statements, in catalog order.
+    pub views_sql: Vec<String>,
+    /// `CREATE INCLUSION DEPENDENCY ...` statements, in catalog order.
+    pub inclusion_deps_sql: Vec<String>,
+    pub grants: GrantsState,
+}
+
+impl WireEncode for TableState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.schema.encode(out);
+        self.primary_key.encode(out);
+        self.rows.encode(out);
+    }
+}
+
+impl WireDecode for TableState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(TableState {
+            name: Ident::decode(r)?,
+            schema: Schema::decode(r)?,
+            primary_key: Option::<Vec<Ident>>::decode(r)?,
+            rows: Vec::<Row>::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for GrantsState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.views.encode(out);
+        self.constraints.encode(out);
+        self.update_auths.encode(out);
+        self.roles.encode(out);
+    }
+}
+
+impl WireDecode for GrantsState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(GrantsState {
+            views: Vec::decode(r)?,
+            constraints: Vec::decode(r)?,
+            update_auths: Vec::decode(r)?,
+            roles: Vec::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for SnapshotState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lsn.encode(out);
+        self.data_version.encode(out);
+        self.policy_epoch.encode(out);
+        self.tables.encode(out);
+        self.foreign_keys.encode(out);
+        self.views_sql.encode(out);
+        self.inclusion_deps_sql.encode(out);
+        self.grants.encode(out);
+    }
+}
+
+impl WireDecode for SnapshotState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(SnapshotState {
+            lsn: u64::decode(r)?,
+            data_version: u64::decode(r)?,
+            policy_epoch: u64::decode(r)?,
+            tables: Vec::decode(r)?,
+            foreign_keys: Vec::decode(r)?,
+            views_sql: Vec::decode(r)?,
+            inclusion_deps_sql: Vec::decode(r)?,
+            grants: GrantsState::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType, Value};
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let snap = SnapshotState {
+            lsn: 42,
+            data_version: 7,
+            policy_epoch: 3,
+            tables: vec![TableState {
+                name: Ident::new("grades"),
+                schema: Schema::new(vec![
+                    Column::new("student_id", DataType::Str),
+                    Column::new("grade", DataType::Int).nullable(),
+                ]),
+                primary_key: Some(vec![Ident::new("student_id")]),
+                rows: vec![Row(vec!["11".into(), Value::Int(90)])],
+            }],
+            foreign_keys: vec![ForeignKey {
+                name: Ident::new("fk1"),
+                child_table: Ident::new("grades"),
+                child_columns: vec![Ident::new("student_id")],
+                parent_table: Ident::new("students"),
+                parent_columns: vec![Ident::new("student_id")],
+            }],
+            views_sql: vec!["create authorization view v as select * from grades".into()],
+            inclusion_deps_sql: vec![],
+            grants: GrantsState {
+                views: vec![("11".into(), vec![Ident::new("v")])],
+                constraints: vec![],
+                update_auths: vec![("11".into(), vec!["authorize insert on grades where student_id = $user_id".into()])],
+                roles: vec![("11".into(), vec!["student".into()])],
+            },
+        };
+        let bytes = snap.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = SnapshotState::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -97,14 +97,14 @@ pub fn build(config: BankConfig) -> Result<Engine> {
     engine.admin_load(&"accounts".into(), account_rows)?;
 
     // Customers get the customer role; tellers the teller role.
-    engine.grant_view("customer", "myaccounts");
-    engine.grant_view("customer", "mycustomerrecord");
-    engine.grant_view("teller", "tellerbalances");
-    engine.grant_view("teller", "customerlookup");
+    engine.grant_view("customer", "myaccounts").unwrap();
+    engine.grant_view("customer", "mycustomerrecord").unwrap();
+    engine.grant_view("teller", "tellerbalances").unwrap();
+    engine.grant_view("teller", "customerlookup").unwrap();
     for i in 0..config.customers {
-        engine.add_role(&datagen::customer_id(i), "customer");
+        engine.add_role(&datagen::customer_id(i), "customer").unwrap();
     }
-    engine.add_role("teller-1", "teller");
+    engine.add_role("teller-1", "teller").unwrap();
 
     // A customer may update her own address.
     engine.grant_update_sql(

@@ -199,22 +199,22 @@ pub fn build(config: UniversityConfig) -> Result<University> {
 
     // Standard grants: the "student" role sees her own slices + course
     // averages; constraints of Section 5.3 are public knowledge.
-    engine.grant_view("student", "mygrades");
-    engine.grant_view("student", "costudentgrades");
-    engine.grant_view("student", "avggrades");
-    engine.grant_view("student", "myregistrations");
-    engine.grant_constraint("student", "all_registered");
-    engine.grant_constraint("student", "ft_registered");
-    engine.grant_constraint("student", "fees_registered");
+    engine.grant_view("student", "mygrades").unwrap();
+    engine.grant_view("student", "costudentgrades").unwrap();
+    engine.grant_view("student", "avggrades").unwrap();
+    engine.grant_view("student", "myregistrations").unwrap();
+    engine.grant_constraint("student", "all_registered").unwrap();
+    engine.grant_constraint("student", "ft_registered").unwrap();
+    engine.grant_constraint("student", "fees_registered").unwrap();
     for i in 0..config.students {
-        engine.add_role(&datagen::student_id(i), "student");
+        engine.add_role(&datagen::student_id(i), "student").unwrap();
     }
     // The registrar sees RegStudents; the secretary gets the
     // access-pattern lookup.
-    engine.grant_view("registrar", "regstudents");
-    engine.grant_constraint("registrar", "all_registered");
-    engine.grant_constraint("registrar", "ft_registered");
-    engine.grant_view("secretary", "singlegrade");
+    engine.grant_view("registrar", "regstudents").unwrap();
+    engine.grant_constraint("registrar", "all_registered").unwrap();
+    engine.grant_constraint("registrar", "ft_registered").unwrap();
+    engine.grant_view("secretary", "singlegrade").unwrap();
 
     // Update authorizations of Section 4.4.
     engine.grant_update_sql(

@@ -37,8 +37,8 @@ fn main() -> Result<()> {
             ('b1', 'e1', 3), ('b2', 'e2', 1), ('b3', 'e3', 2);
         ",
     )?;
-    engine.grant_view("guard", "employeelookup");
-    engine.grant_view("guard", "badgeregistry");
+    engine.grant_view("guard", "employeelookup").unwrap();
+    engine.grant_view("guard", "badgeregistry").unwrap();
     let guard = Session::new("guard");
 
     println!("== point lookups through the $$ parameter ==\n");

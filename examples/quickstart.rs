@@ -28,7 +28,7 @@ fn main() -> Result<()> {
             ('12', 'cs101', 70), ('13', 'cs202', 60);
         ",
     )?;
-    engine.grant_view("11", "mygrades");
+    engine.grant_view("11", "mygrades").unwrap();
 
     let session = Session::new("11");
 

@@ -89,14 +89,14 @@ fn main() {
                     }
                     println!("set ${a} = {b}");
                 }
-                "\\grant" => {
-                    engine.grant_view(&a, &b);
-                    println!("granted view {b} to {a}");
-                }
-                "\\constraint" => {
-                    engine.grant_constraint(&a, &b);
-                    println!("made constraint {b} visible to {a}");
-                }
+                "\\grant" => match engine.grant_view(&a, &b) {
+                    Ok(()) => println!("granted view {b} to {a}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                "\\constraint" => match engine.grant_constraint(&a, &b) {
+                    Ok(()) => println!("made constraint {b} visible to {a}"),
+                    Err(e) => println!("error: {e}"),
+                },
                 "\\authorize" => match engine.grant_update_sql(&a, b.trim_end_matches(';')) {
                     Ok(()) => println!("granted update authorization to {a}"),
                     Err(e) => println!("error: {e}"),

@@ -23,7 +23,7 @@
 //!         select * from grades where student_id = $user_id;
 //!     insert into grades values ('11', 'cs101', 90), ('12', 'cs101', 70);
 //! ").unwrap();
-//! engine.grant_view("11", "mygrades");
+//! engine.grant_view("11", "mygrades").unwrap();
 //!
 //! let session = Session::new("11");
 //! // Valid: answerable from MyGrades — runs as written.
@@ -61,8 +61,8 @@ pub use fgac_workload as workload;
 /// The common imports for applications embedding the engine.
 pub mod prelude {
     pub use fgac_core::{
-        truman::TrumanPolicy, AuthorizationView, CheckOptions, Engine, EngineResponse, Grants,
-        Session, Validator, Verdict, ValidityReport,
+        truman::TrumanPolicy, AuthorizationView, CheckOptions, DurabilityOptions, Engine,
+        EngineResponse, Grants, RecoveryReport, Session, Validator, Verdict, ValidityReport,
     };
     pub use fgac_types::{Error, Ident, Result, Row, Value};
 }

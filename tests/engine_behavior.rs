@@ -35,8 +35,8 @@ fn per_user_isolation_of_parameterized_views() {
     // One view definition, different instantiations (Section 2's
     // rule-based framework): each user sees exactly her slice.
     let mut e = engine();
-    e.grant_view("11", "mygrades");
-    e.grant_view("12", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
+    e.grant_view("12", "mygrades").unwrap();
     for (user, expected_grade) in [("11", 90i64), ("12", 70)] {
         let s = Session::new(user);
         let r = e
@@ -62,8 +62,8 @@ fn conditional_cache_invalidation_on_dml() {
     // An Invalid verdict must not be served from cache after an insert
     // that makes the query conditionally valid.
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
         .unwrap();
     let s = Session::new("11");
@@ -82,7 +82,7 @@ fn conditional_cache_invalidation_on_dml() {
 #[test]
 fn unconditional_verdicts_survive_dml() {
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     e.grant_update_sql("11", "authorize insert on grades where student_id = $user_id")
         .unwrap();
     let s = Session::new("11");
@@ -103,7 +103,7 @@ fn grant_changes_clear_the_cache() {
     let q = "select grade from grades where student_id = '11'";
     assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Invalid);
     // Granting the view must invalidate the cached rejection.
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     assert_eq!(e.check(&s, q).unwrap().verdict, Verdict::Unconditional);
 }
 
@@ -112,7 +112,7 @@ fn delegation_flows_through_engine() {
     // Section 6: delegation collects views into the delegatee's set;
     // inference then runs on the union.
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     e.delegate_view("11", "assistant", "mygrades").unwrap();
     // The assistant's own $user_id instantiation governs: she sees HER
     // slice of grades via the delegated view definition, not user 11's.
@@ -127,8 +127,8 @@ fn delegation_flows_through_engine() {
 #[test]
 fn roles_compose_with_parameterized_views() {
     let mut e = engine();
-    e.grant_view("student-role", "mygrades");
-    e.add_role("11", "student-role");
+    e.grant_view("student-role", "mygrades").unwrap();
+    e.add_role("11", "student-role").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(&s, "select grade from grades where student_id = '11'")
@@ -144,7 +144,7 @@ fn extra_session_parameters_flow_into_views() {
             select * from grades where student_id = $user_id and $hour >= 9 and $hour <= 17;",
     )
     .unwrap();
-    e.grant_view("11", "daytimegrades");
+    e.grant_view("11", "daytimegrades").unwrap();
     // Daytime session: view is non-vacuous, query valid.
     let day = Session::new("11").with_param("hour", 12);
     let q = "select grade from grades where student_id = '11'";
@@ -164,7 +164,7 @@ fn queries_on_view_names_work_and_check() {
     // Users may also write queries against the view by name (the paper
     // allows both); the binder inlines it and validity is trivial.
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let r = e.execute(&s, "select avg(grade) from mygrades").unwrap();
     assert_eq!(r.rows().unwrap().rows[0].get(0), &Value::Double(90.0));
@@ -173,7 +173,7 @@ fn queries_on_view_names_work_and_check() {
 #[test]
 fn error_classification() {
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     // Parse error.
     assert!(matches!(
@@ -200,7 +200,7 @@ fn error_classification() {
 #[test]
 fn order_by_and_limit_do_not_affect_validity() {
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(
@@ -215,7 +215,7 @@ fn order_by_and_limit_do_not_affect_validity() {
 #[test]
 fn validity_report_carries_rule_trace() {
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let report = e
         .check(&s, "select grade from grades where student_id = '11'")
@@ -246,7 +246,7 @@ fn truman_and_nontruman_agree_when_query_is_within_the_view() {
     // When the query only touches the user's own slice, both models
     // give the same (correct) answer — the divergence is only outside.
     let mut e = engine();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let policy = TrumanPolicy::new().substitute_view("grades", "mygrades");
     let q = "select grade from grades where student_id = '11'";
@@ -261,8 +261,8 @@ fn failed_dml_does_not_bump_version_or_evict_cache() {
     // data version stays put and version-pinned (Conditional) verdicts
     // keep being served from cache.
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
         .unwrap();
     let s = Session::new("11");
@@ -289,8 +289,8 @@ fn failed_dml_does_not_bump_version_or_evict_cache() {
 #[test]
 fn committed_dml_bumps_version_and_reverifies_conditional_verdicts() {
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     e.grant_update_sql("11", "authorize delete on registered where student_id = $user_id")
         .unwrap();
     e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")

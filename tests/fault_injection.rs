@@ -28,7 +28,7 @@ fn engine() -> Engine {
         ",
     )
     .unwrap();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     e
 }
 

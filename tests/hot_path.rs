@@ -21,8 +21,8 @@ fn engine() -> Engine {
         ",
     )
     .unwrap();
-    e.grant_view("11", "mygrades");
-    e.grant_view("12", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
+    e.grant_view("12", "mygrades").unwrap();
     e
 }
 
@@ -68,7 +68,7 @@ fn revocation_rejects_previously_cached_query() {
     assert!(e.execute(&s, Q).is_ok());
     // …then revoke. The next execution must not reuse the cached
     // admission: it re-checks and is denied.
-    e.revoke_view("11", "mygrades");
+    e.revoke_view("11", "mygrades").unwrap();
     let err = e.execute(&s, Q).unwrap_err();
     assert!(matches!(err, Error::Unauthorized(_)), "got {err:?}");
 }
@@ -78,9 +78,9 @@ fn grant_restores_access_after_revocation() {
     let mut e = engine();
     let s = Session::new("11");
     e.execute(&s, Q).unwrap();
-    e.revoke_view("11", "mygrades");
+    e.revoke_view("11", "mygrades").unwrap();
     assert!(e.execute(&s, Q).is_err());
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let r = e.execute(&s, Q).unwrap();
     assert_eq!(r.rows().unwrap().rows.len(), 2);
 }

@@ -39,7 +39,7 @@ fn aggregate_rollup_from_finer_view() {
             group by student_id, course_id;",
     )
     .unwrap();
-    e.grant_view("u", "finecounts");
+    e.grant_view("u", "finecounts").unwrap();
     let s = Session::new("u");
     let report = e
         .check(&s, "select student_id, count(*) from grades group by student_id")
@@ -53,7 +53,7 @@ fn aggregate_rollup_from_finer_view() {
             group by student_id, course_id;",
     )
     .unwrap();
-    e2.grant_view("u", "fineavgs");
+    e2.grant_view("u", "fineavgs").unwrap();
     let report = e2
         .check(&s, "select student_id, avg(grade) from grades group by student_id")
         .unwrap();
@@ -76,7 +76,7 @@ fn example_4_2_lc_avg_grades_documented_incompleteness() {
             group by course_id having count(*) >= 2;",
     )
     .unwrap();
-    e.grant_view("u", "lcavggrades");
+    e.grant_view("u", "lcavggrades").unwrap();
     let s = Session::new("u");
     // The view itself is fine to query by name (trivially valid).
     let r = e
@@ -100,7 +100,7 @@ fn cell_level_security_via_projection() {
             select student_id, name from students;",
     )
     .unwrap();
-    e.grant_view("u", "roster");
+    e.grant_view("u", "roster").unwrap();
     let s = Session::new("u");
     // Names: visible.
     let r = e.execute(&s, "select name from students").unwrap();
@@ -122,7 +122,7 @@ fn self_join_on_visible_slice() {
             select * from grades where student_id = $user_id;",
     )
     .unwrap();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(
@@ -149,8 +149,8 @@ fn union_of_views_covers_disjoint_slices() {
             select * from grades where grade >= 75;",
     )
     .unwrap();
-    e.grant_view("u", "low");
-    e.grant_view("u", "high");
+    e.grant_view("u", "low").unwrap();
+    e.grant_view("u", "high").unwrap();
     let s = Session::new("u");
     // Each slice is fine.
     assert!(e.execute(&s, "select * from grades where grade < 75").is_ok());
@@ -172,7 +172,7 @@ fn predicate_implication_accepts_range_within_view() {
             select * from grades where grade >= 60;",
     )
     .unwrap();
-    e.grant_view("u", "passing");
+    e.grant_view("u", "passing").unwrap();
     let s = Session::new("u");
     // 70..=80 ⊂ >=60.
     let r = e
@@ -198,7 +198,7 @@ fn distinct_projection_of_view_with_key_pinned() {
             select * from grades where course_id = 'cs101';",
     )
     .unwrap();
-    e.grant_view("u", "cs101");
+    e.grant_view("u", "cs101").unwrap();
     let s = Session::new("u");
     let r = e
         .execute(
@@ -220,7 +220,7 @@ fn view_over_view_definitions_expand() {
             select * from mygrades where grade >= 85;",
     )
     .unwrap();
-    e.grant_view("11", "mygoodgrades");
+    e.grant_view("11", "mygoodgrades").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(
@@ -249,7 +249,7 @@ fn count_star_through_view_multiplicity() {
             select * from grades where student_id = $user_id;",
     )
     .unwrap();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(&s, "select count(*) from grades where student_id = '11'")

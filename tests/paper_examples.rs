@@ -85,7 +85,7 @@ fn engine() -> Engine {
 fn grant_student(e: &mut Engine, user: &str) {
     {
         let v = "mygrades";
-        e.grant_view(user, v);
+        e.grant_view(user, v).unwrap();
     }
 }
 
@@ -126,7 +126,7 @@ fn example_4_1_avg_of_own_grades() {
 #[test]
 fn example_4_1_course_average_via_avggrades() {
     let mut e = engine();
-    e.grant_view("11", "avggrades");
+    e.grant_view("11", "avggrades").unwrap();
     let s = Session::new("11");
     let report = e
         .check(&s, "select avg(grade) from grades where course_id = 'cs101'")
@@ -162,7 +162,7 @@ fn example_4_3_rejection_without_registration_knowledge() {
     // query would reveal the registration status, so it must be
     // rejected even though user 11 IS registered for cs101.
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
+    e.grant_view("11", "costudentgrades").unwrap();
     let s = Session::new("11");
     let report = e
         .check(&s, "select * from grades where course_id = 'cs101'")
@@ -173,8 +173,8 @@ fn example_4_3_rejection_without_registration_knowledge() {
 #[test]
 fn example_4_4_conditional_validity() {
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     let s = Session::new("11");
 
     // Registered course: conditionally valid; runs unmodified and
@@ -200,7 +200,7 @@ fn example_4_4_registration_query_itself() {
     // "select 1 from Registered where student-id='11' and
     //  course-id='CS101'" — valid via MyRegistrations.
     let mut e = engine();
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "myregistrations").unwrap();
     let s = Session::new("11");
     let r = e
         .execute(
@@ -217,8 +217,8 @@ fn conditional_validity_tracks_state_changes() {
     // registers — conditional validity is a function of the state
     // (Definition 4.3).
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     e.grant_update_sql("11", "authorize insert on registered where student_id = $user_id")
         .unwrap();
     let s = Session::new("11");
@@ -237,8 +237,8 @@ fn conditional_validity_tracks_state_changes() {
 #[test]
 fn example_5_1_5_2_u3a_regstudents() {
     let mut e = engine();
-    e.grant_view("u", "regstudents");
-    e.grant_constraint("u", "all_registered");
+    e.grant_view("u", "regstudents").unwrap();
+    e.grant_constraint("u", "all_registered").unwrap();
     let s = Session::new("u");
 
     // q: select distinct name, type from Students — valid by U3a.
@@ -258,8 +258,8 @@ fn example_5_1_5_2_u3a_regstudents() {
 #[test]
 fn example_5_3_full_time_restriction() {
     let mut e = engine();
-    e.grant_view("u", "regstudents");
-    e.grant_constraint("u", "ft_registered");
+    e.grant_view("u", "regstudents").unwrap();
+    e.grant_constraint("u", "ft_registered").unwrap();
     let s = Session::new("u");
     let report = e
         .check(&s, "select distinct name from students where type = 'FullTime'")
@@ -278,10 +278,10 @@ fn example_5_4_fees_paid_join() {
     //      Students.student-id = FeesPaid.student-id
     // valid given RegStudents + visible FeesPaid + fees_registered.
     let mut e = engine();
-    e.grant_view("u", "regstudentsid");
-    e.grant_view("u", "feespaidview");
-    e.grant_constraint("u", "fees_registered");
-    e.grant_constraint("u", "all_registered");
+    e.grant_view("u", "regstudentsid").unwrap();
+    e.grant_view("u", "feespaidview").unwrap();
+    e.grant_constraint("u", "fees_registered").unwrap();
+    e.grant_constraint("u", "all_registered").unwrap();
     let s = Session::new("u");
     let report = e
         .check(
@@ -299,8 +299,8 @@ fn example_5_5_distinct_dropped_with_primary_key() {
     // (student_id, course_id), so `select * from grades where
     // course_id='cs101'` is duplicate-free and C3a applies directly.
     let mut e = engine();
-    e.grant_view("11", "costudentgrades");
-    e.grant_view("11", "myregistrations");
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
     let s = Session::new("11");
     let report = e
         .check(&s, "select * from grades where course_id = 'cs101'")
@@ -311,7 +311,7 @@ fn example_5_5_distinct_dropped_with_primary_key() {
 #[test]
 fn section_2_single_grade_access_pattern() {
     let mut e = engine();
-    e.grant_view("sec", "singlegrade");
+    e.grant_view("sec", "singlegrade").unwrap();
     let s = Session::new("sec");
 
     // By id: valid.
@@ -329,13 +329,13 @@ fn section_2_single_grade_access_pattern() {
 fn section_6_dependent_join() {
     // (r ⋈_{r.B=s.A} s) with r valid and an access-pattern view on s.
     let mut e = engine();
-    e.grant_view("u", "myregistrations");
-    e.grant_view("u", "singlegrade");
+    e.grant_view("u", "myregistrations").unwrap();
+    e.grant_view("u", "singlegrade").unwrap();
     let s = Session::new("u");
     // user "u" has no registrations, so make one visible: use user 12.
     let s12 = Session::new("12");
-    e.grant_view("12", "myregistrations");
-    e.grant_view("12", "singlegrade");
+    e.grant_view("12", "myregistrations").unwrap();
+    e.grant_view("12", "singlegrade").unwrap();
     let report = e
         .check(
             &s12,

@@ -212,7 +212,7 @@ fn grades_engine(rows: &[(String, String, i64)]) -> Engine {
         .map(|(s, c, g)| Row(vec![s.clone().into(), c.clone().into(), (*g).into()]))
         .collect();
     e.admin_load(&"grades".into(), rows).unwrap();
-    e.grant_view("11", "mygrades");
+    e.grant_view("11", "mygrades").unwrap();
     e
 }
 
