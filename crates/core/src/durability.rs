@@ -102,6 +102,20 @@ impl Engine {
     ) -> Result<(Engine, RecoveryReport)> {
         let dir = dir.as_ref();
         if !dir.join("wal.log").exists() {
+            // Other WAL artifacts without a log mean this directory
+            // *held* durable state that is now partially gone (partial
+            // delete, botched restore). Initializing fresh here would
+            // later overwrite the survivors — fail closed instead.
+            for leftover in ["snapshot.fgs", "snapshot.tmp", "wal.tmp"] {
+                if dir.join(leftover).exists() {
+                    return Err(Error::Corrupt(format!(
+                        "{} exists but wal.log is missing in {}: refusing to initialize \
+                         a fresh store over remnants of durable state",
+                        leftover,
+                        dir.display()
+                    )));
+                }
+            }
             let store = WalStore::create(dir)?;
             let mut engine = Engine::new();
             engine.attach(Durability { store, opts });

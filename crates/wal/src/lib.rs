@@ -15,7 +15,8 @@
 //! * a **checksum failure on any policy record** refuses to serve
 //!   ([`fgac_types::Error::Corrupt`]) rather than guessing;
 //! * a checksum failure on the *final* record is given torn-write
-//!   leniency only when the payload classifies as a data record.
+//!   leniency only when the frame header — whose class byte is
+//!   protected by its own checksum — marks it as a data record.
 //!
 //! This crate owns the byte format and file management; `fgac-core`
 //! owns what gets logged and how records replay into an engine
@@ -28,5 +29,5 @@ mod snapshot;
 
 pub use crc::crc32;
 pub use log::{Recovered, RecoveryReport, WalStore};
-pub use record::{payload_is_policy, WalRecord};
+pub use record::{WalRecord, CLASS_DATA, CLASS_POLICY, FRAME_HEADER_LEN};
 pub use snapshot::{GrantsState, SnapshotState, TableState};

@@ -9,11 +9,17 @@
 //! <dir>/*.tmp         in-flight atomic writes (ignored by recovery)
 //! ```
 //!
-//! Each frame is `len(u32 LE) ‖ crc32(u32 LE) ‖ payload`. Record `i` of a
-//! log with header `base_lsn = b` has LSN `b + i`. A snapshot stores the
-//! LSN up to which it is current; records below it are skipped on replay,
-//! which closes the crash window between "snapshot renamed into place"
-//! and "log rotated".
+//! Each frame is `len(u32 LE) ‖ class(u8) ‖ pcrc(u32 LE) ‖ hcrc(u32 LE)
+//! ‖ payload` — see [`frame`] for why the class byte lives in the
+//! header under its own checksum. Record `i` of a log with header
+//! `base_lsn = b` has LSN `b + i`. A snapshot stores the LSN up to
+//! which it is current; records below it are skipped on replay, which
+//! closes the crash window between "snapshot renamed into place" and
+//! "log rotated". Every rename is followed by an fsync of the
+//! directory, so the two renames become durable in order; recovery
+//! cross-checks them (a snapshot older than the log's `base_lsn` means
+//! records were rotated away without a durable snapshot covering them —
+//! fail closed).
 //!
 //! ## Failure semantics
 //!
@@ -30,15 +36,25 @@
 //!   written and the store poisons itself, simulating a power cut
 //!   mid-record. Recovery classifies the partial frame as a torn tail
 //!   and truncates it.
-//! * **Scan**: a frame that does not fit before EOF is a torn tail —
-//!   truncated. A frame whose checksum fails is *corruption*: fail closed
-//!   ([`Error::Corrupt`]) unless it is the final frame **and** its
-//!   payload classifies as a data record, in which case it is one torn
-//!   write older and also truncated. Policy records never get tail
-//!   leniency.
+//! * **Scan**: a frame whose header does not fit before EOF, or whose
+//!   (header-validated) payload runs past EOF, is a torn tail —
+//!   truncated. A full header whose own checksum fails is *corruption*
+//!   ([`Error::Corrupt`]): a torn write lands a strict prefix of a
+//!   valid frame, so it can shorten a header but never produce thirteen
+//!   self-inconsistent bytes. With a valid header, a payload-checksum
+//!   failure fails closed unless it is the final frame **and** the
+//!   header's class byte marks a data record, in which case it is one
+//!   torn write older and also truncated. Policy records never get tail
+//!   leniency, and the decision never reads an unprotected byte.
+//! * **Snapshot install** (`wal::rotate` fault site): the snapshot
+//!   rename is made durable (file + directory fsync) before the log
+//!   rotation rename is issued. Once the rotation rename happens, the
+//!   old log's inode is unlinked — any failure before the store is
+//!   reattached to the new file poisons it, because appending to the
+//!   orphaned inode would acknowledge unrecoverable writes.
 
 use crate::crc::crc32;
-use crate::record::{frame, payload_is_policy, WalRecord};
+use crate::record::{frame, WalRecord, CLASS_DATA, CLASS_POLICY, FRAME_HEADER_LEN};
 use crate::snapshot::SnapshotState;
 use fgac_types::wire::{Reader, WireDecode, WireEncode};
 use fgac_types::{Error, Result};
@@ -46,8 +62,8 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-const WAL_MAGIC: &[u8; 8] = b"FGACWAL1";
-const SNAP_MAGIC: &[u8; 8] = b"FGACSNP1";
+const WAL_MAGIC: &[u8; 8] = b"FGACWAL2";
+const SNAP_MAGIC: &[u8; 8] = b"FGACSNP2";
 const WAL_HEADER_LEN: u64 = 16;
 
 fn io_err(what: &str, e: std::io::Error) -> Error {
@@ -120,6 +136,16 @@ fn open_append(path: &Path) -> Result<File> {
         .map_err(|e| io_err("open", e))
 }
 
+/// Fsyncs the directory itself. A rename is only durable once the
+/// directory entry pointing at the new inode has reached disk; without
+/// this, power loss can reorder "snapshot renamed" and "log rotated"
+/// or lose either one.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("dir sync", e))
+}
+
 impl WalStore {
     /// Creates a fresh, empty log in `dir` (created if missing). Fails if
     /// a log already exists there — opening existing state must go
@@ -134,6 +160,7 @@ impl WalStore {
             )));
         }
         write_new_log(&path, 0)?;
+        sync_dir(dir)?;
         Ok(WalStore {
             dir: dir.to_path_buf(),
             file: open_append(&path)?,
@@ -165,6 +192,19 @@ impl WalStore {
             bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
         ]);
 
+        // LSN continuity: a rotated log (base_lsn > 0) promises that a
+        // snapshot covers every record below base_lsn. If the snapshot
+        // is missing or older — e.g. its rename was lost while the
+        // rotation survived — acknowledged records in [snap, base) are
+        // gone, so serving would silently drop committed changes.
+        let snap_lsn = snapshot.as_ref().map_or(0, |s| s.lsn);
+        if snap_lsn < base_lsn {
+            return Err(Error::Corrupt(format!(
+                "wal base_lsn {base_lsn} exceeds snapshot lsn {snap_lsn}: records in \
+                 [{snap_lsn}, {base_lsn}) were rotated away without a durable snapshot"
+            )));
+        }
+
         let mut records = Vec::new();
         let mut pos = WAL_HEADER_LEN as usize;
         let mut truncate_at: Option<usize> = None;
@@ -174,39 +214,51 @@ impl WalStore {
             // state and a rerun sees the same bytes.
             #[cfg(feature = "fault-injection")]
             fgac_types::faults::hit("wal::recover")?;
-            if pos + 8 > bytes.len() {
+            if pos + FRAME_HEADER_LEN > bytes.len() {
                 // Not even a full frame header: torn tail.
                 truncate_at = Some(pos);
                 break;
             }
-            let plen =
-                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
-                    as usize;
-            let stored_crc = u32::from_le_bytes([
-                bytes[pos + 4],
-                bytes[pos + 5],
-                bytes[pos + 6],
-                bytes[pos + 7],
-            ]);
-            let end = pos + 8 + plen;
+            let header = &bytes[pos..pos + FRAME_HEADER_LEN];
+            let plen = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let class = header[4];
+            let stored_pcrc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+            let stored_hcrc = u32::from_le_bytes([header[9], header[10], header[11], header[12]]);
+            let lsn = base_lsn + records.len() as u64;
+            // A torn write lands a strict prefix of a valid frame, so
+            // thirteen present-but-inconsistent header bytes can only be
+            // corruption — and with an untrusted header neither `len`
+            // nor `class` means anything. Fail closed before using them.
+            if crc32(&header[..9]) != stored_hcrc {
+                return Err(Error::Corrupt(format!(
+                    "wal record {lsn}: frame header checksum mismatch"
+                )));
+            }
+            if class != CLASS_POLICY && class != CLASS_DATA {
+                return Err(Error::Corrupt(format!(
+                    "wal record {lsn}: unknown frame class {class:#x}"
+                )));
+            }
+            let end = pos + FRAME_HEADER_LEN + plen;
             if plen > bytes.len() || end > bytes.len() {
-                // Payload runs past EOF: torn tail.
+                // Valid header, payload runs past EOF: torn tail.
                 truncate_at = Some(pos);
                 break;
             }
-            let payload = &bytes[pos + 8..end];
-            let lsn = base_lsn + records.len() as u64;
-            if crc32(payload) != stored_crc {
+            let payload = &bytes[pos + FRAME_HEADER_LEN..end];
+            if crc32(payload) != stored_pcrc {
                 let is_final = end == bytes.len();
-                if is_final && !payload_is_policy(payload) {
-                    // A torn write that happened to complete its length
-                    // field: data record at the tail, truncate.
+                if is_final && class == CLASS_DATA {
+                    // A torn write that happened to complete its header:
+                    // data record at the tail, truncate. The class comes
+                    // from the header (validated above), never from the
+                    // damaged payload.
                     truncate_at = Some(pos);
                     break;
                 }
                 return Err(Error::Corrupt(format!(
                     "wal record {lsn}: checksum mismatch on a {} record",
-                    if payload_is_policy(payload) {
+                    if class == CLASS_POLICY {
                         "policy"
                     } else {
                         "non-final data"
@@ -217,6 +269,11 @@ impl WalStore {
             let record = WalRecord::decode(&mut r)
                 .and_then(|rec| r.expect_end().map(|()| rec))
                 .map_err(|e| Error::Corrupt(format!("wal record {lsn}: {e}")))?;
+            if record.class() != class {
+                return Err(Error::Corrupt(format!(
+                    "wal record {lsn}: frame class {class:#x} does not match the decoded record"
+                )));
+            }
             records.push((lsn, record));
             pos = end;
         }
@@ -288,7 +345,7 @@ impl WalStore {
         #[cfg(feature = "fault-injection")]
         fgac_types::faults::hit("wal::append")?;
         let payload = record.to_bytes();
-        let framed = frame(&payload);
+        let framed = frame(&payload, record.class());
 
         #[cfg(feature = "fault-injection")]
         if let Err(e) = fgac_types::faults::hit("wal::append_torn") {
@@ -342,9 +399,19 @@ impl WalStore {
     /// Atomically installs a snapshot and rotates the log.
     ///
     /// `state.lsn` must equal [`WalStore::next_lsn`]. Both files go
-    /// through write-temp + fsync + rename; a crash between the two
-    /// renames leaves the *old* log alongside the *new* snapshot, which
-    /// replay handles by skipping records below the snapshot LSN.
+    /// through write-temp + fsync + rename + directory fsync, in that
+    /// order, so the snapshot rename is durable *before* the rotation
+    /// rename is issued: after power loss the disk holds either the old
+    /// pair, the new snapshot with the old log (replay skips records
+    /// below the snapshot LSN), or the new pair — never a rotated log
+    /// whose folded-away records have no durable snapshot (recovery
+    /// cross-checks this and fails closed).
+    ///
+    /// Failures before the rotation rename leave the store on the old,
+    /// intact log — the error is returned and the log still holds every
+    /// record. Failures after it (`wal::rotate` fault site) poison the
+    /// store: the old inode is unlinked, so acknowledging appends into
+    /// it would lose them silently.
     pub fn install_snapshot(&mut self, state: &SnapshotState) -> Result<()> {
         self.check_poisoned()?;
         #[cfg(feature = "fault-injection")]
@@ -356,13 +423,14 @@ impl WalStore {
             )));
         }
         let payload = state.to_bytes();
-        let mut doc = Vec::with_capacity(16 + payload.len());
+        let mut doc = Vec::with_capacity(8 + FRAME_HEADER_LEN + payload.len());
         doc.extend_from_slice(SNAP_MAGIC);
-        doc.extend_from_slice(&frame(&payload));
+        doc.extend_from_slice(&frame(&payload, CLASS_POLICY));
 
         let tmp = self.dir.join("snapshot.tmp");
         let final_path = snapshot_path(&self.dir);
         write_atomic(&tmp, &final_path, &doc)?;
+        sync_dir(&self.dir)?;
 
         // Rotate: a fresh log whose base LSN is the snapshot LSN.
         let wal_tmp = self.dir.join("wal.tmp");
@@ -372,10 +440,29 @@ impl WalStore {
             drop(file);
         }
         std::fs::rename(&wal_tmp, &final_wal).map_err(|e| io_err("log rotate", e))?;
-        self.file = open_append(&final_wal)?;
-        self.len = WAL_HEADER_LEN;
-        self.base_lsn = state.lsn;
-        Ok(())
+        // From here on self.file still points at the OLD log, whose
+        // inode the rename just unlinked. Until the store is reattached
+        // to the new file, any exit path must poison — otherwise later
+        // appends land in the orphaned inode, get acknowledged, and
+        // vanish (recovery only sees the new, empty log).
+        let reattached = (|| -> Result<File> {
+            #[cfg(feature = "fault-injection")]
+            fgac_types::faults::hit("wal::rotate")?;
+            sync_dir(&self.dir)?;
+            open_append(&final_wal)
+        })();
+        match reattached {
+            Ok(file) => {
+                self.file = file;
+                self.len = WAL_HEADER_LEN;
+                self.base_lsn = state.lsn;
+                Ok(())
+            }
+            Err(e) => {
+                self.poison("log rotation reattach failed");
+                Err(e)
+            }
+        }
     }
 }
 
@@ -406,16 +493,26 @@ fn load_snapshot(dir: &Path) -> Result<Option<SnapshotState>> {
         Err(e) => return Err(io_err("snapshot read", e)),
     };
     let corrupt = |what: &str| Error::Corrupt(format!("snapshot {}: {what}", path.display()));
-    if bytes.len() < 16 || &bytes[..8] != SNAP_MAGIC {
+    let header_len = 8 + FRAME_HEADER_LEN;
+    if bytes.len() < header_len || &bytes[..8] != SNAP_MAGIC {
         return Err(corrupt("bad magic or truncated header"));
     }
-    let plen = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
-    let stored_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
-    if bytes.len() != 16 + plen {
+    let header = &bytes[8..header_len];
+    let plen = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let class = header[4];
+    let stored_pcrc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    let stored_hcrc = u32::from_le_bytes([header[9], header[10], header[11], header[12]]);
+    if crc32(&header[..9]) != stored_hcrc {
+        return Err(corrupt("frame header checksum mismatch"));
+    }
+    if class != CLASS_POLICY {
+        return Err(corrupt("frame class is not policy"));
+    }
+    if bytes.len() != header_len + plen {
         return Err(corrupt("length mismatch"));
     }
-    let payload = &bytes[16..];
-    if crc32(payload) != stored_crc {
+    let payload = &bytes[header_len..];
+    if crc32(payload) != stored_pcrc {
         return Err(corrupt("checksum mismatch"));
     }
     let mut r = Reader::new(payload);
@@ -443,6 +540,19 @@ mod tests {
         WalRecord::AddRole {
             user: format!("u{i}"),
             role: "student".into(),
+        }
+    }
+
+    fn snap(lsn: u64) -> SnapshotState {
+        SnapshotState {
+            lsn,
+            data_version: 0,
+            policy_epoch: lsn,
+            tables: vec![],
+            foreign_keys: vec![],
+            views_sql: vec![],
+            inclusion_deps_sql: vec![],
+            grants: Default::default(),
         }
     }
 
@@ -478,8 +588,8 @@ mod tests {
         let mut store = WalStore::create(&dir).unwrap();
         store.append(&rec(0), true).unwrap();
         drop(store);
-        // Simulate a torn final record: append garbage that looks like a
-        // frame header promising more bytes than exist.
+        // Simulate a torn final record: a partial frame header (fewer
+        // than FRAME_HEADER_LEN bytes landed).
         let path = wal_path(&dir);
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&[200, 0, 0, 0, 1, 2, 3, 4, 9, 9]).unwrap();
@@ -493,6 +603,26 @@ mod tests {
         let again = WalStore::recover(&dir).unwrap();
         assert_eq!(again.records.len(), 1);
         assert_eq!(again.report.truncated_tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_payload_with_complete_header_is_truncated() {
+        // The other torn-write shape: the full header landed but the
+        // payload was cut short. The header is self-consistent, so the
+        // scan classifies this as a tear, not corruption.
+        let dir = tmp_dir("torn-payload");
+        let mut store = WalStore::create(&dir).unwrap();
+        store.append(&rec(0), true).unwrap();
+        drop(store);
+        let path = wal_path(&dir);
+        let framed = frame(&rec(1).to_bytes(), CLASS_POLICY);
+        let cut = FRAME_HEADER_LEN + 2; // header + 2 payload bytes
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&framed[..cut]).unwrap();
+        drop(f);
+        let recovered = WalStore::recover(&dir).unwrap();
+        assert_eq!(recovered.records.len(), 1);
+        assert_eq!(recovered.report.truncated_tail_bytes, cut as u64);
     }
 
     #[test]
@@ -544,7 +674,7 @@ mod tests {
         // Damage the first record's last payload byte (it sits right
         // before the second frame's header).
         let dml_payload_len = WalRecord::Dml { deltas: vec![] }.to_bytes().len();
-        let idx = WAL_HEADER_LEN as usize + 8 + dml_payload_len - 1;
+        let idx = WAL_HEADER_LEN as usize + FRAME_HEADER_LEN + dml_payload_len - 1;
         bytes[idx] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         let err = WalStore::recover(&dir).unwrap_err();
@@ -625,12 +755,90 @@ mod tests {
         let payload = state.to_bytes();
         let mut doc = Vec::new();
         doc.extend_from_slice(SNAP_MAGIC);
-        doc.extend_from_slice(&frame(&payload));
+        doc.extend_from_slice(&frame(&payload, CLASS_POLICY));
         std::fs::write(snapshot_path(&dir), &doc).unwrap();
         drop(store);
         let recovered = WalStore::recover(&dir).unwrap();
         assert_eq!(recovered.snapshot.unwrap().lsn, 2);
         // Both records are still scanned; the *caller* filters lsn < 2.
         assert_eq!(recovered.records.len(), 2);
+    }
+
+    #[test]
+    fn flipped_class_byte_fails_closed() {
+        // Corruption must not be able to reclassify a final policy
+        // record as data to win tail leniency: the class byte is
+        // covered by the header checksum, so flipping it is detected
+        // before the (also damaged) payload is ever consulted.
+        let dir = tmp_dir("class-flip");
+        let mut store = WalStore::create(&dir).unwrap();
+        store.append(&rec(0), true).unwrap();
+        drop(store);
+        let path = wal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let class_idx = WAL_HEADER_LEN as usize + 4;
+        assert_eq!(bytes[class_idx], CLASS_POLICY);
+        bytes[class_idx] = CLASS_DATA;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // and damage the payload, as a tear would
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalStore::recover(&dir).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn rotated_log_without_snapshot_fails_closed() {
+        // A lost snapshot rename after a durable log rotation: the log
+        // says base_lsn=1 but no snapshot covers [0, 1). Loading the
+        // stale state and silently skipping the gap would drop
+        // acknowledged commits — recovery must refuse.
+        let dir = tmp_dir("lost-snap");
+        let mut store = WalStore::create(&dir).unwrap();
+        store.append(&rec(0), true).unwrap();
+        store.install_snapshot(&snap(1)).unwrap();
+        drop(store);
+        std::fs::remove_file(snapshot_path(&dir)).unwrap();
+        let err = WalStore::recover(&dir).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn snapshot_older_than_base_lsn_fails_closed() {
+        // Same gap, with a snapshot present but too old (lsn 1 < base 2).
+        let dir = tmp_dir("stale-snap");
+        let mut store = WalStore::create(&dir).unwrap();
+        store.append(&rec(0), false).unwrap();
+        store.append(&rec(1), true).unwrap();
+        store.install_snapshot(&snap(2)).unwrap();
+        drop(store);
+        let mut doc = Vec::new();
+        doc.extend_from_slice(SNAP_MAGIC);
+        doc.extend_from_slice(&frame(&snap(1).to_bytes(), CLASS_POLICY));
+        std::fs::write(snapshot_path(&dir), &doc).unwrap();
+        let err = WalStore::recover(&dir).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn failed_rotation_reattach_poisons_the_store() {
+        use fgac_types::faults::{self, Fault};
+        let dir = tmp_dir("rotate-poison");
+        let mut store = WalStore::create(&dir).unwrap();
+        store.append(&rec(0), true).unwrap();
+        faults::arm("wal::rotate", Fault::ErrorOnNth(1));
+        assert!(store.install_snapshot(&snap(1)).is_err());
+        faults::disarm_all();
+        // The old log's inode is unlinked; appending there would be
+        // acknowledged into nowhere, so the store must refuse.
+        assert!(store.is_poisoned());
+        assert!(store.append(&rec(1), false).is_err());
+        drop(store);
+        // On disk both renames completed: new snapshot + empty rotated
+        // log. A reopen recovers cleanly at the snapshot LSN.
+        let recovered = WalStore::recover(&dir).unwrap();
+        assert_eq!(recovered.snapshot.unwrap().lsn, 1);
+        assert_eq!(recovered.records.len(), 0);
+        assert_eq!(recovered.store.next_lsn(), 1);
     }
 }

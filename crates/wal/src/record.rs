@@ -11,9 +11,10 @@
 //!   committed statement. A corrupt data record at the very tail of the
 //!   log is treated as a torn write and truncated.
 //!
-//! The record's first payload byte is its tag; [`payload_is_policy`]
-//! classifies a frame without decoding it, which is what recovery needs
-//! when the checksum already failed.
+//! The frame header carries the record's class (policy vs data) under
+//! its own checksum — see [`frame`] — so recovery can classify a frame
+//! whose *payload* checksum failed without trusting any unprotected
+//! byte of that payload.
 
 use crate::crc::crc32;
 use fgac_storage::TableDelta;
@@ -54,19 +55,31 @@ pub enum WalRecord {
     Dml { deltas: Vec<TableDelta> },
 }
 
+/// Frame-header class byte for policy records (fail closed on
+/// corruption).
+pub const CLASS_POLICY: u8 = 0x01;
+/// Frame-header class byte for data records (tail leniency allowed).
+pub const CLASS_DATA: u8 = 0x02;
+
+/// Bytes of framing before the payload: `len ‖ class ‖ payload crc ‖
+/// header crc`.
+pub const FRAME_HEADER_LEN: usize = 13;
+
 impl WalRecord {
     /// Policy records fail closed on corruption; data records at the log
     /// tail are treated as torn writes.
     pub fn is_policy(&self) -> bool {
         !matches!(self, WalRecord::Dml { .. })
     }
-}
 
-/// Classifies an encoded payload without decoding it. Used when the
-/// frame's checksum already failed: the tag byte may itself be damaged,
-/// so an empty or ambiguous payload defaults to *policy* (fail closed).
-pub fn payload_is_policy(payload: &[u8]) -> bool {
-    payload.first().is_none_or(|&tag| tag != TAG_DML)
+    /// The class byte written into this record's frame header.
+    pub fn class(&self) -> u8 {
+        if self.is_policy() {
+            CLASS_POLICY
+        } else {
+            CLASS_DATA
+        }
+    }
 }
 
 impl WireEncode for WalRecord {
@@ -154,11 +167,24 @@ impl WireDecode for WalRecord {
     }
 }
 
-/// Frames a payload for the log: `len(u32) ‖ crc32(u32) ‖ payload`.
-pub fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + payload.len());
+/// Frames a payload for the log:
+///
+/// ```text
+/// len(u32 LE) ‖ class(u8) ‖ pcrc(u32 LE) ‖ hcrc(u32 LE) ‖ payload
+/// ```
+///
+/// `pcrc` is the CRC of the payload; `hcrc` is the CRC of the first 9
+/// header bytes (`len ‖ class ‖ pcrc`). The class byte decides whether
+/// a payload-checksum failure at the tail may be treated as a torn
+/// write, so it must be trustworthy even when the payload is not —
+/// `hcrc` gives it (and `len`) integrity independent of the payload.
+pub fn frame(payload: &[u8], class: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(class);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
+    let hcrc = crc32(&out[..9]);
+    out.extend_from_slice(&hcrc.to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
@@ -174,7 +200,10 @@ mod tests {
         let back = WalRecord::decode(&mut r).unwrap();
         r.expect_end().unwrap();
         assert_eq!(rec, back);
-        assert_eq!(payload_is_policy(&bytes), rec.is_policy());
+        assert_eq!(
+            rec.class(),
+            if rec.is_policy() { CLASS_POLICY } else { CLASS_DATA }
+        );
     }
 
     #[test]
@@ -217,22 +246,34 @@ mod tests {
     }
 
     #[test]
-    fn empty_payload_classified_as_policy() {
-        assert!(payload_is_policy(&[]));
-    }
-
-    #[test]
-    fn frame_carries_crc_of_payload() {
+    fn frame_carries_checksummed_header_and_payload() {
         let payload = WalRecord::Dml { deltas: vec![] }.to_bytes();
-        let f = frame(&payload);
+        let f = frame(&payload, CLASS_DATA);
         assert_eq!(
             u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize,
             payload.len()
         );
+        assert_eq!(f[4], CLASS_DATA);
         assert_eq!(
-            u32::from_le_bytes([f[4], f[5], f[6], f[7]]),
+            u32::from_le_bytes([f[5], f[6], f[7], f[8]]),
             crc32(&payload)
         );
-        assert_eq!(&f[8..], &payload[..]);
+        assert_eq!(u32::from_le_bytes([f[9], f[10], f[11], f[12]]), crc32(&f[..9]));
+        assert_eq!(&f[FRAME_HEADER_LEN..], &payload[..]);
+    }
+
+    #[test]
+    fn header_crc_pins_the_class_byte() {
+        // Flipping the class byte (the torn-tail leniency decision)
+        // must be detectable without the payload checksum.
+        let payload = WalRecord::AddRole {
+            user: "11".into(),
+            role: "student".into(),
+        }
+        .to_bytes();
+        let mut f = frame(&payload, CLASS_POLICY);
+        f[4] = CLASS_DATA;
+        let hcrc = u32::from_le_bytes([f[9], f[10], f[11], f[12]]);
+        assert_ne!(crc32(&f[..9]), hcrc);
     }
 }

@@ -315,6 +315,18 @@ fn crash_matrix_snapshot_site() {
     }
 }
 
+/// A failure *after* the log-rotation rename (inside snapshot install)
+/// must poison the store: the next op fails instead of being
+/// acknowledged into the old log's unlinked inode, and recovery picks
+/// up the already-durable snapshot + rotated log.
+#[test]
+fn crash_matrix_rotate_site() {
+    for seed in [7, 42] {
+        let fired = run_cell(seed, "wal::rotate", 1);
+        assert!(fired, "a poisoned store must stop accepting work");
+    }
+}
+
 /// Crash during an *explicit* snapshot, after a workload has run.
 #[test]
 fn crash_during_explicit_snapshot() {

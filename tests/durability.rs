@@ -261,6 +261,43 @@ fn explicit_snapshot_now_folds_the_whole_log() {
 }
 
 #[test]
+fn orphaned_snapshot_without_log_refuses_fresh_init() {
+    // A directory holding snapshot.fgs but no wal.log is the remnant of
+    // a partial delete or botched restore. Opening it must not quietly
+    // initialize an empty engine (which would later overwrite the
+    // snapshot and discard all surviving durable state).
+    let dir = tmp_dir("orphan-snapshot");
+    let mut e = Engine::open(&dir).unwrap();
+    populate(&mut e);
+    e.snapshot_now().unwrap();
+    e.close().unwrap();
+    std::fs::remove_file(dir.join("wal.log")).unwrap();
+
+    let err = Engine::open(&dir).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    assert!(
+        dir.join("snapshot.fgs").exists(),
+        "the refusal must leave the snapshot untouched"
+    );
+}
+
+#[test]
+fn lost_snapshot_rename_fails_closed() {
+    // The inverse partial state: the log rotation survived but the
+    // snapshot covering the rotated-away records is gone. Serving the
+    // empty log as truth would silently drop every acknowledged commit.
+    let dir = tmp_dir("lost-snapshot");
+    let mut e = Engine::open(&dir).unwrap();
+    populate(&mut e);
+    e.snapshot_now().unwrap();
+    e.close().unwrap();
+    std::fs::remove_file(dir.join("snapshot.fgs")).unwrap();
+
+    let err = Engine::open(&dir).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+}
+
+#[test]
 fn in_memory_engine_has_no_durability() {
     let mut e = Engine::new();
     populate(&mut e);
