@@ -1,0 +1,391 @@
+//! Diagnostic model: stable codes, severities, and the JSON wire form
+//! consumed by CI (`fgac-analyze --json`).
+
+use std::fmt;
+
+/// Stable diagnostic codes. Codes are append-only: a code, once
+/// published, never changes meaning — CI configurations key on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// `P001`: the view's predicate is unsatisfiable — the grant can
+    /// never produce a row, so either the policy is a typo or the grant
+    /// is dead weight that still costs every validity check.
+    UnsatisfiableViewPredicate,
+    /// `P002`: the view is subsumed by another view granted to the same
+    /// principal — everything it authorizes, the wider grant already
+    /// authorizes.
+    RedundantGrant,
+    /// `P003`: a revocation had no effect because a role grant still
+    /// supplies the view — the DBA believes access was removed but the
+    /// principal's effective set is unchanged.
+    ShadowedByRevocation,
+    /// `P004`: the grant can never participate in a validity check —
+    /// the view is missing from the catalog, is not an AUTHORIZATION
+    /// view, or its body no longer binds (dropped table/column).
+    UnusableView,
+    /// `P005`: a conditional-validity (C3) probe for this view would
+    /// read columns of a relation the principal holds no view over —
+    /// the Section 5.4 leakage channel. The engine fails closed on it,
+    /// so the view also cannot deliver its conditional grants.
+    LeakyConditionalCheck,
+    /// `P006`: a `$`/`$$` parameter in the view body is never
+    /// constrained by a predicate, so instantiation can never pin it.
+    UnboundParameter,
+    /// `W001`: two views granted to the same principal contradict each
+    /// other on the same relation — often intentional (disjoint
+    /// partitions), sometimes a sign one predicate is mis-written.
+    CrossViewContradiction,
+}
+
+impl Code {
+    /// The stable short code (`P001` ... `W001`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::UnsatisfiableViewPredicate => "P001",
+            Code::RedundantGrant => "P002",
+            Code::ShadowedByRevocation => "P003",
+            Code::UnusableView => "P004",
+            Code::LeakyConditionalCheck => "P005",
+            Code::UnboundParameter => "P006",
+            Code::CrossViewContradiction => "W001",
+        }
+    }
+
+    /// Human-readable name of the code.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Code::UnsatisfiableViewPredicate => "UnsatisfiableViewPredicate",
+            Code::RedundantGrant => "RedundantGrant",
+            Code::ShadowedByRevocation => "ShadowedByRevocation",
+            Code::UnusableView => "UnusableView",
+            Code::LeakyConditionalCheck => "LeakyConditionalCheck",
+            Code::UnboundParameter => "UnboundParameter",
+            Code::CrossViewContradiction => "CrossViewContradiction",
+        }
+    }
+
+    /// Parses a short code back into the enum.
+    pub fn from_str_code(s: &str) -> Option<Code> {
+        Some(match s {
+            "P001" => Code::UnsatisfiableViewPredicate,
+            "P002" => Code::RedundantGrant,
+            "P003" => Code::ShadowedByRevocation,
+            "P004" => Code::UnusableView,
+            "P005" => Code::LeakyConditionalCheck,
+            "P006" => Code::UnboundParameter,
+            "W001" => Code::CrossViewContradiction,
+            _ => return None,
+        })
+    }
+
+    /// The severity this code carries when its analysis *completes*.
+    /// (An exhausted analysis reports [`Severity::Unknown`] instead.)
+    pub fn default_severity(&self) -> Severity {
+        match self {
+            Code::UnsatisfiableViewPredicate
+            | Code::ShadowedByRevocation
+            | Code::UnusableView
+            | Code::LeakyConditionalCheck => Severity::Error,
+            Code::RedundantGrant | Code::UnboundParameter | Code::CrossViewContradiction => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Diagnostic severity. `Unknown` is the fail-open level: the analysis
+/// ran out of budget before it could prove or refute the defect, so
+/// neither a clean bill nor a finding is claimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+    Unknown,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Unknown => "unknown",
+        }
+    }
+
+    pub fn from_str_sev(s: &str) -> Option<Severity> {
+        Some(match s {
+            "error" => Severity::Error,
+            "warning" => Severity::Warning,
+            "unknown" => Severity::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding of the policy analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// The principal whose effective grant set the finding concerns
+    /// (empty for catalog-level findings).
+    pub principal: String,
+    /// The object — usually a view name — the finding is anchored to.
+    pub object: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding with the code's default severity.
+    pub fn new(
+        code: Code,
+        principal: impl Into<String>,
+        object: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            principal: principal.into(),
+            object: object.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The fail-open form: the analysis for `code` could not finish
+    /// within its budget, so the result is unknown rather than clean.
+    pub fn unknown(
+        code: Code,
+        principal: impl Into<String>,
+        object: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Unknown,
+            ..Diagnostic::new(code, principal, object, message)
+        }
+    }
+
+    /// One JSON object, keys in fixed order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":{},\"name\":{},\"severity\":{},\"principal\":{},\"object\":{},\"message\":{}}}",
+            json_str(self.code.as_str()),
+            json_str(self.code.name()),
+            json_str(self.severity.as_str()),
+            json_str(&self.principal),
+            json_str(&self.object),
+            json_str(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ", self.severity, self.code)?;
+        if !self.principal.is_empty() {
+            write!(f, "principal '{}': ", self.principal)?;
+        }
+        if !self.object.is_empty() {
+            write!(f, "{}: ", self.object)?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Renders a diagnostic list as a pretty-printed JSON array.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = diags.iter().map(|d| format!("  {}", d.to_json())).collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
+/// Parses a diagnostic array previously produced by
+/// [`diagnostics_to_json`]. This is deliberately a parser for *our own
+/// wire form* (string values only, no nesting) rather than a general
+/// JSON library — it exists so the CI gate and tests can prove the
+/// machine output round-trips.
+pub fn diagnostics_from_json(input: &str) -> Option<Vec<Diagnostic>> {
+    let mut p = JsonCursor::new(input);
+    p.skip_ws();
+    p.eat('[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat(']').is_some() {
+        return Some(out);
+    }
+    loop {
+        out.push(parse_object(&mut p)?);
+        p.skip_ws();
+        if p.eat(',').is_some() {
+            continue;
+        }
+        p.eat(']')?;
+        return Some(out);
+    }
+}
+
+fn parse_object(p: &mut JsonCursor) -> Option<Diagnostic> {
+    p.skip_ws();
+    p.eat('{')?;
+    let mut code = None;
+    let mut severity = None;
+    let mut principal = None;
+    let mut object = None;
+    let mut message = None;
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.eat(':')?;
+        p.skip_ws();
+        let val = p.string()?;
+        match key.as_str() {
+            "code" => code = Code::from_str_code(&val),
+            "severity" => severity = Severity::from_str_sev(&val),
+            "principal" => principal = Some(val),
+            "object" => object = Some(val),
+            "message" => message = Some(val),
+            // "name" and any future additive keys are derivable/ignored.
+            _ => {}
+        }
+        p.skip_ws();
+        if p.eat(',').is_some() {
+            continue;
+        }
+        p.eat('}')?;
+        break;
+    }
+    Some(Diagnostic {
+        code: code?,
+        severity: severity?,
+        principal: principal?,
+        object: object?,
+        message: message?,
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct JsonCursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> Option<()> {
+        if self.chars.peek() == Some(&want) {
+            self.chars.next();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            v = v * 16 + self.chars.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        for (code, s) in [
+            (Code::UnsatisfiableViewPredicate, "P001"),
+            (Code::RedundantGrant, "P002"),
+            (Code::ShadowedByRevocation, "P003"),
+            (Code::UnusableView, "P004"),
+            (Code::LeakyConditionalCheck, "P005"),
+            (Code::UnboundParameter, "P006"),
+            (Code::CrossViewContradiction, "W001"),
+        ] {
+            assert_eq!(code.as_str(), s);
+            assert_eq!(Code::from_str_code(s), Some(code));
+        }
+    }
+
+    #[test]
+    fn json_round_trips_including_escapes() {
+        let diags = vec![
+            Diagnostic::new(Code::UnusableView, "11", "mygrades", "weird \"quotes\"\nand\tlines"),
+            Diagnostic::unknown(Code::RedundantGrant, "", "v2", "budget exhausted"),
+        ];
+        let json = diagnostics_to_json(&diags);
+        let back = diagnostics_from_json(&json).expect("round-trip parses");
+        assert_eq!(diags, back);
+        assert_eq!(diagnostics_from_json("[]"), Some(vec![]));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in ["", "[", "[{]", "[{\"code\":\"P001\"}]", "nonsense"] {
+            assert_eq!(diagnostics_from_json(bad), None, "input {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Grant-time static analysis of the installed policy set.
+//!
+//! The Non-Truman model (Section 4) makes the *policy set* the trusted
+//! computing base: a mis-written authorization view silently
+//! over-grants, a subsumed one bloats every validity check, and a
+//! conditionally-valid check can itself leak data (the Section 5.4
+//! remainder probe). This crate runs the inference machinery the
+//! validator already has — the binder, normalization, and the
+//! implication prover — over the *policy* instead of over queries, and
+//! reports defects as structured diagnostics with stable codes:
+//!
+//! | code | name | severity |
+//! |------|------|----------|
+//! | `P001` | UnsatisfiableViewPredicate | error |
+//! | `P002` | RedundantGrant | warning |
+//! | `P003` | ShadowedByRevocation | error |
+//! | `P004` | UnusableView | error |
+//! | `P005` | LeakyConditionalCheck | error |
+//! | `P006` | UnboundParameter | warning |
+//! | `W001` | CrossViewContradiction | warning |
+//!
+//! Every prover-backed analysis runs under a [`fgac_types::Budget`].
+//! Unlike the admission path — which fails *closed* (DENY) on
+//! exhaustion — the analyzer fails *open*: an exhausted check degrades
+//! to a diagnostic of severity [`Severity::Unknown`] and the pass keeps
+//! going. A lint must never be the thing that panics or wedges.
+
+pub mod diag;
+pub mod policy;
+pub mod query;
+
+pub use diag::{diagnostics_from_json, diagnostics_to_json, Code, Diagnostic, Severity};
+pub use policy::{analyze_policy_set, AnalyzeOptions, PolicySet};
+pub use query::analyze_query;

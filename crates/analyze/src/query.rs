@@ -1,0 +1,78 @@
+//! Per-query lints: the same defect classes the policy pass finds in
+//! view bodies, surfaced for an individual query before it is ever
+//! admitted (what a CI step runs over an application's query corpus).
+
+use crate::diag::{Code, Diagnostic};
+use crate::policy::{symbolize_params, AnalyzeOptions};
+use fgac_algebra::{implication, normalize, ParamScope, ScalarExpr, SpjBlock};
+use fgac_storage::Catalog;
+
+/// Lints one query text against the catalog: `P004` when it does not
+/// bind, `P001` when its predicate is unsatisfiable, `P006` for
+/// parameters no predicate constrains. The principal field of the
+/// returned diagnostics is empty — the lints are grant-independent.
+pub fn analyze_query(catalog: &Catalog, sql: &str, opts: &AnalyzeOptions) -> Vec<Diagnostic> {
+    let object = "<query>";
+    let mut out = Vec::new();
+    let query = match fgac_sql::parse_query(sql) {
+        Ok(q) => q,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                Code::UnusableView,
+                "",
+                object,
+                format!("query does not parse: {e}"),
+            ));
+            return out;
+        }
+    };
+
+    for (name, is_access) in crate::policy::unconstrained_params(&query) {
+        let sigil = if is_access { "$$" } else { "$" };
+        out.push(Diagnostic::new(
+            Code::UnboundParameter,
+            "",
+            object,
+            format!("parameter {sigil}{name} is never constrained by a predicate"),
+        ));
+    }
+
+    let symbolized = symbolize_params(&query);
+    let bound = match fgac_algebra::bind_query(catalog, &symbolized, &ParamScope::new()) {
+        Ok(b) => b,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                Code::UnusableView,
+                "",
+                object,
+                format!("query does not bind against the catalog: {e}"),
+            ));
+            return out;
+        }
+    };
+
+    if let Some(block) = SpjBlock::decompose(&normalize(&bound.plan)) {
+        let meter = opts.budget.start();
+        match implication::implies_metered(
+            &block.conjuncts,
+            &[ScalarExpr::lit(false)],
+            block.flat_arity(),
+            &meter,
+        ) {
+            Ok(true) => out.push(Diagnostic::new(
+                Code::UnsatisfiableViewPredicate,
+                "",
+                object,
+                "query predicate is unsatisfiable: it can never return a row",
+            )),
+            Ok(false) => {}
+            Err(_) => out.push(Diagnostic::unknown(
+                Code::UnsatisfiableViewPredicate,
+                "",
+                object,
+                "analysis budget exhausted; result unknown",
+            )),
+        }
+    }
+    out
+}

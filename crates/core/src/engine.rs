@@ -21,10 +21,11 @@ use crate::plancache::{CachedPlan, PlanCache};
 use crate::session::Session;
 use crate::truman::TrumanPolicy;
 use crate::updates::UpdateAuthorizer;
+use fgac_analyze::Diagnostic;
 use fgac_exec::QueryResult;
-use fgac_sql::Statement;
+use fgac_sql::{GrantKind, Statement};
 use fgac_storage::{Database, ForeignKey, InclusionDependency, ViewDef};
-use fgac_types::{Error, Ident, Result, Row, Schema};
+use fgac_types::{Error, Ident, Result, Row, Schema, Value};
 use fgac_wal::WalRecord;
 use std::sync::Arc;
 
@@ -155,6 +156,16 @@ impl Engine {
             }),
             Statement::Authorize(_) => Err(Error::Unsupported(
                 "AUTHORIZE statements are granted to principals: use grant_update_sql".into(),
+            )),
+            Statement::Grant(g) => match g.kind {
+                GrantKind::View => self.grant_view(&g.principal, g.object.as_str()),
+                GrantKind::Constraint => self.grant_constraint(&g.principal, g.object.as_str()),
+                GrantKind::Role => self.add_role(&g.principal, g.object.as_str()),
+            },
+            Statement::AnalyzePolicy(_) => Err(Error::Unsupported(
+                "ANALYZE POLICY returns rows: run it through execute, or call \
+                 Engine::analyze_policy"
+                    .into(),
             )),
             Statement::Query(_) => Err(Error::Unsupported(
                 "admin_script does not run queries; use execute".into(),
@@ -568,10 +579,38 @@ impl Engine {
                 let n = auth.delete(&mut self.db, session, d)?;
                 Ok(EngineResponse::Affected(n))
             }
+            Statement::AnalyzePolicy(a) => {
+                let diags = self.analyze_policy(a.principal.as_deref());
+                Ok(EngineResponse::Rows(diagnostics_result(&diags)))
+            }
             _ => Err(Error::Unauthorized(
                 "DDL requires the admin interface".into(),
             )),
         }
+    }
+
+    /// Runs the grant-time policy static analyzer (`fgac-analyze`) over
+    /// the installed policy set: authorization-view grants, constraint
+    /// visibility, role memberships, revocation tombstones, and the
+    /// catalog they refer to. `principal` restricts the per-principal
+    /// lints to one principal's effective grant set.
+    ///
+    /// The analysis runs under the engine's configured [`fgac_types::Budget`]
+    /// and *fails open*: on exhaustion it reports diagnostics of
+    /// severity `unknown` instead of erroring — a lint must never be
+    /// the thing that panics or wedges the DBA path.
+    pub fn analyze_policy(&self, principal: Option<&str>) -> Vec<Diagnostic> {
+        let set = fgac_analyze::PolicySet {
+            catalog: self.db.catalog(),
+            view_grants: self.grants.view_grants(),
+            constraint_grants: self.grants.constraint_grants(),
+            role_memberships: self.grants.role_memberships(),
+            revocations: self.grants.revoked_views(),
+        };
+        let opts = fgac_analyze::AnalyzeOptions {
+            budget: self.options.budget.clone(),
+        };
+        fgac_analyze::analyze_policy_set(&set, principal, &opts)
     }
 
     /// The validity check alone (with caching) — what the optimizer
@@ -657,6 +696,29 @@ impl Engine {
 /// Maps a non-valid report to the engine's deny error, preserving the
 /// ResourceExhausted class so callers can distinguish "proved invalid"
 /// from "ran out of budget before proving validity" — both deny.
+/// Renders analyzer diagnostics as a result set, so `ANALYZE POLICY`
+/// works from any client that can run a statement (e.g. the repl).
+fn diagnostics_result(diags: &[Diagnostic]) -> QueryResult {
+    QueryResult {
+        names: ["code", "severity", "principal", "object", "message"]
+            .into_iter()
+            .map(Ident::new)
+            .collect(),
+        rows: diags
+            .iter()
+            .map(|d| {
+                Row::new(vec![
+                    Value::Str(d.code.as_str().to_string()),
+                    Value::Str(d.severity.as_str().to_string()),
+                    Value::Str(d.principal.clone()),
+                    Value::Str(d.object.clone()),
+                    Value::Str(d.message.clone()),
+                ])
+            })
+            .collect(),
+    }
+}
+
 fn deny_error(report: ValidityReport) -> Error {
     if let Some(phase) = report.exhausted {
         return Error::ResourceExhausted(phase);

@@ -24,6 +24,11 @@ pub struct Grants {
     update_auths: BTreeMap<String, Vec<Authorize>>,
     /// user -> roles.
     roles: BTreeMap<String, BTreeSet<String>>,
+    /// principal -> views revoked from that principal. Advisory
+    /// tombstones for the policy analyzer's `P003` lint (a revocation
+    /// that a role grant still shadows); not part of durable state and
+    /// not consulted by any validity check.
+    revoked_views: BTreeMap<String, BTreeSet<Ident>>,
 }
 
 impl Grants {
@@ -33,13 +38,23 @@ impl Grants {
 
     /// Grants an authorization view to a user or role.
     pub fn grant_view(&mut self, principal: impl Into<String>, view: impl Into<Ident>) {
-        self.views
-            .entry(principal.into())
-            .or_default()
-            .insert(view.into());
+        let principal = principal.into();
+        let view = view.into();
+        // A re-grant supersedes any earlier revocation tombstone.
+        if let Some(set) = self.revoked_views.get_mut(&principal) {
+            set.remove(&view);
+            if set.is_empty() {
+                self.revoked_views.remove(&principal);
+            }
+        }
+        self.views.entry(principal).or_default().insert(view);
     }
 
     pub fn revoke_view(&mut self, principal: &str, view: &Ident) {
+        self.revoked_views
+            .entry(principal.to_string())
+            .or_default()
+            .insert(view.clone());
         if let Some(set) = self.views.get_mut(principal) {
             set.remove(view);
             // Drop emptied entries so the grant table has one canonical
@@ -136,6 +151,14 @@ impl Grants {
         &self.roles
     }
 
+    /// Revocation tombstones (principal -> views revoked from it),
+    /// kept so the policy analyzer can flag revocations that a role
+    /// grant shadows (`P003`). Advisory: excluded from snapshots and
+    /// state fingerprints, and never consulted by validity checks.
+    pub fn revoked_views(&self) -> &BTreeMap<String, BTreeSet<Ident>> {
+        &self.revoked_views
+    }
+
     /// Delegates a view grant from one user to another (Section 6:
     /// "Delegation can be done outside of our inferencing system: we can
     /// use any delegation specification technique to collect all
@@ -182,6 +205,19 @@ mod tests {
         g.grant_view("11", "v");
         g.revoke_view("11", &Ident::new("v"));
         assert!(g.views_for("11").is_empty());
+    }
+
+    #[test]
+    fn revocation_tombstones_recorded_and_cleared_by_regrant() {
+        let mut g = Grants::new();
+        g.grant_view("11", "v");
+        g.revoke_view("11", &Ident::new("v"));
+        let tomb = g.revoked_views().get("11").expect("tombstone recorded");
+        assert!(tomb.contains(&Ident::new("v")));
+        // Re-granting supersedes the tombstone entirely.
+        g.grant_view("11", "v");
+        assert!(g.revoked_views().get("11").is_none());
+        assert!(g.views_for("11").contains(&Ident::new("v")));
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod updates;
 
 pub use authview::AuthorizationView;
 pub use cache::{CacheOutcome, CacheStats, ValidityCache};
+pub use fgac_analyze::{Code as DiagnosticCode, Diagnostic, Severity as DiagnosticSeverity};
 pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::{Engine, EngineResponse};
 pub use plancache::{CachedPlan, PlanCache};

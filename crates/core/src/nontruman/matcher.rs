@@ -111,7 +111,12 @@ fn check_aligned(
     let flat = q.flat_arity();
     let mut q_to_v = vec![0usize; flat];
     for (qi, vi) in assignment.iter().enumerate() {
-        let vi = vi.expect("complete assignment");
+        // `align` only recurses here once every Q scan is assigned; an
+        // incomplete assignment can never witness a match, so degrade to
+        // "no match" rather than panic.
+        let Some(vi) = *vi else {
+            return Ok(None);
+        };
         let (qs, qe) = q.scan_range(qi);
         let (vs, _) = v.scan_range(vi);
         for (k, slot) in q_to_v.iter_mut().enumerate().take(qe).skip(qs) {

@@ -28,6 +28,14 @@ pub enum Statement {
     Update(Update),
     /// `DELETE FROM t [WHERE p]`.
     Delete(Delete),
+    /// `GRANT {VIEW|CONSTRAINT|ROLE} name TO principal` — the SQL
+    /// surface for the grant tables of Section 4.1 (views granted to
+    /// users or roles, constraint visibility for U3a, role membership).
+    Grant(Grant),
+    /// `ANALYZE POLICY [FOR principal]` — run the grant-time policy
+    /// static analyzer over the installed policy set and return its
+    /// diagnostics as rows.
+    AnalyzePolicy(AnalyzePolicy),
 }
 
 /// `CREATE TABLE` definition.
@@ -131,6 +139,48 @@ pub struct Update {
 pub struct Delete {
     pub table: Ident,
     pub filter: Option<Expr>,
+}
+
+/// What a `GRANT` statement grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrantKind {
+    /// `GRANT VIEW v TO p`: the authorization view becomes available to
+    /// the principal's validity checks.
+    View,
+    /// `GRANT CONSTRAINT c TO p`: the integrity constraint becomes
+    /// visible to the principal (U3a condition 2).
+    Constraint,
+    /// `GRANT ROLE r TO p`: role membership; the principal's effective
+    /// grant set is the union over its roles.
+    Role,
+}
+
+impl std::fmt::Display for GrantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrantKind::View => write!(f, "VIEW"),
+            GrantKind::Constraint => write!(f, "CONSTRAINT"),
+            GrantKind::Role => write!(f, "ROLE"),
+        }
+    }
+}
+
+/// `GRANT {VIEW|CONSTRAINT|ROLE} object TO principal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    pub kind: GrantKind,
+    /// The view/constraint/role being granted.
+    pub object: Ident,
+    /// The receiving principal (a user id or role name).
+    pub principal: String,
+}
+
+/// `ANALYZE POLICY [FOR principal]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzePolicy {
+    /// Restrict the analysis to one principal's effective grant set;
+    /// `None` analyzes every principal in the grant tables.
+    pub principal: Option<String>,
 }
 
 /// A `SELECT` query.

@@ -2,11 +2,11 @@
 
 use super::Parser;
 use crate::ast::{
-    Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView, Delete, DmlAction,
-    Expr, ForeignKeyDef, Insert, Statement, Update,
+    AnalyzePolicy, Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView,
+    Delete, DmlAction, Expr, ForeignKeyDef, Grant, GrantKind, Insert, Statement, Update,
 };
 use crate::token::{Keyword, TokenKind};
-use fgac_types::{DataType, Result};
+use fgac_types::{DataType, Result, Value};
 
 impl Parser {
     /// Parses one statement.
@@ -18,8 +18,62 @@ impl Parser {
             TokenKind::Keyword(Keyword::Insert) => self.insert(),
             TokenKind::Keyword(Keyword::Update) => self.update(),
             TokenKind::Keyword(Keyword::Delete) => self.delete(),
+            TokenKind::Keyword(Keyword::Grant) => self.grant(),
+            TokenKind::Keyword(Keyword::Analyze) => self.analyze_policy(),
             _ => Err(self.unexpected("a statement")),
         }
+    }
+
+    /// A principal name: a bare identifier, a string literal (`'11'`) or
+    /// an integer literal (user ids in the paper are numbers).
+    fn principal(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            TokenKind::Literal(Value::Str(s)) => {
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::Literal(Value::Int(i)) => {
+                self.advance();
+                Ok(i.to_string())
+            }
+            _ => Err(self.unexpected("a principal (identifier or string)")),
+        }
+    }
+
+    fn grant(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Grant)?;
+        let kind = if self.eat_kw(Keyword::View) {
+            GrantKind::View
+        } else if self.eat_kw(Keyword::Constraint) {
+            GrantKind::Constraint
+        } else if self.eat_kw(Keyword::Role) {
+            GrantKind::Role
+        } else {
+            return Err(self.unexpected("VIEW, CONSTRAINT or ROLE"));
+        };
+        let object = self.ident()?;
+        self.expect_kw(Keyword::To)?;
+        let principal = self.principal()?;
+        Ok(Statement::Grant(Grant {
+            kind,
+            object,
+            principal,
+        }))
+    }
+
+    fn analyze_policy(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Analyze)?;
+        self.expect_kw(Keyword::Policy)?;
+        let principal = if self.eat_kw(Keyword::For) {
+            Some(self.principal()?)
+        } else {
+            None
+        };
+        Ok(Statement::AnalyzePolicy(AnalyzePolicy { principal }))
     }
 
     fn create(&mut self) -> Result<Statement> {

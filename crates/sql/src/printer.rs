@@ -94,7 +94,25 @@ pub fn print_statement(stmt: &Statement) -> String {
             }
             s
         }
+        Statement::Grant(g) => {
+            format!(
+                "GRANT {} {} TO {}",
+                g.kind,
+                pid(&g.object),
+                principal(&g.principal)
+            )
+        }
+        Statement::AnalyzePolicy(a) => match &a.principal {
+            Some(p) => format!("ANALYZE POLICY FOR {}", principal(p)),
+            None => "ANALYZE POLICY".to_string(),
+        },
     }
+}
+
+/// Prints a principal as a string literal (principals are arbitrary
+/// user ids — `'11'` — that would otherwise lex as integers).
+fn principal(p: &str) -> String {
+    format!("'{}'", p.replace('\'', "''"))
 }
 
 fn print_create_table(t: &CreateTable) -> String {
@@ -293,6 +311,13 @@ mod tests {
             "delete from Registered where course_id = 'CS101'",
             "select s.name as n from Students s join Registered r on s.student_id = r.student_id where r.course_id = 'CS101' order by s.name desc limit 5",
             "select count(*), count(distinct grade) from Grades having count(*) > 2",
+            "grant view MyGrades to '11'",
+            "grant view MyGrades to 11",
+            "grant constraint ft_registered to student",
+            "grant role student to '11'",
+            "analyze policy",
+            "analyze policy for '11'",
+            "analyze policy for student",
         ] {
             roundtrip(sql);
         }

@@ -61,6 +61,12 @@ pub enum Keyword {
     New,
     Union,
     All,
+    Analyze,
+    Policy,
+    For,
+    To,
+    Role,
+    Constraint,
 }
 
 impl Keyword {
@@ -119,6 +125,12 @@ impl Keyword {
             "NEW" => New,
             "UNION" => Union,
             "ALL" => All,
+            "ANALYZE" => Analyze,
+            "POLICY" => Policy,
+            "FOR" => For,
+            "TO" => To,
+            "ROLE" => Role,
+            "CONSTRAINT" => Constraint,
             _ => return None,
         })
     }

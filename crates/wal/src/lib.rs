@@ -1,5 +1,10 @@
 //! # fgac-wal
 //!
+// Commit/recovery code must never panic (see clippy.toml): a panic
+// between the data mutation and the WAL append is exactly the torn
+// state the log exists to prevent. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+//!
 //! Crash-consistent durability for the fgac engine: an append-only,
 //! length-prefixed, CRC-checksummed write-ahead log plus full-state
 //! snapshots.

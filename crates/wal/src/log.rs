@@ -365,6 +365,10 @@ impl WalStore {
         }
         self.len += framed.len() as u64;
 
+        // The immediate closure gives the cfg'd fault line a `?` scope;
+        // without fault-injection it collapses to the `if`, which clippy
+        // would otherwise flag.
+        #[allow(clippy::redundant_closure_call)]
         let flushed: Result<()> = (|| {
             #[cfg(feature = "fault-injection")]
             fgac_types::faults::hit("wal::flush")?;

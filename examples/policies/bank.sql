@@ -1,0 +1,43 @@
+-- The introduction's bank scenario: customers see their own accounts,
+-- tellers see balances (cell-level security via projection) and can
+-- look customers up one at a time via an access-pattern view.
+--
+-- Clean by construction; CI keeps `fgac-analyze` green on it.
+
+create table customers (
+  customer_id varchar not null,
+  name varchar not null,
+  address varchar not null,
+  primary key (customer_id));
+
+create table accounts (
+  account_id varchar not null,
+  customer_id varchar not null,
+  branch varchar not null,
+  balance double not null,
+  primary key (account_id),
+  foreign key (customer_id) references customers (customer_id));
+
+-- A customer sees her own accounts and her own customer record.
+create authorization view MyAccounts as
+  select accounts.* from accounts
+  where accounts.customer_id = $user_id;
+
+create authorization view MyCustomerRecord as
+  select * from customers where customer_id = $user_id;
+
+-- A teller sees every balance, but no addresses.
+create authorization view TellerBalances as
+  select account_id, customer_id, branch, balance from accounts;
+
+-- A teller can fetch one customer's record by id (access pattern: the
+-- $$1 parameter must be supplied as a constant in the query).
+create authorization view CustomerLookup as
+  select * from customers where customer_id = $$1;
+
+grant view MyAccounts to customer;
+grant view MyCustomerRecord to customer;
+grant view TellerBalances to teller;
+grant view CustomerLookup to teller;
+grant role customer to 'c000000';
+grant role teller to 't-17';

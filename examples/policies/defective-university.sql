@@ -1,0 +1,70 @@
+-- A deliberately broken variant of the university policy set. Every
+-- grant below seeds one analyzer diagnostic; CI runs
+-- `fgac-analyze examples/policies/defective-university.sql` and
+-- requires it to FAIL (exit 1) with all the seeded codes present.
+--
+-- (P003 ShadowedByRevocation needs a REVOKE, which is an engine API
+-- rather than a script statement; it is exercised in
+-- tests/policy_analysis.rs instead.)
+
+create table students (
+  student_id varchar not null,
+  name varchar not null,
+  type varchar not null,
+  primary key (student_id));
+
+create table registered (
+  student_id varchar not null,
+  course_id varchar not null,
+  primary key (student_id, course_id));
+
+create table grades (
+  student_id varchar not null,
+  course_id varchar not null,
+  grade int,
+  primary key (student_id, course_id));
+
+-- P001: the predicate can never hold — the grant is dead.
+create authorization view Unsatisfiable as
+  select * from grades where student_id = '11' and student_id = '12';
+grant view Unsatisfiable to '31';
+
+-- P002: MyGoodGrades is strictly contained in MyGrades; granting both
+-- to the same principal makes the narrow one redundant.
+create authorization view MyGrades as
+  select * from grades where student_id = $user_id;
+create authorization view MyGoodGrades as
+  select * from grades where student_id = $user_id and grade >= 60;
+grant view MyGrades to '32';
+grant view MyGoodGrades to '32';
+
+-- P004: a grant naming a view that was never created, and a view whose
+-- body references a relation absent from the catalog.
+grant view Ghost to '33';
+create authorization view Orphan as
+  select * from enrolments where student_id = $user_id;
+grant view Orphan to '33';
+
+-- P005: the conditional-validity probe for this two-relation view reads
+-- `registered`, but principal 34 holds no other view over it — the
+-- probe itself would leak (Section 5.4).
+create authorization view Leaky as
+  select grades.* from grades, registered
+  where registered.student_id = $user_id
+    and grades.course_id = registered.course_id;
+grant view Leaky to '34';
+
+-- P006: $semester is projected but never constrained, so no session
+-- can ever pin it.
+create authorization view Untethered as
+  select student_id, $semester from students;
+grant view Untethered to '35';
+
+-- W001: individually satisfiable, jointly contradictory — principal 36
+-- was probably meant to hold one or the other.
+create authorization view FullTimers as
+  select * from students where type = 'FullTime';
+create authorization view PartTimers as
+  select * from students where type = 'PartTime';
+grant view FullTimers to '36';
+grant view PartTimers to '36';

@@ -1,0 +1,63 @@
+-- The paper's running example (Rizvi et al., SIGMOD 2004, Section 1):
+-- students, courses, registrations, and grades, with the student-facing
+-- authorization views of Sections 2 and 4.
+--
+-- This policy set is clean: `fgac-analyze examples/policies/university.sql`
+-- reports no diagnostics, and CI keeps it that way.
+
+create table students (
+  student_id varchar not null,
+  name varchar not null,
+  type varchar not null,
+  primary key (student_id));
+
+create table courses (
+  course_id varchar not null,
+  name varchar not null,
+  primary key (course_id));
+
+create table registered (
+  student_id varchar not null,
+  course_id varchar not null,
+  primary key (student_id, course_id),
+  foreign key (student_id) references students (student_id),
+  foreign key (course_id) references courses (course_id));
+
+create table grades (
+  student_id varchar not null,
+  course_id varchar not null,
+  grade int,
+  primary key (student_id, course_id),
+  foreign key (student_id) references students (student_id),
+  foreign key (course_id) references courses (course_id));
+
+-- Section 1: a student sees her own grades.
+create authorization view MyGrades as
+  select * from grades where student_id = $user_id;
+
+-- A student's own registrations.
+create authorization view MyRegistrations as
+  select * from registered where student_id = $user_id;
+
+-- Section 2: grades of every course the student registered for. The
+-- conditional-validity probe for this view touches both relations, and
+-- both are covered by the two single-relation views above — so it is
+-- not a leaky conditional check (P005).
+create authorization view CoStudentGrades as
+  select grades.* from grades, registered
+  where registered.student_id = $user_id
+    and grades.course_id = registered.course_id;
+
+-- Example 5.1's integrity constraint: every student registers for at
+-- least one course.
+create inclusion dependency all_registered
+  on students (student_id) references registered (student_id);
+
+-- The student role carries the three views plus constraint visibility
+-- (U3a condition 2); students 11 and 12 hold the role.
+grant view MyGrades to student;
+grant view MyRegistrations to student;
+grant view CoStudentGrades to student;
+grant constraint all_registered to student;
+grant role student to '11';
+grant role student to '12';

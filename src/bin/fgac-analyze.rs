@@ -1,0 +1,107 @@
+//! Grant-time policy linter — the CI face of `crates/analyze`.
+//!
+//! ```text
+//! fgac-analyze [--json] [--for <principal>] [--query <sql>] <script.sql>...
+//! ```
+//!
+//! Each script is an admin DDL/grant script (`CREATE TABLE`,
+//! `CREATE AUTHORIZATION VIEW`, `CREATE INCLUSION DEPENDENCY`,
+//! `GRANT VIEW|CONSTRAINT|ROLE ... TO ...`, seed `INSERT`s) loaded into
+//! a fresh engine with no access checks, exactly as a DBA would install
+//! it. The installed policy set is then analyzed and every diagnostic
+//! printed — human-readable by default, a JSON array with `--json`.
+//!
+//! Exit status: `0` when no diagnostic has error severity, `1` when at
+//! least one does (warnings and unknowns alone do not fail the run),
+//! `2` when a script cannot be read or does not load.
+
+use fgac::analyze::{diagnostics_to_json, Severity};
+use fgac::prelude::*;
+
+struct Args {
+    json: bool,
+    principal: Option<String>,
+    query: Option<String>,
+    scripts: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fgac-analyze [--json] [--for <principal>] [--query <sql>] <script.sql>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: false,
+        principal: None,
+        query: None,
+        scripts: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--for" => match it.next() {
+                Some(p) => args.principal = Some(p),
+                None => usage(),
+            },
+            "--query" => match it.next() {
+                Some(q) => args.query = Some(q),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => usage(),
+            _ => args.scripts.push(a),
+        }
+    }
+    if args.scripts.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for path in &args.scripts {
+        let sql = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgac-analyze: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut engine = Engine::new();
+        if let Err(e) = engine.admin_script(&sql) {
+            eprintln!("fgac-analyze: {path} does not load: {e}");
+            std::process::exit(2);
+        }
+        diags.extend(engine.analyze_policy(args.principal.as_deref()));
+        if let Some(q) = &args.query {
+            diags.extend(fgac::analyze::analyze_query(
+                engine.database().catalog(),
+                q,
+                &fgac::analyze::AnalyzeOptions::default(),
+            ));
+        }
+    }
+
+    if args.json {
+        println!("{}", diagnostics_to_json(&diags));
+    } else if diags.is_empty() {
+        println!("policy set is clean: no diagnostics");
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    if errors > 0 {
+        eprintln!("fgac-analyze: {errors} error-severity diagnostic(s)");
+        std::process::exit(1);
+    }
+}

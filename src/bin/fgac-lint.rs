@@ -1,0 +1,459 @@
+//! Panic-freedom lint for the commit/recovery/prover paths.
+//!
+//! Scans the modules whose no-panic discipline is an invariant — the
+//! WAL crate, the durability layer, the DML commit path, the
+//! implication prover, and the Non-Truman validator — for `.unwrap(`
+//! and `.expect(` calls in non-test code, and fails with exit status 1
+//! if any are found. Runs in CI as a cheap, toolchain-independent
+//! complement to the `clippy::disallowed_methods` deny (clippy.toml).
+//!
+//! Unlike the grep it replaces, the scan is token-aware: occurrences
+//! inside line/block comments (nested), string / raw-string / byte /
+//! char literals, and `#[cfg(test)]`-gated items are not violations,
+//! and `.unwrap_or_default(` / `.expect_err(` do not match.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One `.unwrap(`/`.expect(` call found in non-test code.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    line: usize,
+    method: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: .{}() is forbidden here", self.line, self.method)
+    }
+}
+
+/// The source text reduced to code: comments and literal *contents*
+/// blanked out (replaced by spaces), line structure preserved so
+/// reported line numbers match the original file.
+fn strip_noncode(src: &str) -> Vec<(char, usize)> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<(char, usize)> = Vec::with_capacity(chars.len());
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push(('\n', line));
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    out.push(('\n', line));
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br##"..."##. Only when
+        // the r/b starts an identifier-like token of its own.
+        let prev_ident = i > 0 && is_ident(chars[i - 1]);
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                j += 1;
+            }
+            if c == 'r' || j > i {
+                let mut hashes = 0usize;
+                let mut k = j + 1;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') {
+                    // Scan for the closing quote + same number of '#'.
+                    out.push((' ', line));
+                    i = k + 1;
+                    'raw: while i < chars.len() {
+                        if chars[i] == '\n' {
+                            out.push(('\n', line));
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut h = 0usize;
+                            while chars.get(i + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h >= hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Plain (or byte) string literal with escapes.
+        if c == '"' || (c == 'b' && !prev_ident && chars.get(i + 1) == Some(&'"')) {
+            out.push((' ', line));
+            i += if c == 'b' { 2 } else { 1 };
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\n' => {
+                        out.push(('\n', line));
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals; 'a in a
+        // generic position has no closing quote within two chars.
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: skip to closing quote.
+                out.push((' ', line));
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                out.push((' ', line));
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep the tick so tokens don't fuse.
+            out.push(('\'', line));
+            i += 1;
+            continue;
+        }
+        out.push((c, line));
+        i += 1;
+    }
+    out
+}
+
+/// Whether `code[i..]` starts the attribute `#[cfg(test)]` (whitespace
+/// insensitive). Returns the index just past the closing `]`.
+fn cfg_test_attr(code: &[(char, usize)], i: usize) -> Option<usize> {
+    if code[i].0 != '#' {
+        return None;
+    }
+    let mut j = i + 1;
+    while j < code.len() && code[j].0.is_whitespace() {
+        j += 1;
+    }
+    if j >= code.len() || code[j].0 != '[' {
+        return None;
+    }
+    let mut body = String::new();
+    let mut depth = 1usize;
+    j += 1;
+    while j < code.len() && depth > 0 {
+        match code[j].0 {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            ch if !ch.is_whitespace() && depth >= 1 => body.push(ch),
+            _ => {}
+        }
+        j += 1;
+    }
+    // The final ']' was pushed before depth hit 0? No: the match arm
+    // above only pushes when the char is not '[' / ']'.
+    if body == "cfg(test)" {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Skips the item a `#[cfg(test)]` attribute gates: everything through
+/// the matching close brace of the item's body, or through the first
+/// `;` for body-less items (`#[cfg(test)] use ...;`).
+fn skip_gated_item(code: &[(char, usize)], mut i: usize) -> usize {
+    while i < code.len() {
+        match code[i].0 {
+            '{' => {
+                let mut depth = 1usize;
+                i += 1;
+                while i < code.len() && depth > 0 {
+                    match code[i].0 {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            ';' => return i + 1,
+            // A stacked attribute (`#[cfg(test)] #[derive(..)] struct S;`)
+            // — step over it without treating its `[]` as the body.
+            '#' => {
+                i += 1;
+                while i < code.len() && code[i].0.is_whitespace() {
+                    i += 1;
+                }
+                if i < code.len() && code[i].0 == '[' {
+                    let mut depth = 1usize;
+                    i += 1;
+                    while i < code.len() && depth > 0 {
+                        match code[i].0 {
+                            '[' => depth += 1,
+                            ']' => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans one file's source for forbidden calls in non-test code.
+fn find_violations(src: &str) -> Vec<Violation> {
+    let code = strip_noncode(src);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < code.len() {
+        if let Some(after) = cfg_test_attr(&code, i) {
+            i = skip_gated_item(&code, after);
+            continue;
+        }
+        if code[i].0 == '.' {
+            let mut j = i + 1;
+            while j < code.len() && code[j].0.is_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < code.len() && is_ident(code[j].0) {
+                j += 1;
+            }
+            let name: String = code[start..j].iter().map(|&(c, _)| c).collect();
+            if name == "unwrap" || name == "expect" {
+                let mut k = j;
+                while k < code.len() && code[k].0.is_whitespace() {
+                    k += 1;
+                }
+                if k < code.len() && code[k].0 == '(' {
+                    out.push(Violation {
+                        line: code[start].1,
+                        method: if name == "unwrap" { "unwrap" } else { "expect" },
+                    });
+                }
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The files whose non-test code must not panic. Directories are
+/// scanned for every `.rs` file so new modules are covered by default.
+fn lint_targets(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![
+        root.join("crates/exec/src/dml.rs"),
+        root.join("crates/core/src/durability.rs"),
+        root.join("crates/algebra/src/implication.rs"),
+    ];
+    for dir in ["crates/wal/src", "crates/core/src/nontruman"] {
+        if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "rs") {
+                    files.push(p);
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut total = 0usize;
+    let mut scanned = 0usize;
+    for path in lint_targets(&root) {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgac-lint: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        scanned += 1;
+        for v in find_violations(&src) {
+            let rel = path.strip_prefix(&root).unwrap_or(&path);
+            println!("{}:{}", rel.display(), v);
+            total += 1;
+        }
+    }
+    if total > 0 {
+        eprintln!(
+            "fgac-lint: {total} forbidden panic site(s) in commit/recovery/prover code \
+             (bubble a Result instead)"
+        );
+        std::process::exit(1);
+    }
+    println!("fgac-lint: {scanned} files clean");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<usize> {
+        find_violations(src).into_iter().map(|v| v.line).collect()
+    }
+
+    #[test]
+    fn plain_calls_are_found_with_correct_lines() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n";
+        let vs = find_violations(src);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0], Violation { line: 2, method: "unwrap" });
+        assert_eq!(vs[1], Violation { line: 3, method: "expect" });
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_match() {
+        let src = r#"
+fn f() {
+    // x.unwrap() in a line comment
+    /* y.expect("..") in a block /* nested .unwrap() */ comment */
+    let s = "call .unwrap() maybe";
+    let r = r#who; // lifetime-free identifier noise
+    let raw = r"\.unwrap()";
+    let c = '"'; // a quote char literal must not open a string
+    let after = x.ok(); // .expect("..") would be here
+}
+"#;
+        assert!(lines(src).is_empty(), "got {:?}", find_violations(src));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_byte_strings_are_skipped() {
+        let src = "fn f() { let a = r#\"x.unwrap()\"#; let b = b\"y.expect(\"; }\n";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn lookalike_methods_do_not_match() {
+        let src = "fn f() { a.unwrap_or_default(); b.unwrap_or(0); c.expect_err(\"e\"); d.expect_end(); }\n";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn spaced_calls_still_match() {
+        let src = "fn f() { a . unwrap (); b.\n    expect(\"m\"); }\n";
+        assert_eq!(find_violations(src).len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = r#"
+fn prod() { x.ok(); }
+
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); y.expect("fine in tests"); }
+}
+
+fn prod2() { z.unwrap(); }
+"#;
+        let vs = find_violations(src);
+        assert_eq!(vs.len(), 1, "got {vs:?}");
+        assert_eq!(vs[0].method, "unwrap");
+        assert_eq!(vs[0].line, 9);
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_and_semicolon_items() {
+        let src = "
+#[cfg(test)]
+#[derive(Debug)]
+struct T { x: u8 }
+
+#[cfg(test)]
+use helpers::unwrap_all;
+
+fn prod() {}
+";
+        assert!(lines(src).is_empty());
+        // cfg(not(test)) and cfg_attr must NOT be treated as exempt.
+        let src2 = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        assert_eq!(find_violations(src2).len(), 1);
+    }
+
+    /// The acceptance check: the real durability module is clean today,
+    /// and injecting an unwrap into it is caught.
+    #[test]
+    fn real_durability_module_is_clean_and_injection_is_caught() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let path = root.join("crates/core/src/durability.rs");
+        let src = std::fs::read_to_string(&path).expect("durability.rs readable");
+        assert!(
+            find_violations(&src).is_empty(),
+            "durability.rs has non-test panic sites"
+        );
+        let injected = format!("{src}\nfn _torn() {{ let o: Option<u8> = None; o.unwrap(); }}\n");
+        let vs = find_violations(&injected);
+        assert_eq!(vs.len(), 1, "injected unwrap must be caught");
+        assert_eq!(vs[0].method, "unwrap");
+    }
+
+    /// Every file the binary lints is clean in the working tree.
+    #[test]
+    fn whole_target_set_is_clean() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let targets = lint_targets(&root);
+        assert!(targets.len() >= 8, "expected wal + nontruman modules, got {targets:?}");
+        for path in targets {
+            let src = std::fs::read_to_string(&path).expect("lint target readable");
+            let vs = find_violations(&src);
+            assert!(vs.is_empty(), "{}: {vs:?}", path.display());
+        }
+    }
+}

@@ -47,8 +47,10 @@
 //! | [`exec`] | multiset-semantics executor |
 //! | [`optimizer`] | Volcano AND-OR DAG, expansion rules, validity marking |
 //! | [`core`] | authorization views, Truman & Non-Truman models, updates |
+//! | [`analyze`] | grant-time policy lints (`ANALYZE POLICY`, `fgac-analyze`) |
 //! | [`workload`] | university/bank scenarios and data generators |
 
+pub use fgac_analyze as analyze;
 pub use fgac_algebra as algebra;
 pub use fgac_core as core;
 pub use fgac_exec as exec;
@@ -61,8 +63,9 @@ pub use fgac_workload as workload;
 /// The common imports for applications embedding the engine.
 pub mod prelude {
     pub use fgac_core::{
-        truman::TrumanPolicy, AuthorizationView, CheckOptions, DurabilityOptions, Engine,
-        EngineResponse, Grants, RecoveryReport, Session, Validator, Verdict, ValidityReport,
+        truman::TrumanPolicy, AuthorizationView, CheckOptions, Diagnostic, DiagnosticCode,
+        DiagnosticSeverity, DurabilityOptions, Engine, EngineResponse, Grants, RecoveryReport,
+        Session, Validator, Verdict, ValidityReport,
     };
     pub use fgac_types::{Error, Ident, Result, Row, Value};
 }

@@ -1,0 +1,349 @@
+//! Grant-time policy analysis (`crates/analyze`) end to end: every
+//! diagnostic code on the paper's university running example, the
+//! fail-open budget path, the JSON wire form, and the `ANALYZE POLICY`
+//! statement surface.
+
+use fgac::analyze::{
+    diagnostics_from_json, diagnostics_to_json, AnalyzeOptions, Code, Diagnostic, Severity,
+};
+use fgac::prelude::*;
+use fgac::types::Budget;
+
+const SCHEMA: &str = "
+create table students (
+  student_id varchar not null,
+  name varchar not null,
+  type varchar not null,
+  primary key (student_id));
+create table registered (
+  student_id varchar not null,
+  course_id varchar not null,
+  primary key (student_id, course_id));
+create table grades (
+  student_id varchar not null,
+  course_id varchar not null,
+  grade int,
+  primary key (student_id, course_id));
+";
+
+fn engine_with(extra: &str) -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(SCHEMA).expect("schema loads");
+    e.admin_script(extra).expect("policy loads");
+    e
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn clean_policy_set_yields_zero_diagnostics() {
+    let e = engine_with(
+        "
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        create authorization view MyRegistrations as
+          select * from registered where student_id = $user_id;
+        create authorization view CoStudentGrades as
+          select grades.* from grades, registered
+          where registered.student_id = $user_id
+            and grades.course_id = registered.course_id;
+        grant view MyGrades to student;
+        grant view MyRegistrations to student;
+        grant view CoStudentGrades to student;
+        grant role student to '11';
+        ",
+    );
+    assert_eq!(e.analyze_policy(None), vec![]);
+    assert_eq!(e.analyze_policy(Some("11")), vec![]);
+}
+
+#[test]
+fn p001_unsatisfiable_view_predicate() {
+    let e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        grant view Dead to '11';
+        ",
+    );
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::UnsatisfiableViewPredicate]);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert_eq!(d[0].object, "dead");
+}
+
+#[test]
+fn p002_subsumed_grant_is_redundant() {
+    let e = engine_with(
+        "
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        create authorization view MyGoodGrades as
+          select * from grades where student_id = $user_id and grade >= 60;
+        grant view MyGrades to '11';
+        grant view MyGoodGrades to '11';
+        ",
+    );
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::RedundantGrant]);
+    assert_eq!(d[0].severity, Severity::Warning);
+    // The *narrower* grant is the redundant one.
+    assert_eq!(d[0].object, "mygoodgrades");
+    assert!(d[0].message.contains("mygrades"));
+}
+
+#[test]
+fn p002_reports_only_one_of_an_equivalent_pair() {
+    let e = engine_with(
+        "
+        create authorization view A as
+          select * from grades where student_id = $user_id;
+        create authorization view B as
+          select * from grades where student_id = $user_id;
+        grant view A to '11';
+        grant view B to '11';
+        ",
+    );
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::RedundantGrant]);
+}
+
+#[test]
+fn p003_revocation_shadowed_by_role_grant() {
+    let mut e = engine_with(
+        "
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        grant view MyGrades to student;
+        grant view MyGrades to '11';
+        grant role student to '11';
+        ",
+    );
+    // Revoking the direct grant looks like it cuts access, but the role
+    // still supplies the view.
+    e.revoke_view("11", "mygrades").expect("revoke succeeds");
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::ShadowedByRevocation]);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert!(d[0].message.contains("student"), "{}", d[0].message);
+    // Revoking from the role as well resolves the finding.
+    e.revoke_view("student", "mygrades").expect("revoke succeeds");
+    assert_eq!(e.analyze_policy(Some("11")), vec![]);
+}
+
+#[test]
+fn p004_missing_nonauthorization_and_unbound_views() {
+    let mut e = engine_with(
+        "
+        create view Plain as select * from grades;
+        create authorization view Orphan as
+          select * from enrolments where student_id = $user_id;
+        grant view Plain to '11';
+        grant view Orphan to '11';
+        ",
+    );
+    e.grant_view("11", "ghost").expect("grant of unknown view");
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(
+        codes(&d),
+        vec![Code::UnusableView, Code::UnusableView, Code::UnusableView]
+    );
+    assert!(d.iter().all(|d| d.severity == Severity::Error));
+    let objects: Vec<&str> = d.iter().map(|d| d.object.as_str()).collect();
+    assert_eq!(objects, vec!["ghost", "orphan", "plain"]);
+}
+
+#[test]
+fn p005_leaky_conditional_check() {
+    let e = engine_with(
+        "
+        create authorization view CoStudentGrades as
+          select grades.* from grades, registered
+          where registered.student_id = $user_id
+            and grades.course_id = registered.course_id;
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        grant view CoStudentGrades to '11';
+        grant view MyGrades to '11';
+        ",
+    );
+    // `grades` is covered by MyGrades, `registered` by nothing: the C3
+    // remainder probe over `registered` is the Section 5.4 leak.
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::LeakyConditionalCheck]);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert!(d[0].message.contains("registered"), "{}", d[0].message);
+}
+
+#[test]
+fn p006_unconstrained_parameters() {
+    let e = engine_with(
+        "
+        create authorization view Untethered as
+          select student_id, $semester from students;
+        grant view Untethered to '11';
+        ",
+    );
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::UnboundParameter]);
+    assert_eq!(d[0].severity, Severity::Warning);
+    assert!(d[0].message.contains("$semester"), "{}", d[0].message);
+
+    // A comparison (not just equality) constrains a session parameter…
+    let ok = engine_with(
+        "
+        create authorization view Curve as
+          select * from grades where grade > $floor;
+        grant view Curve to '11';
+        ",
+    );
+    assert_eq!(ok.analyze_policy(Some("11")), vec![]);
+
+    // …but an access-pattern parameter needs an equality with a column,
+    // or constant instantiation can never pin it.
+    let ap = engine_with(
+        "
+        create authorization view Loose as
+          select * from grades where grade > $$1;
+        grant view Loose to '11';
+        ",
+    );
+    let d = ap.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::UnboundParameter]);
+}
+
+#[test]
+fn w001_cross_view_contradiction() {
+    let e = engine_with(
+        "
+        create authorization view FullTimers as
+          select * from students where type = 'FullTime';
+        create authorization view PartTimers as
+          select * from students where type = 'PartTime';
+        grant view FullTimers to '11';
+        grant view PartTimers to '11';
+        ",
+    );
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::CrossViewContradiction]);
+    assert_eq!(d[0].severity, Severity::Warning);
+}
+
+#[test]
+fn analysis_is_per_principal_and_sorted() {
+    let e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '1' and student_id = '2';
+        create authorization view Untethered as
+          select student_id, $x from students;
+        grant view Dead to '21';
+        grant view Untethered to '22';
+        ",
+    );
+    // Errors sort before warnings in the full report.
+    let all = e.analyze_policy(None);
+    assert_eq!(
+        codes(&all),
+        vec![Code::UnsatisfiableViewPredicate, Code::UnboundParameter]
+    );
+    // A principal filter sees only its own findings.
+    assert_eq!(codes(&e.analyze_policy(Some("22"))), vec![Code::UnboundParameter]);
+}
+
+#[test]
+fn budget_exhaustion_fails_open_to_unknown() {
+    let mut e = Engine::new().with_check_options(CheckOptions {
+        budget: Budget::with_max_steps(1),
+        ..CheckOptions::default()
+    });
+    e.admin_script(SCHEMA).expect("schema loads");
+    e.admin_script(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        grant view Dead to '11';
+        ",
+    )
+    .expect("policy loads");
+    let d = e.analyze_policy(Some("11"));
+    assert!(!d.is_empty(), "exhaustion must surface, not vanish");
+    assert!(
+        d.iter().all(|d| d.severity == Severity::Unknown),
+        "exhausted analysis degrades to unknown: {d:?}"
+    );
+}
+
+#[test]
+fn json_round_trips() {
+    let e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        grant view Dead to '11';
+        ",
+    );
+    let d = e.analyze_policy(None);
+    let json = diagnostics_to_json(&d);
+    let back = diagnostics_from_json(&json).expect("wire form parses");
+    assert_eq!(d, back);
+}
+
+#[test]
+fn analyze_policy_statement_returns_rows() {
+    let mut e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        grant view Dead to '11';
+        ",
+    );
+    let session = Session::new("admin");
+    let resp = e
+        .execute(&session, "analyze policy for '11'")
+        .expect("statement executes");
+    let rows = resp.rows().expect("ANALYZE POLICY returns rows");
+    assert_eq!(
+        rows.names,
+        vec![
+            Ident::new("code"),
+            Ident::new("severity"),
+            Ident::new("principal"),
+            Ident::new("object"),
+            Ident::new("message"),
+        ]
+    );
+    assert_eq!(rows.rows.len(), 1);
+    assert_eq!(rows.rows[0].0[0], Value::from("P001"));
+
+    // Unfiltered form works too and sees the same finding.
+    let resp = e.execute(&session, "analyze policy").expect("executes");
+    assert_eq!(resp.rows().expect("rows").rows.len(), 1);
+}
+
+#[test]
+fn analyze_query_flags_standalone_queries() {
+    let e = engine_with("");
+    let opts = AnalyzeOptions::default();
+    let cat = e.database().catalog();
+
+    let d = fgac::analyze::analyze_query(
+        cat,
+        "select * from grades where grade = 1 and grade = 2",
+        &opts,
+    );
+    assert_eq!(codes(&d), vec![Code::UnsatisfiableViewPredicate]);
+
+    let d = fgac::analyze::analyze_query(cat, "select * from nowhere", &opts);
+    assert_eq!(codes(&d), vec![Code::UnusableView]);
+
+    let d = fgac::analyze::analyze_query(cat, "select ] from", &opts);
+    assert_eq!(codes(&d), vec![Code::UnusableView]);
+
+    assert_eq!(
+        fgac::analyze::analyze_query(cat, "select * from grades where grade > 50", &opts),
+        vec![]
+    );
+}
