@@ -204,17 +204,32 @@ fn inspect_view(catalog: &Catalog, name: &Ident) -> ViewInfo {
 /// supplies it (the principal itself, or a role name), preferring the
 /// direct grant.
 fn effective_views(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
+    effective_grants(set.view_grants, set.role_memberships, user)
+}
+
+/// The effective constraint-visibility set of a principal, with the
+/// same direct-grant-preferring source attribution as
+/// [`effective_views`].
+fn effective_constraints(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
+    effective_grants(set.constraint_grants, set.role_memberships, user)
+}
+
+fn effective_grants(
+    grants: &BTreeMap<String, BTreeSet<Ident>>,
+    roles: &BTreeMap<String, BTreeSet<String>>,
+    user: &str,
+) -> BTreeMap<Ident, String> {
     let mut out: BTreeMap<Ident, String> = BTreeMap::new();
-    if let Some(roles) = set.role_memberships.get(user) {
-        for role in roles {
-            if let Some(vs) = set.view_grants.get(role) {
+    if let Some(memberships) = roles.get(user) {
+        for role in memberships {
+            if let Some(vs) = grants.get(role) {
                 for v in vs {
                     out.entry(v.clone()).or_insert_with(|| role.clone());
                 }
             }
         }
     }
-    if let Some(vs) = set.view_grants.get(user) {
+    if let Some(vs) = grants.get(user) {
         for v in vs {
             out.insert(v.clone(), user.to_string());
         }
@@ -330,6 +345,7 @@ pub fn analyze_policy_set(
         }
         None => {
             principals.extend(set.view_grants.keys().cloned());
+            principals.extend(set.constraint_grants.keys().cloned());
             principals.extend(set.role_memberships.keys().cloned());
             principals.extend(set.revocations.keys().cloned());
         }
@@ -345,8 +361,8 @@ pub fn analyze_policy_set(
         }
     }
 
-    for p in principals {
-        analyze_principal(&mut pass, &p, &infos);
+    for p in &principals {
+        analyze_principal(&mut pass, p, &infos, &principals);
     }
 
     let mut diags = pass.diags;
@@ -361,77 +377,134 @@ pub fn analyze_policy_set(
     diags
 }
 
-fn analyze_principal(pass: &mut Pass, p: &str, infos: &BTreeMap<Ident, ViewInfo>) {
+fn analyze_principal(
+    pass: &mut Pass,
+    p: &str,
+    infos: &BTreeMap<Ident, ViewInfo>,
+    analyzed: &BTreeSet<String>,
+) {
     let effective = effective_views(pass.set, p);
     let mut unsat: BTreeSet<Ident> = BTreeSet::new();
 
-    // P004 / P001 / P006 — per-view lints.
-    for v in effective.keys() {
+    // P004 / P001 / P006 — per-view lints. These findings are properties
+    // of the grant *entry*, not of who inherits it: when a view reaches
+    // `p` through a role that is itself in the analyzed set, the role's
+    // own pass reports the defect and repeating it for every member
+    // would only duplicate diagnostics (and inflate CI gates).
+    for (v, source) in &effective {
+        let report_here = source == p || !analyzed.contains(source);
+        // Attribute fail-open "unknown" findings to the grant entry too,
+        // so exhaustion is reported once per entry, not once per member.
+        let attributed = if report_here { p } else { source.as_str() };
         let info = &infos[v];
         if !info.exists {
-            pass.push(Diagnostic::new(
-                Code::UnusableView,
-                p,
-                v.as_str(),
-                "granted view does not exist in the catalog",
-            ));
+            if report_here {
+                pass.push(Diagnostic::new(
+                    Code::UnusableView,
+                    p,
+                    v.as_str(),
+                    "granted view does not exist in the catalog",
+                ));
+            }
             continue;
         }
         if !info.authorization {
-            pass.push(Diagnostic::new(
-                Code::UnusableView,
-                p,
-                v.as_str(),
-                "granted view is not an AUTHORIZATION view; the validator ignores it",
-            ));
+            if report_here {
+                pass.push(Diagnostic::new(
+                    Code::UnusableView,
+                    p,
+                    v.as_str(),
+                    "granted view is not an AUTHORIZATION view; the validator ignores it",
+                ));
+            }
             continue;
         }
         if let Some(err) = &info.bind_error {
-            pass.push(Diagnostic::new(
-                Code::UnusableView,
-                p,
-                v.as_str(),
-                format!("view body no longer binds against the catalog: {err}"),
-            ));
+            if report_here {
+                pass.push(Diagnostic::new(
+                    Code::UnusableView,
+                    p,
+                    v.as_str(),
+                    format!("view body no longer binds against the catalog: {err}"),
+                ));
+            }
             continue;
         }
 
-        if let Some(q) = &info.query {
-            for (name, is_access) in unconstrained_params(q) {
-                let msg = if is_access {
-                    format!(
-                        "access-pattern parameter $${name} is never equality-constrained \
-                         against a column; constant instantiation (Section 6) can never pin \
-                         it, so the view contributes nothing"
-                    )
-                } else {
-                    format!(
-                        "session parameter ${name} never appears under a comparison in a \
-                         predicate; the grant does not actually depend on it"
-                    )
-                };
-                pass.push(Diagnostic::new(Code::UnboundParameter, p, v.as_str(), msg));
+        if report_here {
+            if let Some(q) = &info.query {
+                for (name, is_access) in unconstrained_params(q) {
+                    let msg = if is_access {
+                        format!(
+                            "access-pattern parameter $${name} is never equality-constrained \
+                             against a column; constant instantiation (Section 6) can never pin \
+                             it, so the view contributes nothing"
+                        )
+                    } else {
+                        format!(
+                            "session parameter ${name} never appears under a comparison in a \
+                             predicate; the grant does not actually depend on it"
+                        )
+                    };
+                    pass.push(Diagnostic::new(Code::UnboundParameter, p, v.as_str(), msg));
+                }
             }
         }
 
         if let Some(block) = &info.block {
+            // The satisfiability proof still runs even when the finding
+            // is reported elsewhere: the pairwise lints below need
+            // `unsat` to exclude dead views.
             let arity = block.flat_arity();
             if let Some(true) = pass.implies(
                 Code::UnsatisfiableViewPredicate,
-                p,
+                attributed,
                 v.as_str(),
                 &block.conjuncts,
                 &[ScalarExpr::lit(false)],
                 arity,
             ) {
-                pass.push(Diagnostic::new(
-                    Code::UnsatisfiableViewPredicate,
-                    p,
-                    v.as_str(),
-                    "view predicate is unsatisfiable: the grant can never produce a row",
-                ));
+                if report_here {
+                    pass.push(Diagnostic::new(
+                        Code::UnsatisfiableViewPredicate,
+                        p,
+                        v.as_str(),
+                        "view predicate is unsatisfiable: the grant can never produce a row",
+                    ));
+                }
                 unsat.insert(v.clone());
             }
+        }
+    }
+
+    // P004 — constraint-visibility grants of constraints the catalog
+    // does not define (no foreign key or inclusion dependency of that
+    // name). Constraint visibility feeds U3a condition 2; a dangling
+    // grant silently contributes nothing to any validity check.
+    for (c, source) in effective_constraints(pass.set, p) {
+        if source != p && analyzed.contains(&source) {
+            continue;
+        }
+        let exists = pass
+            .set
+            .catalog
+            .foreign_keys()
+            .iter()
+            .any(|fk| fk.name == c)
+            || pass
+                .set
+                .catalog
+                .inclusion_dependencies()
+                .iter()
+                .any(|d| d.name == c);
+        if !exists {
+            pass.push(Diagnostic::new(
+                Code::UnusableView,
+                p,
+                c.as_str(),
+                "granted constraint does not exist in the catalog; the visibility \
+                 grant can never satisfy U3a condition 2",
+            ));
         }
     }
 
@@ -493,6 +566,12 @@ fn analyze_principal(pass: &mut Pass, p: &str, infos: &BTreeMap<Ident, ViewInfo>
             if u == v || subsumed.contains(v) {
                 continue;
             }
+            // Both views supplied by the same role that is itself being
+            // analyzed: the pair finding is the role's, not the member's.
+            let (sv, su) = (&effective[v], &effective[u]);
+            if sv == su && sv != p && analyzed.contains(sv) {
+                continue;
+            }
             let (bu, bv) = (
                 infos[u].block.as_ref().expect("filtered"),
                 infos[v].block.as_ref().expect("filtered"),
@@ -550,6 +629,10 @@ fn analyze_principal(pass: &mut Pass, p: &str, infos: &BTreeMap<Ident, ViewInfo>
     // individually satisfiable).
     for (i, &v) in usable.iter().enumerate() {
         for &u in &usable[i + 1..] {
+            let (sv, su) = (&effective[v], &effective[u]);
+            if sv == su && sv != p && analyzed.contains(sv) {
+                continue;
+            }
             let (bu, bv) = (
                 infos[u].block.as_ref().expect("filtered"),
                 infos[v].block.as_ref().expect("filtered"),

@@ -163,8 +163,9 @@ impl Engine {
                 GrantKind::Role => self.add_role(&g.principal, g.object.as_str()),
             },
             Statement::AnalyzePolicy(_) => Err(Error::Unsupported(
-                "ANALYZE POLICY returns rows: run it through execute, or call \
-                 Engine::analyze_policy"
+                "ANALYZE POLICY returns rows: call Engine::analyze_policy for the \
+                 whole-set report (sessions running it through execute see only \
+                 their own grants)"
                     .into(),
             )),
             Statement::Query(_) => Err(Error::Unsupported(
@@ -580,7 +581,23 @@ impl Engine {
                 Ok(EngineResponse::Affected(n))
             }
             Statement::AnalyzePolicy(a) => {
-                let diags = self.analyze_policy(a.principal.as_deref());
+                // The analyzer's output *is* policy metadata: grant sets,
+                // role memberships, revocation tombstones, and messages
+                // that name other views. On the session path that is the
+                // exact disclosure channel P005 guards against, so a
+                // session may analyze only its own effective grants; the
+                // whole-set report is admin surface ([`Engine::analyze_policy`],
+                // `fgac-analyze`).
+                if let Some(p) = a.principal.as_deref() {
+                    if p != session.user() {
+                        return Err(Error::Unauthorized(
+                            "ANALYZE POLICY FOR another principal is admin-only; \
+                             a session may analyze only its own grants"
+                                .into(),
+                        ));
+                    }
+                }
+                let diags = self.analyze_policy(Some(session.user()));
                 Ok(EngineResponse::Rows(diagnostics_result(&diags)))
             }
             _ => Err(Error::Unauthorized(

@@ -126,7 +126,17 @@ impl Parser {
     }
 
     fn prefix(&mut self) -> Result<Expr> {
-        match self.peek().clone() {
+        // Context-sensitive keywords (ANALYZE, POLICY, FOR, TO, ROLE,
+        // CONSTRAINT) stay valid in expression position as column or
+        // function names.
+        let head = match self.peek().clone() {
+            TokenKind::Keyword(k) => match k.soft_ident() {
+                Some(word) => TokenKind::Ident(word.to_string()),
+                None => TokenKind::Keyword(k),
+            },
+            t => t,
+        };
+        match head {
             TokenKind::Keyword(Keyword::Not) => {
                 self.advance();
                 let e = self.expr_bp(P_NOT)?;

@@ -129,15 +129,29 @@ impl Parser {
         }
     }
 
-    /// Expects an identifier; keywords that commonly double as names
-    /// (type names, OLD/NEW) are not accepted — quote them instead.
+    /// The identifier spelling of the next token, when it is an
+    /// identifier or a context-sensitive keyword
+    /// ([`Keyword::soft_ident`]) usable as one.
+    pub(crate) fn peek_ident_like(&self) -> Option<&str> {
+        match self.peek() {
+            TokenKind::Ident(name) => Some(name),
+            TokenKind::Keyword(k) => k.soft_ident(),
+            _ => None,
+        }
+    }
+
+    /// Expects an identifier. Context-sensitive keywords (ANALYZE,
+    /// POLICY, FOR, TO, ROLE, CONSTRAINT) are accepted; fully reserved
+    /// keywords that commonly double as names (type names, OLD/NEW) are
+    /// not — quote them instead.
     pub(crate) fn ident(&mut self) -> Result<Ident> {
-        match self.peek().clone() {
-            TokenKind::Ident(name) => {
+        match self.peek_ident_like() {
+            Some(name) => {
+                let name = name.to_string();
                 self.advance();
                 Ok(Ident::new(name))
             }
-            _ => Err(self.unexpected("an identifier")),
+            None => Err(self.unexpected("an identifier")),
         }
     }
 
@@ -442,6 +456,53 @@ mod tests {
         assert_eq!(parse_expr("null").unwrap(), Expr::Literal(Value::Null));
         assert_eq!(parse_expr("-5").unwrap(), Expr::lit(-5));
         assert_eq!(parse_expr("2.5").unwrap(), Expr::lit(2.5));
+    }
+
+    #[test]
+    fn statement_keywords_stay_valid_identifiers() {
+        // ANALYZE, POLICY, FOR, TO, ROLE, and CONSTRAINT head the
+        // GRANT/ANALYZE statements but are context-sensitive: schemas
+        // and queries written before those statements existed may use
+        // them as table, column, or alias names.
+        let stmt =
+            parse_statement("create table policy (role int, to varchar, constraint int)").unwrap();
+        let Statement::CreateTable(t) = stmt else {
+            panic!("expected table");
+        };
+        assert_eq!(t.name, Ident::new("policy"));
+        assert_eq!(
+            t.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+            vec![Ident::new("role"), Ident::new("to"), Ident::new("constraint")]
+        );
+
+        // Column references, qualified columns, and predicates.
+        let q = parse_query("select role, p.analyze from policy p where to = 1 and p.for = 2")
+            .unwrap();
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.from[0].name, Ident::new("policy"));
+
+        // Implicit alias positions and qualified wildcards.
+        let q = parse_query("select role.* from grades role").unwrap();
+        assert_eq!(
+            q.projection,
+            vec![SelectItem::QualifiedWildcard(Ident::new("role"))]
+        );
+        let q = parse_query("select grade constraint from grades to").unwrap();
+        let SelectItem::Expr { alias, .. } = &q.projection[0] else {
+            panic!()
+        };
+        assert_eq!(alias, &Some(Ident::new("constraint")));
+        assert_eq!(q.from[0].alias, Some(Ident::new("to")));
+
+        // The statements those words head still parse.
+        assert!(matches!(
+            parse_statement("grant view mygrades to '11'").unwrap(),
+            Statement::Grant(_)
+        ));
+        assert!(matches!(
+            parse_statement("analyze policy for role").unwrap(),
+            Statement::AnalyzePolicy(_)
+        ));
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `alias.*` needs two-token lookahead before falling back to expr.
-        if let TokenKind::Ident(name) = self.peek().clone() {
+        if let Some(name) = self.peek_ident_like().map(str::to_string) {
             if self.peek2() == &TokenKind::Dot {
                 // Peek one further for `*`: consume tentatively.
                 let save = self.checkpoint();
@@ -115,9 +115,7 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) {
-            Some(self.ident()?)
-        } else if let TokenKind::Ident(_) = self.peek() {
+        let alias = if self.eat_kw(Keyword::As) || self.peek_ident_like().is_some() {
             Some(self.ident()?)
         } else {
             None
@@ -155,7 +153,7 @@ impl Parser {
         if self.eat_kw(Keyword::As) {
             return Ok(Some(self.ident()?));
         }
-        if let TokenKind::Ident(_) = self.peek() {
+        if self.peek_ident_like().is_some() {
             return Ok(Some(self.ident()?));
         }
         Ok(None)

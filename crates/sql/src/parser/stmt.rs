@@ -27,11 +27,11 @@ impl Parser {
     /// A principal name: a bare identifier, a string literal (`'11'`) or
     /// an integer literal (user ids in the paper are numbers).
     fn principal(&mut self) -> Result<String> {
+        if let Some(name) = self.peek_ident_like().map(str::to_string) {
+            self.advance();
+            return Ok(name);
+        }
         match self.peek().clone() {
-            TokenKind::Ident(name) => {
-                self.advance();
-                Ok(name)
-            }
             TokenKind::Literal(Value::Str(s)) => {
                 self.advance();
                 Ok(s)

@@ -134,6 +134,24 @@ impl Keyword {
             _ => return None,
         })
     }
+
+    /// Context-sensitive keywords: words that head the `GRANT`/`ANALYZE
+    /// POLICY` statements but stay valid identifiers everywhere else,
+    /// so pre-existing schemas and queries using e.g. a column named
+    /// `role` or a table named `policy` keep parsing. Returns the
+    /// identifier spelling (the lexer lowercases identifiers).
+    pub fn soft_ident(self) -> Option<&'static str> {
+        use Keyword::*;
+        Some(match self {
+            Analyze => "analyze",
+            Policy => "policy",
+            For => "for",
+            To => "to",
+            Role => "role",
+            Constraint => "constraint",
+            _ => return None,
+        })
+    }
 }
 
 /// A lexical token with its source offset (byte index), used for error

@@ -300,7 +300,7 @@ fn analyze_policy_statement_returns_rows() {
         grant view Dead to '11';
         ",
     );
-    let session = Session::new("admin");
+    let session = Session::new("11");
     let resp = e
         .execute(&session, "analyze policy for '11'")
         .expect("statement executes");
@@ -321,6 +321,93 @@ fn analyze_policy_statement_returns_rows() {
     // Unfiltered form works too and sees the same finding.
     let resp = e.execute(&session, "analyze policy").expect("executes");
     assert_eq!(resp.rows().expect("rows").rows.len(), 1);
+}
+
+#[test]
+fn analyze_policy_statement_is_scoped_to_the_session_principal() {
+    let mut e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        create authorization view Untethered as
+          select student_id, $x from students;
+        grant view Dead to '11';
+        grant view Untethered to '22';
+        ",
+    );
+
+    // FOR another principal: denied — the analyzer's output is policy
+    // metadata (grants, roles, revocations) the session must not see.
+    let session = Session::new("11");
+    let err = e
+        .execute(&session, "analyze policy for '22'")
+        .expect_err("cross-principal analysis is admin-only");
+    assert!(
+        matches!(err, Error::Unauthorized(_)),
+        "expected Unauthorized, got {err:?}"
+    );
+
+    // Unfiltered ANALYZE POLICY means "my own grants", never the whole
+    // policy set: 22's P006 finding must not appear.
+    let resp = e.execute(&session, "analyze policy").expect("executes");
+    let rows = resp.rows().expect("rows");
+    assert_eq!(rows.rows.len(), 1);
+    assert_eq!(rows.rows[0].0[0], Value::from("P001"));
+    assert_eq!(rows.rows[0].0[2], Value::from("11"));
+
+    // The admin API still sees everything.
+    assert_eq!(
+        codes(&e.analyze_policy(None)),
+        vec![Code::UnsatisfiableViewPredicate, Code::UnboundParameter]
+    );
+}
+
+#[test]
+fn role_view_defects_reported_once_not_per_member() {
+    let e = engine_with(
+        "
+        create authorization view Dead as
+          select * from grades where student_id = '11' and student_id = '12';
+        grant view Dead to student;
+        grant role student to '11';
+        grant role student to '12';
+        ",
+    );
+    // Whole-set analysis: the defect belongs to the role's grant entry
+    // and is reported exactly once, not re-derived for every member.
+    let all = e.analyze_policy(None);
+    assert_eq!(codes(&all), vec![Code::UnsatisfiableViewPredicate]);
+    assert_eq!(all[0].principal, "student");
+
+    // A member-scoped analysis still surfaces it (the role is not being
+    // analyzed separately in that run).
+    let d = e.analyze_policy(Some("11"));
+    assert_eq!(codes(&d), vec![Code::UnsatisfiableViewPredicate]);
+    assert_eq!(d[0].principal, "11");
+}
+
+#[test]
+fn dangling_constraint_grant_is_flagged() {
+    let e = engine_with(
+        "
+        create inclusion dependency ft_registered
+          on students (student_id) where type = 'FullTime'
+          references registered (student_id);
+        grant constraint ft_registered to '11';
+        grant constraint no_such_constraint to '22';
+        ",
+    );
+    // '22' holds only a constraint grant, and it names nothing in the
+    // catalog: the whole-set analysis must still enumerate and flag it.
+    let all = e.analyze_policy(None);
+    assert_eq!(codes(&all), vec![Code::UnusableView]);
+    assert_eq!(all[0].principal, "22");
+    assert_eq!(all[0].object, "no_such_constraint");
+    assert_eq!(all[0].severity, Severity::Error);
+
+    // The existing grant is clean, per principal and overall.
+    assert_eq!(e.analyze_policy(Some("11")), vec![]);
+    assert_eq!(codes(&e.analyze_policy(Some("22"))), vec![Code::UnusableView]);
 }
 
 #[test]
