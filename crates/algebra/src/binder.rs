@@ -46,6 +46,13 @@ impl ParamScope {
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.values.get(&name.to_ascii_lowercase())
     }
+
+    /// All bound parameters, in deterministic (sorted) order — recorded
+    /// into validity certificates so a checker can re-instantiate the
+    /// views exactly as the validator did.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 /// A fully bound query: plan + presentation (names, order, limit).

@@ -430,7 +430,9 @@ fn prove_col_col(facts: &mut Facts, op: CmpOp, a: usize, b: usize) -> bool {
                 }
             }
         }
-        CmpOp::Eq => unreachable!("handled above"),
+        // Eq returned above; if control ever reaches here, "not proven"
+        // is the sound (fail-closed) answer.
+        CmpOp::Eq => false,
     }
 }
 

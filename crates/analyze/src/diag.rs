@@ -35,6 +35,24 @@ pub enum Code {
     /// other on the same relation — often intentional (disjoint
     /// partitions), sometimes a sign one predicate is mis-written.
     CrossViewContradiction,
+    /// `Q001`: the query references a relation no granted view covers —
+    /// no inference rule can ever derive validity, so the validator
+    /// rejects before building the DAG and the checker flags any
+    /// certificate claiming otherwise.
+    UncoveredRelation,
+    /// `Q002`: an acceptance is conditional on a remainder probe that is
+    /// not itself certified valid — running it would read relations the
+    /// user is not authorized over (the per-query form of `P005`).
+    UnauthorizedProbe,
+    /// `Q003`: the certificate references a grant that does not exist at
+    /// the current policy epoch — the view was revoked, never granted,
+    /// or the certificate was minted under a stale epoch.
+    StaleGrantEpoch,
+    /// `Q004`: a certificate derivation step failed independent
+    /// re-verification — malformed premises, an ill-typed substitution,
+    /// a prover obligation that does not re-prove, or a recorded block
+    /// that does not match the re-derived one.
+    CertificateStepUnverified,
 }
 
 impl Code {
@@ -48,6 +66,10 @@ impl Code {
             Code::LeakyConditionalCheck => "P005",
             Code::UnboundParameter => "P006",
             Code::CrossViewContradiction => "W001",
+            Code::UncoveredRelation => "Q001",
+            Code::UnauthorizedProbe => "Q002",
+            Code::StaleGrantEpoch => "Q003",
+            Code::CertificateStepUnverified => "Q004",
         }
     }
 
@@ -61,6 +83,10 @@ impl Code {
             Code::LeakyConditionalCheck => "LeakyConditionalCheck",
             Code::UnboundParameter => "UnboundParameter",
             Code::CrossViewContradiction => "CrossViewContradiction",
+            Code::UncoveredRelation => "UncoveredRelation",
+            Code::UnauthorizedProbe => "UnauthorizedProbe",
+            Code::StaleGrantEpoch => "StaleGrantEpoch",
+            Code::CertificateStepUnverified => "CertificateStepUnverified",
         }
     }
 
@@ -74,6 +100,10 @@ impl Code {
             "P005" => Code::LeakyConditionalCheck,
             "P006" => Code::UnboundParameter,
             "W001" => Code::CrossViewContradiction,
+            "Q001" => Code::UncoveredRelation,
+            "Q002" => Code::UnauthorizedProbe,
+            "Q003" => Code::StaleGrantEpoch,
+            "Q004" => Code::CertificateStepUnverified,
             _ => return None,
         })
     }
@@ -85,7 +115,11 @@ impl Code {
             Code::UnsatisfiableViewPredicate
             | Code::ShadowedByRevocation
             | Code::UnusableView
-            | Code::LeakyConditionalCheck => Severity::Error,
+            | Code::LeakyConditionalCheck
+            | Code::UncoveredRelation
+            | Code::UnauthorizedProbe
+            | Code::StaleGrantEpoch
+            | Code::CertificateStepUnverified => Severity::Error,
             Code::RedundantGrant | Code::UnboundParameter | Code::CrossViewContradiction => {
                 Severity::Warning
             }
@@ -364,6 +398,10 @@ mod tests {
             (Code::LeakyConditionalCheck, "P005"),
             (Code::UnboundParameter, "P006"),
             (Code::CrossViewContradiction, "W001"),
+            (Code::UncoveredRelation, "Q001"),
+            (Code::UnauthorizedProbe, "Q002"),
+            (Code::StaleGrantEpoch, "Q003"),
+            (Code::CertificateStepUnverified, "Q004"),
         ] {
             assert_eq!(code.as_str(), s);
             assert_eq!(Code::from_str_code(s), Some(code));

@@ -25,10 +25,17 @@
 //! to a diagnostic of severity [`Severity::Unknown`] and the pass keeps
 //! going. A lint must never be the thing that panics or wedges.
 
+pub mod cert;
+pub mod certjson;
 pub mod diag;
 pub mod policy;
 pub mod query;
 
+pub use cert::{
+    check_certificate, CertPolicy, CertVerdict, Certificate, CheckerOptions, Obligation, RuleId,
+    Step,
+};
+pub use certjson::{certificate_from_json, certificate_to_json, Json};
 pub use diag::{diagnostics_from_json, diagnostics_to_json, Code, Diagnostic, Severity};
 pub use policy::{analyze_policy_set, AnalyzeOptions, PolicySet};
 pub use query::analyze_query;

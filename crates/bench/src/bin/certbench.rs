@@ -1,0 +1,156 @@
+//! Certificate-emission overhead benchmark: cold admission with
+//! certificate emission on vs off.
+//!
+//! Emits `BENCH_certify.json` and optionally gates against a checked-in
+//! baseline:
+//!
+//! ```text
+//! certbench [--students N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Emission threads a [`fgac_core::CheckOptions::emit_certificates`]
+//! flag through the validator; this harness measures the median cold
+//! admission time for a representative query mix under both settings
+//! and reports the ratio. With `--check`, the process exits non-zero
+//! when the ratio exceeds the baseline's `max_overhead_ratio` — the CI
+//! gate that keeps certificate emission within its ≤10% budget.
+
+use fgac_bench::{median_time, pick_triple, university};
+use fgac_core::{CheckOptions, Session, Validator, Verdict};
+use std::time::Duration;
+
+/// Overhead allowed when no baseline overrides it.
+const DEFAULT_MAX_OVERHEAD: f64 = 1.10;
+
+struct Args {
+    students: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        students: 100,
+        out: "BENCH_certify.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--students" => args.students = value("--students").parse().expect("--students: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own baseline files without a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let uni = university(args.students);
+    let (student, reg, _unreg) = pick_triple(&uni);
+    let session = Session::new(student.clone());
+
+    // A representative valid mix: single-view match, restriction,
+    // aggregate, and a join that needs composition.
+    let queries: Vec<String> = vec![
+        format!("select * from grades where student_id = '{student}'"),
+        format!("select course_id, grade from grades where student_id = '{student}' and grade >= 60"),
+        format!("select avg(grade) from grades where student_id = '{student}'"),
+        format!(
+            "select g.grade from grades g join registered r on g.course_id = r.course_id \
+             where g.student_id = '{student}' and r.student_id = '{student}' \
+             and r.course_id = '{reg}'"
+        ),
+    ];
+
+    let run_mix = |emit: bool| -> Duration {
+        let options = CheckOptions {
+            emit_certificates: emit,
+            ..CheckOptions::default()
+        };
+        median_time(101, || {
+            for sql in &queries {
+                let report = Validator::new(uni.engine.database(), uni.engine.grants())
+                    .with_options(options.clone())
+                    .check_sql(&session, sql)
+                    .expect("check runs");
+                assert_ne!(report.verdict, Verdict::Invalid, "bench mix must be valid: {sql}");
+                assert_eq!(
+                    report.certificate.is_some(),
+                    emit,
+                    "certificate presence must track emit_certificates"
+                );
+            }
+        })
+    };
+
+    // Interleave-resistant ordering: off, on, then off again; take the
+    // better `off` so one-sided warmup drift can't manufacture overhead.
+    let off_a = run_mix(false);
+    let on = run_mix(true);
+    let off_b = run_mix(false);
+    let off = off_a.min(off_b);
+
+    let off_us = off.as_secs_f64() * 1e6;
+    let on_us = on.as_secs_f64() * 1e6;
+    let ratio = on_us / off_us.max(1e-9);
+
+    // Sanity: every accepted query's certificate verifies independently.
+    let mut total_steps = 0usize;
+    for sql in &queries {
+        let report = uni
+            .engine
+            .certify(&session, sql)
+            .expect("certify verifies the emitted certificate");
+        total_steps += report.certificate.as_ref().map_or(0, |c| c.steps.len());
+    }
+
+    let max_overhead = args.check.as_deref().map_or(DEFAULT_MAX_OVERHEAD, |path| {
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        json_number(&doc, "max_overhead_ratio")
+            .unwrap_or_else(|| panic!("baseline {path} lacks max_overhead_ratio"))
+    });
+    let pass = ratio <= max_overhead;
+
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-certify-v1\",\n  \"students\": {},\n  \"queries\": {},\n  \"emit_off_us\": {:.1},\n  \"emit_on_us\": {:.1},\n  \"overhead_ratio\": {:.3},\n  \"certified_steps\": {},\n  \"gates\": {{ \"max_overhead_ratio\": {:.2}, \"pass\": {} }}\n}}\n",
+        args.students,
+        queries.len(),
+        off_us,
+        on_us,
+        ratio,
+        total_steps,
+        max_overhead,
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+    eprintln!(
+        "admission mix: {off_us:.1}µs without emission -> {on_us:.1}µs with \
+         ({ratio:.3}x, budget {max_overhead:.2}x)"
+    );
+
+    if !pass {
+        eprintln!("GATE FAIL: certificate emission overhead {ratio:.3}x exceeds {max_overhead:.2}x");
+        std::process::exit(1);
+    }
+}

@@ -168,6 +168,11 @@ impl Engine {
                  their own grants)"
                     .into(),
             )),
+            Statement::ExplainAuthorization(_) => Err(Error::Unsupported(
+                "EXPLAIN AUTHORIZATION is session-scoped: run it through execute \
+                 so the derivation is against the session's own grants"
+                    .into(),
+            )),
             Statement::Query(_) => Err(Error::Unsupported(
                 "admin_script does not run queries; use execute".into(),
             )),
@@ -600,6 +605,13 @@ impl Engine {
                 let diags = self.analyze_policy(Some(session.user()));
                 Ok(EngineResponse::Rows(diagnostics_result(&diags)))
             }
+            Statement::ExplainAuthorization(ex) => {
+                // Session-scoped by construction: the check runs against
+                // the session's own grants, so — unlike ANALYZE POLICY —
+                // there is no cross-principal disclosure to guard.
+                let report = self.certify_query(session, &ex.query)?;
+                Ok(EngineResponse::Rows(explain_authorization_result(&report)))
+            }
             _ => Err(Error::Unauthorized(
                 "DDL requires the admin interface".into(),
             )),
@@ -628,6 +640,68 @@ impl Engine {
             budget: self.options.budget.clone(),
         };
         fgac_analyze::analyze_policy_set(&set, principal, &opts)
+    }
+
+    /// The live policy in the shape the independent certificate checker
+    /// consumes ([`fgac_analyze::check_certificate`]).
+    pub fn certificate_policy(&self) -> fgac_analyze::CertPolicy<'_> {
+        fgac_analyze::CertPolicy {
+            catalog: self.db.catalog(),
+            view_grants: self.grants.view_grants(),
+            constraint_grants: self.grants.constraint_grants(),
+            role_memberships: self.grants.role_memberships(),
+            policy_epoch: self.policy_epoch,
+        }
+    }
+
+    /// Runs the validity check *uncached* with certificate emission
+    /// forced on, stamps the live policy epoch, and re-verifies the
+    /// certificate with the independent checker before returning. The
+    /// certification surface behind `EXPLAIN AUTHORIZATION` and
+    /// `fgac-analyze --certify`: an ACCEPT whose derivation the checker
+    /// rejects is reported as an error, not returned.
+    pub fn certify(&self, session: &Session, sql: &str) -> Result<ValidityReport> {
+        let query = fgac_sql::parse_query(sql)?;
+        self.certify_query(session, &query)
+    }
+
+    /// [`Engine::certify`] for an already-parsed query.
+    pub fn certify_query(
+        &self,
+        session: &Session,
+        query: &fgac_sql::Query,
+    ) -> Result<ValidityReport> {
+        let mut options = self.options.clone();
+        options.emit_certificates = true;
+        let mut report = Validator::new(&self.db, &self.grants)
+            .with_options(options)
+            .check_query(session, query)?;
+        if let Some(cert) = &mut report.certificate {
+            cert.policy_epoch = self.policy_epoch;
+        }
+        if report.is_valid() {
+            let Some(cert) = &report.certificate else {
+                return Err(Error::Execution(
+                    "validator accepted without emitting a certificate".into(),
+                ));
+            };
+            let diags = fgac_analyze::check_certificate(
+                cert,
+                &self.certificate_policy(),
+                &fgac_analyze::CheckerOptions::default(),
+            );
+            if !diags.is_empty() {
+                let msgs: Vec<String> = diags
+                    .iter()
+                    .map(|d| format!("{}: {}", d.code.as_str(), d.message))
+                    .collect();
+                return Err(Error::Execution(format!(
+                    "certificate failed independent verification: {}",
+                    msgs.join("; ")
+                )));
+            }
+        }
+        Ok(report)
     }
 
     /// The validity check alone (with caching) — what the optimizer
@@ -665,13 +739,45 @@ impl Engine {
                 dag_stats: Default::default(),
                 views_considered: 0,
                 exhausted: None,
+                certificate: None,
             });
         }
         let report = match Validator::new(&self.db, &self.grants)
             .with_options(self.options.clone())
             .check_plan(session, plan)
         {
-            Ok(report) => report,
+            Ok(mut report) => {
+                // The validator stamps epoch 0; rebase the certificate on
+                // the live policy epoch it was actually minted under.
+                if let Some(cert) = &mut report.certificate {
+                    cert.policy_epoch = self.policy_epoch;
+                }
+                // Shadow mode: in debug builds, every ACCEPT must carry a
+                // certificate the independent checker verifies. A failure
+                // here is an engine bug (the derivation and the proof
+                // disagree), never a user error.
+                #[cfg(debug_assertions)]
+                if report.is_valid() {
+                    if let Some(cert) = &report.certificate {
+                        let diags = fgac_analyze::check_certificate(
+                            cert,
+                            &self.certificate_policy(),
+                            &fgac_analyze::CheckerOptions::default(),
+                        );
+                        if !diags.is_empty() {
+                            let msgs: Vec<String> = diags
+                                .iter()
+                                .map(|d| format!("{}: {}", d.code.as_str(), d.message))
+                                .collect();
+                            return Err(Error::Execution(format!(
+                                "shadow certificate check failed: {}",
+                                msgs.join("; ")
+                            )));
+                        }
+                    }
+                }
+                report
+            }
             Err(Error::ResourceExhausted(phase)) => {
                 // Fail closed: an interrupted check denies. The verdict is
                 // NOT cached — a retry under a larger budget (or a calmer
@@ -686,6 +792,7 @@ impl Engine {
                     dag_stats: Default::default(),
                     views_considered: 0,
                     exhausted: Some(phase),
+                    certificate: None,
                 });
             }
             Err(e) => return Err(e),
@@ -734,6 +841,58 @@ fn diagnostics_result(diags: &[Diagnostic]) -> QueryResult {
             })
             .collect(),
     }
+}
+
+/// Renders a certified validity report as rows for
+/// `EXPLAIN AUTHORIZATION`: one leading verdict row, then one row per
+/// derivation step of the (independently re-verified) certificate.
+fn explain_authorization_result(report: &ValidityReport) -> QueryResult {
+    let names = ["step", "rule", "object", "premises", "detail"]
+        .into_iter()
+        .map(Ident::new)
+        .collect();
+    let verdict = match report.verdict {
+        Verdict::Unconditional => "unconditional",
+        Verdict::Conditional => "conditional",
+        Verdict::Invalid => "invalid",
+    };
+    let mut rows = vec![Row::new(vec![
+        Value::Str(String::new()),
+        Value::Str("VERDICT".into()),
+        Value::Str(verdict.into()),
+        Value::Str(String::new()),
+        Value::Str(report.reason.clone().unwrap_or_default()),
+    ])];
+    if let Some(cert) = &report.certificate {
+        for (i, step) in cert.steps.iter().enumerate() {
+            let object = match (&step.view, &step.constraint) {
+                (Some(v), _) => v.to_string(),
+                (None, Some(c)) => c.to_string(),
+                (None, None) => String::new(),
+            };
+            let premises = step
+                .premises
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut detail = step.note.clone();
+            for (name, val) in &step.pins {
+                detail.push_str(&format!(" [${name} = {val}]"));
+            }
+            if let Some(n) = step.probe_rows {
+                detail.push_str(&format!(" [probe: {n} row(s)]"));
+            }
+            rows.push(Row::new(vec![
+                Value::Str(i.to_string()),
+                Value::Str(step.rule.to_string()),
+                Value::Str(object),
+                Value::Str(premises),
+                Value::Str(detail),
+            ]));
+        }
+    }
+    QueryResult { names, rows }
 }
 
 fn deny_error(report: ValidityReport) -> Error {

@@ -41,7 +41,11 @@ mod updates;
 
 pub use authview::AuthorizationView;
 pub use cache::{CacheOutcome, CacheStats, ValidityCache};
-pub use fgac_analyze::{Code as DiagnosticCode, Diagnostic, Severity as DiagnosticSeverity};
+pub use fgac_analyze::{
+    check_certificate, certificate_from_json, certificate_to_json, CertPolicy, CertVerdict,
+    Certificate, CheckerOptions, Code as DiagnosticCode, Diagnostic, RuleId,
+    Severity as DiagnosticSeverity, Step as CertStep,
+};
 pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::{Engine, EngineResponse};
 pub use plancache::{CachedPlan, PlanCache};

@@ -193,11 +193,12 @@ pub fn dependent_join_covers(
     query: &SpjBlock,
     directly_valid: &[bool],
     capabilities: &[ApCapability],
-) -> Option<Vec<String>> {
+) -> Option<(Vec<String>, Vec<Ident>)> {
     let n = query.scans.len();
     assert_eq!(directly_valid.len(), n);
     let mut reachable: Vec<bool> = directly_valid.to_vec();
     let mut trace: Vec<String> = Vec::new();
+    let mut used_views: Vec<Ident> = Vec::new();
 
     // Equi-join edges between instances: (owner_a, col_a, owner_b, col_b).
     let mut edges = Vec::new();
@@ -254,13 +255,16 @@ pub fn dependent_join_covers(
                         table,
                         schema.column(cap.key_col).name
                     ));
+                    if !used_views.contains(&cap.view_name) {
+                        used_views.push(cap.view_name.clone());
+                    }
                     break;
                 }
             }
         }
     }
     if reachable.iter().all(|&r| r) {
-        Some(trace)
+        Some((trace, used_views))
     } else {
         None
     }

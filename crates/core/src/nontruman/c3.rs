@@ -19,6 +19,7 @@
 
 use fgac_algebra::implication::implies_metered;
 use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
+use fgac_analyze::Obligation;
 use fgac_storage::Catalog;
 use fgac_types::{BudgetMeter, Result, Value};
 
@@ -40,6 +41,10 @@ pub struct C3Candidate {
     pub requires_c3b: bool,
     /// Human-readable description for the rule trace.
     pub description: String,
+    /// The equivalence obligations (query predicate ⟺ Pc ∧ Pic over the
+    /// core frame) this candidate discharged, recorded for the validity
+    /// certificate so the checker can re-prove them.
+    pub obligations: Vec<Obligation>,
 }
 
 /// Enumerates C3 candidates justifying `query` from `valid`.
@@ -208,6 +213,18 @@ pub fn candidates_metered(
             v_r,
             v_r_count,
             requires_c3b,
+            obligations: vec![
+                Obligation {
+                    premise: qc_in_core.clone(),
+                    conclusion: pc_pic.clone(),
+                    arity: core_arity,
+                },
+                Obligation {
+                    premise: pc_pic.clone(),
+                    conclusion: qc_in_core.clone(),
+                    arity: core_arity,
+                },
+            ],
             description: format!(
                 "C3{} with remainder {} instantiated at {}",
                 if requires_c3b { "b" } else { "a" },

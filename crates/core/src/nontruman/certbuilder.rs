@@ -1,0 +1,101 @@
+//! Step accumulator for validity certificates.
+//!
+//! The validator threads a [`CertBuilder`] through `check_plan`: every
+//! rule application (U1 view instantiation, U2 match/restrict/compose,
+//! U3 expansion, C3 probe, dependent join) pushes a [`Step`] and gets
+//! back its index, which later steps cite as premises. The builder also
+//! remembers which step justified each directly-marked DAG class and
+//! which step backs each view root, so a DAG-propagation acceptance can
+//! name its supporting premises via [`Marking`] provenance.
+//!
+//! When disabled (`CheckOptions::emit_certificates == false`) every
+//! method is a no-op and `push` returns a dummy index, so the validator
+//! logic stays branch-free.
+
+use fgac_analyze::Step;
+use fgac_optimizer::{Dag, EqId, Marking};
+
+pub(crate) struct CertBuilder {
+    enabled: bool,
+    steps: Vec<Step>,
+    /// Directly-marked DAG classes (U3 cores, matcher hits) and the
+    /// step that justified each. Looked up through `dag.find` so later
+    /// merges don't orphan the provenance.
+    class_steps: Vec<(EqId, usize)>,
+    /// Step index backing each view root, in `mark_valid` root order.
+    root_steps: Vec<usize>,
+}
+
+impl CertBuilder {
+    pub fn new(enabled: bool) -> Self {
+        CertBuilder {
+            enabled,
+            steps: Vec::new(),
+            class_steps: Vec::new(),
+            root_steps: Vec::new(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a step and returns its index (0 when disabled).
+    pub fn push(&mut self, step: Step) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        self.steps.push(step);
+        self.steps.len() - 1
+    }
+
+    /// Appends a step backing the next view root (root order must match
+    /// the root list handed to `mark_valid`).
+    pub fn push_root(&mut self, step: Step) -> usize {
+        let idx = self.push(step);
+        self.root_steps.push(idx);
+        idx
+    }
+
+    /// Records that `class` was directly marked valid because of `step`.
+    pub fn note_class(&mut self, dag: &Dag, class: EqId, step: usize) {
+        if self.enabled {
+            self.class_steps.push((dag.find(class), step));
+        }
+    }
+
+    fn step_for_class(&self, dag: &Dag, class: EqId) -> Option<usize> {
+        let canon = dag.find(class);
+        self.class_steps
+            .iter()
+            .rev()
+            .find(|&&(c, _)| dag.find(c) == canon)
+            .map(|&(_, s)| s)
+    }
+
+    /// Premise steps supporting `class`'s validity: the view roots and
+    /// directly-marked classes the marking's provenance reaches.
+    pub fn supports(&self, dag: &Dag, marking: &Marking, class: EqId) -> Vec<usize> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut out: Vec<usize> = marking
+            .supporting_roots(dag, class)
+            .into_iter()
+            .filter_map(|i| self.root_steps.get(i).copied())
+            .collect();
+        for c in marking.supporting_marks(dag, class) {
+            if let Some(s) = self.step_for_class(dag, c) {
+                out.push(s);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Consumes the builder, yielding the accumulated steps.
+    pub fn take(self) -> Vec<Step> {
+        self.steps
+    }
+}

@@ -36,6 +36,10 @@ pub struct MatchWitness {
     pub projection: Vec<ScalarExpr>,
     /// Whether a final duplicate elimination is applied.
     pub distinct: bool,
+    /// Flat-column map from `Q`'s frame into `V`'s frame (the alignment
+    /// substitution) — recorded in validity certificates so the checker
+    /// can re-verify the match without re-running the backtracking.
+    pub q_to_v: Vec<usize>,
 }
 
 /// Attempts to compute `q` from `v`. Both blocks are over base tables.
@@ -179,6 +183,7 @@ fn check_aligned(
             extra_conjuncts: extra,
             projection,
             distinct: true,
+            q_to_v,
         }));
     }
     if !v.distinct {
@@ -188,6 +193,7 @@ fn check_aligned(
             extra_conjuncts: extra,
             projection,
             distinct: false,
+            q_to_v,
         }));
     }
     // V is a set; Q wants multiplicities. Sound only if Q is provably
@@ -197,6 +203,7 @@ fn check_aligned(
             extra_conjuncts: extra,
             projection,
             distinct: false,
+            q_to_v,
         }));
     }
     Ok(None)

@@ -26,6 +26,7 @@
 
 pub mod access_pattern;
 pub mod c3;
+mod certbuilder;
 pub mod matcher;
 pub mod strengthen;
 pub mod u3;
@@ -33,10 +34,12 @@ pub mod u3;
 use crate::authview::AuthorizationView;
 use crate::grants::Grants;
 use crate::session::Session;
+use certbuilder::CertBuilder;
 use fgac_algebra::{normalize, Plan, SpjBlock};
+use fgac_analyze::{CertVerdict, Certificate, RuleId, Step};
 use fgac_optimizer::{expand, mark_valid, Dag, DagStats, EqId, ExpandOptions, Marking, Operator};
 use fgac_storage::Database;
-use fgac_types::{Budget, BudgetMeter, Ident, Result};
+use fgac_types::{Budget, BudgetMeter, Ident, Result, Value};
 use std::collections::BTreeSet;
 
 /// Phase label the validator's own pipeline steps charge under.
@@ -74,6 +77,13 @@ pub struct ValidityReport {
     /// check can reject a provable query but never accept an unprovable
     /// one.
     pub exhausted: Option<String>,
+    /// Machine-checkable derivation behind an ACCEPT: every rule
+    /// application as a typed [`Step`], re-verifiable by the independent
+    /// checker in `fgac-analyze` ([`fgac_analyze::check_certificate`]).
+    /// `None` for rejections, exhaustion, and when
+    /// [`CheckOptions::emit_certificates`] is off. The validator stamps
+    /// `policy_epoch` 0; the engine overwrites it with the live epoch.
+    pub certificate: Option<Certificate>,
 }
 
 impl ValidityReport {
@@ -104,6 +114,10 @@ pub struct CheckOptions {
     /// surfaces as `Error::ResourceExhausted` and the engine maps it to
     /// a fail-closed DENY.
     pub budget: Budget,
+    /// Record a validity certificate alongside every ACCEPT. Emission
+    /// never changes a verdict — it only records the derivation — so
+    /// turning it off is purely a time/space optimization.
+    pub emit_certificates: bool,
 }
 
 impl Default for CheckOptions {
@@ -116,6 +130,7 @@ impl Default for CheckOptions {
             prune_irrelevant_views: true,
             max_rounds: 4,
             budget: Budget::default(),
+            emit_certificates: true,
         }
     }
 }
@@ -146,6 +161,9 @@ pub struct Validator<'a> {
 struct ValidBlock {
     block: SpjBlock,
     origin: String,
+    /// Certificate step that established this block's validity (0 when
+    /// emission is disabled).
+    step: usize,
 }
 
 /// The growing set of known-valid blocks, kept in insertion order plus a
@@ -161,21 +179,31 @@ struct ValidSet {
 }
 
 impl ValidSet {
+    /// Whether an identical block is already present.
+    fn contains(&self, block: &SpjBlock) -> bool {
+        self.step_of(block).is_some()
+    }
+
+    /// Certificate step of the identical block already present, if any.
+    fn step_of(&self, block: &SpjBlock) -> Option<usize> {
+        let signature = matcher::CandidateIndex::signature(block);
+        self.index
+            .bucket(&signature)
+            .iter()
+            .find(|&&i| &self.blocks[i].block == block)
+            .map(|&i| self.blocks[i].step)
+    }
+
     /// Adds `block` unless an identical one is present (the duplicate
     /// scan is confined to the same-signature bucket). Returns whether
     /// the set grew.
-    fn push(&mut self, block: SpjBlock, origin: String) -> bool {
-        let signature = matcher::CandidateIndex::signature(&block);
-        if self
-            .index
-            .bucket(&signature)
-            .iter()
-            .any(|&i| self.blocks[i].block == block)
-        {
+    fn push(&mut self, block: SpjBlock, origin: String, step: usize) -> bool {
+        if self.contains(&block) {
             return false;
         }
+        let signature = matcher::CandidateIndex::signature(&block);
         self.index.insert(signature, self.blocks.len());
-        self.blocks.push(ValidBlock { block, origin });
+        self.blocks.push(ValidBlock { block, origin, step });
         true
     }
 
@@ -196,6 +224,22 @@ impl ValidSet {
     fn len(&self) -> usize {
         self.blocks.len()
     }
+}
+
+/// An instantiated authorization view entering the check: either a plain
+/// granted view (`pin == None`, `base == display`) or an access-pattern
+/// view instantiated at a query constant, where `pin` records the
+/// substituted parameter so the certificate checker can re-derive the
+/// instantiation from the base view's catalog definition.
+#[derive(Debug, Clone)]
+struct RegView {
+    /// Display name used in the human-readable rule trace.
+    display: Ident,
+    /// Catalog name of the granted view.
+    base: Ident,
+    /// Access-pattern parameter pinned to a query constant, if any.
+    pin: Option<(String, Value)>,
+    plan: Plan,
 }
 
 impl<'a> Validator<'a> {
@@ -233,7 +277,7 @@ impl<'a> Validator<'a> {
 
         // --- Gather and instantiate the user's views. -----------------
         let query_tables: BTreeSet<Ident> = qplan.scanned_tables().into_iter().collect();
-        let mut all_views: Vec<(Ident, Plan)> = Vec::new();
+        let mut all_views: Vec<RegView> = Vec::new();
         let mut ap_views: Vec<AuthorizationView> = Vec::new();
         for name in self.grants.views_for(session.user()) {
             meter.charge(PHASE, 1)?;
@@ -254,7 +298,12 @@ impl<'a> Validator<'a> {
                 ));
                 continue;
             };
-            all_views.push((name, normalize(&bound.plan)));
+            all_views.push(RegView {
+                display: name.clone(),
+                base: name,
+                pin: None,
+                plan: normalize(&bound.plan),
+            });
         }
 
         // Section 5.6 optimization: "eliminate authorization views that
@@ -262,12 +311,12 @@ impl<'a> Validator<'a> {
         // table closure: a view over {grades, registered} makes
         // registered relevant to a grades query (its C3 remainder probe
         // runs over registered).
-        let mut regular: Vec<(Ident, Plan)> = if self.options.prune_irrelevant_views {
+        let mut regular: Vec<RegView> = if self.options.prune_irrelevant_views {
             let mut relevant = query_tables.clone();
             loop {
                 let before = relevant.len();
-                for (_, vplan) in &all_views {
-                    let tables = vplan.scanned_tables();
+                for rv in &all_views {
+                    let tables = rv.plan.scanned_tables();
                     if tables.iter().any(|t| relevant.contains(t)) {
                         relevant.extend(tables);
                     }
@@ -278,8 +327,8 @@ impl<'a> Validator<'a> {
             }
             all_views
                 .into_iter()
-                .filter(|(_, vplan)| {
-                    vplan.scanned_tables().iter().any(|t| relevant.contains(t))
+                .filter(|rv| {
+                    rv.plan.scanned_tables().iter().any(|t| relevant.contains(t))
                 })
                 .collect()
         } else {
@@ -292,6 +341,7 @@ impl<'a> Validator<'a> {
         if self.options.enable_access_patterns {
             let literals = access_pattern::query_literals(&qplan);
             for view in &ap_views {
+                let params = view.access_params();
                 for (val, inst) in access_pattern::instantiate_at_constants(view, &literals) {
                     if let Ok(bound) = inst.instantiate(self.db.catalog(), session.params()) {
                         let vplan = normalize(&bound.plan);
@@ -300,7 +350,13 @@ impl<'a> Validator<'a> {
                             .iter()
                             .any(|t| query_tables.contains(t))
                         {
-                            regular.push((Ident::new(format!("{}[$$={val}]", view.name)), vplan));
+                            let pin = params.first().map(|p| (p.clone(), val.clone()));
+                            regular.push(RegView {
+                                display: Ident::new(format!("{}[$$={val}]", view.name)),
+                                base: view.name.clone(),
+                                pin,
+                                plan: vplan,
+                            });
                         }
                     }
                 }
@@ -313,12 +369,51 @@ impl<'a> Validator<'a> {
         }
         let views_considered = regular.len();
 
+        // Q001: a query relation no granted view even mentions can never
+        // become valid — every inference rule derives expressions over
+        // the tables of the instantiated views. Reject before building
+        // the DAG.
+        let mut covered: BTreeSet<Ident> = BTreeSet::new();
+        for rv in &regular {
+            covered.extend(rv.plan.scanned_tables());
+        }
+        for view in &ap_views {
+            if let Ok(bound) = view.instantiate(self.db.catalog(), session.params()) {
+                covered.extend(bound.plan.scanned_tables());
+            }
+        }
+        if let Some(t) = query_tables.iter().find(|t| !covered.contains(*t)) {
+            rules.push(format!(
+                "Q001: relation {t} is not covered by any granted authorization view"
+            ));
+            let mut report = self.report(
+                Verdict::Invalid,
+                rules,
+                DagStats::default(),
+                views_considered,
+                None,
+            );
+            report.reason = Some(format!(
+                "relation {t} is not covered by any of your authorization views"
+            ));
+            return Ok(report);
+        }
+
         // --- DAG: insert, expand, mark (rules U1/U2). -----------------
+        let qblock = SpjBlock::decompose(&qplan);
+        let mut builder = CertBuilder::new(self.options.emit_certificates);
         let mut dag = Dag::new();
         let qroot = dag.insert_plan(&qplan);
         let mut view_roots: Vec<EqId> = Vec::new();
-        for (_, vplan) in &regular {
-            view_roots.push(dag.insert_plan(vplan));
+        let mut root_steps: Vec<usize> = Vec::new();
+        for rv in &regular {
+            view_roots.push(dag.insert_plan(&rv.plan));
+            let mut s = Step::new(RuleId::U1);
+            s.view = Some(rv.base.clone());
+            s.block = SpjBlock::decompose(&rv.plan);
+            s.pins = rv.pin.clone().into_iter().collect();
+            s.note = format!("instantiated authorization view {}", rv.display);
+            root_steps.push(builder.push_root(s));
         }
         distinct_elimination(&mut dag, self.db);
         let dag_stats = expand(&mut dag, &self.options.expand);
@@ -329,31 +424,48 @@ impl<'a> Validator<'a> {
         meter.charge("DAG expansion", dag_stats.op_nodes as u64)?;
         let mut marking = mark_valid(&dag, &view_roots);
 
-        let done = |dag: &Dag, marking: &Marking, rules: &mut Vec<String>, why: &str| -> bool {
-            if marking.is_valid(dag, qroot) {
-                rules.push(why.to_string());
-                true
-            } else {
-                false
+        // On acceptance via the DAG marking, record the goal step: the
+        // query class is valid, supported by whichever view roots and
+        // directly-marked classes the marking's provenance reaches.
+        let accept_dag = |dag: &Dag,
+                         marking: &Marking,
+                         rules: &mut Vec<String>,
+                         builder: &mut CertBuilder,
+                         why: &str|
+         -> bool {
+            if !marking.is_valid(dag, qroot) {
+                return false;
             }
+            rules.push(why.to_string());
+            let mut s = Step::new(RuleId::U2Dag);
+            s.block = qblock.clone();
+            s.premises = builder.supports(dag, marking, qroot);
+            s.note = why.to_string();
+            builder.push(s);
+            true
         };
 
-        if done(&dag, &marking, &mut rules, "U1/U2: DAG unification + subsumption") {
-            return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered));
+        if accept_dag(
+            &dag,
+            &marking,
+            &mut rules,
+            &mut builder,
+            "U1/U2: DAG unification + subsumption",
+        ) {
+            let cert = self.certificate(session, CertVerdict::Unconditional, &query_tables, &qblock, builder);
+            return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered, cert));
         }
 
         // --- Valid blocks for the matcher + U3 derivations. -----------
         let mut valid_blocks = ValidSet::default();
-        for (name, vplan) in &regular {
-            if let Some(block) = SpjBlock::decompose(vplan) {
-                valid_blocks.push(block, format!("view {name}"));
+        for (i, rv) in regular.iter().enumerate() {
+            if let Some(block) = SpjBlock::decompose(&rv.plan) {
+                valid_blocks.push(block, format!("view {}", rv.display), root_steps[i]);
             }
         }
 
         let visible: BTreeSet<Ident> =
             self.grants.constraints_for(session.user()).into_iter().collect();
-
-        let qblock = SpjBlock::decompose(&qplan);
         for _round in 0..self.options.max_rounds {
             meter.charge(PHASE, 1)?;
             let mut changed = false;
@@ -368,9 +480,14 @@ impl<'a> Validator<'a> {
                     for vb in &snapshot {
                         meter.charge(PHASE, 1)?;
                         if let Some(restricted) = strengthen::restrict_by_query(qb, &vb.block) {
-                            if valid_blocks
-                                .push(restricted, format!("σ-restriction of {}", vb.origin))
-                            {
+                            if !valid_blocks.contains(&restricted) {
+                                let origin = format!("σ-restriction of {}", vb.origin);
+                                let mut s = Step::new(RuleId::U2Restrict);
+                                s.block = Some(restricted.clone());
+                                s.premises = vec![vb.step];
+                                s.note = origin.clone();
+                                let step = builder.push(s);
+                                valid_blocks.push(restricted, origin, step);
                                 changed = true;
                             }
                         }
@@ -426,16 +543,37 @@ impl<'a> Validator<'a> {
                                     }
                                     let origin =
                                         format!("U2 join of {} and {}", x.origin, y.origin);
-                                    if valid_blocks.push(composed.clone(), origin.clone()) {
+                                    let mut compose_step = None;
+                                    if !valid_blocks.contains(&composed) {
+                                        let mut s = Step::new(RuleId::U2Compose);
+                                        s.block = Some(composed.clone());
+                                        s.premises = vec![x.step, y.step];
+                                        s.note = origin.clone();
+                                        let step = builder.push(s);
+                                        compose_step = Some(step);
+                                        valid_blocks.push(composed.clone(), origin.clone(), step);
                                         changed = true;
                                     }
                                     if let Some(restricted) =
                                         strengthen::restrict_by_query(qb, &composed)
                                     {
-                                        if valid_blocks.push(
-                                            restricted,
-                                            format!("σ-restriction of {origin}"),
-                                        ) {
+                                        if !valid_blocks.contains(&restricted) {
+                                            // Premise: the composition we just
+                                            // recorded, or the identical block
+                                            // already in the set.
+                                            let premise = match compose_step {
+                                                Some(s) => s,
+                                                None => valid_blocks
+                                                    .step_of(&composed)
+                                                    .unwrap_or(x.step),
+                                            };
+                                            let origin = format!("σ-restriction of {origin}");
+                                            let mut s = Step::new(RuleId::U2Restrict);
+                                            s.block = Some(restricted.clone());
+                                            s.premises = vec![premise];
+                                            s.note = origin.clone();
+                                            let step = builder.push(s);
+                                            valid_blocks.push(restricted, origin, step);
                                             changed = true;
                                         }
                                     }
@@ -451,15 +589,22 @@ impl<'a> Validator<'a> {
                 let snapshot: Vec<ValidBlock> = valid_blocks.blocks.clone();
                 for vb in &snapshot {
                     for d in u3::derive_metered(self.db.catalog(), &visible, &vb.block, &meter)? {
-                        if valid_blocks.push(
-                            d.core.clone(),
-                            format!(
+                        if !valid_blocks.contains(&d.core) {
+                            let origin = format!(
                                 "U3a/U3b on {} with constraint {} (remainder {})",
                                 vb.origin, d.constraint, d.remainder_table
-                            ),
-                        ) {
+                            );
+                            let mut s = Step::new(RuleId::U3a);
+                            s.block = Some(d.core.clone());
+                            s.premises = vec![vb.step];
+                            s.constraint = Some(d.constraint.clone());
+                            s.obligations = d.obligations.clone();
+                            s.note = origin.clone();
+                            let step = builder.push(s);
+                            valid_blocks.push(d.core.clone(), origin, step);
                             let class = dag.insert_plan(&d.core.to_plan());
                             marking.mark(&dag, class);
+                            builder.note_class(&dag, class, step);
                             rules.push(format!(
                                 "U3a: SELECT DISTINCT core of {} valid via constraint {}",
                                 vb.origin, d.constraint
@@ -468,15 +613,29 @@ impl<'a> Validator<'a> {
                         }
                         // U3c: multiplicity witness must itself be valid.
                         if let Some(w) = &d.multiplicity_witness {
-                            if self.block_is_valid(&dag, &marking, &valid_blocks, w, &meter)? {
+                            if let Some(wstep) = self.block_validity(
+                                &dag,
+                                &marking,
+                                &valid_blocks,
+                                w,
+                                &meter,
+                                &mut builder,
+                            )? {
                                 let mut non_distinct = d.core.clone();
                                 non_distinct.distinct = false;
-                                if valid_blocks.push(
-                                    non_distinct.clone(),
-                                    format!("U3c on {}", vb.origin),
-                                ) {
+                                if !valid_blocks.contains(&non_distinct) {
+                                    let origin = format!("U3c on {}", vb.origin);
+                                    let mut s = Step::new(RuleId::U3c);
+                                    s.block = Some(non_distinct.clone());
+                                    s.premises = vec![vb.step, wstep];
+                                    s.constraint = Some(d.constraint.clone());
+                                    s.obligations = d.obligations.clone();
+                                    s.note = origin.clone();
+                                    let step = builder.push(s);
+                                    valid_blocks.push(non_distinct.clone(), origin, step);
                                     let class = dag.insert_plan(&non_distinct.to_plan());
                                     marking.mark(&dag, class);
+                                    builder.note_class(&dag, class, step);
                                     rules.push(format!(
                                         "U3c: multiplicity of core of {} reconstructible \
                                          (q_rj valid); DISTINCT dropped",
@@ -503,24 +662,47 @@ impl<'a> Validator<'a> {
                 let Some(block) = SpjBlock::decompose(&plan) else {
                     continue;
                 };
+                let mut hit = None;
                 for vb in valid_blocks.candidates(&block) {
-                    if let Some(_w) =
+                    if let Some(w) =
                         matcher::match_block_metered(self.db.catalog(), &block, &vb.block, &meter)?
                     {
-                        marking.mark(&dag, class);
-                        rules.push(format!(
-                            "U2 (view matching): subexpression computed from {}",
-                            vb.origin
-                        ));
-                        changed = true;
+                        hit = Some((vb.step, vb.origin.clone(), w));
                         break;
                     }
+                }
+                if let Some((premise, origin, w)) = hit {
+                    let mut s = Step::new(RuleId::U2Match);
+                    s.block = Some(block.clone());
+                    s.premises = vec![premise];
+                    s.substitution = w.q_to_v;
+                    s.note = format!("subexpression matched against {origin}");
+                    let step = builder.push(s);
+                    marking.mark(&dag, class);
+                    builder.note_class(&dag, class, step);
+                    rules.push(format!(
+                        "U2 (view matching): subexpression computed from {origin}"
+                    ));
+                    changed = true;
                 }
             }
             marking.propagate(&dag);
 
-            if done(&dag, &marking, &mut rules, "U2: composition over valid subexpressions") {
-                return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered));
+            if accept_dag(
+                &dag,
+                &marking,
+                &mut rules,
+                &mut builder,
+                "U2: composition over valid subexpressions",
+            ) {
+                let cert = self.certificate(
+                    session,
+                    CertVerdict::Unconditional,
+                    &query_tables,
+                    &qblock,
+                    builder,
+                );
+                return Ok(self.report(Verdict::Unconditional, rules, dag_stats, views_considered, cert));
             }
             if !changed {
                 break;
@@ -529,30 +711,61 @@ impl<'a> Validator<'a> {
 
         // --- Dependent joins over access-pattern views (Section 6). ---
         if self.options.enable_access_patterns && !capabilities.is_empty() {
-            if let Some(qblock) = SpjBlock::decompose(&qplan) {
-                let mut directly_valid: Vec<bool> = Vec::with_capacity(qblock.scans.len());
-                for i in 0..qblock.scans.len() {
-                    let restriction = instance_restriction(&qblock, i);
-                    directly_valid.push(self.block_is_valid(
+            if let Some(qb) = &qblock {
+                let mut directly_valid: Vec<bool> = Vec::with_capacity(qb.scans.len());
+                let mut anchors: Vec<usize> = Vec::new();
+                let mut anchor_steps: Vec<usize> = Vec::new();
+                for i in 0..qb.scans.len() {
+                    let restriction = instance_restriction(qb, i);
+                    let step = self.block_validity(
                         &dag,
                         &marking,
                         &valid_blocks,
                         &restriction,
                         &meter,
-                    )?);
+                        &mut builder,
+                    )?;
+                    if let Some(s) = step {
+                        anchors.push(i);
+                        anchor_steps.push(s);
+                    }
+                    directly_valid.push(step.is_some());
                 }
-                if let Some(trace) = access_pattern::dependent_join_covers(
-                    &qblock,
+                if let Some((trace, used_views)) = access_pattern::dependent_join_covers(
+                    qb,
                     &directly_valid,
                     &capabilities,
                 ) {
                     rules.extend(trace);
                     rules.push("Section 6: dependent-join evaluation over access-pattern views".into());
+                    // Block-less U1 markers for the capability views; the
+                    // checker re-derives each capability from the catalog.
+                    let mut premises = anchor_steps;
+                    for name in used_views {
+                        let mut s = Step::new(RuleId::U1);
+                        s.view = Some(name);
+                        s.note = "access-pattern capability".into();
+                        premises.push(builder.push(s));
+                    }
+                    let mut goal = Step::new(RuleId::DependentJoin);
+                    goal.block = Some(qb.clone());
+                    goal.substitution = anchors;
+                    goal.premises = premises;
+                    goal.note = "Section 6 dependent join".into();
+                    builder.push(goal);
+                    let cert = self.certificate(
+                        session,
+                        CertVerdict::Unconditional,
+                        &query_tables,
+                        &qblock,
+                        builder,
+                    );
                     return Ok(self.report(
                         Verdict::Unconditional,
                         rules,
                         dag_stats,
                         views_considered,
+                        cert,
                     ));
                 }
             }
@@ -560,28 +773,38 @@ impl<'a> Validator<'a> {
 
         // --- Conditional validity: C3a/C3b. ---------------------------
         if self.options.enable_c3 {
-            if let Some(qblock) = SpjBlock::decompose(&qplan) {
+            if let Some(qb) = &qblock {
                 for vb in valid_blocks.iter() {
                     for cand in
-                        c3::candidates_metered(self.db.catalog(), &qblock, &vb.block, &meter)?
+                        c3::candidates_metered(self.db.catalog(), qb, &vb.block, &meter)?
                     {
                         // Condition 3: v_r must be (conditionally) valid…
-                        let vr_ok =
-                            self.block_is_valid(&dag, &marking, &valid_blocks, &cand.v_r, &meter)?;
-                        if !vr_ok {
+                        let Some(vr_step) = self.block_validity(
+                            &dag,
+                            &marking,
+                            &valid_blocks,
+                            &cand.v_r,
+                            &meter,
+                            &mut builder,
+                        )?
+                        else {
                             continue;
-                        }
-                        if cand.requires_c3b
-                            && !self.block_is_valid(
+                        };
+                        let count_step = if cand.requires_c3b {
+                            match self.block_validity(
                                 &dag,
                                 &marking,
                                 &valid_blocks,
                                 &cand.v_r_count,
                                 &meter,
-                            )?
-                        {
-                            continue;
-                        }
+                                &mut builder,
+                            )? {
+                                Some(s) => Some(s),
+                                None => continue,
+                            }
+                        } else {
+                            None
+                        };
                         // …and non-empty on the current database state.
                         let vr_plan = cand.v_r.to_plan();
                         meter.charge("C3 state probe", 1)?;
@@ -601,11 +824,34 @@ impl<'a> Validator<'a> {
                             vb.origin,
                             vr_rows.len()
                         ));
+                        let mut goal = Step::new(if cand.requires_c3b {
+                            RuleId::C3b
+                        } else {
+                            RuleId::C3a
+                        });
+                        goal.block = Some(qb.clone());
+                        goal.premises = {
+                            let mut p = vec![vb.step, vr_step];
+                            p.extend(count_step);
+                            p
+                        };
+                        goal.obligations = cand.obligations.clone();
+                        goal.probe_rows = Some(vr_rows.len() as u64);
+                        goal.note = cand.description.clone();
+                        builder.push(goal);
+                        let cert = self.certificate(
+                            session,
+                            CertVerdict::Conditional,
+                            &query_tables,
+                            &qblock,
+                            builder,
+                        );
                         return Ok(self.report(
                             Verdict::Conditional,
                             rules,
                             dag_stats,
                             views_considered,
+                            cert,
                         ));
                     }
                 }
@@ -613,28 +859,38 @@ impl<'a> Validator<'a> {
         }
 
         rules.push("no inference rule established validity".into());
-        let mut report = self.report(Verdict::Invalid, rules, dag_stats, views_considered);
+        let mut report = self.report(Verdict::Invalid, rules, dag_stats, views_considered, None);
         report.reason = Some(
             "the query cannot be answered using only your authorization views".to_string(),
         );
         Ok(report)
     }
 
-    /// Is `block` computable? Checks the DAG marking of the block's plan
-    /// and the SPJ matcher against known-valid blocks.
-    fn block_is_valid(
+    /// Is `block` computable? Checks the SPJ matcher against known-valid
+    /// blocks, then the DAG marking of the block's plan. On success
+    /// returns the certificate step that justifies the block (0 when
+    /// emission is disabled); `None` means not provably valid.
+    fn block_validity(
         &self,
         dag: &Dag,
         marking: &Marking,
         valid_blocks: &ValidSet,
         block: &SpjBlock,
         meter: &BudgetMeter,
-    ) -> Result<bool> {
+        builder: &mut CertBuilder,
+    ) -> Result<Option<usize>> {
         // Matcher first: it is semantic and cheap, and only the blocks
         // sharing the query block's scan multiset can match.
         for vb in valid_blocks.candidates(block) {
-            if matcher::match_block_metered(self.db.catalog(), block, &vb.block, meter)?.is_some() {
-                return Ok(true);
+            if let Some(w) =
+                matcher::match_block_metered(self.db.catalog(), block, &vb.block, meter)?
+            {
+                let mut s = Step::new(RuleId::U2Match);
+                s.block = Some(block.clone());
+                s.premises = vec![vb.step];
+                s.substitution = w.q_to_v;
+                s.note = format!("matched against {}", vb.origin);
+                return Ok(Some(builder.push(s)));
             }
         }
         // DAG: the block's plan may already have a valid class. Inserting
@@ -645,7 +901,44 @@ impl<'a> Validator<'a> {
         let class = probe.insert_plan(&block.to_plan());
         let mut m = marking.clone();
         m.propagate(&probe);
-        Ok(m.is_valid(&probe, class))
+        if m.is_valid(&probe, class) {
+            let mut s = Step::new(RuleId::U2Dag);
+            s.block = Some(block.clone());
+            s.premises = builder.supports(&probe, &m, class);
+            s.note = "valid via DAG propagation".into();
+            Ok(Some(builder.push(s)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Assembles the validity certificate from the accumulated steps.
+    /// The policy epoch is stamped 0 here; the engine overwrites it with
+    /// the live epoch before handing the report out.
+    fn certificate(
+        &self,
+        session: &Session,
+        verdict: CertVerdict,
+        query_tables: &BTreeSet<Ident>,
+        qblock: &Option<SpjBlock>,
+        builder: CertBuilder,
+    ) -> Option<Certificate> {
+        if !builder.enabled() {
+            return None;
+        }
+        Some(Certificate {
+            principal: session.user().to_string(),
+            policy_epoch: 0,
+            verdict,
+            params: session
+                .params()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            query_tables: query_tables.iter().cloned().collect(),
+            query: qblock.clone(),
+            steps: builder.take(),
+        })
     }
 
     fn report(
@@ -654,6 +947,7 @@ impl<'a> Validator<'a> {
         rules: Vec<String>,
         dag_stats: DagStats,
         views_considered: usize,
+        certificate: Option<Certificate>,
     ) -> ValidityReport {
         ValidityReport {
             verdict,
@@ -662,6 +956,7 @@ impl<'a> Validator<'a> {
             dag_stats,
             views_considered,
             exhausted: None,
+            certificate,
         }
     }
 }

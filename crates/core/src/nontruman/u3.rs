@@ -18,6 +18,7 @@
 
 use fgac_algebra::implication::implies_metered;
 use fgac_algebra::{CmpOp, ScalarExpr, SpjBlock};
+use fgac_analyze::Obligation;
 use fgac_storage::{Catalog, InclusionDependency};
 use fgac_types::{BudgetMeter, Ident, Result};
 use std::collections::BTreeSet;
@@ -36,6 +37,10 @@ pub struct U3Derivation {
     pub multiplicity_witness: Option<SpjBlock>,
     pub constraint: Ident,
     pub remainder_table: Ident,
+    /// The implication obligations this derivation discharged (join-
+    /// attribute alignment, source filter, destination filter), recorded
+    /// for the validity certificate so the checker can re-prove them.
+    pub obligations: Vec<Obligation>,
 }
 
 /// Splits of one valid block, one per viable remainder instance and
@@ -160,6 +165,7 @@ pub fn derive_metered(
             // columns are, under Pc, equal to the corresponding core-side
             // join attributes.
             let mut matched = false;
+            let mut matched_obligations: Vec<Obligation> = Vec::new();
             for (c_idx, (c_table, c_schema)) in valid.scans.iter().enumerate() {
                 if c_idx == r_idx || c_table != &dep.src_table {
                     continue;
@@ -194,8 +200,16 @@ pub fn derive_metered(
                 if !align_ok {
                     continue;
                 }
-                if !eq_needed.is_empty() && !implies_metered(&pc, &eq_needed, flat, meter)? {
-                    continue;
+                let mut obligations: Vec<Obligation> = Vec::new();
+                if !eq_needed.is_empty() {
+                    if !implies_metered(&pc, &eq_needed, flat, meter)? {
+                        continue;
+                    }
+                    obligations.push(Obligation {
+                        premise: pc.clone(),
+                        conclusion: eq_needed.clone(),
+                        arity: flat,
+                    });
                 }
 
                 // Pc must imply the dep's source filter (bound over the
@@ -208,9 +222,14 @@ pub fn derive_metered(
                         continue;
                     };
                     let shifted = bound.map_cols(&|i| cs + i);
-                    if !implies_metered(&pc, &[shifted], flat, meter)? {
+                    if !implies_metered(&pc, std::slice::from_ref(&shifted), flat, meter)? {
                         continue;
                     }
+                    obligations.push(Obligation {
+                        premise: pc.clone(),
+                        conclusion: vec![shifted],
+                        arity: flat,
+                    });
                 }
                 {
                     let dst_conjuncts: Vec<ScalarExpr> = match &dep.dst_filter {
@@ -230,8 +249,14 @@ pub fn derive_metered(
                     if !implies_metered(&dst_conjuncts, &pr, flat, meter)? {
                         continue;
                     }
+                    obligations.push(Obligation {
+                        premise: dst_conjuncts,
+                        conclusion: pr.clone(),
+                        arity: flat,
+                    });
                 }
                 matched = true;
+                matched_obligations = obligations;
                 break;
             }
             if !matched {
@@ -277,6 +302,7 @@ pub fn derive_metered(
                 multiplicity_witness,
                 constraint: dep.name.clone(),
                 remainder_table: rem_table.clone(),
+                obligations: matched_obligations,
             });
         }
     }

@@ -13,13 +13,28 @@
 //! t`, whose normalized plan *is* the scan) is marked directly.
 
 use crate::dag::{Dag, EqId, Operator};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Why a class became valid — the marking's provenance, kept so an
+/// acceptance can name the view roots it ultimately rests on.
+#[derive(Debug, Clone)]
+enum Why {
+    /// Marked directly as root `i` of the `mark_valid` root list.
+    Root(usize),
+    /// Marked directly outside the root list (U3/C3 derivations, probe
+    /// inserts); carries no root index.
+    Direct,
+    /// Marked by propagation through an operation node whose children
+    /// are these (canonical) classes.
+    Op(Vec<EqId>),
+}
 
 /// The set of equivalence classes inferred computable from the marked
 /// roots.
 #[derive(Debug, Clone, Default)]
 pub struct Marking {
     valid: HashSet<EqId>,
+    why: HashMap<EqId, Why>,
 }
 
 impl Marking {
@@ -31,7 +46,25 @@ impl Marking {
     /// Marks a class valid directly (used by U3/C3 derivations, which
     /// justify validity outside the bottom-up propagation).
     pub fn mark(&mut self, dag: &Dag, class: EqId) {
-        self.valid.insert(dag.find(class));
+        let c = dag.find(class);
+        if self.valid.insert(c) {
+            self.why.insert(c, Why::Direct);
+        }
+    }
+
+    /// Marks a class valid as root number `index` (of the root list
+    /// passed to [`mark_valid`]), so provenance can name it later.
+    pub fn mark_root(&mut self, dag: &Dag, class: EqId, index: usize) {
+        let c = dag.find(class);
+        self.valid.insert(c);
+        // A root annotation wins over a plain Direct mark: it carries
+        // strictly more information.
+        match self.why.get(&c) {
+            Some(Why::Root(_)) => {}
+            _ => {
+                self.why.insert(c, Why::Root(index));
+            }
+        }
     }
 
     /// Number of valid classes.
@@ -43,11 +76,86 @@ impl Marking {
         self.valid.is_empty()
     }
 
+    /// The indices (into the `mark_valid` root list) of the roots the
+    /// validity of `class` transitively rests on, sorted and deduped.
+    /// Empty when the class is not valid or its provenance reaches only
+    /// direct (non-root) marks.
+    pub fn supporting_roots(&self, dag: &Dag, class: EqId) -> Vec<usize> {
+        let start = dag.find(class);
+        if !self.valid.contains(&start) {
+            return Vec::new();
+        }
+        let mut seen: HashSet<EqId> = HashSet::new();
+        let mut stack = vec![start];
+        let mut roots = Vec::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            match self.why.get(&c) {
+                Some(Why::Root(i)) => roots.push(*i),
+                Some(Why::Op(children)) => {
+                    for &ch in children {
+                        stack.push(dag.find(ch));
+                    }
+                }
+                Some(Why::Direct) | None => {}
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        roots
+    }
+
+    /// The directly-marked (non-root) classes the validity of `class`
+    /// transitively rests on — the U3/C3-derived marks, whose
+    /// justification lives outside the DAG propagation. Sorted and
+    /// deduped; empty when the class is invalid.
+    pub fn supporting_marks(&self, dag: &Dag, class: EqId) -> Vec<EqId> {
+        let start = dag.find(class);
+        if !self.valid.contains(&start) {
+            return Vec::new();
+        }
+        let mut seen: HashSet<EqId> = HashSet::new();
+        let mut stack = vec![start];
+        let mut marks = Vec::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            match self.why.get(&c) {
+                Some(Why::Direct) => marks.push(c),
+                Some(Why::Op(children)) => {
+                    for &ch in children {
+                        stack.push(dag.find(ch));
+                    }
+                }
+                Some(Why::Root(_)) | None => {}
+            }
+        }
+        marks.sort_unstable();
+        marks.dedup();
+        marks
+    }
+
     /// Re-canonicalizes the marking after DAG mutations and re-runs the
     /// propagation to a fixpoint.
     pub fn propagate(&mut self, dag: &Dag) {
         // Re-canonicalize ids (merges may have changed representatives).
         self.valid = self.valid.iter().map(|&e| dag.find(e)).collect();
+        let old_why = std::mem::take(&mut self.why);
+        for (c, why) in old_why {
+            let canon = dag.find(c);
+            // On a merge collision prefer the root annotation, then any
+            // existing entry (provenance only needs one justification).
+            match (self.why.get(&canon), &why) {
+                (Some(Why::Root(_)), _) => {}
+                (Some(_), Why::Root(_)) | (None, _) => {
+                    self.why.insert(canon, why);
+                }
+                (Some(_), _) => {}
+            }
+        }
         loop {
             let mut changed = false;
             for op_id in dag.all_ops() {
@@ -65,6 +173,10 @@ impl Marking {
                     .all(|&c| self.valid.contains(&dag.find(c)))
                 {
                     self.valid.insert(class);
+                    self.why.insert(
+                        class,
+                        Why::Op(node.children.iter().map(|&c| dag.find(c)).collect()),
+                    );
                     changed = true;
                 }
             }
@@ -81,8 +193,8 @@ impl Marking {
 /// included).
 pub fn mark_valid(dag: &Dag, roots: &[EqId]) -> Marking {
     let mut m = Marking::default();
-    for &r in roots {
-        m.mark(dag, r);
+    for (i, &r) in roots.iter().enumerate() {
+        m.mark_root(dag, r, i);
     }
     m.propagate(dag);
     m
@@ -186,6 +298,43 @@ mod tests {
         expand(&mut dag, &ExpandOptions::default());
         let marking = mark_valid(&dag, &[v]);
         assert!(marking.is_valid(&dag, q));
+    }
+
+    #[test]
+    fn provenance_names_the_supporting_roots() {
+        // Join of two valid views: the query's provenance must reach
+        // both roots, and only those.
+        let mut dag = Dag::new();
+        let reg = Plan::scan(
+            "registered",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+            ]),
+        );
+        let v1 = my_grades();
+        let v2 = reg.select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("11"),
+        )]);
+        let unrelated = grades().select(vec![ScalarExpr::eq(
+            ScalarExpr::col(0),
+            ScalarExpr::lit("99"),
+        )]);
+        let query = v1.clone().join(
+            v2.clone(),
+            vec![ScalarExpr::eq(ScalarExpr::col(1), ScalarExpr::col(4))],
+        );
+        let q = dag.insert_plan(&query);
+        let r1 = dag.insert_plan(&v1);
+        let r2 = dag.insert_plan(&v2);
+        let r3 = dag.insert_plan(&unrelated);
+        let marking = mark_valid(&dag, &[r1, r2, r3]);
+        assert!(marking.is_valid(&dag, q));
+        assert_eq!(marking.supporting_roots(&dag, q), vec![0, 1]);
+        // An invalid class has no supporting roots.
+        let lone = dag.insert_plan(&grades());
+        assert_eq!(marking.supporting_roots(&dag, lone), Vec::<usize>::new());
     }
 
     #[test]

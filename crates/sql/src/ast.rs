@@ -36,6 +36,10 @@ pub enum Statement {
     /// static analyzer over the installed policy set and return its
     /// diagnostics as rows.
     AnalyzePolicy(AnalyzePolicy),
+    /// `EXPLAIN AUTHORIZATION <query>` — run the Non-Truman validity
+    /// check with certificate emission, re-verify the certificate with
+    /// the independent checker, and return the derivation steps as rows.
+    ExplainAuthorization(ExplainAuthorization),
 }
 
 /// `CREATE TABLE` definition.
@@ -181,6 +185,13 @@ pub struct AnalyzePolicy {
     /// Restrict the analysis to one principal's effective grant set;
     /// `None` analyzes every principal in the grant tables.
     pub principal: Option<String>,
+}
+
+/// `EXPLAIN AUTHORIZATION <query>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainAuthorization {
+    /// The query whose validity derivation is requested.
+    pub query: Query,
 }
 
 /// A `SELECT` query.

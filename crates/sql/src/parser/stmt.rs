@@ -3,7 +3,8 @@
 use super::Parser;
 use crate::ast::{
     AnalyzePolicy, Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView,
-    Delete, DmlAction, Expr, ForeignKeyDef, Grant, GrantKind, Insert, Statement, Update,
+    Delete, DmlAction, Expr, ExplainAuthorization, ForeignKeyDef, Grant, GrantKind, Insert,
+    Statement, Update,
 };
 use crate::token::{Keyword, TokenKind};
 use fgac_types::{DataType, Result, Value};
@@ -20,6 +21,7 @@ impl Parser {
             TokenKind::Keyword(Keyword::Delete) => self.delete(),
             TokenKind::Keyword(Keyword::Grant) => self.grant(),
             TokenKind::Keyword(Keyword::Analyze) => self.analyze_policy(),
+            TokenKind::Keyword(Keyword::Explain) => self.explain_authorization(),
             _ => Err(self.unexpected("a statement")),
         }
     }
@@ -74,6 +76,15 @@ impl Parser {
             None
         };
         Ok(Statement::AnalyzePolicy(AnalyzePolicy { principal }))
+    }
+
+    fn explain_authorization(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Explain)?;
+        self.expect_kw(Keyword::Authorization)?;
+        let query = self.query()?;
+        Ok(Statement::ExplainAuthorization(ExplainAuthorization {
+            query,
+        }))
     }
 
     fn create(&mut self) -> Result<Statement> {

@@ -106,6 +106,9 @@ pub fn print_statement(stmt: &Statement) -> String {
             Some(p) => format!("ANALYZE POLICY FOR {}", principal(p)),
             None => "ANALYZE POLICY".to_string(),
         },
+        Statement::ExplainAuthorization(e) => {
+            format!("EXPLAIN AUTHORIZATION {}", print_query(&e.query))
+        }
     }
 }
 

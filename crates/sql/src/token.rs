@@ -67,6 +67,7 @@ pub enum Keyword {
     To,
     Role,
     Constraint,
+    Explain,
 }
 
 impl Keyword {
@@ -131,6 +132,7 @@ impl Keyword {
             "TO" => To,
             "ROLE" => Role,
             "CONSTRAINT" => Constraint,
+            "EXPLAIN" => Explain,
             _ => return None,
         })
     }
@@ -149,6 +151,7 @@ impl Keyword {
             To => "to",
             Role => "role",
             Constraint => "constraint",
+            Explain => "explain",
             _ => return None,
         })
     }

@@ -1,0 +1,19 @@
+-- Certification workload for examples/policies/bank.sql, run as
+-- customer 'c000000' (role customer: MyAccounts, MyCustomerRecord).
+--
+-- Every query here must be ACCEPTED with a checker-verified
+-- certificate; CI runs `fgac-analyze --certify --for c000000`.
+
+-- The customer's own accounts via MyAccounts.
+select * from accounts where customer_id = 'c000000';
+
+-- Cell-level slice: balances only.
+select account_id, balance from accounts where customer_id = 'c000000';
+
+-- The customer's own record via MyCustomerRecord.
+select name, address from customers where customer_id = 'c000000';
+
+-- Join of the two authorized slices.
+select c.name, a.balance
+  from customers c join accounts a on c.customer_id = a.customer_id
+  where c.customer_id = 'c000000';

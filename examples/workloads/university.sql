@@ -1,0 +1,25 @@
+-- Certification workload for examples/policies/university.sql, run as
+-- student '11' (role student: MyGrades, MyRegistrations,
+-- CoStudentGrades, constraint all_registered).
+--
+-- Every query here must be ACCEPTED, and CI
+-- (`fgac-analyze --certify --for 11`) requires each accept to carry a
+-- validity certificate that the independent checker verifies.
+
+-- U1 + U2: the student's own grades, answerable from MyGrades.
+select * from grades where student_id = '11';
+
+-- U2 restriction: a strict sub-slice of MyGrades.
+select course_id, grade from grades
+  where student_id = '11' and grade >= 60;
+
+-- Aggregation over an authorized slice (Section 1's avg example).
+select avg(grade) from grades where student_id = '11';
+
+-- The student's registrations via MyRegistrations.
+select course_id from registered where student_id = '11';
+
+-- A self-join inside the authorized slice.
+select a.course_id, b.course_id
+  from registered a join registered b on a.student_id = b.student_id
+  where a.student_id = '11';

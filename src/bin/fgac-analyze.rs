@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! fgac-analyze [--json] [--for <principal>] [--query <sql>] <script.sql>...
+//! fgac-analyze --certify --for <principal> [--json] [--query <sql>]
+//!              [--workload <queries.sql>]... <script.sql>...
 //! ```
 //!
 //! Each script is an admin DDL/grant script (`CREATE TABLE`,
@@ -11,23 +13,35 @@
 //! it. The installed policy set is then analyzed and every diagnostic
 //! printed — human-readable by default, a JSON array with `--json`.
 //!
-//! Exit status: `0` when no diagnostic has error severity, `1` when at
-//! least one does (warnings and unknowns alone do not fail the run),
-//! `2` when a script cannot be read or does not load.
+//! With `--certify`, the tool instead runs a certification workload:
+//! every `SELECT` in the `--workload` files (plus `--query`, if given)
+//! is admitted as `--for <principal>` and, when accepted, its validity
+//! certificate is re-verified by the independent checker. An accepted
+//! query whose certificate fails verification — or a validator accept
+//! with no certificate at all — fails the run. `--json` prints one JSON
+//! array with each query's certificate (`null` for denied queries).
+//!
+//! Exit status: `0` when no diagnostic has error severity (or, under
+//! `--certify`, every accepted query carried a verified certificate),
+//! `1` on error-severity diagnostics / unverifiable accepts, `2` when a
+//! script cannot be read or does not load.
 
-use fgac::analyze::{diagnostics_to_json, Severity};
+use fgac::analyze::{certificate_to_json, diagnostics_to_json, Severity};
 use fgac::prelude::*;
 
 struct Args {
     json: bool,
+    certify: bool,
     principal: Option<String>,
     query: Option<String>,
+    workloads: Vec<String>,
     scripts: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fgac-analyze [--json] [--for <principal>] [--query <sql>] <script.sql>..."
+        "usage: fgac-analyze [--json] [--certify] [--for <principal>] [--query <sql>] \
+         [--workload <queries.sql>]... <script.sql>..."
     );
     std::process::exit(2);
 }
@@ -35,20 +49,27 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         json: false,
+        certify: false,
         principal: None,
         query: None,
+        workloads: Vec::new(),
         scripts: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
+            "--certify" => args.certify = true,
             "--for" => match it.next() {
                 Some(p) => args.principal = Some(p),
                 None => usage(),
             },
             "--query" => match it.next() {
                 Some(q) => args.query = Some(q),
+                None => usage(),
+            },
+            "--workload" => match it.next() {
+                Some(w) => args.workloads.push(w),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -59,11 +80,117 @@ fn parse_args() -> Args {
     if args.scripts.is_empty() {
         usage();
     }
+    if args.certify && args.principal.is_none() {
+        eprintln!("fgac-analyze: --certify requires --for <principal>");
+        usage();
+    }
     args
+}
+
+/// Reads the certification workload: every `SELECT` statement in the
+/// `--workload` files plus the `--query` flag, in order.
+fn workload_queries(args: &Args) -> Vec<String> {
+    let mut queries = Vec::new();
+    for path in &args.workloads {
+        let sql = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgac-analyze: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let stmts = match fgac::sql::parse_statements(&sql) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgac-analyze: {path} does not parse: {e}");
+                std::process::exit(2);
+            }
+        };
+        for stmt in stmts {
+            if let fgac::sql::Statement::Query(q) = stmt {
+                queries.push(fgac::sql::print_query(&q));
+            }
+        }
+    }
+    if let Some(q) = &args.query {
+        queries.push(q.clone());
+    }
+    if queries.is_empty() {
+        eprintln!("fgac-analyze: --certify needs at least one --workload or --query");
+        std::process::exit(2);
+    }
+    queries
+}
+
+/// The `--certify` mode: admit each workload query as the principal and
+/// demand a checker-verified certificate for every accept.
+fn run_certify(args: &Args) -> ! {
+    let principal = args.principal.as_deref().unwrap_or_default();
+    let queries = workload_queries(args);
+    let mut failures = 0usize;
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for path in &args.scripts {
+        let sql = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fgac-analyze: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut engine = Engine::new();
+        if let Err(e) = engine.admin_script(&sql) {
+            eprintln!("fgac-analyze: {path} does not load: {e}");
+            std::process::exit(2);
+        }
+        let session = Session::new(principal);
+        for q in &queries {
+            match engine.certify(&session, q) {
+                Ok(report) if report.is_valid() => {
+                    // certify() only returns a valid report after the
+                    // independent checker verified the certificate.
+                    if let Some(cert) = &report.certificate {
+                        if !args.json {
+                            println!(
+                                "CERTIFIED ({} step(s), {:?}): {q}",
+                                cert.steps.len(),
+                                cert.verdict
+                            );
+                        }
+                        json_rows.push(certificate_to_json(cert));
+                    }
+                }
+                Ok(report) => {
+                    if !args.json {
+                        let why = report.reason.as_deref().unwrap_or("not authorized");
+                        println!("DENIED ({why}): {q}");
+                    }
+                    json_rows.push("null".to_string());
+                }
+                Err(e) => {
+                    eprintln!("fgac-analyze: {path}: UNVERIFIED accept of `{q}`: {e}");
+                    json_rows.push("null".to_string());
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if args.json {
+        println!("[{}]", json_rows.join(","));
+    }
+    if failures > 0 {
+        eprintln!("fgac-analyze: {failures} query(ies) without a verifiable certificate");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let args = parse_args();
+    if args.certify {
+        run_certify(&args);
+    }
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     for path in &args.scripts {

@@ -2,20 +2,26 @@
 //!
 //! Scans the modules whose no-panic discipline is an invariant — the
 //! WAL crate, the durability layer, the DML commit path, the
-//! implication prover, and the Non-Truman validator — for `.unwrap(`
-//! and `.expect(` calls in non-test code, and fails with exit status 1
-//! if any are found. Runs in CI as a cheap, toolchain-independent
-//! complement to the `clippy::disallowed_methods` deny (clippy.toml).
+//! implication prover, the Non-Truman validator, and the certificate
+//! checker — for `.unwrap(` / `.expect(` calls and `panic!` /
+//! `unreachable!` / `todo!` macro invocations in non-test code, and
+//! fails with exit status 1 if any are found. Runs in CI as a cheap,
+//! toolchain-independent complement to the `clippy::disallowed_methods`
+//! deny (clippy.toml).
 //!
 //! Unlike the grep it replaces, the scan is token-aware: occurrences
 //! inside line/block comments (nested), string / raw-string / byte /
 //! char literals, and `#[cfg(test)]`-gated items are not violations,
-//! and `.unwrap_or_default(` / `.expect_err(` do not match.
+//! `.unwrap_or_default(` / `.expect_err(` do not match, and
+//! `debug_assert!` / `assert!` (whose failure is a caught programming
+//! error, not a data-dependent path) remain allowed.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// One `.unwrap(`/`.expect(` call found in non-test code.
+/// One `.unwrap(`/`.expect(` call or `panic!`/`unreachable!`/`todo!`
+/// invocation found in non-test code. `method` values ending in `!`
+/// denote macros.
 #[derive(Debug, PartialEq, Eq)]
 struct Violation {
     line: usize,
@@ -24,7 +30,11 @@ struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: .{}() is forbidden here", self.line, self.method)
+        if self.method.ends_with('!') {
+            write!(f, "line {}: {}(..) is forbidden here", self.line, self.method)
+        } else {
+            write!(f, "line {}: .{}() is forbidden here", self.line, self.method)
+        }
     }
 }
 
@@ -284,6 +294,47 @@ fn find_violations(src: &str) -> Vec<Violation> {
             i = j.max(i + 1);
             continue;
         }
+        // A bare identifier: check for the forbidden panic macros. Only
+        // a whole identifier counts (`my_panic!` does not), and only
+        // when followed by `!` and an opening delimiter.
+        if is_ident(code[i].0) && !code[i].0.is_ascii_digit() {
+            let prev_is_ident = i > 0 && is_ident(code[i - 1].0);
+            let prev_is_dot = i > 0 && code[i - 1].0 == '.';
+            let start = i;
+            let mut j = i;
+            while j < code.len() && is_ident(code[j].0) {
+                j += 1;
+            }
+            if !prev_is_ident && !prev_is_dot {
+                let name: String = code[start..j].iter().map(|&(c, _)| c).collect();
+                let mac: Option<&'static str> = match name.as_str() {
+                    "panic" => Some("panic!"),
+                    "unreachable" => Some("unreachable!"),
+                    "todo" => Some("todo!"),
+                    _ => None,
+                };
+                if let Some(mac) = mac {
+                    let mut k = j;
+                    while k < code.len() && code[k].0.is_whitespace() {
+                        k += 1;
+                    }
+                    if k < code.len() && code[k].0 == '!' {
+                        k += 1;
+                        while k < code.len() && code[k].0.is_whitespace() {
+                            k += 1;
+                        }
+                        if k < code.len() && matches!(code[k].0, '(' | '[' | '{') {
+                            out.push(Violation {
+                                line: code[start].1,
+                                method: mac,
+                            });
+                        }
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
         i += 1;
     }
     out
@@ -296,6 +347,8 @@ fn lint_targets(root: &Path) -> Vec<PathBuf> {
         root.join("crates/exec/src/dml.rs"),
         root.join("crates/core/src/durability.rs"),
         root.join("crates/algebra/src/implication.rs"),
+        root.join("crates/analyze/src/cert.rs"),
+        root.join("crates/analyze/src/certjson.rs"),
     ];
     for dir in ["crates/wal/src", "crates/core/src/nontruman"] {
         if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
@@ -425,6 +478,38 @@ fn prod() {}
         // cfg(not(test)) and cfg_attr must NOT be treated as exempt.
         let src2 = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
         assert_eq!(find_violations(src2).len(), 1);
+    }
+
+    #[test]
+    fn panic_macros_are_found() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    unreachable!();\n    todo!()\n}\n";
+        let vs = find_violations(src);
+        assert_eq!(vs.len(), 3, "got {vs:?}");
+        assert_eq!(vs[0], Violation { line: 2, method: "panic!" });
+        assert_eq!(vs[1], Violation { line: 3, method: "unreachable!" });
+        assert_eq!(vs[2], Violation { line: 4, method: "todo!" });
+    }
+
+    #[test]
+    fn panic_macro_lookalikes_do_not_match() {
+        let src = "fn f() {\n\
+            debug_assert!(x);\n\
+            assert!(y);\n\
+            my_panic!(1);\n\
+            let panic = 3; panic + 1;\n\
+            s.panic!();\n\
+            // panic!(\"in a comment\")\n\
+            let t = \"panic!(in a string)\";\n\
+        }\n";
+        assert!(lines(src).is_empty(), "got {:?}", find_violations(src));
+    }
+
+    #[test]
+    fn cfg_test_exempts_panic_macros_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"fine\"); }\n}\nfn prod() { unreachable!(); }\n";
+        let vs = find_violations(src);
+        assert_eq!(vs.len(), 1, "got {vs:?}");
+        assert_eq!(vs[0].method, "unreachable!");
     }
 
     /// The acceptance check: the real durability module is clean today,

@@ -63,9 +63,9 @@ pub use fgac_workload as workload;
 /// The common imports for applications embedding the engine.
 pub mod prelude {
     pub use fgac_core::{
-        truman::TrumanPolicy, AuthorizationView, CheckOptions, Diagnostic, DiagnosticCode,
-        DiagnosticSeverity, DurabilityOptions, Engine, EngineResponse, Grants, RecoveryReport,
-        Session, Validator, Verdict, ValidityReport,
+        truman::TrumanPolicy, AuthorizationView, CertVerdict, Certificate, CheckOptions,
+        Diagnostic, DiagnosticCode, DiagnosticSeverity, DurabilityOptions, Engine, EngineResponse,
+        Grants, RecoveryReport, RuleId, Session, Validator, Verdict, ValidityReport,
     };
     pub use fgac_types::{Error, Ident, Result, Row, Value};
 }

@@ -1,0 +1,366 @@
+//! Validity certificates end to end: honest accepts re-verify, every
+//! seeded defect is rejected with its stable Q-code, EXPLAIN
+//! AUTHORIZATION renders the derivation, and the wire format
+//! round-trips.
+//!
+//! The checker shares no code with the validator beyond the algebra
+//! substrate, so these tests are the trust story: a tampered
+//! certificate must never verify, no matter which field was forged.
+
+use fgac::analyze::{check_certificate, CheckerOptions};
+use fgac::prelude::*;
+use fgac_types::{Ident, Value};
+
+/// The paper's schema with the student-facing views; user 11 holds
+/// MyGrades, MyRegistrations and CoStudentGrades.
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(
+        "
+        create table students (
+            student_id varchar not null, name varchar not null,
+            type varchar not null, primary key (student_id));
+        create table registered (
+            student_id varchar not null, course_id varchar not null,
+            primary key (student_id, course_id));
+        create table grades (
+            student_id varchar not null, course_id varchar not null,
+            grade int, primary key (student_id, course_id));
+
+        create authorization view MyGrades as
+            select * from grades where student_id = $user_id;
+        create authorization view MyRegistrations as
+            select * from registered where student_id = $user_id;
+        create authorization view CoStudentGrades as
+            select grades.* from grades, registered
+            where registered.student_id = $user_id
+              and grades.course_id = registered.course_id;
+
+        insert into students values
+            ('11', 'ann', 'FullTime'), ('12', 'bob', 'PartTime');
+        insert into registered values ('11', 'cs101'), ('12', 'cs101');
+        insert into grades values
+            ('11', 'cs101', 90), ('12', 'cs101', 70);
+        ",
+    )
+    .unwrap();
+    for v in ["mygrades", "myregistrations", "costudentgrades"] {
+        e.grant_view("11", v).unwrap();
+    }
+    e
+}
+
+/// An honest unconditional accept: engine.certify() already ran the
+/// independent checker, and the derivation names the rules that fired.
+#[test]
+fn honest_unconditional_certificate_verifies() {
+    let e = engine();
+    let s = Session::new("11");
+    let report = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Unconditional);
+    let cert = report.certificate.expect("accept carries a certificate");
+    assert_eq!(cert.principal, "11");
+    assert!(
+        cert.steps.iter().any(|st| st.rule == RuleId::U1),
+        "derivation instantiates at least one view: {:?}",
+        cert.steps.iter().map(|st| st.rule).collect::<Vec<_>>()
+    );
+    // The goal step is last and derives exactly the admitted query.
+    let goal = cert.steps.last().expect("non-empty derivation");
+    assert!(
+        matches!(goal.rule, RuleId::U2Dag | RuleId::U2Match),
+        "goal rule: {:?}",
+        goal.rule
+    );
+    // Re-verification is idempotent.
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(diags.is_empty(), "honest certificate rejected: {diags:?}");
+}
+
+/// An honest conditional accept (Example 4.4): C3 appears in the
+/// derivation with a recorded non-empty probe.
+#[test]
+fn honest_conditional_certificate_verifies() {
+    let e = engine();
+    let s = Session::new("11");
+    let report = e
+        .certify(&s, "select * from grades where course_id = 'cs101'")
+        .unwrap();
+    assert_eq!(report.verdict, Verdict::Conditional);
+    let cert = report.certificate.expect("accept carries a certificate");
+    let c3 = cert
+        .steps
+        .iter()
+        .find(|st| matches!(st.rule, RuleId::C3a | RuleId::C3b))
+        .expect("conditional accept derives through C3");
+    assert!(matches!(c3.probe_rows, Some(n) if n >= 1), "{:?}", c3.probe_rows);
+}
+
+/// Q003: a certificate minted at a different policy epoch is refused
+/// before any step is examined.
+#[test]
+fn forged_epoch_is_rejected_with_q003() {
+    let e = engine();
+    let s = Session::new("11");
+    let mut cert = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    cert.policy_epoch += 1;
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code.as_str(), "Q003");
+}
+
+/// Q003: a derivation step claiming a view the principal does not hold
+/// — the revoked-grant shape — fails the grant re-check.
+#[test]
+fn ungranted_view_claim_is_rejected_with_q003() {
+    let e = engine();
+    let s = Session::new("11");
+    let mut cert = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    let u1 = cert
+        .steps
+        .iter()
+        .position(|st| st.rule == RuleId::U1)
+        .expect("derivation has a U1 step");
+    // 'singlegrade' was never created, let alone granted; any ungranted
+    // name takes the same path.
+    cert.steps[u1].view = Some(Ident::new("notmyview"));
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q003"),
+        "expected Q003 for an ungranted view claim: {diags:?}"
+    );
+}
+
+/// Q003 through the live engine: revoking the grant (which moves the
+/// policy epoch) invalidates certificates minted before it.
+#[test]
+fn revocation_stales_previously_minted_certificates() {
+    let mut e = engine();
+    let s = Session::new("11");
+    let cert = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    e.revoke_view("11", "mygrades").unwrap();
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q003"),
+        "stale certificate must not verify after revocation: {diags:?}"
+    );
+}
+
+/// Q004: tampering with a recorded view body (widening the claimed
+/// slice by dropping its filter) fails re-instantiation.
+#[test]
+fn tampered_view_body_is_rejected_with_q004() {
+    let e = engine();
+    let s = Session::new("11");
+    let mut cert = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    let u1 = cert
+        .steps
+        .iter()
+        .position(|st| st.rule == RuleId::U1 && st.block.is_some())
+        .expect("derivation has a U1 step with a recorded body");
+    cert.steps[u1]
+        .block
+        .as_mut()
+        .unwrap()
+        .conjuncts
+        .clear();
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q004"),
+        "widened view body must not verify: {diags:?}"
+    );
+}
+
+/// Q004: a wrong pin substitution — rebinding an access-pattern view's
+/// parameter to a different constant than the derivation used.
+#[test]
+fn wrong_pin_substitution_is_rejected_with_q004() {
+    let mut e = engine();
+    e.admin_script(
+        "create authorization view SingleGrade as
+            select * from grades where student_id = $$1;",
+    )
+    .unwrap();
+    e.grant_view("12", "singlegrade").unwrap();
+    let s = Session::new("12");
+    let mut cert = e
+        .certify(&s, "select grade from grades where student_id = '12'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    let pinned = cert
+        .steps
+        .iter()
+        .position(|st| !st.pins.is_empty())
+        .expect("access-pattern derivation records a pin");
+    cert.steps[pinned].pins[0].1 = Value::Str("11".into());
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q004"),
+        "forged pin must not verify: {diags:?}"
+    );
+}
+
+/// Q002: a conditional acceptance whose remainder probe does not rest
+/// on a certified-valid premise — the per-query P005 leak.
+#[test]
+fn uncertified_probe_premise_is_rejected_with_q002() {
+    let e = engine();
+    let s = Session::new("11");
+    let mut cert = e
+        .certify(&s, "select * from grades where course_id = 'cs101'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    let c3 = cert
+        .steps
+        .iter()
+        .position(|st| matches!(st.rule, RuleId::C3a | RuleId::C3b))
+        .expect("conditional accept derives through C3");
+    // Point the probe premise at the C3 step itself: no longer a
+    // previously-verified derivation.
+    let last = cert.steps[c3].premises.len() - 1;
+    cert.steps[c3].premises[last] = c3;
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q002"),
+        "uncertified probe must trip Q002: {diags:?}"
+    );
+}
+
+/// Q001 at admission: a query over a relation no granted view covers is
+/// rejected cheaply, before DAG expansion, and says so.
+#[test]
+fn uncovered_relation_rejects_with_q001() {
+    let e = engine();
+    let s = Session::new("11");
+    let report = e.check(&s, "select name from students").unwrap();
+    assert_eq!(report.verdict, Verdict::Invalid);
+    assert!(
+        report.rules.iter().any(|r| r.starts_with("Q001")),
+        "rejection names Q001: {:?}",
+        report.rules
+    );
+    assert_eq!(
+        report.dag_stats.eq_nodes, 0,
+        "Q001 fires before any DAG is built"
+    );
+}
+
+/// Q001 at the checker: forging extra coverage into query_tables fails
+/// the goal coverage check.
+#[test]
+fn forged_query_table_coverage_is_rejected_with_q001() {
+    let e = engine();
+    let s = Session::new("11");
+    let mut cert = e
+        .certify(&s, "select grade from grades where student_id = '11'")
+        .unwrap()
+        .certificate
+        .unwrap();
+    cert.query_tables.push(Ident::new("students"));
+    let diags = check_certificate(&cert, &e.certificate_policy(), &CheckerOptions::default());
+    assert!(
+        diags.iter().any(|d| d.code.as_str() == "Q001"),
+        "uncovered query table must trip Q001: {diags:?}"
+    );
+}
+
+/// EXPLAIN AUTHORIZATION renders the verdict row plus one row per
+/// derivation step, through the ordinary session execute path.
+#[test]
+fn explain_authorization_renders_the_derivation() {
+    let mut e = engine();
+    let s = Session::new("11");
+    let resp = e
+        .execute(
+            &s,
+            "explain authorization select grade from grades where student_id = '11'",
+        )
+        .unwrap();
+    let result = resp.rows().expect("EXPLAIN AUTHORIZATION returns rows");
+    let names: Vec<String> = result.names.iter().map(|n| n.to_string()).collect();
+    assert_eq!(names, ["step", "rule", "object", "premises", "detail"]);
+    let cell = |r: usize, c: usize| match &result.rows[r].0[c] {
+        Value::Str(s) => s.clone(),
+        other => panic!("expected string cell, got {other:?}"),
+    };
+    assert_eq!(cell(0, 1), "VERDICT");
+    assert_eq!(cell(0, 2), "unconditional");
+    assert!(result.rows.len() > 1, "derivation rows follow the verdict");
+    assert_eq!(cell(1, 1), "U1", "first step instantiates a view");
+
+    // A rejected query still explains itself instead of erroring.
+    let resp = e
+        .execute(&s, "explain authorization select name from students")
+        .unwrap();
+    let result = resp.rows().unwrap();
+    let verdict = match &result.rows[0].0[2] {
+        Value::Str(s) => s.clone(),
+        other => panic!("expected string cell, got {other:?}"),
+    };
+    assert_eq!(verdict, "invalid");
+}
+
+/// EXPLAIN AUTHORIZATION is session-scoped: the admin path refuses it
+/// so a derivation is always relative to some principal's grants.
+#[test]
+fn explain_authorization_is_rejected_on_the_admin_path() {
+    let mut e = engine();
+    let err = e
+        .admin_script("explain authorization select * from grades")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("session-scoped"),
+        "unexpected error: {err}"
+    );
+}
+
+/// Real certificates survive the wire: JSON round-trip is lossless for
+/// both unconditional and conditional derivations.
+#[test]
+fn certificates_round_trip_through_json() {
+    let e = engine();
+    let s = Session::new("11");
+    for sql in [
+        "select grade from grades where student_id = '11'",
+        "select * from grades where course_id = 'cs101'",
+        "select course_id from registered where student_id = '11'",
+    ] {
+        let cert = e.certify(&s, sql).unwrap().certificate.unwrap();
+        let json = fgac::analyze::certificate_to_json(&cert);
+        let back = fgac::analyze::certificate_from_json(&json)
+            .unwrap_or_else(|err| panic!("round-trip of `{sql}`: {err}\n{json}"));
+        assert_eq!(cert, back, "round-trip of `{sql}`");
+    }
+}
+
+/// Shadow mode (debug builds): the engine's execute path re-checks
+/// every accept, so a valid query still executes and returns rows.
+#[test]
+fn execute_still_accepts_under_shadow_checking() {
+    let mut e = engine();
+    let s = Session::new("11");
+    let resp = e
+        .execute(&s, "select grade from grades where student_id = '11'")
+        .unwrap();
+    assert_eq!(resp.rows().unwrap().rows.len(), 1);
+}

@@ -240,6 +240,80 @@ fn view_over_view_definitions_expand() {
 }
 
 #[test]
+fn certificates_carry_structured_rule_ids() {
+    // The coverage fixtures double as a certification corpus: every
+    // accepted query must come back from `certify` with a typed
+    // derivation — U1 axioms naming the granted views, a U2 goal step —
+    // not just a prose rule trace.
+    let mut e = engine();
+    e.admin_script(
+        "create authorization view Passing as
+            select * from grades where grade >= 60;",
+    )
+    .unwrap();
+    e.grant_view("u", "passing").unwrap();
+    let s = Session::new("u");
+    let report = e
+        .certify(&s, "select student_id from grades where grade between 70 and 80")
+        .unwrap();
+    let cert = report.certificate.expect("accepted query must carry a certificate");
+    assert_eq!(cert.verdict, CertVerdict::Unconditional);
+    assert_eq!(cert.principal, "u");
+    let (axioms, goals): (Vec<_>, Vec<_>) =
+        cert.steps.iter().partition(|st| st.rule == RuleId::U1);
+    assert_eq!(
+        axioms
+            .iter()
+            .map(|st| st.view.as_ref().expect("U1 names its view").as_str())
+            .collect::<Vec<_>>(),
+        vec!["passing"],
+        "exactly the granted view is instantiated"
+    );
+    assert_eq!(goals.len(), 1, "one goal step closes the derivation");
+    assert_eq!(goals[0].rule, RuleId::U2Dag);
+}
+
+#[test]
+fn certificate_premises_identify_the_supporting_view() {
+    // With several grants in scope, the goal step's premise edges must
+    // point at the view that actually covers the query — the derivation
+    // is evidence, not a bag of everything granted.
+    let mut e = engine();
+    e.admin_script(
+        "create authorization view MyGrades as
+            select * from grades where student_id = $user_id;
+         create authorization view Passing as
+            select * from grades where grade >= 60;",
+    )
+    .unwrap();
+    e.grant_view("11", "mygrades").unwrap();
+    e.grant_view("11", "passing").unwrap();
+    let s = Session::new("11");
+    let supporting_view = |sql: &str| -> Vec<String> {
+        let report = e.certify(&s, sql).unwrap();
+        let cert = report.certificate.expect("certificate");
+        let goal = cert.steps.last().expect("non-empty derivation");
+        goal.premises
+            .iter()
+            .map(|&p| cert.steps[p].view.as_ref().expect("premise is a U1 axiom").to_string())
+            .collect()
+    };
+    assert_eq!(
+        supporting_view("select student_id from grades where grade between 70 and 80"),
+        vec!["passing".to_string()],
+        "the range query rides on the grade slice"
+    );
+    assert_eq!(
+        supporting_view(
+            "select a.course_id, b.course_id from grades a, grades b \
+             where a.student_id = '11' and b.student_id = '11' and a.grade > b.grade"
+        ),
+        vec!["mygrades".to_string()],
+        "the self-join rides on the per-student slice"
+    );
+}
+
+#[test]
 fn count_star_through_view_multiplicity() {
     // COUNT(*) needs exact multiplicities: only duplicate-preserving
     // views support it.

@@ -1,0 +1,350 @@
+//! Property tests for the certificate wire format: arbitrary
+//! certificates — including adversarial strings, nested expressions,
+//! and every rule — must survive `certificate_to_json` →
+//! `certificate_from_json` losslessly. The diagnostic JSON round-trip
+//! is pinned under the same string generator so both hand-rolled
+//! serializers face identical escaping pressure.
+
+use fgac::analyze::{
+    certificate_from_json, certificate_to_json, diagnostics_from_json, diagnostics_to_json,
+    CertVerdict, Certificate, Code, Diagnostic, Obligation, RuleId, Severity, Step,
+};
+use fgac_algebra::{ArithOp, CmpOp, ScalarExpr, SpjBlock};
+use fgac_types::{Column, DataType, Ident, Schema, Value};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------
+
+/// Escaper-hostile suffixes: quotes, backslashes, control characters,
+/// JSON structure characters, multi-byte unicode, keyword lookalikes.
+const SPECIALS: &[&str] = &[
+    "",
+    "\"quoted\"",
+    "back\\slash",
+    "new\nline",
+    "tab\there",
+    "car\rriage",
+    "\u{1}\u{7f}",
+    "π—𝄞",
+    "{}[]:,",
+    "null",
+    "-3.5e2",
+];
+
+/// Strings that stress the JSON escaper.
+fn wire_string() -> impl Strategy<Value = String> {
+    (0..SPECIALS.len(), "[a-z]{0,6}").prop_map(|(i, base)| format!("{base}{}", SPECIALS[i]))
+}
+
+fn ident() -> impl Strategy<Value = Ident> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(Ident::new)
+}
+
+/// Every value the wire format carries. No NaN: `Value` equality (and
+/// hence the round-trip assertion) is not reflexive on NaN, and no
+/// catalog value can be NaN either.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1_000_000_000i64..1_000_000_000).prop_map(|n| Value::Double(n as f64 / 128.0)),
+        wire_string().prop_map(Value::Str),
+    ]
+}
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::Int),
+        Just(DataType::Double),
+        Just(DataType::Str),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::NotEq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::LtEq),
+        Just(CmpOp::Gt),
+        Just(CmpOp::GtEq),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+        Just(ArithOp::Mod),
+    ]
+}
+
+/// Expressions over every wire-format constructor, nested a few levels.
+fn expr() -> impl Strategy<Value = ScalarExpr> {
+    let leaf = prop_oneof![
+        (0..8usize).prop_map(ScalarExpr::Col),
+        value().prop_map(ScalarExpr::Lit),
+        wire_string().prop_map(ScalarExpr::AccessParam),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (cmp_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| ScalarExpr::Cmp {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            vec(inner.clone(), 0..3).prop_map(ScalarExpr::And),
+            vec(inner.clone(), 0..3).prop_map(ScalarExpr::Or),
+            inner.clone().prop_map(|e| ScalarExpr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| ScalarExpr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (arith_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                ScalarExpr::Arith {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }),
+            inner.prop_map(|e| ScalarExpr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn column() -> impl Strategy<Value = Column> {
+    (ident(), data_type(), any::<bool>()).prop_map(|(name, ty, nullable)| {
+        let mut c = Column::new(name, ty);
+        c.nullable = nullable;
+        c
+    })
+}
+
+fn spj_block() -> impl Strategy<Value = SpjBlock> {
+    (
+        vec((ident(), vec(column(), 1..4)), 1..3),
+        vec(expr(), 0..3),
+        vec(expr(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(scans, conjuncts, projection, distinct)| SpjBlock {
+            scans: scans
+                .into_iter()
+                .map(|(t, cols)| (t, Schema::new(cols)))
+                .collect(),
+            conjuncts,
+            projection,
+            distinct,
+        })
+}
+
+fn obligation() -> impl Strategy<Value = Obligation> {
+    (vec(expr(), 0..3), vec(expr(), 0..3), 0..16usize).prop_map(
+        |(premise, conclusion, arity)| Obligation {
+            premise,
+            conclusion,
+            arity,
+        },
+    )
+}
+
+fn rule_id() -> impl Strategy<Value = RuleId> {
+    prop_oneof![
+        Just(RuleId::U1),
+        Just(RuleId::U2Dag),
+        Just(RuleId::U2Match),
+        Just(RuleId::U2Restrict),
+        Just(RuleId::U2Compose),
+        Just(RuleId::U3a),
+        Just(RuleId::U3c),
+        Just(RuleId::C3a),
+        Just(RuleId::C3b),
+        Just(RuleId::DependentJoin),
+    ]
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (
+        (
+            rule_id(),
+            option::of(spj_block()),
+            vec(0..32usize, 0..4),
+            option::of(ident()),
+            option::of(ident()),
+        ),
+        (
+            vec(0..32usize, 0..6),
+            vec((wire_string(), value()), 0..2),
+            vec(obligation(), 0..2),
+            option::of(any::<u64>()),
+            wire_string(),
+        ),
+    )
+        .prop_map(
+            |(
+                (rule, block, premises, view, constraint),
+                (substitution, pins, obligations, probe_rows, note),
+            )| Step {
+                rule,
+                block,
+                premises,
+                view,
+                constraint,
+                substitution,
+                pins,
+                obligations,
+                probe_rows,
+                note,
+            },
+        )
+}
+
+fn certificate() -> impl Strategy<Value = Certificate> {
+    (
+        (
+            wire_string(),
+            any::<u64>(),
+            prop_oneof![
+                Just(CertVerdict::Unconditional),
+                Just(CertVerdict::Conditional)
+            ],
+            vec((wire_string(), value()), 0..3),
+        ),
+        (
+            vec(ident(), 0..3),
+            option::of(spj_block()),
+            vec(step(), 0..4),
+        ),
+    )
+        .prop_map(
+            |(
+                (principal, policy_epoch, verdict, params),
+                (query_tables, query, steps),
+            )| Certificate {
+                principal,
+                policy_epoch,
+                verdict,
+                params,
+                query_tables,
+                query,
+                steps,
+            },
+        )
+}
+
+fn code() -> impl Strategy<Value = Code> {
+    prop_oneof![
+        Just(Code::UnsatisfiableViewPredicate),
+        Just(Code::RedundantGrant),
+        Just(Code::ShadowedByRevocation),
+        Just(Code::UnusableView),
+        Just(Code::LeakyConditionalCheck),
+        Just(Code::UnboundParameter),
+        Just(Code::CrossViewContradiction),
+        Just(Code::UncoveredRelation),
+        Just(Code::UnauthorizedProbe),
+        Just(Code::StaleGrantEpoch),
+        Just(Code::CertificateStepUnverified),
+    ]
+}
+
+fn diagnostic() -> impl Strategy<Value = Diagnostic> {
+    (
+        code(),
+        prop_oneof![
+            Just(Severity::Error),
+            Just(Severity::Warning),
+            Just(Severity::Unknown),
+        ],
+        wire_string(),
+        wire_string(),
+        wire_string(),
+    )
+        .prop_map(|(code, severity, principal, object, message)| Diagnostic {
+            code,
+            severity,
+            principal,
+            object,
+            message,
+        })
+}
+
+// ---------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lossless round-trip for arbitrary certificates.
+    #[test]
+    fn certificate_json_round_trips(cert in certificate()) {
+        let json = certificate_to_json(&cert);
+        let back = certificate_from_json(&json)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{json}"));
+        prop_assert_eq!(cert, back);
+    }
+
+    /// The printer's output is strict-parser stable: print(parse(print))
+    /// == print — no drift between the two sides of the wire.
+    #[test]
+    fn certificate_json_printing_is_a_fixpoint(cert in certificate()) {
+        let json = certificate_to_json(&cert);
+        let back = certificate_from_json(&json)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{json}"));
+        prop_assert_eq!(json, certificate_to_json(&back));
+    }
+
+    /// Regression pin: the diagnostic JSON round-trip holds under the
+    /// same adversarial string generator the certificates use.
+    #[test]
+    fn diagnostic_json_round_trips(diags in vec(diagnostic(), 0..4)) {
+        let json = diagnostics_to_json(&diags);
+        let back = diagnostics_from_json(&json)
+            .unwrap_or_else(|| panic!("round-trip parse failed:\n{json}"));
+        prop_assert_eq!(diags, back);
+    }
+}
+
+/// Corrupting any single byte of a valid certificate document must
+/// never be silently accepted as the original certificate: the strict
+/// parser either rejects it or parses a *different* certificate.
+#[test]
+fn single_byte_corruption_never_parses_to_the_same_certificate() {
+    let cert = Certificate {
+        principal: "11".into(),
+        policy_epoch: 7,
+        verdict: CertVerdict::Unconditional,
+        params: vec![("user_id".into(), Value::Str("11".into()))],
+        query_tables: vec![Ident::new("grades")],
+        query: None,
+        steps: vec![Step::new(RuleId::U1)],
+    };
+    let json = certificate_to_json(&cert);
+    let bytes = json.as_bytes();
+    let mut silently_equal = 0usize;
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.to_vec();
+        corrupted[i] = corrupted[i].wrapping_add(1);
+        let Ok(s) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        if let Ok(back) = certificate_from_json(&s) {
+            if back == cert {
+                silently_equal += 1;
+            }
+        }
+    }
+    assert_eq!(
+        silently_equal, 0,
+        "corrupted documents parsed back to the original"
+    );
+}
