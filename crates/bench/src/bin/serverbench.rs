@@ -1,0 +1,262 @@
+//! Multi-client load benchmark for the network front end.
+//!
+//! Emits `BENCH_server.json` and optionally gates against a checked-in
+//! baseline:
+//!
+//! ```text
+//! serverbench [--clients N] [--requests N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Two phases against an in-process [`fgac_server::Server`]:
+//!
+//! 1. **Throughput** — N concurrent clients each issue M repeated
+//!    authorized queries (the hot path: plan cache + validity cache
+//!    hits) over real TCP connections. Gates: aggregate q/s must stay
+//!    above `min_qps`, and p99 request latency below `max_p99_ms`.
+//! 2. **Overload** — the same workload against a server with a
+//!    one-slot queue and a single worker, so admission control *must*
+//!    shed. Clients retry on `SHED` with jittered exponential backoff
+//!    until every request eventually succeeds. Gated on invariants,
+//!    not speed: every shed answer is `SHED` (never `DENIED` — denial
+//!    under load would be an authorization lie), and every request
+//!    completes within the retry budget.
+
+use fgac_core::{Engine, SharedEngine};
+use fgac_server::{Client, Response, Server, ServerConfig};
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 250,
+        out: "BENCH_server.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--clients" => args.clients = value("--clients").parse().expect("--clients: usize"),
+            "--requests" => args.requests = value("--requests").parse().expect("--requests: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One engine with the standard grades fixture, ready to serve.
+fn fixture_engine() -> SharedEngine {
+    let mut e = Engine::new();
+    e.admin_script(
+        "create table grades (student_id varchar not null, course_id varchar not null, \
+           grade int, primary key (student_id, course_id));
+         create authorization view MyGrades as \
+           select * from grades where student_id = $user_id;
+         insert into grades values ('11', 'cs101', 90), ('11', 'cs102', 85), ('12', 'cs101', 70);
+         grant view MyGrades to '11';",
+    )
+    .expect("fixture applies");
+    SharedEngine::new(e)
+}
+
+/// Issues one query, retrying `SHED`/`UNAVAILABLE` with jittered
+/// exponential backoff. Returns (latency of the successful attempt,
+/// number of shed answers absorbed). Panics if the server answers with
+/// `DENIED` — overload must never speak authorization vocabulary.
+fn query_with_backoff(
+    client: &mut Client,
+    rng: &mut rand::DefaultRng,
+    sql: &str,
+) -> (Duration, u64) {
+    let mut sheds = 0u64;
+    for attempt in 0u32.. {
+        let t = Instant::now();
+        let resp = client.query(sql).expect("transport");
+        match resp {
+            Response::Rows { .. } | Response::Affected(_) => return (t.elapsed(), sheds),
+            Response::Denied(m) => panic!("overload surfaced as DENIED: {m}"),
+            Response::Shed(_) | Response::Unavailable(_) | Response::Timeout(_) => {
+                sheds += 1;
+                assert!(attempt < 40, "request never admitted after 40 attempts");
+                // Jittered exponential backoff, capped at ~25ms.
+                let base_us = (200u64 << attempt.min(7)).min(25_000);
+                let jitter = rng.gen_range(0..=base_us);
+                std::thread::sleep(Duration::from_micros(base_us / 2 + jitter));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    unreachable!("loop returns or panics")
+}
+
+struct PhaseOutcome {
+    qps: f64,
+    p99_ms: f64,
+    total_requests: u64,
+    sheds: u64,
+}
+
+/// Runs `clients` threads of `requests` queries each against `server`.
+fn run_phase(addr: std::net::SocketAddr, clients: usize, requests: usize) -> PhaseOutcome {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut rng = rand::DefaultRng::seed_from_u64(0xBEEF ^ c as u64);
+                let mut client =
+                    Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                let hello = client.hello("11").expect("hello");
+                assert!(matches!(hello, Response::Ok(_)), "handshake: {hello:?}");
+                let mut latencies = Vec::with_capacity(requests);
+                let mut sheds = 0u64;
+                for i in 0..requests {
+                    // Mostly the hot repeated query; a sprinkle of variants
+                    // so the plan cache sees some misses too.
+                    let sql = if i % 16 == 0 {
+                        format!("select grade from grades where student_id = '11' and grade > {}", i % 50)
+                    } else {
+                        "select course_id, grade from grades where student_id = '11'".to_string()
+                    };
+                    let (lat, s) = query_with_backoff(&mut client, &mut rng, &sql);
+                    latencies.push(lat);
+                    sheds += s;
+                }
+                let _ = client.bye();
+                (latencies, sheds)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut sheds = 0u64;
+    for h in handles {
+        let (lats, s) = h.join().expect("client thread");
+        latencies.extend(lats);
+        sheds += s;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let idx = ((latencies.len() * 99) / 100).min(latencies.len() - 1);
+    let p99 = latencies[idx].as_secs_f64() * 1e3;
+    PhaseOutcome {
+        qps: latencies.len() as f64 / elapsed,
+        p99_ms: p99,
+        total_requests: latencies.len() as u64,
+        sheds,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --- Phase 1: throughput on a generously provisioned server.
+    let server = Server::start(
+        fixture_engine(),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_connections: args.clients + 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start throughput server");
+    let throughput = run_phase(server.local_addr(), args.clients, args.requests);
+    let report = server.finish().expect("drain throughput server");
+    assert!(report.drained_cleanly, "throughput phase left work behind");
+
+    // --- Phase 2: overload. One worker, one queue slot: shedding is
+    // guaranteed, and the retry loop must still complete every request.
+    let server = Server::start(
+        fixture_engine(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_connections: args.clients + 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start overload server");
+    let overload_requests = (args.requests / 5).max(20);
+    let overload = run_phase(server.local_addr(), args.clients, overload_requests);
+    let report = server.finish().expect("drain overload server");
+    let shed_counter = report
+        .metrics
+        .iter()
+        .find(|(k, _)| *k == "resp_shed")
+        .map_or(0, |(_, v)| *v);
+    let denied_counter = report
+        .metrics
+        .iter()
+        .find(|(k, _)| *k == "resp_denied")
+        .map_or(0, |(_, v)| *v);
+    assert_eq!(
+        denied_counter, 0,
+        "overload phase produced DENIED responses — shedding leaked into authorization"
+    );
+
+    // --- Gates.
+    let (min_qps, max_p99_ms) = args.check.as_deref().map_or((500.0, 250.0), |path| {
+        let doc = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        (
+            json_number(&doc, "min_qps").unwrap_or_else(|| panic!("baseline {path} lacks min_qps")),
+            json_number(&doc, "max_p99_ms")
+                .unwrap_or_else(|| panic!("baseline {path} lacks max_p99_ms")),
+        )
+    });
+    let pass = throughput.qps >= min_qps && throughput.p99_ms <= max_p99_ms;
+
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-server-v1\",\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \"qps\": {:.0},\n  \"p99_ms\": {:.3},\n  \"requests\": {},\n  \"overload\": {{ \"requests\": {}, \"sheds_observed_by_clients\": {}, \"resp_shed\": {}, \"resp_denied\": {}, \"qps\": {:.0} }},\n  \"gates\": {{ \"min_qps\": {:.0}, \"max_p99_ms\": {:.1}, \"pass\": {} }}\n}}\n",
+        args.clients,
+        args.requests,
+        throughput.qps,
+        throughput.p99_ms,
+        throughput.total_requests,
+        overload.total_requests,
+        overload.sheds,
+        shed_counter,
+        denied_counter,
+        overload.qps,
+        min_qps,
+        max_p99_ms,
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+    eprintln!(
+        "throughput {:.0} q/s p99 {:.2}ms over {} requests; overload: {} client-visible sheds, {} SHED frames, 0 DENIED",
+        throughput.qps, throughput.p99_ms, throughput.total_requests, overload.sheds, shed_counter
+    );
+
+    if !pass {
+        eprintln!(
+            "GATE FAIL: qps {:.0} (min {min_qps:.0}) p99 {:.2}ms (max {max_p99_ms:.1}ms)",
+            throughput.qps, throughput.p99_ms
+        );
+        std::process::exit(1);
+    }
+}

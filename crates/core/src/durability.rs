@@ -180,8 +180,22 @@ impl Engine {
     /// Flushes and fsyncs the WAL, then shuts the engine down. Dropping
     /// without calling this is a supported crash: recovery replays the
     /// log and loses nothing that was acknowledged.
-    pub fn close(mut self) -> Result<()> {
-        self.sync()
+    ///
+    /// Idempotent in effect: the first call syncs and marks the engine
+    /// closed; a second call (or any statement after close) returns a
+    /// clean [`Error::Unsupported`] instead of re-syncing or panicking.
+    /// Taking `&mut self` rather than `self` is what lets a shared,
+    /// concurrently-referenced engine ([`crate::SharedEngine`]) be shut
+    /// down at all.
+    pub fn close(&mut self) -> Result<()> {
+        self.ensure_open().map_err(|_| {
+            Error::Unsupported("engine is already closed (double close)".into())
+        })?;
+        let result = self.sync();
+        // Closed even if the final sync failed: the engine must not
+        // accept further commits it could no longer make durable.
+        self.closed = true;
+        result
     }
 
     /// Fsyncs the WAL without closing: everything committed so far
@@ -196,6 +210,7 @@ impl Engine {
     /// Installs a full snapshot now and rotates the log. Recovery after
     /// this loads the snapshot and replays only newer records.
     pub fn snapshot_now(&mut self) -> Result<()> {
+        self.ensure_open()?;
         let Some(mut d) = self.durability.take() else {
             return Err(Error::Unsupported(
                 "snapshot_now: engine has no durability (use Engine::open)".into(),

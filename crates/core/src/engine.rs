@@ -28,6 +28,7 @@ use fgac_storage::{Database, ForeignKey, InclusionDependency, ViewDef};
 use fgac_types::{Error, Ident, Result, Row, Schema, Value};
 use fgac_wal::WalRecord;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Response from [`Engine::execute`].
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +69,11 @@ pub struct Engine {
     pub(crate) policy_epoch: u64,
     /// `Some` when the engine writes a WAL (see [`Engine::open`]).
     pub(crate) durability: Option<Durability>,
+    /// Set by [`Engine::close`]. A closed engine returns a clean
+    /// [`Error::Unsupported`] from every entry point instead of serving
+    /// (or re-syncing) — double-close and use-after-close are defined,
+    /// non-panicking states.
+    pub(crate) closed: bool,
 }
 
 impl Engine {
@@ -81,7 +87,23 @@ impl Engine {
             data_version: 0,
             policy_epoch: 0,
             durability: None,
+            closed: false,
         }
+    }
+
+    /// Clean-error guard on every entry point of a closed engine.
+    pub(crate) fn ensure_open(&self) -> Result<()> {
+        if self.closed {
+            return Err(Error::Unsupported(
+                "engine is closed: no further statements are accepted".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// True once [`Engine::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed
     }
 
     /// Replaces the checker options (e.g. `CheckOptions::basic_only()`).
@@ -133,6 +155,7 @@ impl Engine {
     /// Runs a DDL/DML script with no access checks (the DBA loads
     /// schema, constraints, views, and seed data this way).
     pub fn admin_script(&mut self, sql: &str) -> Result<()> {
+        self.ensure_open()?;
         for stmt in fgac_sql::parse_statements(sql)? {
             self.admin_statement(&stmt)?;
         }
@@ -141,6 +164,7 @@ impl Engine {
 
     /// Executes one admin statement.
     pub fn admin_statement(&mut self, stmt: &Statement) -> Result<()> {
+        self.ensure_open()?;
         match stmt {
             Statement::CreateTable(_)
             | Statement::CreateView(_)
@@ -287,6 +311,7 @@ impl Engine {
 
     /// Direct (unchecked) row insertion for loaders/benches.
     pub fn admin_insert(&mut self, table: &Ident, row: Row) -> Result<()> {
+        self.ensure_open()?;
         let undo = self.db.snapshot_table(table).ok();
         let recorded = self.db.insert(table, row);
         match recorded {
@@ -301,6 +326,7 @@ impl Engine {
     /// Bulk load without per-row constraint checks. Atomic: a failure
     /// mid-load restores the table to its pre-load rows.
     pub fn admin_load(&mut self, table: &Ident, rows: Vec<Row>) -> Result<usize> {
+        self.ensure_open()?;
         let undo = self.db.snapshot_table(table).ok();
         let mut n = 0;
         for row in rows {
@@ -321,6 +347,7 @@ impl Engine {
     /// durable engine the record is committed first, so the grant tables
     /// never run ahead of the log.
     pub fn grant_view(&mut self, principal: &str, view: &str) -> Result<()> {
+        self.ensure_open()?;
         self.log_commit(WalRecord::GrantView {
             principal: principal.into(),
             view: view.into(),
@@ -334,6 +361,7 @@ impl Engine {
     /// Revokes an authorization view from a principal. Cached verdicts
     /// and plans derived under the old grant set are discarded.
     pub fn revoke_view(&mut self, principal: &str, view: &str) -> Result<()> {
+        self.ensure_open()?;
         self.log_commit(WalRecord::RevokeView {
             principal: principal.into(),
             view: view.into(),
@@ -347,6 +375,7 @@ impl Engine {
     /// Makes an integrity constraint visible to a principal (U3a
     /// condition 2).
     pub fn grant_constraint(&mut self, principal: &str, name: &str) -> Result<()> {
+        self.ensure_open()?;
         self.log_commit(WalRecord::GrantConstraint {
             principal: principal.into(),
             name: name.into(),
@@ -359,6 +388,7 @@ impl Engine {
 
     /// Grants an `AUTHORIZE ...` update authorization (SQL text).
     pub fn grant_update_sql(&mut self, principal: &str, sql: &str) -> Result<()> {
+        self.ensure_open()?;
         match fgac_sql::parse_statement(sql)? {
             Statement::Authorize(a) => {
                 self.log_commit(WalRecord::GrantUpdate {
@@ -375,6 +405,7 @@ impl Engine {
 
     /// Adds a user to a role.
     pub fn add_role(&mut self, user: &str, role: &str) -> Result<()> {
+        self.ensure_open()?;
         self.log_commit(WalRecord::AddRole {
             user: user.into(),
             role: role.into(),
@@ -389,6 +420,7 @@ impl Engine {
     /// must hold the view — validated *before* logging, so only
     /// legitimate delegations ever reach the log.
     pub fn delegate_view(&mut self, from: &str, to: &str, view: &str) -> Result<()> {
+        self.ensure_open()?;
         let v = Ident::new(view);
         if !self.grants.views_for(from).contains(&v) {
             return Err(Error::Unauthorized(format!(
@@ -417,15 +449,102 @@ impl Engine {
     /// session parameters)`, so steady-state admission is two cache
     /// lookups.
     pub fn execute(&mut self, session: &Session, sql: &str) -> Result<EngineResponse> {
+        self.execute_at(session, sql, None)
+    }
+
+    /// [`Engine::execute`] under a per-request wall-clock deadline.
+    ///
+    /// The deadline is threaded into the validity check's [`fgac_types::Budget`]
+    /// meter (clamping any engine-configured allowance), so expiry
+    /// surfaces exactly like fuel exhaustion: a fail-closed
+    /// [`Error::ResourceExhausted`] whose verdict is **never cached** —
+    /// a retry with time to spare may legitimately be accepted. A
+    /// deadline already past denies before admission, touching neither
+    /// the plan cache nor the validity cache.
+    pub fn execute_at(
+        &mut self,
+        session: &Session,
+        sql: &str,
+        deadline: Option<Instant>,
+    ) -> Result<EngineResponse> {
+        self.ensure_open()?;
+        check_deadline(deadline)?;
         if let Some(cached) = self.plan_cache.get(self.policy_epoch, sql, session.params()) {
-            return self.execute_cached_query(session, &cached);
+            return self.execute_cached_query_at(session, &cached, deadline);
         }
         let stmt = fgac_sql::parse_statement(sql)?;
         if let Statement::Query(q) = &stmt {
             let cached = self.admit_query(session, sql, q)?;
-            return self.execute_cached_query(session, &cached);
+            return self.execute_cached_query_at(session, &cached, deadline);
         }
         self.execute_statement(session, &stmt)
+    }
+
+    /// The shared-read-lock execution path: runs `sql` if (and only if)
+    /// it needs no `&mut` access — queries, `EXPLAIN AUTHORIZATION`, and
+    /// session-scoped `ANALYZE POLICY`. Returns `None` for write
+    /// statements (DML/DDL), which the caller must route through an
+    /// exclusive path ([`crate::SharedEngine`] does exactly this).
+    ///
+    /// `deadline` is the request's wall-clock allowance, threaded into
+    /// the validity check's budget meter (see [`Engine::execute_at`]).
+    pub fn try_execute_read(
+        &self,
+        session: &Session,
+        sql: &str,
+        deadline: Option<Instant>,
+    ) -> Option<Result<EngineResponse>> {
+        if let Err(e) = self.ensure_open() {
+            return Some(Err(e));
+        }
+        if let Err(e) = check_deadline(deadline) {
+            return Some(Err(e));
+        }
+        if let Some(cached) = self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+            return Some(self.execute_cached_query_at(session, &cached, deadline));
+        }
+        let stmt = match fgac_sql::parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => return Some(Err(e)),
+        };
+        match stmt {
+            Statement::Query(q) => Some(
+                self.admit_query(session, sql, &q)
+                    .and_then(|cached| self.execute_cached_query_at(session, &cached, deadline)),
+            ),
+            Statement::AnalyzePolicy(a) => Some(self.analyze_policy_session(session, &a)),
+            Statement::ExplainAuthorization(ex) => Some(
+                self.certify_query(session, &ex.query)
+                    .map(|report| EngineResponse::Rows(explain_authorization_result(&report))),
+            ),
+            _ => None,
+        }
+    }
+
+    /// The session-scoped `ANALYZE POLICY` arm, shared by the `&mut`
+    /// statement path and the read path.
+    fn analyze_policy_session(
+        &self,
+        session: &Session,
+        a: &fgac_sql::AnalyzePolicy,
+    ) -> Result<EngineResponse> {
+        // The analyzer's output *is* policy metadata: grant sets, role
+        // memberships, revocation tombstones, and messages that name
+        // other views. On the session path that is the exact disclosure
+        // channel P005 guards against, so a session may analyze only its
+        // own effective grants; the whole-set report is admin surface
+        // ([`Engine::analyze_policy`], `fgac-analyze`).
+        if let Some(p) = a.principal.as_deref() {
+            if p != session.user() {
+                return Err(Error::Unauthorized(
+                    "ANALYZE POLICY FOR another principal is admin-only; \
+                     a session may analyze only its own grants"
+                        .into(),
+                ));
+            }
+        }
+        let diags = self.analyze_policy(Some(session.user()));
+        Ok(EngineResponse::Rows(diagnostics_result(&diags)))
     }
 
     /// Binds, normalizes, and fingerprints a parsed query, publishing
@@ -458,8 +577,18 @@ impl Engine {
         session: &Session,
         cached: &CachedPlan,
     ) -> Result<EngineResponse> {
+        self.execute_cached_query_at(session, cached, None)
+    }
+
+    /// [`Engine::execute_cached_query`] under a request deadline.
+    pub(crate) fn execute_cached_query_at(
+        &self,
+        session: &Session,
+        cached: &CachedPlan,
+        deadline: Option<Instant>,
+    ) -> Result<EngineResponse> {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.execute_cached_query_inner(session, cached)
+            self.execute_cached_query_inner(session, cached, deadline)
         }));
         match outcome {
             Ok(result) => result,
@@ -474,8 +603,10 @@ impl Engine {
         &self,
         session: &Session,
         cached: &CachedPlan,
+        deadline: Option<Instant>,
     ) -> Result<EngineResponse> {
-        let report = self.check_admitted(session, &cached.normalized, cached.validity_fp)?;
+        let report =
+            self.check_admitted_at(session, &cached.normalized, cached.validity_fp, deadline)?;
         if !report.is_valid() {
             return Err(deny_error(report));
         }
@@ -499,6 +630,7 @@ impl Engine {
         session: &Session,
         stmt: &Statement,
     ) -> Result<EngineResponse> {
+        self.ensure_open()?;
         let is_dml = matches!(
             stmt,
             Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
@@ -585,26 +717,7 @@ impl Engine {
                 let n = auth.delete(&mut self.db, session, d)?;
                 Ok(EngineResponse::Affected(n))
             }
-            Statement::AnalyzePolicy(a) => {
-                // The analyzer's output *is* policy metadata: grant sets,
-                // role memberships, revocation tombstones, and messages
-                // that name other views. On the session path that is the
-                // exact disclosure channel P005 guards against, so a
-                // session may analyze only its own effective grants; the
-                // whole-set report is admin surface ([`Engine::analyze_policy`],
-                // `fgac-analyze`).
-                if let Some(p) = a.principal.as_deref() {
-                    if p != session.user() {
-                        return Err(Error::Unauthorized(
-                            "ANALYZE POLICY FOR another principal is admin-only; \
-                             a session may analyze only its own grants"
-                                .into(),
-                        ));
-                    }
-                }
-                let diags = self.analyze_policy(Some(session.user()));
-                Ok(EngineResponse::Rows(diagnostics_result(&diags)))
-            }
+            Statement::AnalyzePolicy(a) => self.analyze_policy_session(session, a),
             Statement::ExplainAuthorization(ex) => {
                 // Session-scoped by construction: the check runs against
                 // the session's own grants, so — unlike ANALYZE POLICY —
@@ -726,6 +839,22 @@ impl Engine {
         plan: &fgac_algebra::Plan,
         fp: u64,
     ) -> Result<ValidityReport> {
+        self.check_admitted_at(session, plan, fp, None)
+    }
+
+    /// [`Engine::check_admitted`] under a request deadline: the
+    /// remaining wall-clock time is clamped onto the configured
+    /// [`fgac_types::Budget`], so the validator's own meter enforces it
+    /// mid-inference. An already-expired deadline denies *before* the
+    /// cache lookup — nothing is read, nothing is stored.
+    fn check_admitted_at(
+        &self,
+        session: &Session,
+        plan: &fgac_algebra::Plan,
+        fp: u64,
+        deadline: Option<Instant>,
+    ) -> Result<ValidityReport> {
+        check_deadline(deadline)?;
         if let CacheOutcome::Hit(verdict) = self.cache.lookup(session.user(), fp, self.data_version)
         {
             return Ok(ValidityReport {
@@ -742,8 +871,10 @@ impl Engine {
                 certificate: None,
             });
         }
+        let mut options = self.options.clone();
+        clamp_budget_deadline(&mut options, deadline);
         let report = match Validator::new(&self.db, &self.grants)
-            .with_options(self.options.clone())
+            .with_options(options)
             .check_plan(session, plan)
         {
             Ok(mut report) => {
@@ -893,6 +1024,33 @@ fn explain_authorization_result(report: &ValidityReport) -> QueryResult {
         }
     }
     QueryResult { names, rows }
+}
+
+/// Fails with a deadline-flavored [`Error::ResourceExhausted`] once the
+/// request deadline has passed. The message is intentionally
+/// distinguishable from fuel exhaustion ("step budget exhausted") and
+/// from a mid-check deadline trip ("deadline exceeded after N steps"):
+/// overload handling upstream keys off the "deadline" prefix.
+fn check_deadline(deadline: Option<Instant>) -> Result<()> {
+    match deadline {
+        Some(at) if Instant::now() >= at => Err(Error::ResourceExhausted(
+            "deadline: request wall-clock deadline expired before the validity check".into(),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Threads a per-request absolute deadline into the check's [`fgac_types::Budget`]:
+/// the meter's wall-clock allowance becomes the *smaller* of the
+/// engine-configured allowance and the time remaining until `deadline`.
+fn clamp_budget_deadline(options: &mut CheckOptions, deadline: Option<Instant>) {
+    if let Some(at) = deadline {
+        let remaining = at.saturating_duration_since(Instant::now());
+        options.budget.deadline = Some(match options.budget.deadline {
+            Some(configured) => configured.min(remaining),
+            None => remaining,
+        });
+    }
 }
 
 fn deny_error(report: ValidityReport) -> Error {

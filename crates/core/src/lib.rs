@@ -36,6 +36,7 @@ pub mod nontruman;
 mod plancache;
 mod prepared;
 mod session;
+mod shared;
 pub mod truman;
 mod updates;
 
@@ -53,4 +54,5 @@ pub use grants::Grants;
 pub use prepared::Prepared;
 pub use nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
 pub use session::Session;
+pub use shared::SharedEngine;
 pub use updates::UpdateAuthorizer;

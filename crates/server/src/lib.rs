@@ -1,0 +1,39 @@
+//! # fgac-server
+//!
+//! A fault-tolerant network front end for the fgac engine: the paper
+//! places fine-grained access control *inside* the DBMS precisely so
+//! that many concurrently connected principals share one enforcement
+//! point, and this crate supplies that multi-principal surface.
+//!
+//! Deliberately `std`-only — `std::net` sockets, a bounded worker
+//! pool, and the workspace's vendored `parking_lot` wrappers; no async
+//! runtime. The robustness features mirror what the engine already
+//! guarantees internally:
+//!
+//! * **Strict framing** ([`frame`]) — the WAL's CRC-everything
+//!   discipline applied to the wire; a corrupt frame closes the
+//!   connection instead of being guessed at.
+//! * **A partitioned status space** ([`protocol`]) — `SHED` (overload)
+//!   and `TIMEOUT` (deadline) are distinct from `DENIED`
+//!   (authorization), so operational failure can never be mistaken for
+//!   a policy decision, and vice versa.
+//! * **Admission control** ([`queue`]) — a bounded queue that refuses
+//!   rather than buffers without bound.
+//! * **Deadlines** — per-request wall-clock budgets threaded into the
+//!   engine's validity-check meter; expiry denies fail-closed and
+//!   leaves no cache residue.
+//! * **Isolation and drain** ([`server`]) — per-connection and
+//!   per-worker panic isolation, idle/stall timeouts, and a graceful
+//!   drain that answers every admitted request before the engine's
+//!   WAL is closed.
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{response_for_error, AdminOp, Request, Response};
+pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,110 @@
+//! Server-side observability counters.
+//!
+//! Plain relaxed atomics: every counter is monotone and independently
+//! meaningful, so no cross-counter consistency is needed. The `METRICS`
+//! command renders a snapshot as a two-column result set, folding in
+//! the engine's own cache statistics and the Non-Truman C3 probe count
+//! so a load test can see cache behavior without instrumenting the
+//! engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::protocol::st;
+
+macro_rules! counters {
+    ($($name:ident => $label:expr),+ $(,)?) => {
+        /// All server counters; one atomic per named event.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $(pub $name: AtomicU64,)+
+        }
+
+        impl Metrics {
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// (label, value) pairs in declaration order.
+            pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+                vec![$(($label, self.$name.load(Ordering::Relaxed)),)+]
+            }
+        }
+    };
+}
+
+counters! {
+    conns_accepted => "conns_accepted",
+    conns_refused => "conns_refused",
+    conns_panicked => "conns_panicked",
+    conns_idle_timeout => "conns_idle_timeout",
+    conns_stalled => "conns_stalled",
+    frames_corrupt => "frames_corrupt",
+    requests => "requests",
+    resp_rows => "resp_rows",
+    resp_affected => "resp_affected",
+    resp_ok => "resp_ok",
+    resp_denied => "resp_denied",
+    resp_error => "resp_error",
+    resp_shed => "resp_shed",
+    resp_timeout => "resp_timeout",
+    resp_unavailable => "resp_unavailable",
+    resp_protocol => "resp_protocol",
+    worker_panics => "worker_panics",
+    drain_shed => "drain_shed",
+}
+
+impl Metrics {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one outgoing response by its wire status. Called exactly
+    /// once per response frame written, so the `resp_*` counters sum to
+    /// the number of answers clients actually received.
+    pub fn record_status(&self, status: u8) {
+        let counter = match status {
+            st::ROWS => &self.resp_rows,
+            st::AFFECTED => &self.resp_affected,
+            st::OK => &self.resp_ok,
+            st::DENIED => &self.resp_denied,
+            st::ERROR => &self.resp_error,
+            st::SHED => &self.resp_shed,
+            st::TIMEOUT => &self.resp_timeout,
+            st::UNAVAILABLE => &self.resp_unavailable,
+            st::PROTOCOL => &self.resp_protocol,
+            _ => &self.resp_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_route_to_their_counters() {
+        let m = Metrics::new();
+        m.record_status(st::ROWS);
+        m.record_status(st::SHED);
+        m.record_status(st::SHED);
+        m.record_status(st::DENIED);
+        assert_eq!(m.get(&m.resp_rows), 1);
+        assert_eq!(m.get(&m.resp_shed), 2);
+        assert_eq!(m.get(&m.resp_denied), 1);
+        assert_eq!(m.get(&m.resp_timeout), 0);
+    }
+
+    #[test]
+    fn snapshot_carries_every_counter() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        let snap = m.snapshot();
+        assert!(snap.iter().any(|(k, v)| *k == "requests" && *v == 1));
+        assert!(snap.iter().any(|(k, _)| *k == "drain_shed"));
+    }
+}

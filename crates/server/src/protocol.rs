@@ -1,0 +1,383 @@
+//! Request/response messages and their byte encodings.
+//!
+//! One frame (see [`crate::frame`]) carries one message: the frame's
+//! kind byte is the opcode (requests) or status (responses), and the
+//! payload is the message body in the workspace wire encoding
+//! (`fgac_types::wire`). Decoders are total — a malformed body is a
+//! protocol error on that connection, never a panic.
+//!
+//! The status space is deliberately partitioned so that *operational*
+//! failures can never masquerade as *authorization* decisions:
+//!
+//! * [`Status::Denied`] is reserved for the engine's fail-closed
+//!   authorization verdicts ([`fgac_types::Error::Unauthorized`]).
+//! * [`Status::Shed`] means the server refused admission under load —
+//!   retryable, and says nothing about the request's validity.
+//! * [`Status::Timeout`] means the request's wall-clock deadline
+//!   expired. The engine still denied it fail-closed internally, but
+//!   the client can distinguish "you are not authorized" from "the
+//!   server ran out of time" — the former is final, the latter is not.
+
+use fgac_types::wire::{Reader, WireDecode, WireEncode};
+use fgac_types::{Error, Ident, Result, Row};
+
+/// Request opcodes (frame kind byte, client → server).
+pub mod op {
+    pub const HELLO: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const METRICS: u8 = 0x03;
+    pub const PING: u8 = 0x04;
+    pub const BYE: u8 = 0x05;
+    pub const ADMIN: u8 = 0x07;
+}
+
+/// Response status bytes (frame kind byte, server → client).
+pub mod st {
+    pub const ROWS: u8 = 0x20;
+    pub const AFFECTED: u8 = 0x21;
+    pub const OK: u8 = 0x22;
+    /// Authorization rejection — and *only* that.
+    pub const DENIED: u8 = 0x30;
+    pub const ERROR: u8 = 0x31;
+    /// Load shed before admission; retryable.
+    pub const SHED: u8 = 0x32;
+    /// Wall-clock deadline expired; denied fail-closed but retryable.
+    pub const TIMEOUT: u8 = 0x33;
+    /// Server draining or closed.
+    pub const UNAVAILABLE: u8 = 0x34;
+    /// The client violated the protocol (bad opcode, missing HELLO).
+    pub const PROTOCOL: u8 = 0x35;
+}
+
+/// An administrative operation, accepted only from the configured
+/// admin principal's sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminOp {
+    /// A semicolon-separated admin script (DDL, auth views, inserts).
+    Script(String),
+    /// `grant <view> to <principal>`.
+    GrantView { principal: String, view: String },
+    /// `revoke <view> from <principal>`.
+    RevokeView { principal: String, view: String },
+    /// An `authorize insert|update|delete ...` grant for a principal.
+    GrantUpdate { principal: String, sql: String },
+}
+
+/// A client request, one per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Opens the session: every connection must send this first.
+    Hello { principal: String },
+    /// A SQL statement for the engine, with an optional wall-clock
+    /// deadline in milliseconds from the moment the server admits it.
+    Query { sql: String, deadline_ms: Option<u64> },
+    /// Admin plane (gated to the configured admin principal).
+    Admin(AdminOp),
+    /// Server counters as a two-column result set.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Orderly goodbye; the server closes after acknowledging.
+    Bye,
+}
+
+impl Request {
+    /// Frame kind + payload bytes for this request.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        let kind = match self {
+            Request::Hello { principal } => {
+                principal.encode(&mut out);
+                op::HELLO
+            }
+            Request::Query { sql, deadline_ms } => {
+                sql.encode(&mut out);
+                deadline_ms.encode(&mut out);
+                op::QUERY
+            }
+            Request::Admin(a) => {
+                match a {
+                    AdminOp::Script(s) => {
+                        out.push(0);
+                        s.encode(&mut out);
+                    }
+                    AdminOp::GrantView { principal, view } => {
+                        out.push(1);
+                        principal.encode(&mut out);
+                        view.encode(&mut out);
+                    }
+                    AdminOp::RevokeView { principal, view } => {
+                        out.push(2);
+                        principal.encode(&mut out);
+                        view.encode(&mut out);
+                    }
+                    AdminOp::GrantUpdate { principal, sql } => {
+                        out.push(3);
+                        principal.encode(&mut out);
+                        sql.encode(&mut out);
+                    }
+                }
+                op::ADMIN
+            }
+            Request::Metrics => op::METRICS,
+            Request::Ping => op::PING,
+            Request::Bye => op::BYE,
+        };
+        (kind, out)
+    }
+
+    /// Decodes a request from a verified frame.
+    pub fn from_frame(kind: u8, payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let req = match kind {
+            op::HELLO => Request::Hello {
+                principal: String::decode(&mut r)?,
+            },
+            op::QUERY => Request::Query {
+                sql: String::decode(&mut r)?,
+                deadline_ms: Option::<u64>::decode(&mut r)?,
+            },
+            op::ADMIN => Request::Admin(match r.u8()? {
+                0 => AdminOp::Script(String::decode(&mut r)?),
+                1 => AdminOp::GrantView {
+                    principal: String::decode(&mut r)?,
+                    view: String::decode(&mut r)?,
+                },
+                2 => AdminOp::RevokeView {
+                    principal: String::decode(&mut r)?,
+                    view: String::decode(&mut r)?,
+                },
+                3 => AdminOp::GrantUpdate {
+                    principal: String::decode(&mut r)?,
+                    sql: String::decode(&mut r)?,
+                },
+                b => {
+                    return Err(Error::Corrupt(format!("unknown admin op tag {b}")));
+                }
+            }),
+            op::METRICS => Request::Metrics,
+            op::PING => Request::Ping,
+            op::BYE => Request::Bye,
+            b => {
+                return Err(Error::Unsupported(format!("unknown request opcode {b:#04x}")));
+            }
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A server response, one per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A validated query's result set (ran unmodified, per the
+    /// Non-Truman model).
+    Rows { names: Vec<Ident>, rows: Vec<Row> },
+    /// DML outcome: affected tuple count.
+    Affected(u64),
+    /// Statement succeeded with no result set (admin, ping, bye).
+    Ok(String),
+    /// Authorization rejection (fail-closed). Final for this policy
+    /// epoch — retrying without a policy change cannot succeed.
+    Denied(String),
+    /// Non-authorization engine error (parse, type, constraint, fuel
+    /// exhaustion, ...).
+    Error(String),
+    /// Shed before admission: the queue or connection table was full.
+    /// Retryable with backoff; carries no authorization information.
+    Shed(String),
+    /// The request's wall-clock deadline expired (denied fail-closed,
+    /// nothing cached). Retryable.
+    Timeout(String),
+    /// Server draining or closed.
+    Unavailable(String),
+    /// Protocol violation by the client.
+    Protocol(String),
+}
+
+impl Response {
+    pub fn status(&self) -> u8 {
+        match self {
+            Response::Rows { .. } => st::ROWS,
+            Response::Affected(_) => st::AFFECTED,
+            Response::Ok(_) => st::OK,
+            Response::Denied(_) => st::DENIED,
+            Response::Error(_) => st::ERROR,
+            Response::Shed(_) => st::SHED,
+            Response::Timeout(_) => st::TIMEOUT,
+            Response::Unavailable(_) => st::UNAVAILABLE,
+            Response::Protocol(_) => st::PROTOCOL,
+        }
+    }
+
+    /// Frame kind + payload bytes for this response.
+    pub fn to_frame(&self) -> (u8, Vec<u8>) {
+        let mut out = Vec::new();
+        match self {
+            Response::Rows { names, rows } => {
+                names.encode(&mut out);
+                rows.encode(&mut out);
+            }
+            Response::Affected(n) => n.encode(&mut out),
+            Response::Ok(m)
+            | Response::Denied(m)
+            | Response::Error(m)
+            | Response::Shed(m)
+            | Response::Timeout(m)
+            | Response::Unavailable(m)
+            | Response::Protocol(m) => m.encode(&mut out),
+        }
+        (self.status(), out)
+    }
+
+    /// Decodes a response from a verified frame.
+    pub fn from_frame(kind: u8, payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let resp = match kind {
+            st::ROWS => Response::Rows {
+                names: Vec::<Ident>::decode(&mut r)?,
+                rows: Vec::<Row>::decode(&mut r)?,
+            },
+            st::AFFECTED => Response::Affected(u64::decode(&mut r)?),
+            st::OK => Response::Ok(String::decode(&mut r)?),
+            st::DENIED => Response::Denied(String::decode(&mut r)?),
+            st::ERROR => Response::Error(String::decode(&mut r)?),
+            st::SHED => Response::Shed(String::decode(&mut r)?),
+            st::TIMEOUT => Response::Timeout(String::decode(&mut r)?),
+            st::UNAVAILABLE => Response::Unavailable(String::decode(&mut r)?),
+            st::PROTOCOL => Response::Protocol(String::decode(&mut r)?),
+            b => {
+                return Err(Error::Corrupt(format!("unknown response status {b:#04x}")));
+            }
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+
+    /// True for statuses a client may safely retry (possibly after
+    /// backoff): the request was never authorized *or* rejected on its
+    /// merits.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Response::Shed(_) | Response::Timeout(_) | Response::Unavailable(_)
+        )
+    }
+}
+
+/// Maps an engine error onto the wire, preserving the status-space
+/// partition documented at the top of this module.
+///
+/// The one subtle case: [`Error::ResourceExhausted`] covers both fuel
+/// (inference-step budget) and wall-clock deadlines. Deadline expiry —
+/// recognizable by the `deadline` marker the engine puts first in the
+/// message — becomes [`Response::Timeout`] (retryable); fuel exhaustion
+/// stays a plain [`Response::Error`], because retrying the identical
+/// query will burn the identical fuel.
+pub fn response_for_error(err: &Error) -> Response {
+    match err {
+        Error::Unauthorized(m) => Response::Denied(m.clone()),
+        Error::ResourceExhausted(m) if m.starts_with("deadline") || m.contains("deadline exceeded") => {
+            Response::Timeout(m.clone())
+        }
+        other => Response::Error(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::Value;
+
+    fn roundtrip_req(req: Request) {
+        let (kind, payload) = req.to_frame();
+        assert_eq!(Request::from_frame(kind, &payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let (kind, payload) = resp.to_frame();
+        assert_eq!(Response::from_frame(kind, &payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello {
+            principal: "alice".into(),
+        });
+        roundtrip_req(Request::Query {
+            sql: "select * from grades".into(),
+            deadline_ms: Some(250),
+        });
+        roundtrip_req(Request::Query {
+            sql: String::new(),
+            deadline_ms: None,
+        });
+        roundtrip_req(Request::Admin(AdminOp::Script("create table t (a int)".into())));
+        roundtrip_req(Request::Admin(AdminOp::GrantView {
+            principal: "11".into(),
+            view: "mygrades".into(),
+        }));
+        roundtrip_req(Request::Admin(AdminOp::RevokeView {
+            principal: "11".into(),
+            view: "mygrades".into(),
+        }));
+        roundtrip_req(Request::Admin(AdminOp::GrantUpdate {
+            principal: "11".into(),
+            sql: "authorize insert on grades where student_id = $user_id".into(),
+        }));
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Bye);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Rows {
+            names: vec![Ident::new("grade")],
+            rows: vec![Row(vec![Value::Int(90)]), Row(vec![Value::Null])],
+        });
+        roundtrip_resp(Response::Affected(3));
+        roundtrip_resp(Response::Ok("bye".into()));
+        roundtrip_resp(Response::Denied("not covered".into()));
+        roundtrip_resp(Response::Error("parse error: x".into()));
+        roundtrip_resp(Response::Shed("queue full".into()));
+        roundtrip_resp(Response::Timeout("deadline: expired".into()));
+        roundtrip_resp(Response::Unavailable("draining".into()));
+        roundtrip_resp(Response::Protocol("HELLO required".into()));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (kind, mut payload) = Request::Ping.to_frame();
+        payload.push(0xFF);
+        assert!(Request::from_frame(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_is_unsupported_not_panic() {
+        assert!(Request::from_frame(0x7F, &[]).is_err());
+        assert!(Response::from_frame(0x7F, &[]).is_err());
+    }
+
+    #[test]
+    fn error_mapping_preserves_the_status_partition() {
+        // Authorization → DENIED, and nothing else maps there.
+        let deny = response_for_error(&Error::Unauthorized("no view covers q".into()));
+        assert_eq!(deny.status(), st::DENIED);
+        // Deadline expiry → TIMEOUT (retryable), not DENIED.
+        let t = response_for_error(&Error::ResourceExhausted(
+            "deadline: request wall-clock deadline expired before the validity check".into(),
+        ));
+        assert_eq!(t.status(), st::TIMEOUT);
+        assert!(t.is_retryable());
+        // Fuel exhaustion → ERROR: same error variant, different status.
+        let fuel = response_for_error(&Error::ResourceExhausted(
+            "validity check: step budget exhausted after 4096 steps".into(),
+        ));
+        assert_eq!(fuel.status(), st::ERROR);
+        // Plain failures are neither denied nor retryable.
+        let parse = response_for_error(&Error::Parse("bad token".into()));
+        assert_eq!(parse.status(), st::ERROR);
+        assert!(!parse.is_retryable());
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded MPMC job queue with explicit load shedding.
+//!
+//! Admission control lives here: connection threads `try_push` and get
+//! an immediate [`PushError::Full`] when the queue is at capacity —
+//! they never block behind the workers. The caller turns `Full` into a
+//! `SHED` wire status, which is how overload stays *distinguishable
+//! from denial*: a shed request was never looked at, so it must never
+//! be reported with the vocabulary of an authorization decision.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the vendored `parking_lot`
+//! wrappers deliberately omit a condvar); lock poisoning is recovered
+//! with `into_inner` since queue state is a plain `VecDeque` that
+//! cannot be left logically inconsistent by a panicking pusher.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a `try_push` was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At capacity — shed the request (retryable for the client).
+    Full(T),
+    /// The queue was closed (server stopping) — unavailable.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared by connection threads (producers) and
+/// the worker pool (consumers).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Non-blocking admission: enqueues or refuses immediately.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for an item. `None` means the wait timed
+    /// out (caller should re-check server state and come back) — or the
+    /// queue is closed *and* drained, which [`BoundedQueue::is_closed`]
+    /// distinguishes.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            inner = guard;
+            if wait.timed_out() {
+                return inner.items.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and consumers drain what remains. Returns the items still queued
+    /// so the caller can refuse them individually (each undrained job
+    /// holds a client waiting for *some* answer).
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let leftover = inner.items.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        leftover
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_beyond_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_refuses_new_and_returns_leftovers() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).map_err(|_| ()).unwrap();
+        q.try_push(2).map_err(|_| ()).unwrap();
+        let leftover = q.close_and_drain();
+        assert_eq!(leftover, vec![1, 2]);
+        match q.try_push(9) {
+            Err(PushError::Closed(9)) => {}
+            other => panic!("expected Closed(9), got {other:?}"),
+        }
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42).map_err(|_| ()).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

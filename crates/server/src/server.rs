@@ -1,0 +1,575 @@
+//! The TCP front end: accept loop, per-connection threads, bounded
+//! worker pool, and graceful drain.
+//!
+//! ## Thread structure
+//!
+//! ```text
+//! accept thread ──► connection threads (one per client, panic-isolated)
+//!                        │  try_push (never blocks; Full ⇒ SHED)
+//!                        ▼
+//!                 BoundedQueue<Job>
+//!                        │  pop
+//!                        ▼
+//!                 worker pool (fixed size, panic-isolated)
+//!                        │  SharedEngine::execute_at(deadline)
+//!                        ▼
+//!                 reply channel ──► connection thread writes the frame
+//! ```
+//!
+//! ## Robustness invariants
+//!
+//! * **Shed ≠ denied.** Overload produces `SHED` (queue full,
+//!   connection table full) or `UNAVAILABLE` (draining) — statuses the
+//!   engine never uses for authorization verdicts, so a client can
+//!   always tell "retry later" from "you may not".
+//! * **Deadlines are admission-scoped.** A request's wall-clock
+//!   deadline starts when its frame is accepted, so time spent queued
+//!   behind other work counts against it; expiry denies fail-closed
+//!   inside the engine without touching any cache.
+//! * **Panic isolation.** A panic in a connection thread kills only
+//!   that connection; a panic in a worker is caught, counted, and
+//!   answered with an `ERROR` status — the pool keeps its size.
+//! * **Graceful drain.** `finish()` stops accepting, lets in-flight
+//!   requests complete up to the drain deadline, answers anything still
+//!   queued with `UNAVAILABLE`, then closes the engine (which fsyncs
+//!   the WAL). Every response written before drain is durable after it.
+
+use crate::frame::{read_frame_deadline, write_frame, FrameEvent};
+use crate::metrics::Metrics;
+use crate::protocol::{response_for_error, AdminOp, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use fgac_core::{Session, SharedEngine};
+use fgac_types::{Error, Ident, Result, Row, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker pool size (engine executors).
+    pub workers: usize,
+    /// Admission queue capacity; beyond this, requests are shed.
+    pub queue_capacity: usize,
+    /// Concurrent connection cap; beyond this, connections are refused
+    /// with a `SHED` frame before any handshake.
+    pub max_connections: usize,
+    /// How long a connection may sit idle between frames.
+    pub idle_timeout: Duration,
+    /// Wall-clock bound for one frame to arrive completely once its
+    /// first byte is seen (slowloris defense).
+    pub frame_timeout: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// How long `finish()` waits for in-flight work before refusing
+    /// what remains.
+    pub drain_deadline: Duration,
+    /// How long a connection thread waits for a worker's reply before
+    /// giving up on the request (backstop; normally the drain path or
+    /// the deadline answers first).
+    pub reply_timeout: Duration,
+    /// The only principal whose sessions may issue `ADMIN` requests.
+    pub admin_principal: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(10),
+            frame_timeout: Duration::from_secs(2),
+            default_deadline: None,
+            drain_deadline: Duration::from_secs(5),
+            reply_timeout: Duration::from_secs(30),
+            admin_principal: "admin".into(),
+        }
+    }
+}
+
+/// Lifecycle states, monotonically increasing.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// Socket poll interval; every blocking wait re-checks state at this
+/// granularity.
+const POLL: Duration = Duration::from_millis(20);
+
+/// One admitted request travelling from a connection thread to a
+/// worker and back.
+struct Job {
+    request: Request,
+    session: Session,
+    deadline: Option<Instant>,
+    reply: mpsc::SyncSender<Response>,
+}
+
+struct Shared {
+    engine: SharedEngine,
+    config: ServerConfig,
+    state: AtomicU8,
+    metrics: Metrics,
+    conns: AtomicUsize,
+    inflight: AtomicUsize,
+    queue: BoundedQueue<Job>,
+}
+
+impl Shared {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+}
+
+/// What `finish()` observed while draining.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// True when every admitted request completed before the drain
+    /// deadline (nothing was refused mid-flight).
+    pub drained_cleanly: bool,
+    /// Admitted-but-unserved requests answered with `UNAVAILABLE`.
+    pub refused_jobs: usize,
+    /// Final counter snapshot, taken after the engine closed.
+    pub metrics: Vec<(&'static str, u64)>,
+}
+
+/// A running server. Dropping it without calling [`Server::finish`]
+/// leaves threads running; call `finish` to drain and close.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept thread, and returns.
+    pub fn start(engine: SharedEngine, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::Execution(format!("bind {}: {e}", config.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Execution(format!("set_nonblocking: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Execution(format!("local_addr: {e}")))?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            engine,
+            config,
+            state: AtomicU8::new(RUNNING),
+            metrics: Metrics::new(),
+            conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fgac-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| Error::Execution(format!("spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fgac-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| Error::Execution(format!("spawn accept: {e}")))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Jobs admitted but not yet picked up by a worker. A lock-free
+    /// gauge (unlike the `METRICS` command, which reads engine cache
+    /// stats under the engine read lock) — tests use it to sequence
+    /// backpressure scenarios deterministically.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Jobs currently inside a worker (popped, not yet replied).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, drains in-flight work up to the drain deadline,
+    /// refuses the rest, stops the workers, and closes the engine
+    /// (fsyncing the WAL). Idempotent at the engine level: a second
+    /// close reports a clean double-close error.
+    pub fn finish(mut self) -> Result<DrainReport> {
+        self.shared.state.store(DRAINING, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Drain: admitted work keeps flowing through the pool.
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        while Instant::now() < deadline {
+            if self.shared.queue.is_empty() && self.shared.inflight.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let drained = self.shared.queue.is_empty()
+            && self.shared.inflight.load(Ordering::Acquire) == 0;
+        self.shared.state.store(STOPPED, Ordering::Release);
+        // Anything still queued is answered, not dropped: each job has a
+        // client blocked on its reply channel.
+        let leftover = self.shared.queue.close_and_drain();
+        let refused_jobs = leftover.len();
+        for job in leftover {
+            Metrics::bump(&self.shared.metrics.drain_shed);
+            let _ = job.reply.try_send(Response::Unavailable(
+                "server stopped before this request was served; retry after restart".into(),
+            ));
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Give connection threads (which only write replies and poll
+        // sockets) a moment to notice STOPPED and unwind.
+        let conn_deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.conns.load(Ordering::Acquire) > 0 && Instant::now() < conn_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared.engine.close()?;
+        Ok(DrainReport {
+            drained_cleanly: drained,
+            refused_jobs,
+            metrics: self.shared.metrics.snapshot(),
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while shared.state() == RUNNING {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let open = shared.conns.load(Ordering::Acquire);
+                if open >= shared.config.max_connections {
+                    Metrics::bump(&shared.metrics.conns_refused);
+                    refuse_connection(stream, shared);
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::AcqRel);
+                Metrics::bump(&shared.metrics.conns_accepted);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("fgac-conn".into())
+                    .spawn(move || {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            serve_connection(stream, &conn_shared)
+                        }));
+                        if outcome.is_err() {
+                            Metrics::bump(&conn_shared.metrics.conns_panicked);
+                        }
+                        conn_shared.conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    // Spawn failure: undo the count; the stream drops.
+                    shared.conns.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Over the connection cap: answer `SHED` (retryable, explicitly not an
+/// authorization status) and close.
+fn refuse_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    let resp = Response::Shed("connection table full; retry with backoff".into());
+    let (kind, payload) = resp.to_frame();
+    if write_frame(&mut stream, kind, &payload).is_ok() {
+        shared.metrics.record_status(kind);
+    }
+}
+
+/// Writes one response frame and records its status on success.
+fn send_response(stream: &mut TcpStream, shared: &Arc<Shared>, resp: &Response) -> bool {
+    let (kind, payload) = resp.to_frame();
+    match write_frame(stream, kind, &payload) {
+        Ok(()) => {
+            shared.metrics.record_status(kind);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(POLL)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let abort = || shared.state() != RUNNING;
+    // Handshake: the first frame must be HELLO, within the idle window.
+    let principal = match next_request(&mut stream, shared, &abort) {
+        Some(Request::Hello { principal }) => principal,
+        Some(_) => {
+            let resp = Response::Protocol("the first frame must be HELLO <principal>".into());
+            send_response(&mut stream, shared, &resp);
+            return;
+        }
+        None => return,
+    };
+    if !send_response(
+        &mut stream,
+        shared,
+        &Response::Ok(format!("session open for {principal}")),
+    ) {
+        return;
+    }
+    let session = Session::new(principal);
+    loop {
+        let request = match next_request(&mut stream, shared, &abort) {
+            Some(r) => r,
+            None => return,
+        };
+        Metrics::bump(&shared.metrics.requests);
+        match request {
+            Request::Hello { .. } => {
+                let resp = Response::Protocol("session already open (duplicate HELLO)".into());
+                send_response(&mut stream, shared, &resp);
+                return;
+            }
+            Request::Ping => {
+                if !send_response(&mut stream, shared, &Response::Ok("pong".into())) {
+                    return;
+                }
+            }
+            Request::Bye => {
+                send_response(&mut stream, shared, &Response::Ok("bye".into()));
+                return;
+            }
+            Request::Metrics => {
+                let resp = metrics_response(shared);
+                if !send_response(&mut stream, shared, &resp) {
+                    return;
+                }
+            }
+            request @ (Request::Query { .. } | Request::Admin(_)) => {
+                let resp = dispatch(shared, &session, request);
+                if !send_response(&mut stream, shared, &resp) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Reads and decodes one request, handling every transport-level
+/// outcome. `None` means the connection is finished (closed, timed
+/// out, aborted, or irrecoverably corrupt — counters already updated,
+/// any final status already written).
+fn next_request(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    abort: &impl Fn() -> bool,
+) -> Option<Request> {
+    let idle_deadline = Instant::now() + shared.config.idle_timeout;
+    match read_frame_deadline(stream, idle_deadline, shared.config.frame_timeout, abort) {
+        FrameEvent::Frame { kind, payload } => match Request::from_frame(kind, &payload) {
+            Ok(req) => Some(req),
+            Err(e) => {
+                let resp = Response::Protocol(format!("malformed request: {e}"));
+                send_response(stream, shared, &resp);
+                None
+            }
+        },
+        FrameEvent::Closed | FrameEvent::Io(_) => None,
+        FrameEvent::Aborted => {
+            // Draining: nothing is in flight on this connection, so a
+            // courtesy status then close.
+            let resp = Response::Unavailable("server draining; reconnect later".into());
+            send_response(stream, shared, &resp);
+            None
+        }
+        FrameEvent::IdleTimeout => {
+            Metrics::bump(&shared.metrics.conns_idle_timeout);
+            None
+        }
+        FrameEvent::Stalled => {
+            Metrics::bump(&shared.metrics.conns_stalled);
+            None
+        }
+        FrameEvent::Corrupt(_) => {
+            Metrics::bump(&shared.metrics.frames_corrupt);
+            let resp = Response::Protocol("corrupt frame; closing".into());
+            send_response(stream, shared, &resp);
+            None
+        }
+    }
+}
+
+/// Admits a request into the bounded queue and waits for its reply.
+/// Never blocks on a full queue: `Full` becomes `SHED` immediately.
+fn dispatch(shared: &Arc<Shared>, session: &Session, request: Request) -> Response {
+    let deadline = match &request {
+        Request::Query {
+            deadline_ms: Some(ms),
+            ..
+        } => Some(Instant::now() + Duration::from_millis(*ms)),
+        _ => shared.config.default_deadline.map(|d| Instant::now() + d),
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        request,
+        session: session.clone(),
+        deadline,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            return Response::Shed("admission queue full; retry with backoff".into());
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::Unavailable("server draining; reconnect later".into());
+        }
+    }
+    match reply_rx.recv_timeout(shared.config.reply_timeout) {
+        Ok(resp) => resp,
+        Err(_) => Response::Unavailable("no reply from worker pool before the backstop".into()),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Some(job) => {
+                shared.inflight.fetch_add(1, Ordering::AcqRel);
+                let resp = process(shared, &job);
+                let _ = job.reply.try_send(resp);
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.queue.is_closed() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Executes one job against the engine, isolating panics so the worker
+/// pool never shrinks.
+fn process(shared: &Arc<Shared>, job: &Job) -> Response {
+    #[cfg(feature = "fault-injection")]
+    if fgac_types::faults::hit("server::handle_request").is_err() {
+        return Response::Error("injected fault: request handler failed".into());
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
+    match outcome {
+        Ok(resp) => resp,
+        Err(_) => {
+            Metrics::bump(&shared.metrics.worker_panics);
+            Response::Error(
+                "internal error: request handler panicked (isolated; connection and pool intact)"
+                    .into(),
+            )
+        }
+    }
+}
+
+fn execute(shared: &Arc<Shared>, job: &Job) -> Response {
+    match &job.request {
+        Request::Query { sql, .. } => {
+            match shared.engine.execute_at(&job.session, sql, job.deadline) {
+                Ok(resp) => match resp.rows() {
+                    Some(q) => Response::Rows {
+                        names: q.names.clone(),
+                        rows: q.rows.clone(),
+                    },
+                    None => Response::Affected(resp.affected().unwrap_or(0) as u64),
+                },
+                Err(e) => response_for_error(&e),
+            }
+        }
+        Request::Admin(op) => {
+            if job.session.user() != shared.config.admin_principal {
+                return Response::Denied(format!(
+                    "admin operations require principal '{}'",
+                    shared.config.admin_principal
+                ));
+            }
+            let result = shared.engine.with_write(|e| match op {
+                AdminOp::Script(s) => e.admin_script(s).map(|_| "admin script applied"),
+                AdminOp::GrantView { principal, view } => {
+                    e.grant_view(principal, view).map(|_| "view granted")
+                }
+                AdminOp::RevokeView { principal, view } => {
+                    e.revoke_view(principal, view).map(|_| "view revoked")
+                }
+                AdminOp::GrantUpdate { principal, sql } => {
+                    e.grant_update_sql(principal, sql).map(|_| "update authorized")
+                }
+            });
+            match result {
+                Ok(m) => Response::Ok(m.into()),
+                Err(e) => response_for_error(&e),
+            }
+        }
+        // Routed directly in the connection thread; reaching a worker
+        // with one of these is a bug, answered defensively.
+        _ => Response::Protocol("request is not a worker operation".into()),
+    }
+}
+
+/// Builds the `METRICS` result set: server counters, the engine's
+/// cache statistics, version counters, and the Non-Truman C3 probe
+/// count, as (metric, value) rows.
+fn metrics_response(shared: &Arc<Shared>) -> Response {
+    let mut pairs: Vec<(String, u64)> = shared
+        .metrics
+        .snapshot()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    pairs.push(("conns_open".into(), shared.conns.load(Ordering::Acquire) as u64));
+    pairs.push(("queue_depth".into(), shared.queue.len() as u64));
+    shared.engine.with_read(|e| {
+        let (vh, vm) = e.cache().stats();
+        pairs.push(("validity_cache_hits".into(), vh));
+        pairs.push(("validity_cache_misses".into(), vm));
+        let (ph, pm) = e.plan_cache().stats();
+        pairs.push(("plan_cache_hits".into(), ph));
+        pairs.push(("plan_cache_misses".into(), pm));
+        pairs.push(("policy_epoch".into(), e.policy_epoch()));
+        pairs.push(("data_version".into(), e.data_version()));
+    });
+    pairs.push(("c3_probes".into(), fgac_core::nontruman::c3_probe_count()));
+    let rows = pairs
+        .into_iter()
+        .map(|(k, v)| Row(vec![Value::Str(k), Value::Int(v as i64)]))
+        .collect();
+    Response::Rows {
+        names: vec![Ident::new("metric"), Ident::new("value")],
+        rows,
+    }
+}

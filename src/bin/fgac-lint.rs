@@ -350,7 +350,12 @@ fn lint_targets(root: &Path) -> Vec<PathBuf> {
         root.join("crates/analyze/src/cert.rs"),
         root.join("crates/analyze/src/certjson.rs"),
     ];
-    for dir in ["crates/wal/src", "crates/core/src/nontruman"] {
+    for dir in [
+        "crates/wal/src",
+        "crates/core/src/nontruman",
+        "crates/server/src",
+        "src/bin",
+    ] {
         if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
             for entry in entries.flatten() {
                 let p = entry.path();

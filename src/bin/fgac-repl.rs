@@ -34,9 +34,16 @@ use std::io::{BufRead, Write};
 fn main() {
     let demo = std::env::args().any(|a| a == "--demo");
     let mut engine = if demo {
-        let uni = build(UniversityConfig::tiny()).expect("demo builds");
-        println!("loaded the university demo (tiny). try: \\user s000000");
-        uni.engine
+        match build(UniversityConfig::tiny()) {
+            Ok(uni) => {
+                println!("loaded the university demo (tiny). try: \\user s000000");
+                uni.engine
+            }
+            Err(e) => {
+                eprintln!("fgac-repl: demo fixture failed to build: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
         Engine::new()
     };

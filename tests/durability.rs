@@ -305,3 +305,66 @@ fn in_memory_engine_has_no_durability() {
     assert!(e.snapshot_now().is_err());
     assert!(e.sync().is_ok(), "sync is a no-op in memory");
 }
+
+// ---------------------------------------------------------------------------
+// Idempotent close: the lifecycle contract the network front end
+// (fgac-server) relies on during graceful shutdown.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn close_is_idempotent_and_use_after_close_fails_cleanly() {
+    let dir = tmp_dir("idempotent-close");
+    let mut e = Engine::open(&dir).unwrap();
+    populate(&mut e);
+    let s = Session::new("11");
+    my_grade_query(&mut e, "11").unwrap();
+
+    // First close: syncs and succeeds.
+    e.close().unwrap();
+
+    // Every statement class after close is a clean, typed refusal — not
+    // a panic, not a silent no-op that could lose an un-synced write.
+    let err = my_grade_query(&mut e, "11").unwrap_err();
+    assert!(
+        matches!(err, Error::Unsupported(ref m) if m.contains("closed")),
+        "query after close: {err:?}"
+    );
+    let err = e
+        .execute(&s, "insert into grades values ('11', 'cs999', 50)")
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "dml after close: {err:?}");
+    let err = e.admin_script("create table t2 (a int)").unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "ddl after close: {err:?}");
+    let err = e.grant_view("12", "mygrades").unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "grant after close: {err:?}");
+    let err = e.snapshot_now().unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "snapshot after close: {err:?}");
+
+    // Second close: distinguishable double-close error, still clean.
+    let err = e.close().unwrap_err();
+    assert!(
+        err.to_string().contains("double close"),
+        "second close must report double-close: {err}"
+    );
+
+    // The directory remains a valid store: reopening recovers cleanly
+    // with nothing torn (close synced everything).
+    let (mut reopened, report) = Engine::open_with(&dir, DurabilityOptions::default()).unwrap();
+    assert_eq!(report.truncated_tail_bytes, 0, "clean close left a torn tail");
+    let r = my_grade_query(&mut reopened, "11").unwrap();
+    assert_eq!(r.rows().unwrap().rows.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn close_on_an_in_memory_engine_is_also_idempotent() {
+    // The contract is uniform: no WAL attached, same lifecycle rules.
+    let mut e = Engine::new();
+    populate(&mut e);
+    e.close().unwrap();
+    assert!(e.is_closed());
+    let err = e.close().unwrap_err();
+    assert!(err.to_string().contains("double close"), "{err}");
+    let err = my_grade_query(&mut e, "11").unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err:?}");
+}

@@ -207,3 +207,128 @@ fn disarmed_faults_are_invisible() {
         .unwrap();
     assert_eq!(r.rows().unwrap().rows[0].get(0), &Value::Int(95));
 }
+
+// ---------------------------------------------------------------------------
+// Per-request wall-clock deadlines (threaded into the same Budget meter
+// as the step fuel; see Engine::execute_at).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_denies_before_touching_any_cache() {
+    use std::time::{Duration, Instant};
+    let mut e = engine();
+    let s = Session::new("11");
+    let q = "select grade from grades where student_id = '11'";
+
+    let validity_before = e.cache().stats();
+    let plan_before = e.plan_cache().stats();
+    let past = Instant::now() - Duration::from_millis(10);
+    match e.execute_at(&s, q, Some(past)) {
+        Err(Error::ResourceExhausted(m)) => {
+            assert!(m.starts_with("deadline"), "deadline deny must be marked: {m}");
+        }
+        other => panic!("expected deadline ResourceExhausted, got {other:?}"),
+    }
+    assert_eq!(
+        e.cache().stats(),
+        validity_before,
+        "an expired deadline must not read or write the validity cache"
+    );
+    assert_eq!(
+        e.plan_cache().stats(),
+        plan_before,
+        "an expired deadline must not read or write the plan cache"
+    );
+
+    // Nothing was poisoned: the identical query with a generous deadline
+    // is admitted and answers correctly.
+    let r = e
+        .execute_at(&s, q, Some(Instant::now() + Duration::from_secs(5)))
+        .unwrap();
+    assert_eq!(r.rows().unwrap().rows.len(), 1);
+}
+
+#[test]
+fn expired_deadline_denies_even_a_cache_hot_query() {
+    use std::time::{Duration, Instant};
+    let mut e = engine();
+    let s = Session::new("11");
+    let q = "select grade from grades where student_id = '11'";
+
+    // Warm every layer: the verdict and plan are now cached.
+    e.execute(&s, q).unwrap();
+    e.execute(&s, q).unwrap();
+
+    // The deadline gate sits in front of the caches, so a hot verdict
+    // cannot leak past an exhausted allowance (fail-closed even on the
+    // fast path).
+    let past = Instant::now() - Duration::from_millis(1);
+    match e.execute_at(&s, q, Some(past)) {
+        Err(Error::ResourceExhausted(m)) => assert!(m.starts_with("deadline"), "{m}"),
+        other => panic!("expected deadline deny on the hot path, got {other:?}"),
+    }
+    // And the cache still serves the next in-budget request.
+    assert!(e.execute(&s, q).is_ok());
+}
+
+#[test]
+fn deadline_and_fuel_exhaustion_are_distinguishable() {
+    use std::time::{Duration, Instant};
+    let s = Session::new("11");
+    let q = "select grade from grades where student_id = '11'";
+
+    // Fuel exhaustion: same error variant, no deadline marker — a
+    // client (or the network front end) can tell "retry later" from
+    // "this query is too expensive at this budget".
+    let mut starved = engine().with_check_options(CheckOptions {
+        budget: Budget::with_max_steps(2),
+        ..CheckOptions::default()
+    });
+    let fuel_msg = match starved.execute(&s, q) {
+        Err(Error::ResourceExhausted(m)) => m,
+        other => panic!("expected fuel ResourceExhausted, got {other:?}"),
+    };
+    assert!(
+        !fuel_msg.starts_with("deadline"),
+        "fuel exhaustion must not carry the deadline marker: {fuel_msg}"
+    );
+
+    let mut e = engine();
+    let deadline_msg = match e.execute_at(&s, q, Some(Instant::now() - Duration::from_millis(1))) {
+        Err(Error::ResourceExhausted(m)) => m,
+        other => panic!("expected deadline ResourceExhausted, got {other:?}"),
+    };
+    assert!(deadline_msg.starts_with("deadline"), "{deadline_msg}");
+    assert_ne!(fuel_msg, deadline_msg);
+}
+
+#[test]
+fn deadline_expiry_is_never_a_wrong_allow_or_plain_deny() {
+    use std::time::{Duration, Instant};
+    // Sweep deadlines from already-expired through comfortable. At every
+    // point the outcome must be the correct answer or a deadline-marked
+    // ResourceExhausted — never a plain Unauthorized (which would claim
+    // an authorization verdict that was never computed) and never a
+    // wrong ALLOW for a revoked principal.
+    let s = Session::new("11");
+    let q = "select grade from grades where student_id = '11'";
+    for micros in [0u64, 1, 10, 100, 10_000, 1_000_000] {
+        let mut e = engine();
+        let at = Instant::now() + Duration::from_micros(micros);
+        match e.execute_at(&s, q, Some(at)) {
+            Ok(r) => assert_eq!(r.rows().unwrap().rows.len(), 1),
+            Err(Error::ResourceExhausted(m)) => {
+                assert!(m.starts_with("deadline") || m.contains("deadline"), "{m}")
+            }
+            Err(other) => panic!("deadline {micros}us: unexpected {other:?}"),
+        }
+        // A revoked principal is denied regardless of deadline pressure.
+        let mut revoked = engine();
+        revoked.revoke_view("11", "mygrades").unwrap();
+        match revoked.execute_at(&s, q, Some(Instant::now() + Duration::from_micros(micros))) {
+            Ok(_) => panic!("deadline pressure produced a wrong ALLOW"),
+            Err(Error::Unauthorized(_)) | Err(Error::ResourceExhausted(_)) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+}
