@@ -1,0 +1,216 @@
+//! Policy-scale benchmark: admission latency vs granted-view count.
+//!
+//! The compiled authorization fast path exists so that admission stays
+//! flat while a principal's policy set grows from 10 to 50,000 granted
+//! views. This bench builds, per size N, a 16-relation schema with
+//! full-width unconditional views over every relation plus predicated
+//! pad views up to N grants, then measures cold-cache admission latency
+//! of a U1/U2-unconditional workload (distinct query texts, so neither
+//! the plan cache nor the validity cache can absorb the check).
+//!
+//! ```text
+//! policybench [--queries N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Emits `BENCH_policy.json`. With `--check`, exits non-zero when the
+//! p99 growth factor from the smallest to the largest policy set
+//! exceeds the baseline's `max_p99_growth` (sub-linearity gate: 5000x
+//! more policies must cost far less than 5000x the latency), or when
+//! the fast-path hit rate over the measured workload falls below
+//! `min_hit_rate`.
+
+use fgac_core::{Engine, Session};
+use std::time::Instant;
+
+/// Granted-view counts swept, smallest to largest.
+const SIZES: [usize; 5] = [10, 100, 1_000, 10_000, 50_000];
+/// Base relations; every size covers `min(N, RELATIONS)` of them
+/// full-width.
+const RELATIONS: usize = 16;
+
+struct Args {
+    queries: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 125,
+        out: "BENCH_policy.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--queries" => args.queries = value("--queries").parse().expect("--queries: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// p99 of already-collected microsecond samples.
+fn p99(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own baseline files without a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Engine with `covered` full-width views plus pad views up to `total`
+/// grants for principal `u`.
+fn build(total: usize) -> (Engine, usize) {
+    let covered = total.min(RELATIONS);
+    let mut ddl = String::new();
+    for r in 0..RELATIONS {
+        ddl.push_str(&format!(
+            "create table rel_{r} (id varchar not null, a int, b varchar, \
+             primary key (id));\n"
+        ));
+    }
+    for r in 0..covered {
+        ddl.push_str(&format!(
+            "create authorization view v_full_{r} as select * from rel_{r};\n"
+        ));
+    }
+    // Pad views are predicated, so they compile to residuals: they model
+    // the realistic long tail of row-restricted policies the prover owns.
+    for i in covered..total {
+        ddl.push_str(&format!(
+            "create authorization view pad_{i} as select * from rel_{} where a > {i};\n",
+            i % RELATIONS
+        ));
+    }
+    let mut e = Engine::new();
+    e.admin_script(&ddl).expect("schema + views");
+    for r in 0..covered {
+        e.grant_view("u", &format!("v_full_{r}")).expect("grant");
+    }
+    for i in covered..total {
+        e.grant_view("u", &format!("pad_{i}")).expect("grant");
+    }
+    (e, covered)
+}
+
+fn main() {
+    let args = parse_args();
+    let session = Session::new("u");
+    let mut p99s: Vec<(usize, f64)> = Vec::new();
+    let mut hit_rate_min = f64::INFINITY;
+    let mut compile_us_max = 0f64;
+
+    for n in SIZES {
+        let (e, covered) = build(n);
+        // First admission pays the one-time per-epoch compile of all N
+        // granted views; report it separately, it is not a per-query cost.
+        let t = Instant::now();
+        e.check(&session, "select a from rel_0 where id = 'warm'")
+            .expect("warmup check");
+        let compile_us = t.elapsed().as_secs_f64() * 1e6;
+        compile_us_max = compile_us_max.max(compile_us);
+
+        let hits0 = fgac_core::compiled::fastpath_hit_count();
+        let probes0 = hits0 + fgac_core::compiled::fastpath_miss_count();
+        let mut samples = Vec::with_capacity(args.queries);
+        for q in 0..args.queries {
+            // Distinct texts over the covered relations: plan-cache and
+            // validity-cache misses every time, U1/U2-unconditional by
+            // construction (full-width coverage of the scanned relation).
+            let sql = format!(
+                "select a, b from rel_{} where id = 'k{q}'",
+                q % covered
+            );
+            let t = Instant::now();
+            let report = e.check(&session, &sql).expect("admission");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(report.is_valid(), "workload query denied: {sql}");
+        }
+        let hits = fgac_core::compiled::fastpath_hit_count() - hits0;
+        let probes =
+            fgac_core::compiled::fastpath_hit_count() + fgac_core::compiled::fastpath_miss_count()
+                - probes0;
+        let rate = if probes == 0 { 0.0 } else { hits as f64 / probes as f64 };
+        hit_rate_min = hit_rate_min.min(rate);
+        let p = p99(&mut samples);
+        eprintln!(
+            "n={n}: p99 {p:.1}µs, fast-path {hits}/{probes} ({:.1}%), \
+             compile+first-check {compile_us:.0}µs",
+            rate * 100.0
+        );
+        p99s.push((n, p));
+    }
+
+    let (_, p_small) = p99s[0];
+    let (_, p_large) = p99s[p99s.len() - 1];
+    let growth = p_large / p_small.max(1e-9);
+
+    // --- Gates.
+    let (max_growth, min_rate) = match args.check.as_deref() {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            (
+                json_number(&doc, "max_p99_growth")
+                    .unwrap_or_else(|| panic!("baseline {path} lacks max_p99_growth")),
+                json_number(&doc, "min_hit_rate")
+                    .unwrap_or_else(|| panic!("baseline {path} lacks min_hit_rate")),
+            )
+        }
+        None => (f64::INFINITY, 0.0),
+    };
+    let growth_ok = growth <= max_growth;
+    let rate_ok = hit_rate_min >= min_rate;
+    let pass = growth_ok && rate_ok;
+
+    let per_size: Vec<String> = p99s
+        .iter()
+        .map(|(n, p)| format!("  \"p99_us_{n}\": {p:.1}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-policy-v1\",\n  \"queries_per_size\": {},\n{},\n  \"growth_p99\": {:.2},\n  \"hit_rate\": {:.4},\n  \"compile_first_check_us_max\": {:.0},\n  \"gates\": {{ \"max_p99_growth\": {}, \"min_hit_rate\": {:.2}, \"pass\": {} }}\n}}\n",
+        args.queries,
+        per_size.join(",\n"),
+        growth,
+        hit_rate_min,
+        compile_us_max,
+        if max_growth.is_finite() { format!("{max_growth:.1}") } else { "null".into() },
+        min_rate,
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+
+    if !growth_ok {
+        eprintln!(
+            "GATE FAIL: p99 grew {growth:.2}x from {} to {} policies (max {max_growth:.1}x)",
+            SIZES[0],
+            SIZES[SIZES.len() - 1]
+        );
+    }
+    if !rate_ok {
+        eprintln!(
+            "GATE FAIL: fast-path hit rate {hit_rate_min:.2} under required {min_rate:.2}"
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

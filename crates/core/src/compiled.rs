@@ -1,0 +1,628 @@
+//! Compiled authorization fast path: per-principal capability bitmasks.
+//!
+//! The Non-Truman validator is a theorem prover: on every cold check it
+//! instantiates the principal's entire granted view set, builds the
+//! AND-OR DAG, and walks inference rules U1/U2/U3/C3. That cost is
+//! linear in the number of granted views — fine at 10 policies,
+//! unacceptable at 50,000. Yet the *dominant* workload case needs none
+//! of it: a query whose every scanned relation is covered by a granted,
+//! unconditional (parameter-free, predicate-free, duplicate-preserving)
+//! authorization view is U1/U2-valid by construction. This module
+//! compiles that case into a decision structure the admission path can
+//! consult with a mask AND and a hash lookup:
+//!
+//! * per epoch, every catalog relation gets a bit id;
+//! * per principal, the granted view set is folded into
+//!   [`PrincipalCaps`]: a bitmask over relation ids marking *full-width*
+//!   unconditional coverage, plus per-relation column-coverage summaries
+//!   for the single-relation case;
+//! * admission ANDs the query's relation mask against the capability
+//!   mask; residual cases (parameterized or predicated views,
+//!   conditional C3, U3 dependency joins, access patterns) miss and fall
+//!   through to the full prover unchanged.
+//!
+//! **Fail closed on any coverage doubt.** The fast path may only accept
+//! when the full prover provably would: full-width coverage admits any
+//! plan shape (each scan leaf is a granted view verbatim, and every
+//! operator over valid subexpressions is valid — rule U2); column-subset
+//! coverage admits only single-scan SPJ blocks, mirroring the matcher's
+//! own availability/implication/multiplicity conditions one-for-one.
+//! Anything else — a `$$` access parameter, a column outside the
+//! summary, a DISTINCT view, a relation with no compiled entry — is a
+//! miss, never a deny and never an accept.
+//!
+//! **Epoch/invalidation contract.** Compiled tables are immutable
+//! snapshots ([`Arc<PrincipalCaps>`]) keyed by the policy epoch. Every
+//! grant, revoke, role change, or DDL bumps the epoch inside the
+//! writer's critical section and calls [`CompiledPolicies::invalidate`]
+//! there, so under [`crate::SharedEngine`] no reader ever observes a
+//! mask compiled against dead grants: readers hold the shared lock for
+//! the whole statement, and the swap happens while no reader is in
+//! flight. Lookups additionally re-key on the live epoch, so even a
+//! missed explicit invalidation (e.g. a pure catalog extension) can only
+//! cause a recompile, never a stale accept.
+//!
+//! Every fast-path accept still mints a checkable certificate (PR 5's
+//! guarantee): one U1 step per covering view plus a U2 goal step — the
+//! same shape the DAG-marking acceptance emits — which
+//! [`fgac_analyze::check_certificate`] re-verifies from the catalog.
+
+use crate::authview::AuthorizationView;
+use crate::grants::Grants;
+use fgac_algebra::{normalize, ParamScope, Plan, ScalarExpr, SpjBlock};
+use fgac_storage::Catalog;
+use fgac_types::Ident;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Column-coverage summaries track at most this many columns per
+/// relation; wider relations fall back to the full prover for
+/// column-precise questions.
+const MAX_COLS: usize = 128;
+
+/// Per-relation cap on incomparable column-coverage entries. Beyond it,
+/// additional partial-coverage views are left to the prover — the cap
+/// keeps a fast-path probe O(1) in the size of the granted view set.
+const MAX_COVERAGE_ENTRIES: usize = 32;
+
+// Process-wide observability counters, following the C3_PROBES pattern:
+// monotone, relaxed, never a correctness input. The server's `METRICS`
+// command reports all three next to the cache counters.
+static FASTPATH_HITS: AtomicU64 = AtomicU64::new(0);
+static FASTPATH_MISSES: AtomicU64 = AtomicU64::new(0);
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Queries admitted by the compiled fast path (all engines).
+pub fn fastpath_hit_count() -> u64 {
+    FASTPATH_HITS.load(Ordering::Relaxed)
+}
+
+/// Fast-path probes that fell through to the full prover (all engines).
+pub fn fastpath_miss_count() -> u64 {
+    FASTPATH_MISSES.load(Ordering::Relaxed)
+}
+
+/// Per-principal compilations performed (all engines).
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_fastpath_hit() {
+    FASTPATH_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_fastpath_miss() {
+    FASTPATH_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One unconditional covering view of a single relation.
+#[derive(Debug, Clone)]
+struct RelCoverage {
+    /// The granted authorization view this coverage comes from.
+    view: Ident,
+    /// The view's instantiated SPJ block — recorded verbatim in the
+    /// certificate's U1 step so the checker can re-derive it.
+    block: SpjBlock,
+    /// Bit `i` set ⇔ schema column `i` is available through the view's
+    /// projection as a plain column (columns ≥ [`MAX_COLS`] are never
+    /// claimed).
+    cols: u128,
+    /// Every schema column is available: the view *is* the relation, up
+    /// to projection order.
+    full_width: bool,
+}
+
+/// A fast-path acceptance: the human-readable rule line and the covering
+/// views (name + instantiated block) that justify it — exactly the U1
+/// premises of the minted certificate.
+#[derive(Debug, Clone)]
+pub struct FastAccept {
+    pub note: String,
+    pub views: Vec<(Ident, SpjBlock)>,
+}
+
+/// A principal's compiled capabilities at one policy epoch — an
+/// immutable snapshot; see the module docs for the invalidation
+/// contract.
+#[derive(Debug)]
+pub struct PrincipalCaps {
+    epoch: u64,
+    /// Relation → bit id, shared by every principal compiled at this
+    /// epoch.
+    rel_ids: Arc<HashMap<Ident, u32>>,
+    /// Capability bitmask: bit `r` set ⇔ relation id `r` has a
+    /// full-width unconditional covering view.
+    full_mask: Vec<u64>,
+    /// Per-relation coverage entries (full-width first).
+    coverage: HashMap<Ident, Vec<RelCoverage>>,
+    /// Granted views that did not compile (parameterized, predicated,
+    /// distinct, multi-relation, access-pattern, non-SPJ) — the prover
+    /// handles them on fast-path misses.
+    residual: usize,
+}
+
+impl PrincipalCaps {
+    /// The policy epoch this snapshot was compiled against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Relations with at least one compiled coverage entry.
+    pub fn compiled_relations(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Granted views left to the full prover.
+    pub fn residual_views(&self) -> usize {
+        self.residual
+    }
+
+    /// Attempts to admit `plan` (normalized) on compiled coverage alone.
+    ///
+    /// `Some` means the query is U1/U2-unconditionally valid and the
+    /// returned views certify it; `None` means *nothing* — the caller
+    /// must fall through to the full prover (fail closed, never deny
+    /// from here).
+    pub fn admit(&self, plan: &Plan, qblock: Option<&SpjBlock>) -> Option<FastAccept> {
+        if plan.has_access_params() {
+            return None;
+        }
+        let tables = plan.scanned_tables();
+        if tables.is_empty() {
+            return None;
+        }
+        // Single-scan SPJ block: column-precise coverage suffices; this
+        // mirrors the matcher (availability through the view projection,
+        // trivial implication against a predicate-free view, and a
+        // duplicate-preserving view satisfying either multiplicity
+        // direction).
+        if let Some(qb) = qblock {
+            if qb.scans.len() == 1 {
+                return self.admit_single(qb);
+            }
+        }
+        // Any other shape (joins, aggregates, nested blocks): demand
+        // full-width coverage of every scanned relation — then each scan
+        // leaf is a granted view and every operator above is an
+        // operation over valid subexpressions (rule U2).
+        self.admit_full(&tables)
+    }
+
+    /// The mask-AND path: every scanned relation must carry full-width
+    /// coverage.
+    fn admit_full(&self, tables: &[Ident]) -> Option<FastAccept> {
+        let mut qmask = vec![0u64; self.full_mask.len()];
+        for t in tables {
+            let id = *self.rel_ids.get(t)? as usize;
+            let word = id / 64;
+            if word >= qmask.len() {
+                return None;
+            }
+            qmask[word] |= 1u64 << (id % 64);
+        }
+        if qmask
+            .iter()
+            .zip(self.full_mask.iter())
+            .any(|(q, m)| q & m != *q)
+        {
+            return None;
+        }
+        // Mask says yes; fetch the witnesses (hash lookups) for the
+        // certificate. A mask/coverage mismatch is impossible by
+        // construction, but stays a miss rather than a panic.
+        let mut seen: std::collections::BTreeSet<&Ident> = Default::default();
+        let mut views = Vec::new();
+        for t in tables {
+            if !seen.insert(t) {
+                continue;
+            }
+            let cov = self.coverage.get(t)?.iter().find(|c| c.full_width)?;
+            views.push((cov.view.clone(), cov.block.clone()));
+        }
+        let names: Vec<String> = views.iter().map(|(v, _)| v.to_string()).collect();
+        Some(FastAccept {
+            note: format!(
+                "FP1: compiled capability mask covers every scanned relation \
+                 full-width via {} (unconditional)",
+                names.join(", ")
+            ),
+            views,
+        })
+    }
+
+    /// The column-coverage path for a single-scan SPJ block.
+    fn admit_single(&self, qb: &SpjBlock) -> Option<FastAccept> {
+        let (table, _) = qb.scans.first()?;
+        let mut used: u128 = 0;
+        let mut wide = false;
+        for e in qb.conjuncts.iter().chain(qb.projection.iter()) {
+            for c in e.referenced_cols() {
+                if c >= MAX_COLS {
+                    wide = true;
+                } else {
+                    used |= 1u128 << c;
+                }
+            }
+        }
+        let cov = self
+            .coverage
+            .get(table)?
+            .iter()
+            .find(|c| c.full_width || (!wide && (c.cols & used) == used))?;
+        Some(FastAccept {
+            note: format!(
+                "FP2: compiled column coverage of {table} via {} (unconditional)",
+                cov.view
+            ),
+            views: vec![(cov.view.clone(), cov.block.clone())],
+        })
+    }
+}
+
+/// The engine's compiled-policy tables: one immutable
+/// [`PrincipalCaps`] snapshot per principal, lazily compiled per policy
+/// epoch and swapped out wholesale on the writer's epoch bump.
+#[derive(Debug, Default)]
+pub struct CompiledPolicies {
+    inner: Mutex<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// `None` until first use and after [`CompiledPolicies::invalidate`].
+    epoch: Option<u64>,
+    rel_ids: Arc<HashMap<Ident, u32>>,
+    principals: HashMap<String, Arc<PrincipalCaps>>,
+}
+
+impl CompiledPolicies {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The principal's compiled snapshot for `epoch`, compiling it on
+    /// first use. Compilation runs outside the table lock — it is
+    /// O(granted views) — so concurrent readers compiling *different*
+    /// principals do not serialize behind each other.
+    pub fn principal(
+        &self,
+        epoch: u64,
+        user: &str,
+        catalog: &Catalog,
+        grants: &Grants,
+    ) -> Arc<PrincipalCaps> {
+        let rel_ids = {
+            let mut st = self.inner.lock();
+            if st.epoch != Some(epoch) {
+                st.epoch = Some(epoch);
+                st.principals.clear();
+                st.rel_ids = Arc::new(relation_ids(catalog));
+            }
+            if let Some(caps) = st.principals.get(user) {
+                return Arc::clone(caps);
+            }
+            Arc::clone(&st.rel_ids)
+        };
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+        let caps = Arc::new(compile_principal(epoch, user, catalog, grants, rel_ids));
+        let mut st = self.inner.lock();
+        if st.epoch == Some(epoch) {
+            // First compile wins on a benign race; both snapshots are
+            // identical (compilation is a pure function of epoch state).
+            return Arc::clone(
+                st.principals
+                    .entry(user.to_string())
+                    .or_insert(caps),
+            );
+        }
+        // The epoch moved while we compiled (not possible under the
+        // engine's locking, but cheap to tolerate): hand the snapshot to
+        // this caller only, without publishing it.
+        caps
+    }
+
+    /// Drops every compiled snapshot. Called by the writer inside its
+    /// critical section on every policy/schema change, so the epoch bump
+    /// and the table swap are one atomic event from any reader's view.
+    pub fn invalidate(&self) {
+        let mut st = self.inner.lock();
+        st.epoch = None;
+        st.principals.clear();
+        st.rel_ids = Arc::new(HashMap::new());
+    }
+
+    /// Number of principals with a live compiled snapshot (gauge).
+    pub fn compiled_principals(&self) -> u64 {
+        self.inner.lock().principals.len() as u64
+    }
+}
+
+/// Stable relation → bit-id assignment for one epoch (catalog iteration
+/// order is deterministic).
+fn relation_ids(catalog: &Catalog) -> HashMap<Ident, u32> {
+    let mut ids = HashMap::new();
+    for (i, t) in catalog.tables().enumerate() {
+        ids.insert(t.name.clone(), i as u32);
+    }
+    ids
+}
+
+/// Folds the principal's granted view set into a capability snapshot.
+fn compile_principal(
+    epoch: u64,
+    user: &str,
+    catalog: &Catalog,
+    grants: &Grants,
+    rel_ids: Arc<HashMap<Ident, u32>>,
+) -> PrincipalCaps {
+    let mut coverage: HashMap<Ident, Vec<RelCoverage>> = HashMap::new();
+    let mut residual = 0usize;
+    for name in grants.views_for(user) {
+        let Some(def) = catalog.view(&name) else {
+            continue;
+        };
+        if !def.authorization {
+            continue;
+        }
+        let view = AuthorizationView::new(def.name.clone(), def.query.clone());
+        // Parameterized and access-pattern views are session- or
+        // state-dependent: residual by definition.
+        if view.is_access_pattern() || !view.session_params().is_empty() {
+            residual += 1;
+            continue;
+        }
+        // Instantiation with an empty scope proves session independence;
+        // a view needing any parameter errors out here and stays
+        // residual.
+        let Ok(bound) = view.instantiate(catalog, &ParamScope::new()) else {
+            residual += 1;
+            continue;
+        };
+        let plan = normalize(&bound.plan);
+        let Some(block) = SpjBlock::decompose(&plan) else {
+            residual += 1;
+            continue;
+        };
+        match compile_view_block(&name, block) {
+            Some((table, cov)) => {
+                let entries = coverage.entry(table).or_default();
+                if dominated(entries, &cov) || entries.len() >= MAX_COVERAGE_ENTRIES {
+                    // Nothing new to claim, or the per-relation cap is
+                    // reached: the prover still sees the view.
+                    continue;
+                }
+                if cov.full_width {
+                    // Full width subsumes everything: keep it in front.
+                    entries.retain(|e| e.full_width);
+                    if entries.is_empty() {
+                        entries.push(cov);
+                    }
+                } else {
+                    entries.push(cov);
+                }
+            }
+            None => residual += 1,
+        }
+    }
+    let mut full_mask = vec![0u64; rel_ids.len().div_ceil(64)];
+    for (table, entries) in &coverage {
+        if entries.iter().any(|e| e.full_width) {
+            if let Some(&id) = rel_ids.get(table) {
+                let id = id as usize;
+                full_mask[id / 64] |= 1u64 << (id % 64);
+            }
+        }
+    }
+    PrincipalCaps {
+        epoch,
+        rel_ids,
+        full_mask,
+        coverage,
+        residual,
+    }
+}
+
+/// Is `cov`'s claim already implied by an existing entry?
+fn dominated(entries: &[RelCoverage], cov: &RelCoverage) -> bool {
+    entries.iter().any(|e| {
+        e.full_width || (!cov.full_width && (e.cols | cov.cols) == e.cols)
+    })
+}
+
+/// Classifies one instantiated view block: `Some` iff it is an
+/// unconditional single-relation coverage (no predicate, no DISTINCT —
+/// i.e. duplicate-preserving `π_cols(T)`).
+fn compile_view_block(name: &Ident, block: SpjBlock) -> Option<(Ident, RelCoverage)> {
+    if block.distinct || !block.conjuncts.is_empty() || block.scans.len() != 1 {
+        return None;
+    }
+    let (table, schema) = block.scans.first()?.clone();
+    let mut cols: u128 = 0;
+    for e in &block.projection {
+        if let ScalarExpr::Col(i) = e {
+            if *i < MAX_COLS {
+                cols |= 1u128 << i;
+            }
+        }
+    }
+    if cols == 0 {
+        return None;
+    }
+    let full_width =
+        schema.len() <= MAX_COLS && (0..schema.len()).all(|i| cols & (1u128 << i) != 0);
+    Some((
+        table,
+        RelCoverage {
+            view: name.clone(),
+            block,
+            cols,
+            full_width,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgac_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            "grades",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("course_id", DataType::Str),
+                Column::new("grade", DataType::Int).nullable(),
+            ]),
+            Some(vec![Ident::new("student_id"), Ident::new("course_id")]),
+        )
+        .unwrap();
+        c.add_table(
+            "students",
+            Schema::new(vec![
+                Column::new("student_id", DataType::Str),
+                Column::new("name", DataType::Str),
+                Column::new("type", DataType::Str),
+            ]),
+            Some(vec![Ident::new("student_id")]),
+        )
+        .unwrap();
+        c
+    }
+
+    fn add_view(c: &mut Catalog, sql: &str) {
+        let fgac_sql::Statement::CreateView(v) = fgac_sql::parse_statement(sql).unwrap() else {
+            panic!("not a view");
+        };
+        c.add_view(fgac_storage::ViewDef {
+            name: v.name,
+            authorization: v.authorization,
+            query: v.query,
+        })
+        .unwrap();
+    }
+
+    fn caps(catalog: &Catalog, grants: &Grants) -> PrincipalCaps {
+        compile_principal(
+            7,
+            "u",
+            catalog,
+            grants,
+            Arc::new(relation_ids(catalog)),
+        )
+    }
+
+    fn bound_plan(catalog: &Catalog, sql: &str) -> Plan {
+        let q = fgac_sql::parse_query(sql).unwrap();
+        let b = fgac_algebra::bind_query(catalog, &q, &ParamScope::with_user("u")).unwrap();
+        normalize(&b.plan)
+    }
+
+    fn admit(caps: &PrincipalCaps, catalog: &Catalog, sql: &str) -> Option<FastAccept> {
+        let plan = bound_plan(catalog, sql);
+        let qb = SpjBlock::decompose(&plan);
+        caps.admit(&plan, qb.as_ref())
+    }
+
+    #[test]
+    fn full_width_view_covers_any_shape() {
+        let mut c = catalog();
+        add_view(&mut c, "create authorization view g as select * from grades");
+        let mut g = Grants::new();
+        g.grant_view("u", "g");
+        let caps = caps(&c, &g);
+        assert_eq!(caps.compiled_relations(), 1);
+        assert!(admit(&caps, &c, "select grade from grades where course_id = 'cs101'").is_some());
+        // Aggregates are non-SPJ but full-width coverage admits them.
+        assert!(admit(&caps, &c, "select course_id, avg(grade) from grades group by course_id")
+            .is_some());
+        // A relation with no coverage misses.
+        assert!(admit(&caps, &c, "select name from students").is_none());
+        // A join touching the uncovered relation misses too.
+        assert!(admit(
+            &caps,
+            &c,
+            "select grades.grade from grades, students \
+             where grades.student_id = students.student_id"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn column_subset_covers_single_scan_only() {
+        let mut c = catalog();
+        add_view(
+            &mut c,
+            "create authorization view sg as select student_id, grade from grades",
+        );
+        let mut g = Grants::new();
+        g.grant_view("u", "sg");
+        let caps = caps(&c, &g);
+        // Uses only covered columns: hit.
+        assert!(admit(&caps, &c, "select grade from grades where student_id = '11'").is_some());
+        // Filters on course_id, which the view drops: miss.
+        assert!(admit(&caps, &c, "select grade from grades where course_id = 'cs101'").is_none());
+        // Self-join needs full width: miss.
+        assert!(admit(
+            &caps,
+            &c,
+            "select a.grade from grades a, grades b where a.student_id = b.student_id"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn residual_views_never_compile() {
+        let mut c = catalog();
+        add_view(
+            &mut c,
+            "create authorization view my as select * from grades where student_id = $user_id",
+        );
+        add_view(
+            &mut c,
+            "create authorization view hi as select * from grades where grade > 50",
+        );
+        add_view(
+            &mut c,
+            "create authorization view one as select * from grades where student_id = $$1",
+        );
+        add_view(
+            &mut c,
+            "create authorization view dn as select distinct name from students",
+        );
+        let mut g = Grants::new();
+        for v in ["my", "hi", "one", "dn"] {
+            g.grant_view("u", v);
+        }
+        let caps = caps(&c, &g);
+        assert_eq!(caps.compiled_relations(), 0);
+        assert_eq!(caps.residual_views(), 4);
+        assert!(admit(&caps, &c, "select grade from grades where student_id = 'u'").is_none());
+    }
+
+    #[test]
+    fn epoch_change_swaps_snapshots() {
+        let mut c = catalog();
+        add_view(&mut c, "create authorization view g as select * from grades");
+        let mut g = Grants::new();
+        g.grant_view("u", "g");
+        let tables = CompiledPolicies::new();
+        let a = tables.principal(1, "u", &c, &g);
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(tables.compiled_principals(), 1);
+        // Same epoch: same snapshot.
+        let b = tables.principal(1, "u", &c, &g);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Writer-side invalidation drops everything.
+        tables.invalidate();
+        assert_eq!(tables.compiled_principals(), 0);
+        // New epoch recompiles against the (changed) grants.
+        g.revoke_view("u", &Ident::new("g"));
+        let c2 = tables.principal(2, "u", &c, &g);
+        assert_eq!(c2.epoch(), 2);
+        assert_eq!(c2.compiled_relations(), 0);
+    }
+}

@@ -61,6 +61,11 @@ pub struct Engine {
     pub(crate) grants: Grants,
     pub(crate) cache: ValidityCache,
     pub(crate) plan_cache: PlanCache,
+    /// Per-principal compiled capability snapshots (the authorization
+    /// fast path). Keyed by `policy_epoch`: invalidated explicitly on
+    /// every policy/schema change and re-keyed lazily on lookup, so a
+    /// revoke can never leave a stale mask serving accepts.
+    compiled: crate::compiled::CompiledPolicies,
     options: CheckOptions,
     /// Bumped on every successful DML — versions conditional verdicts.
     pub(crate) data_version: u64,
@@ -83,6 +88,7 @@ impl Engine {
             grants: Grants::new(),
             cache: ValidityCache::new(),
             plan_cache: PlanCache::new(),
+            compiled: crate::compiled::CompiledPolicies::new(),
             options: CheckOptions::default(),
             data_version: 0,
             policy_epoch: 0,
@@ -141,6 +147,7 @@ impl Engine {
     pub(crate) fn policy_change(&mut self) {
         self.policy_epoch += 1;
         self.cache.clear();
+        self.compiled.invalidate();
     }
 
     /// A pure catalog extension (new table): existing verdicts stay
@@ -148,6 +155,12 @@ impl Engine {
     /// binding outcomes can change, so cached plans are retired.
     pub(crate) fn schema_change(&mut self) {
         self.policy_epoch += 1;
+        self.compiled.invalidate();
+    }
+
+    /// The compiled-policy store (fast-path capability snapshots).
+    pub fn compiled_policies(&self) -> &crate::compiled::CompiledPolicies {
+        &self.compiled
     }
 
     // ---------------- DBA path ----------------
@@ -786,8 +799,12 @@ impl Engine {
     ) -> Result<ValidityReport> {
         let mut options = self.options.clone();
         options.emit_certificates = true;
+        let caps =
+            self.compiled
+                .principal(self.policy_epoch, session.user(), self.db.catalog(), &self.grants);
         let mut report = Validator::new(&self.db, &self.grants)
             .with_options(options)
+            .with_compiled(caps)
             .check_query(session, query)?;
         if let Some(cert) = &mut report.certificate {
             cert.policy_epoch = self.policy_epoch;
@@ -873,8 +890,12 @@ impl Engine {
         }
         let mut options = self.options.clone();
         clamp_budget_deadline(&mut options, deadline);
+        let caps =
+            self.compiled
+                .principal(self.policy_epoch, session.user(), self.db.catalog(), &self.grants);
         let report = match Validator::new(&self.db, &self.grants)
             .with_options(options)
+            .with_compiled(caps)
             .check_plan(session, plan)
         {
             Ok(mut report) => {

@@ -21,6 +21,10 @@
 //!   (Section 4.4).
 //! * [`ValidityCache`] (`cache`) — sharded validity-check caching for
 //!   repeated/prepared queries (the Section 5.6 optimizations).
+//! * [`CompiledPolicies`] (`compiled`) — the compiled authorization
+//!   fast path: per-principal capability bitmasks + column-coverage
+//!   summaries so fully-covered U1/U2-unconditional queries admit
+//!   without running the prover, flat in the number of granted views.
 //! * [`PlanCache`] (`plancache`) — memoized parse+bind so repeated
 //!   statements skip admission entirely (DESIGN.md "Hot path & caching
 //!   layers").
@@ -29,6 +33,7 @@
 
 mod authview;
 mod cache;
+pub mod compiled;
 mod durability;
 mod engine;
 mod grants;
@@ -42,6 +47,7 @@ mod updates;
 
 pub use authview::AuthorizationView;
 pub use cache::{CacheOutcome, CacheStats, ValidityCache};
+pub use compiled::{CompiledPolicies, PrincipalCaps};
 pub use fgac_analyze::{
     check_certificate, certificate_from_json, certificate_to_json, CertPolicy, CertVerdict,
     Certificate, CheckerOptions, Code as DiagnosticCode, Diagnostic, RuleId,

@@ -251,6 +251,13 @@ pub fn is_duplicate_free(catalog: &Catalog, block: &SpjBlock) -> bool {
 #[derive(Debug, Clone, Default)]
 pub struct CandidateIndex {
     by_tables: std::collections::HashMap<Vec<Ident>, Vec<usize>>,
+    /// C3 buckets: a block with `k ≥ 2` scans is indexed under each
+    /// distinct signature-minus-one-table, because
+    /// [`super::c3::candidates_metered`] can only split a valid block
+    /// whose scan multiset is the query's plus exactly one remainder
+    /// table. A query's C3 candidates are then the bucket at the
+    /// query's own signature.
+    sub_tables: std::collections::HashMap<Vec<Ident>, Vec<usize>>,
 }
 
 impl CandidateIndex {
@@ -264,6 +271,18 @@ impl CandidateIndex {
 
     /// Records that the block with handle `idx` has `signature`.
     pub fn insert(&mut self, signature: Vec<Ident>, idx: usize) {
+        if signature.len() >= 2 {
+            for i in 0..signature.len() {
+                // The signature is sorted, so equal adjacent tables
+                // produce the same reduced signature — index it once.
+                if i > 0 && signature[i] == signature[i - 1] {
+                    continue;
+                }
+                let mut reduced = signature.clone();
+                reduced.remove(i);
+                self.sub_tables.entry(reduced).or_default().push(idx);
+            }
+        }
         self.by_tables.entry(signature).or_default().push(idx);
     }
 
@@ -279,6 +298,18 @@ impl CandidateIndex {
     /// whose scan-table multiset equals `block`'s.
     pub fn candidates(&self, block: &SpjBlock) -> &[usize] {
         self.bucket(&Self::signature(block))
+    }
+
+    /// Handles of the blocks that could possibly yield a C3 remainder
+    /// split for query `block` — i.e. whose scan-table multiset equals
+    /// `block`'s plus exactly one extra table. Everything this bucket
+    /// omits is rejected by `candidates_metered`'s first length/alignment
+    /// checks anyway, so routing C3 through it cannot change verdicts.
+    pub fn c3_candidates(&self, block: &SpjBlock) -> &[usize] {
+        self.sub_tables
+            .get(&Self::signature(block))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -489,5 +520,47 @@ mod tests {
                 .project(vec![ScalarExpr::col(0), ScalarExpr::col(2)]),
         );
         assert!(is_duplicate_free(&cat, &pinned));
+    }
+
+    #[test]
+    fn c3_buckets_match_brute_force() {
+        // Index blocks over {students}, {grades}, {students, grades},
+        // {grades, grades}, {students, grades, grades} and check that
+        // c3_candidates agrees with a brute-force scan for the
+        // "one extra table" condition C3 needs.
+        let blocks = vec![
+            block(&students()),
+            block(&grades()),
+            block(&fgac_algebra::normalize(&students().join(grades(), vec![]))),
+            block(&fgac_algebra::normalize(&grades().join(grades(), vec![]))),
+            block(&fgac_algebra::normalize(
+                &students().join(grades(), vec![]).join(grades(), vec![]),
+            )),
+        ];
+        let mut index = CandidateIndex::default();
+        for (i, b) in blocks.iter().enumerate() {
+            index.insert(CandidateIndex::signature(b), i);
+        }
+        for q in &blocks {
+            let qsig = CandidateIndex::signature(q);
+            let brute: Vec<usize> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| {
+                    let vsig = CandidateIndex::signature(v);
+                    vsig.len() == qsig.len() + 1
+                        && (0..vsig.len()).any(|i| {
+                            let mut reduced = vsig.clone();
+                            reduced.remove(i);
+                            reduced == qsig
+                        })
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let mut indexed: Vec<usize> = index.c3_candidates(q).to_vec();
+            indexed.sort_unstable();
+            indexed.dedup();
+            assert_eq!(indexed, brute, "C3 bucket mismatch for {qsig:?}");
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod strengthen;
 pub mod u3;
 
 use crate::authview::AuthorizationView;
+use crate::compiled::{self, PrincipalCaps};
 use crate::grants::Grants;
 use crate::session::Session;
 use certbuilder::CertBuilder;
@@ -165,6 +166,10 @@ pub struct Validator<'a> {
     db: &'a Database,
     grants: &'a Grants,
     options: CheckOptions,
+    /// Compiled capability snapshot for the session's principal, when
+    /// the engine has one (see [`crate::compiled`]). Consulted before
+    /// the prover; a miss falls through with the verdict unchanged.
+    compiled: Option<std::sync::Arc<PrincipalCaps>>,
 }
 
 /// A block known computable by the user, with its validity flavor.
@@ -218,16 +223,23 @@ impl ValidSet {
         true
     }
 
-    /// Every valid block, in insertion order.
-    fn iter(&self) -> impl Iterator<Item = &ValidBlock> {
-        self.blocks.iter()
-    }
-
     /// Only the blocks whose scan-table multiset equals `block`'s — the
     /// ones [`matcher::match_block_metered`] could possibly accept.
     fn candidates(&self, block: &SpjBlock) -> impl Iterator<Item = &ValidBlock> {
         self.index
             .candidates(block)
+            .iter()
+            .map(move |&i| &self.blocks[i])
+    }
+
+    /// Only the blocks whose scan-table multiset equals `block`'s plus
+    /// exactly one extra table — the ones
+    /// [`c3::candidates_metered`] could possibly split (everything else
+    /// is rejected by its leading length/alignment checks), in insertion
+    /// order within the bucket.
+    fn c3_candidates(&self, block: &SpjBlock) -> impl Iterator<Item = &ValidBlock> {
+        self.index
+            .c3_candidates(block)
             .iter()
             .map(move |&i| &self.blocks[i])
     }
@@ -259,11 +271,21 @@ impl<'a> Validator<'a> {
             db,
             grants,
             options: CheckOptions::default(),
+            compiled: None,
         }
     }
 
     pub fn with_options(mut self, options: CheckOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Installs a compiled capability snapshot (see [`crate::compiled`])
+    /// for the session's principal. Fully-covered queries then admit via
+    /// a bitmask AND + hash lookup instead of the prover; anything the
+    /// snapshot cannot prove falls through unchanged.
+    pub fn with_compiled(mut self, caps: std::sync::Arc<PrincipalCaps>) -> Self {
+        self.compiled = Some(caps);
         self
     }
 
@@ -285,9 +307,54 @@ impl<'a> Validator<'a> {
         let qplan = normalize(plan);
         let mut rules: Vec<String> = Vec::new();
         let meter = self.options.budget.start();
+        let query_tables: BTreeSet<Ident> = qplan.scanned_tables().into_iter().collect();
+        let qblock = SpjBlock::decompose(&qplan);
+
+        // --- Compiled fast path (FP1/FP2). ----------------------------
+        // Admit via the principal's compiled capability snapshot when it
+        // proves unconditional coverage outright; every accept still
+        // mints a checkable U1 + U2Dag certificate. A miss records
+        // nothing and falls through to the prover with the verdict
+        // unchanged (the snapshot is fail-closed, never fail-open).
+        if let Some(caps) = &self.compiled {
+            meter.charge(PHASE, 1)?;
+            if let Some(fp) = caps.admit(&qplan, qblock.as_ref()) {
+                compiled::note_fastpath_hit();
+                let mut builder = CertBuilder::new(self.options.emit_certificates);
+                let mut premises = Vec::with_capacity(fp.views.len());
+                for (view, block) in &fp.views {
+                    let mut s = Step::new(RuleId::U1);
+                    s.view = Some(view.clone());
+                    s.block = Some(block.clone());
+                    s.note =
+                        format!("compiled unconditional coverage via authorization view {view}");
+                    premises.push(builder.push_root(s));
+                }
+                let mut goal = Step::new(RuleId::U2Dag);
+                goal.block = qblock.clone();
+                goal.premises = premises;
+                goal.note = fp.note.clone();
+                builder.push(goal);
+                rules.push(fp.note.clone());
+                let cert = self.certificate(
+                    session,
+                    CertVerdict::Unconditional,
+                    &query_tables,
+                    &qblock,
+                    builder,
+                );
+                return Ok(self.report(
+                    Verdict::Unconditional,
+                    rules,
+                    DagStats::default(),
+                    fp.views.len(),
+                    cert,
+                ));
+            }
+            compiled::note_fastpath_miss();
+        }
 
         // --- Gather and instantiate the user's views. -----------------
-        let query_tables: BTreeSet<Ident> = qplan.scanned_tables().into_iter().collect();
         let mut all_views: Vec<RegView> = Vec::new();
         let mut ap_views: Vec<AuthorizationView> = Vec::new();
         for name in self.grants.views_for(session.user()) {
@@ -411,7 +478,6 @@ impl<'a> Validator<'a> {
         }
 
         // --- DAG: insert, expand, mark (rules U1/U2). -----------------
-        let qblock = SpjBlock::decompose(&qplan);
         let mut builder = CertBuilder::new(self.options.emit_certificates);
         let mut dag = Dag::new();
         let qroot = dag.insert_plan(&qplan);
@@ -785,7 +851,10 @@ impl<'a> Validator<'a> {
         // --- Conditional validity: C3a/C3b. ---------------------------
         if self.options.enable_c3 {
             if let Some(qb) = &qblock {
-                for vb in valid_blocks.iter() {
+                // Policy-index routing: only the blocks with exactly one
+                // extra scan table can yield a C3 remainder split, so
+                // candidate lookup is O(candidates), not O(all blocks).
+                for vb in valid_blocks.c3_candidates(qb) {
                     for cand in
                         c3::candidates_metered(self.db.catalog(), qb, &vb.block, &meter)?
                     {

@@ -53,6 +53,18 @@ counters! {
     drain_shed => "drain_shed",
 }
 
+/// The compiled-authorization fast-path rows for the `METRICS` result
+/// set: process-wide hit/miss/compile counters plus the per-engine
+/// `compiled_principals` gauge the caller reads under the engine lock.
+pub fn compiled_policy_rows(compiled_principals: u64) -> Vec<(&'static str, u64)> {
+    vec![
+        ("fastpath_hit", fgac_core::compiled::fastpath_hit_count()),
+        ("fastpath_miss", fgac_core::compiled::fastpath_miss_count()),
+        ("compile_count", fgac_core::compiled::compile_count()),
+        ("compiled_principals", compiled_principals),
+    ]
+}
+
 impl Metrics {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);

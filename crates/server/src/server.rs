@@ -562,6 +562,11 @@ fn metrics_response(shared: &Arc<Shared>) -> Response {
         pairs.push(("plan_cache_misses".into(), pm));
         pairs.push(("policy_epoch".into(), e.policy_epoch()));
         pairs.push(("data_version".into(), e.data_version()));
+        for (k, v) in
+            crate::metrics::compiled_policy_rows(e.compiled_policies().compiled_principals())
+        {
+            pairs.push((k.to_string(), v));
+        }
     });
     pairs.push(("c3_probes".into(), fgac_core::nontruman::c3_probe_count()));
     let rows = pairs

@@ -1,0 +1,252 @@
+//! Differential properties of the compiled authorization fast path.
+//!
+//! The fast path (`fgac_core::compiled`) may only ever *accelerate* the
+//! Non-Truman validator, never change it. These tests drive a grid of
+//! grant states × queries through both paths and require:
+//!
+//! 1. **Soundness**: every fast-path ACCEPT (a report whose first rule
+//!    line starts with `FP`) is also accepted — unconditionally — by a
+//!    pure prover run with no compiled snapshot installed.
+//! 2. **Certification**: every fast-path accept mints a certificate the
+//!    independent checker verifies (`Engine::certify` errors out
+//!    otherwise, and debug builds additionally shadow-check every
+//!    engine accept).
+//! 3. **Transparency**: on a fast-path miss the verdict is exactly the
+//!    pure prover's, for every verdict class.
+//! 4. **No stale masks**: a revoke invalidates the principal's compiled
+//!    snapshot immediately — the same query that fast-path-accepted
+//!    before the revoke is denied right after it, across many
+//!    grant/revoke epochs.
+//!
+//! Fast-path hits are detected through the `FP` rule-line marker, not
+//! the process-wide counters: counters are shared across the whole test
+//! process and race with other tests.
+
+use fgac::prelude::*;
+
+/// Schema + a mix of compilable and residual authorization views.
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(
+        "
+        create table students (
+            student_id varchar not null, name varchar not null,
+            type varchar not null, primary key (student_id));
+        create table courses (
+            course_id varchar not null, name varchar not null,
+            primary key (course_id));
+        create table grades (
+            student_id varchar not null, course_id varchar not null,
+            grade int, primary key (student_id, course_id));
+
+        -- Compilable (unconditional, parameter-free) coverage:
+        create authorization view allgrades as select * from grades;
+        create authorization view gradecols as
+            select student_id, grade from grades;
+        create authorization view allstudents as select * from students;
+
+        -- Residual views: the fast path must never compile these.
+        create authorization view mygrades as
+            select * from grades where student_id = $user_id;
+        create authorization view passing as
+            select * from grades where grade > 50;
+        create authorization view onegrade as
+            select * from grades where student_id = $$1;
+
+        insert into students values
+            ('11', 'ann', 'FullTime'), ('12', 'bob', 'PartTime');
+        insert into courses values ('cs101', 'intro'), ('cs202', 'systems');
+        insert into grades values
+            ('11', 'cs101', 90), ('12', 'cs101', 70), ('12', 'cs202', 40);
+        ",
+    )
+    .unwrap();
+    e
+}
+
+const VIEWS: [&str; 6] = [
+    "allgrades",
+    "gradecols",
+    "allstudents",
+    "mygrades",
+    "passing",
+    "onegrade",
+];
+
+const QUERIES: [&str; 9] = [
+    // Single-scan SPJ over grades, column-precise.
+    "select grade from grades where student_id = '11'",
+    "select grade from grades where course_id = 'cs101'",
+    "select * from grades",
+    // Aggregate (non-SPJ): needs full-width coverage on the fast path.
+    "select course_id, avg(grade) from grades group by course_id",
+    // DISTINCT projection.
+    "select distinct student_id from grades",
+    // Join across two relations.
+    "select students.name, grades.grade from students, grades \
+     where students.student_id = grades.student_id",
+    // Self-join.
+    "select a.grade from grades a, grades b \
+     where a.student_id = b.student_id and b.course_id = 'cs202'",
+    // Uncoverable relation unless allstudents is granted.
+    "select name from students where type = 'FullTime'",
+    // Touches a relation no view ever covers: always invalid.
+    "select name from courses",
+];
+
+/// Is this report a fast-path acceptance?
+fn fastpath(report: &ValidityReport) -> bool {
+    report
+        .rules
+        .first()
+        .is_some_and(|r| r.starts_with("FP"))
+}
+
+/// The pure prover's verdict: a fresh `Validator` with no compiled
+/// snapshot installed, certificates on so accepts are derivation-backed.
+fn prover_verdict(e: &Engine, s: &Session, sql: &str) -> Verdict {
+    let options = CheckOptions {
+        emit_certificates: true,
+        ..Default::default()
+    };
+    Validator::new(e.database(), e.grants())
+        .with_options(options)
+        .check_sql(s, sql)
+        .expect("prover run must not error")
+        .verdict
+}
+
+/// Properties 1–3 over the full grant-subset × query grid. Every
+/// `certify` call also exercises property 2: the engine re-verifies the
+/// minted certificate with the independent checker and errors out on
+/// any mismatch, so a fast-path accept with a bogus derivation cannot
+/// pass this test.
+#[test]
+fn fastpath_agrees_with_prover_on_every_grant_state() {
+    let mut e = engine();
+    let s = Session::new("11");
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    for granted in 0u32..(1 << VIEWS.len()) {
+        for (i, v) in VIEWS.iter().enumerate() {
+            if granted & (1 << i) != 0 {
+                e.grant_view("11", v).unwrap();
+            }
+        }
+        for sql in QUERIES {
+            let report = e.certify(&s, sql).unwrap();
+            let pure = prover_verdict(&e, &s, sql);
+            if fastpath(&report) {
+                hits += 1;
+                assert_eq!(
+                    report.verdict,
+                    Verdict::Unconditional,
+                    "fast path may only accept unconditionally: {sql} under {granted:#b}"
+                );
+                assert_eq!(
+                    pure,
+                    Verdict::Unconditional,
+                    "fast-path accept the prover rejects: {sql} under {granted:#b}"
+                );
+            } else {
+                misses += 1;
+                assert_eq!(
+                    report.verdict, pure,
+                    "fast-path miss changed the verdict: {sql} under {granted:#b}"
+                );
+            }
+        }
+        for (i, v) in VIEWS.iter().enumerate() {
+            if granted & (1 << i) != 0 {
+                e.revoke_view("11", v).unwrap();
+            }
+        }
+    }
+    // The grid must actually exercise both paths.
+    assert!(hits > 0, "no query ever took the fast path");
+    assert!(misses > 0, "no query ever fell through to the prover");
+}
+
+/// Property 4: revocation-epoch stress. Alternate grant → accept →
+/// revoke → deny across many epochs; a stale mask surviving any revoke
+/// would accept the post-revoke probe.
+#[test]
+fn revoke_invalidates_compiled_masks_immediately() {
+    let mut e = engine();
+    let s = Session::new("11");
+    let sql = "select grade from grades where course_id = 'cs101'";
+    for epoch in 0..32 {
+        e.grant_view("11", "allgrades").unwrap();
+        let report = e.certify(&s, sql).unwrap();
+        assert!(
+            fastpath(&report),
+            "round {epoch}: grant did not re-arm the fast path: {:?}",
+            report.rules
+        );
+        assert_eq!(report.verdict, Verdict::Unconditional);
+
+        e.revoke_view("11", "allgrades").unwrap();
+        // The writer's critical section dropped every snapshot.
+        assert_eq!(
+            e.compiled_policies().compiled_principals(),
+            0,
+            "round {epoch}: compiled snapshot survived the revoke"
+        );
+        let report = e.certify(&s, sql).unwrap();
+        assert!(
+            !fastpath(&report),
+            "round {epoch}: stale mask served a fast-path accept after revoke"
+        );
+        assert_eq!(
+            report.verdict,
+            Verdict::Invalid,
+            "round {epoch}: query stayed valid after its only view was revoked"
+        );
+    }
+}
+
+/// The C3 conditional path is unchanged by the policy-index routing
+/// (`ValidSet::c3_candidates`): the paper's Example 4.4 still reaches
+/// its conditional verdict, and still through C3.
+#[test]
+fn c3_results_unchanged_by_candidate_index() {
+    let mut e = Engine::new();
+    e.admin_script(
+        "
+        create table registered (
+            student_id varchar not null, course_id varchar not null,
+            primary key (student_id, course_id));
+        create table grades (
+            student_id varchar not null, course_id varchar not null,
+            grade int, primary key (student_id, course_id));
+        create authorization view costudentgrades as
+            select grades.* from grades, registered
+            where registered.student_id = $user_id
+              and grades.course_id = registered.course_id;
+        create authorization view myregistrations as
+            select * from registered where student_id = $user_id;
+        insert into registered values ('11', 'cs101'), ('12', 'cs101');
+        insert into grades values ('11', 'cs101', 90), ('12', 'cs101', 70);
+        ",
+    )
+    .unwrap();
+    e.grant_view("11", "costudentgrades").unwrap();
+    e.grant_view("11", "myregistrations").unwrap();
+    let s = Session::new("11");
+
+    let sql = "select * from grades where course_id = 'cs101'";
+    let report = e.certify(&s, sql).unwrap();
+    assert_eq!(report.verdict, Verdict::Conditional, "{:?}", report.rules);
+    assert!(
+        report.rules.iter().any(|r| r.contains("C3")),
+        "conditional verdict must come from C3: {:?}",
+        report.rules
+    );
+    assert!(!fastpath(&report), "a conditional query must not fast-path");
+    assert_eq!(prover_verdict(&e, &s, sql), Verdict::Conditional);
+
+    // Unregistered course: the remainder probe is empty, so C3 rejects —
+    // exactly as before the index.
+    let denied = e.certify(&s, "select * from grades where course_id = 'cs999'").unwrap();
+    assert_eq!(denied.verdict, Verdict::Invalid);
+}
