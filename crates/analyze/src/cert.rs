@@ -286,8 +286,34 @@ pub fn check_certificate(
     policy: &CertPolicy<'_>,
     opts: &CheckerOptions,
 ) -> Vec<Diagnostic> {
+    check_impl(cert, policy, opts, true)
+}
+
+/// Re-verifies a certificate minted under an *older* policy epoch
+/// against the current grant state. This is the warm-revalidation path:
+/// identical to [`check_certificate`] except the top-level epoch pin is
+/// skipped — every step is still fully re-verified (grant membership,
+/// view re-instantiation, obligation re-proofs, goal coverage) against
+/// `policy` as it stands now, so an empty result means the derivation
+/// is valid under the *current* grants, not the ones it was minted
+/// under. Any defect — including budget exhaustion — rejects (fail
+/// closed); callers must then fall back to a cold check.
+pub fn revalidate_certificate(
+    cert: &Certificate,
+    policy: &CertPolicy<'_>,
+    opts: &CheckerOptions,
+) -> Vec<Diagnostic> {
+    check_impl(cert, policy, opts, false)
+}
+
+fn check_impl(
+    cert: &Certificate,
+    policy: &CertPolicy<'_>,
+    opts: &CheckerOptions,
+    pin_epoch: bool,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    if cert.policy_epoch != policy.policy_epoch {
+    if pin_epoch && cert.policy_epoch != policy.policy_epoch {
         diags.push(Diagnostic::new(
             Code::StaleGrantEpoch,
             &cert.principal,

@@ -32,8 +32,8 @@ pub mod policy;
 pub mod query;
 
 pub use cert::{
-    check_certificate, CertPolicy, CertVerdict, Certificate, CheckerOptions, Obligation, RuleId,
-    Step,
+    check_certificate, revalidate_certificate, CertPolicy, CertVerdict, Certificate,
+    CheckerOptions, Obligation, RuleId, Step,
 };
 pub use certjson::{certificate_from_json, certificate_to_json, Json};
 pub use diag::{diagnostics_from_json, diagnostics_to_json, Code, Diagnostic, Severity};

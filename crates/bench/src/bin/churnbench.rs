@@ -1,0 +1,251 @@
+//! Policy-churn benchmark: request latency while grants flip underneath.
+//!
+//! PR-8 replaced the epoch cold start (every grant/revoke cleared every
+//! cache) with a dependency-tracked sweep plus certificate-backed warm
+//! revalidation. This bench measures what that buys: a reader
+//! population's p99 with a writer continuously revoking/re-granting a
+//! *pad* view the readers hold but never use. Every flip makes the
+//! readers' cached accepts stale; the next request re-verifies the
+//! stored certificate against the new grant state instead of re-proving
+//! from scratch.
+//!
+//! ```text
+//! churnbench [--iters N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Emits `BENCH_churn.json`. With `--check`, exits non-zero when
+//! p99-under-churn exceeds `max_p99_churn_factor` times the churn-free
+//! p99, or when the revalidation hit rate (warm re-admissions over all
+//! stale-entry resolutions) falls below `min_revalidation_rate`.
+
+use fgac_core::{Engine, Session, SharedEngine};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Reader principals; each holds the full view plus the flipping pad.
+const PRINCIPALS: usize = 4;
+/// Distinct query texts per principal (so the sweep has a population of
+/// entries to restamp or stale, not a single one).
+const QUERIES_PER_PRINCIPAL: usize = 8;
+
+struct Args {
+    iters: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        iters: 3_000,
+        out: "BENCH_churn.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--iters" => args.iters = value("--iters").parse().expect("--iters: usize"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// p99 of already-collected microsecond samples.
+fn p99(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own baseline files without a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn build() -> SharedEngine {
+    let mut ddl = String::from(
+        "create table t (id varchar not null, a int, b varchar, primary key (id));\n\
+         create authorization view v_full as select * from t;\n\
+         create authorization view v_pad as select * from t where a > 1000000;\n",
+    );
+    for i in 0..64 {
+        ddl.push_str(&format!(
+            "insert into t values ('k{i}', {i}, 'row{i}');\n"
+        ));
+    }
+    let mut e = Engine::new();
+    e.admin_script(&ddl).expect("schema + data");
+    for p in 0..PRINCIPALS {
+        let user = format!("u{p}");
+        e.grant_view(&user, "v_full").expect("grant v_full");
+        e.grant_view(&user, "v_pad").expect("grant v_pad");
+    }
+    SharedEngine::new(e)
+}
+
+fn query_text(p: usize, q: usize) -> String {
+    format!("select a, b from t where id = 'k{}'", (p * QUERIES_PER_PRINCIPAL + q) % 64)
+}
+
+/// One measured pass over the whole principal × query matrix; pushes a
+/// per-request sample for each.
+fn measure_round(shared: &SharedEngine, sessions: &[Session], samples: &mut Vec<f64>) {
+    for (p, s) in sessions.iter().enumerate() {
+        for q in 0..QUERIES_PER_PRINCIPAL {
+            let sql = query_text(p, q);
+            let t = Instant::now();
+            let r = shared.execute(s, &sql).expect("reader request");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(r.rows().is_some(), "reader query must return rows");
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let shared = build();
+    let sessions: Vec<Session> = (0..PRINCIPALS).map(|p| Session::new(format!("u{p}"))).collect();
+    let rounds = args.iters.div_ceil(PRINCIPALS * QUERIES_PER_PRINCIPAL).max(1);
+
+    // --- Phase 1: churn-free. Warm everything, then measure.
+    let mut warm = Vec::new();
+    measure_round(&shared, &sessions, &mut warm);
+    let mut quiet = Vec::with_capacity(rounds * PRINCIPALS * QUERIES_PER_PRINCIPAL);
+    for _ in 0..rounds {
+        measure_round(&shared, &sessions, &mut quiet);
+    }
+    let p99_quiet = p99(&mut quiet);
+
+    // --- Phase 2: identical measurement under continuous policy churn.
+    // The writer flips v_pad for every principal: each flip affects all
+    // readers, so their cached accepts go stale and the next request
+    // must resolve through certificate revalidation (v_full, which
+    // justifies every query, is never touched).
+    let (reval_hits0, reval_misses0) = shared.with_read(|e| e.cache().revalidation_stats());
+    let stop = Arc::new(AtomicBool::new(false));
+    let flips = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let shared = shared.clone();
+        let stop = Arc::clone(&stop);
+        let flips = Arc::clone(&flips);
+        std::thread::spawn(move || {
+            let mut held = true;
+            while !stop.load(Ordering::Relaxed) {
+                for p in 0..PRINCIPALS {
+                    let user = format!("u{p}");
+                    shared
+                        .with_write(|e| {
+                            if held {
+                                e.revoke_view(&user, "v_pad")
+                            } else {
+                                e.grant_view(&user, "v_pad")
+                            }
+                        })
+                        .expect("pad flip");
+                }
+                held = !held;
+                flips.fetch_add(1, Ordering::Relaxed);
+                // Let readers actually run between flips; back-to-back
+                // write-lock acquisition would measure lock starvation,
+                // not invalidation cost.
+                std::thread::yield_now();
+            }
+            // Leave the pad granted for a clean final state.
+            if !held {
+                for p in 0..PRINCIPALS {
+                    let user = format!("u{p}");
+                    shared.with_write(|e| e.grant_view(&user, "v_pad")).expect("regrant");
+                }
+            }
+        })
+    };
+
+    let mut churn = Vec::with_capacity(rounds * PRINCIPALS * QUERIES_PER_PRINCIPAL);
+    for _ in 0..rounds {
+        measure_round(&shared, &sessions, &mut churn);
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+    let p99_churn = p99(&mut churn);
+    let total_flips = flips.load(Ordering::Relaxed);
+
+    let (reval_hits1, reval_misses1) = shared.with_read(|e| e.cache().revalidation_stats());
+    let reval_hits = reval_hits1 - reval_hits0;
+    let reval_misses = reval_misses1 - reval_misses0;
+    let reval_total = reval_hits + reval_misses;
+    let reval_rate = if reval_total == 0 {
+        0.0
+    } else {
+        reval_hits as f64 / reval_total as f64
+    };
+    let factor = p99_churn / p99_quiet.max(1e-9);
+
+    eprintln!(
+        "quiet p99 {p99_quiet:.1}µs, churn p99 {p99_churn:.1}µs ({factor:.2}x), \
+         {total_flips} flips, revalidation {reval_hits}/{reval_total} ({:.1}%)",
+        reval_rate * 100.0
+    );
+
+    // --- Gates.
+    let (max_factor, min_reval) = match args.check.as_deref() {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            (
+                json_number(&doc, "max_p99_churn_factor")
+                    .unwrap_or_else(|| panic!("baseline {path} lacks max_p99_churn_factor")),
+                json_number(&doc, "min_revalidation_rate")
+                    .unwrap_or_else(|| panic!("baseline {path} lacks min_revalidation_rate")),
+            )
+        }
+        None => (f64::INFINITY, 0.0),
+    };
+    let factor_ok = factor <= max_factor;
+    let reval_ok = reval_rate >= min_reval || args.check.is_none();
+    let pass = factor_ok && reval_ok;
+
+    let json = format!(
+        "{{\n  \"schema\": \"fgac-churn-v1\",\n  \"iters\": {},\n  \"p99_quiet_us\": {:.1},\n  \"p99_churn_us\": {:.1},\n  \"churn_factor\": {:.2},\n  \"flips\": {},\n  \"revalidation_hits\": {},\n  \"revalidation_misses\": {},\n  \"revalidation_rate\": {:.4},\n  \"gates\": {{ \"max_p99_churn_factor\": {}, \"min_revalidation_rate\": {:.2}, \"pass\": {} }}\n}}\n",
+        rounds * PRINCIPALS * QUERIES_PER_PRINCIPAL,
+        p99_quiet,
+        p99_churn,
+        factor,
+        total_flips,
+        reval_hits,
+        reval_misses,
+        reval_rate,
+        if max_factor.is_finite() { format!("{max_factor:.1}") } else { "null".into() },
+        min_reval,
+        pass,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+
+    if !factor_ok {
+        eprintln!(
+            "GATE FAIL: p99 under churn is {factor:.2}x the churn-free p99 (max {max_factor:.1}x)"
+        );
+    }
+    if !reval_ok {
+        eprintln!(
+            "GATE FAIL: revalidation hit rate {reval_rate:.2} under required {min_reval:.2}"
+        );
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -14,8 +14,23 @@
 //! Conditional verdicts (rule C3) depend on the database *state*, so
 //! they carry the data version they were computed at and expire on any
 //! mutation; unconditional verdicts and rejections survive data changes
-//! (they quantify over all states) but not authorization/schema changes,
-//! which bump the policy epoch and clear everything.
+//! (they quantify over all states).
+//!
+//! ## Policy churn
+//!
+//! Every entry also carries the policy epoch it was computed at and,
+//! for accepts, the validity certificate that proves the derivation.
+//! A policy change no longer clears the cache: the engine sweeps it
+//! with [`ValidityCache::apply_policy_change`], restamping entries of
+//! unaffected principals to the new epoch (still fresh) and leaving
+//! affected certificate-carrying accepts behind at their mint epoch.
+//! Those surface from [`ValidityCache::lookup`] as
+//! [`CacheOutcome::Stale`]: the engine re-verifies the certificate
+//! against the *current* grant state and either restamps
+//! ([`ValidityCache::revalidated`]) or evicts and re-proves cold
+//! ([`ValidityCache::evict_stale`]). Affected entries without a
+//! certificate — including every cached denial, which a grant may
+//! legitimately flip to an accept — are dropped in the sweep.
 //!
 //! ## Concurrency
 //!
@@ -24,14 +39,19 @@
 //! contend, and the hit/miss counters are a single packed [`AtomicU64`]
 //! — one relaxed `fetch_add` per lookup instead of the three mutex
 //! acquisitions (entries + hits + misses) the first implementation paid.
+//! All counters are **cumulative for the life of the engine**: neither
+//! the policy-change sweep nor [`ValidityCache::clear`] resets them, so
+//! a churn bench reads true hit rates across invalidations.
 
 use crate::nontruman::Verdict;
 use fgac_algebra::Plan;
+use fgac_analyze::Certificate;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of independently locked shards. A power of two so shard
 /// selection is a mask.
@@ -43,24 +63,42 @@ const HIT_UNIT: u64 = 1 << 32;
 const MISS_UNIT: u64 = 1;
 
 /// Cache lookup result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CacheOutcome {
+    /// Fresh at the current policy epoch: serve it.
     Hit(Verdict),
+    /// Computed under an older grant state, but the accept carries its
+    /// derivation: the caller may revalidate the certificate against
+    /// the current grants and restamp on success. Serving the verdict
+    /// without that check is never sound.
+    Stale {
+        verdict: Verdict,
+        cert: Arc<Certificate>,
+    },
     Miss,
 }
 
 /// A coherent point-in-time view of the cache counters.
 ///
-/// Both counters come from a *single* atomic load of the packed counter
-/// word, so a snapshot can never observe a lookup half-applied (a hit
-/// counted but visible as neither hit nor miss, or vice versa) — the
-/// tearing the old two-lock `stats()` allowed.
+/// The hit/miss pair comes from a *single* atomic load of the packed
+/// counter word, so a snapshot can never observe a lookup half-applied
+/// (a hit counted but visible as neither hit nor miss, or vice versa);
+/// likewise the revalidation pair. Counters are cumulative across
+/// policy-change sweeps and [`ValidityCache::clear`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     /// Live entries across all shards at (approximately) snapshot time.
     pub entries: usize,
+    /// Stale accepts readmitted after their certificate re-verified
+    /// against the current grant state.
+    pub revalidation_hits: u64,
+    /// Stale accepts whose certificate failed re-verification and fell
+    /// back to a cold check.
+    pub revalidation_misses: u64,
+    /// Entries dropped by policy-change sweeps and full clears.
+    pub invalidated: u64,
 }
 
 impl CacheStats {
@@ -76,12 +114,29 @@ impl CacheStats {
             self.hits as f64 / self.lookups() as f64
         }
     }
+
+    /// Fraction of stale entries that revalidated, in [0, 1]; 0 when no
+    /// revalidation was attempted.
+    pub fn revalidation_rate(&self) -> f64 {
+        let attempts = self.revalidation_hits + self.revalidation_misses;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.revalidation_hits as f64 / attempts as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
     verdict: Verdict,
     data_version: u64,
+    /// The policy epoch this verdict was computed (or last revalidated)
+    /// at. `< current` means stale.
+    policy_epoch: u64,
+    /// The accept's derivation, for warm revalidation. `None` for
+    /// denials and for accepts checked with certificate emission off.
+    cert: Option<Arc<Certificate>>,
 }
 
 /// A concurrent, sharded validity cache.
@@ -92,6 +147,11 @@ pub struct ValidityCache {
     /// lookup. Each half holds 2^32 lookups; the process-lifetime counts
     /// this engine sees stay far below that.
     counters: AtomicU64,
+    /// `revalidation_hits << 32 | revalidation_misses`, same packing.
+    revalidations: AtomicU64,
+    /// Entries dropped by sweeps/clears (satellite of the churn work:
+    /// cumulative, never reset).
+    invalidated: AtomicU64,
 }
 
 impl Default for ValidityCache {
@@ -99,6 +159,8 @@ impl Default for ValidityCache {
         ValidityCache {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             counters: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 }
@@ -141,8 +203,15 @@ impl ValidityCache {
         self.counters.fetch_add(MISS_UNIT, Ordering::Relaxed);
     }
 
-    /// Looks up a verdict for (user, plan) at the given data version.
-    pub fn lookup(&self, user: &str, fingerprint: u64, data_version: u64) -> CacheOutcome {
+    /// Looks up a verdict for (user, plan) at the given data version and
+    /// policy epoch.
+    pub fn lookup(
+        &self,
+        user: &str,
+        fingerprint: u64,
+        data_version: u64,
+        policy_epoch: u64,
+    ) -> CacheOutcome {
         let shard = self.shard(user, fingerprint).lock();
         match shard.get(&(user.to_string(), fingerprint)) {
             Some(e) => {
@@ -155,10 +224,32 @@ impl ValidityCache {
                     self.count_miss();
                     return CacheOutcome::Miss;
                 }
-                let verdict = e.verdict;
-                drop(shard);
-                self.count_hit();
-                CacheOutcome::Hit(verdict)
+                if e.policy_epoch == policy_epoch {
+                    let verdict = e.verdict;
+                    drop(shard);
+                    self.count_hit();
+                    return CacheOutcome::Hit(verdict);
+                }
+                // Behind the current epoch: only a certificate-carrying
+                // accept is worth offering for revalidation. A stale
+                // entry with nothing to re-verify is as good as absent.
+                match (&e.cert, e.verdict) {
+                    (Some(cert), verdict) if verdict != Verdict::Invalid => {
+                        let out = CacheOutcome::Stale {
+                            verdict,
+                            cert: Arc::clone(cert),
+                        };
+                        drop(shard);
+                        // Counted later as a revalidation hit or miss by
+                        // the engine; not a plain hit/miss yet.
+                        out
+                    }
+                    _ => {
+                        drop(shard);
+                        self.count_miss();
+                        CacheOutcome::Miss
+                    }
+                }
             }
             None => {
                 drop(shard);
@@ -168,22 +259,111 @@ impl ValidityCache {
         }
     }
 
-    /// Records a verdict.
-    pub fn store(&self, user: &str, fingerprint: u64, data_version: u64, verdict: Verdict) {
+    /// Records a verdict (with the accept's certificate when available).
+    pub fn store(
+        &self,
+        user: &str,
+        fingerprint: u64,
+        data_version: u64,
+        policy_epoch: u64,
+        verdict: Verdict,
+        cert: Option<Arc<Certificate>>,
+    ) {
         self.shard(user, fingerprint).lock().insert(
             (user.to_string(), fingerprint),
             Entry {
                 verdict,
                 data_version,
+                policy_epoch,
+                cert,
             },
         );
     }
 
-    /// Clears everything — required when views, grants, or schema change
-    /// (a new policy epoch).
-    pub fn clear(&self) {
+    /// Restamps a stale entry whose certificate just re-verified against
+    /// the current grant state: it is fresh again at `policy_epoch`.
+    /// Counts as both a cache hit and a revalidation hit (the lookup
+    /// that surfaced it counted nothing yet).
+    pub fn revalidated(&self, user: &str, fingerprint: u64, policy_epoch: u64) {
+        if let Some(e) = self
+            .shard(user, fingerprint)
+            .lock()
+            .get_mut(&(user.to_string(), fingerprint))
+        {
+            // Only move the stamp forward; a concurrent writer sweep may
+            // already have re-staled the entry under a newer epoch, in
+            // which case this revalidation (made under a read lock held
+            // across the whole check) still proved the older state.
+            if e.policy_epoch < policy_epoch {
+                e.policy_epoch = policy_epoch;
+            }
+        }
+        self.count_hit();
+        self.revalidations.fetch_add(HIT_UNIT, Ordering::Relaxed);
+    }
+
+    /// Drops a stale entry whose certificate failed re-verification.
+    /// Counts as both a cache miss and a revalidation miss; the caller
+    /// falls through to a cold check (fail closed).
+    pub fn evict_stale(&self, user: &str, fingerprint: u64) {
+        self.shard(user, fingerprint)
+            .lock()
+            .remove(&(user.to_string(), fingerprint));
+        self.count_miss();
+        self.revalidations.fetch_add(MISS_UNIT, Ordering::Relaxed);
+    }
+
+    /// The policy-change sweep, run inside the writer's critical section
+    /// right after the epoch bump `from_epoch → to_epoch`:
+    ///
+    /// * entries of principals the change cannot affect are restamped to
+    ///   `to_epoch` — still fresh;
+    /// * affected certificate-carrying accepts stay at their mint epoch
+    ///   (stale, revalidatable on next lookup);
+    /// * everything else affected is dropped.
+    ///
+    /// Only entries stamped exactly `from_epoch` are restamped: an entry
+    /// left stale by an *earlier* affecting change must not be
+    /// freshened by a later unrelated one — it still has a pending
+    /// revalidation to pass.
+    pub fn apply_policy_change<F>(&self, from_epoch: u64, to_epoch: u64, affects: F)
+    where
+        F: Fn(&str) -> bool,
+    {
+        let mut dropped = 0u64;
         for shard in &self.shards {
-            shard.lock().clear();
+            shard.lock().retain(|(user, _), e| {
+                if !affects(user) {
+                    if e.policy_epoch == from_epoch {
+                        e.policy_epoch = to_epoch;
+                    }
+                    return true;
+                }
+                if e.verdict != Verdict::Invalid && e.cert.is_some() {
+                    // Keep, stale: the certificate decides its fate on
+                    // the next lookup.
+                    return true;
+                }
+                dropped += 1;
+                false
+            });
+        }
+        if dropped > 0 {
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears every entry (recovery cold-start). Counters survive — they
+    /// are cumulative engine-lifetime statistics.
+    pub fn clear(&self) {
+        let mut dropped = 0u64;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            dropped += s.len() as u64;
+            s.clear();
+        }
+        if dropped > 0 {
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
         }
     }
 
@@ -202,13 +382,28 @@ impl ValidityCache {
         (packed >> 32, packed & 0xFFFF_FFFF)
     }
 
+    /// (revalidation hits, revalidation misses), one atomic load.
+    pub fn revalidation_stats(&self) -> (u64, u64) {
+        let packed = self.revalidations.load(Ordering::Relaxed);
+        (packed >> 32, packed & 0xFFFF_FFFF)
+    }
+
+    /// Entries dropped by sweeps and clears, cumulative.
+    pub fn invalidated_entries(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
     /// A coherent snapshot of counters and occupancy.
     pub fn snapshot(&self) -> CacheStats {
         let (hits, misses) = self.stats();
+        let (revalidation_hits, revalidation_misses) = self.revalidation_stats();
         CacheStats {
             hits,
             misses,
             entries: self.len(),
+            revalidation_hits,
+            revalidation_misses,
+            invalidated: self.invalidated_entries(),
         }
     }
 }
@@ -216,43 +411,56 @@ impl ValidityCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fgac_analyze::{CertVerdict, Certificate};
     use fgac_types::Schema;
 
     fn plan(table: &str) -> Plan {
         Plan::scan(table, Schema::new(vec![]))
     }
 
+    fn cert(epoch: u64) -> Arc<Certificate> {
+        Arc::new(Certificate {
+            principal: "11".into(),
+            policy_epoch: epoch,
+            verdict: CertVerdict::Unconditional,
+            params: vec![],
+            query_tables: vec![],
+            query: None,
+            steps: vec![],
+        })
+    }
+
     #[test]
     fn unconditional_survives_data_changes() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("11", fp, 1, Verdict::Unconditional);
-        assert_eq!(c.lookup("11", fp, 99), CacheOutcome::Hit(Verdict::Unconditional));
+        c.store("11", fp, 1, 0, Verdict::Unconditional, None);
+        assert_eq!(c.lookup("11", fp, 99, 0), CacheOutcome::Hit(Verdict::Unconditional));
     }
 
     #[test]
     fn conditional_expires_on_data_change() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("11", fp, 1, Verdict::Conditional);
-        assert_eq!(c.lookup("11", fp, 1), CacheOutcome::Hit(Verdict::Conditional));
-        assert_eq!(c.lookup("11", fp, 2), CacheOutcome::Miss);
+        c.store("11", fp, 1, 0, Verdict::Conditional, None);
+        assert_eq!(c.lookup("11", fp, 1, 0), CacheOutcome::Hit(Verdict::Conditional));
+        assert_eq!(c.lookup("11", fp, 2, 0), CacheOutcome::Miss);
     }
 
     #[test]
     fn invalid_expires_on_data_change() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("11", fp, 1, Verdict::Invalid);
-        assert_eq!(c.lookup("11", fp, 2), CacheOutcome::Miss);
+        c.store("11", fp, 1, 0, Verdict::Invalid, None);
+        assert_eq!(c.lookup("11", fp, 2, 0), CacheOutcome::Miss);
     }
 
     #[test]
     fn per_user_keys() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("11", fp, 1, Verdict::Unconditional);
-        assert_eq!(c.lookup("12", fp, 1), CacheOutcome::Miss);
+        c.store("11", fp, 1, 0, Verdict::Unconditional, None);
+        assert_eq!(c.lookup("12", fp, 1, 0), CacheOutcome::Miss);
     }
 
     #[test]
@@ -267,29 +475,92 @@ mod tests {
     fn clear_and_stats() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("11", fp, 1, Verdict::Unconditional);
+        c.store("11", fp, 1, 0, Verdict::Unconditional, None);
         assert_eq!(c.len(), 1);
-        let _ = c.lookup("11", fp, 1);
-        let _ = c.lookup("11", fp + 1, 1);
+        let _ = c.lookup("11", fp, 1, 0);
+        let _ = c.lookup("11", fp + 1, 1, 0);
         assert_eq!(c.stats(), (1, 1));
         c.clear();
         assert!(c.is_empty());
+        // Satellite 1: counters are cumulative — a clear (or sweep) must
+        // not wipe hit/miss history, and the drop itself is counted.
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.invalidated_entries(), 1);
     }
 
     #[test]
-    fn snapshot_is_consistent_with_counters() {
+    fn stale_epoch_without_certificate_misses() {
         let c = ValidityCache::new();
         let fp = ValidityCache::fingerprint(&plan("t"));
-        c.store("u", fp, 0, Verdict::Unconditional);
-        for _ in 0..5 {
-            let _ = c.lookup("u", fp, 0);
+        c.store("11", fp, 1, 0, Verdict::Unconditional, None);
+        assert_eq!(c.lookup("11", fp, 1, 5), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn stale_epoch_with_certificate_offers_revalidation() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, 0, Verdict::Unconditional, Some(cert(0)));
+        match c.lookup("11", fp, 1, 3) {
+            CacheOutcome::Stale { verdict, cert } => {
+                assert_eq!(verdict, Verdict::Unconditional);
+                assert_eq!(cert.policy_epoch, 0);
+            }
+            other => panic!("expected Stale, got {other:?}"),
         }
-        let _ = c.lookup("u", fp ^ 1, 0);
+        // Revalidation restamps: the next lookup at epoch 3 is a hit.
+        c.revalidated("11", fp, 3);
+        assert_eq!(c.lookup("11", fp, 1, 3), CacheOutcome::Hit(Verdict::Unconditional));
         let snap = c.snapshot();
-        assert_eq!((snap.hits, snap.misses), (5, 1));
-        assert_eq!(snap.lookups(), 6);
-        assert!(snap.hit_rate() > 0.8);
-        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.revalidation_hits, 1);
+        assert_eq!(snap.revalidation_misses, 0);
+        assert!(snap.revalidation_rate() > 0.99);
+    }
+
+    #[test]
+    fn evict_stale_counts_a_revalidation_miss() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("11", fp, 1, 0, Verdict::Unconditional, Some(cert(0)));
+        assert!(matches!(c.lookup("11", fp, 1, 2), CacheOutcome::Stale { .. }));
+        c.evict_stale("11", fp);
+        assert_eq!(c.lookup("11", fp, 1, 2), CacheOutcome::Miss);
+        let snap = c.snapshot();
+        assert_eq!(snap.revalidation_misses, 1);
+        assert_eq!(snap.entries, 0);
+    }
+
+    #[test]
+    fn sweep_restamps_unaffected_and_drops_affected_denials() {
+        let c = ValidityCache::new();
+        let fa = ValidityCache::fingerprint(&plan("a"));
+        let fb = ValidityCache::fingerprint(&plan("b"));
+        let fc = ValidityCache::fingerprint(&plan("c"));
+        // Unaffected accept, affected accept-with-cert, affected denial.
+        c.store("alice", fa, 1, 4, Verdict::Unconditional, None);
+        c.store("bob", fb, 1, 4, Verdict::Unconditional, Some(cert(4)));
+        c.store("bob", fc, 1, 4, Verdict::Invalid, None);
+        c.apply_policy_change(4, 5, |user| user == "bob");
+        // Alice restamped: fresh at 5 without a recheck.
+        assert_eq!(c.lookup("alice", fa, 1, 5), CacheOutcome::Hit(Verdict::Unconditional));
+        // Bob's accept is stale but revalidatable.
+        assert!(matches!(c.lookup("bob", fb, 1, 5), CacheOutcome::Stale { .. }));
+        // Bob's denial is gone — the grant may have made it valid.
+        assert_eq!(c.lookup("bob", fc, 1, 5), CacheOutcome::Miss);
+        assert_eq!(c.invalidated_entries(), 1);
+    }
+
+    #[test]
+    fn sweep_never_freshens_an_already_stale_entry() {
+        let c = ValidityCache::new();
+        let fp = ValidityCache::fingerprint(&plan("t"));
+        c.store("bob", fp, 1, 4, Verdict::Unconditional, Some(cert(4)));
+        // Change affecting bob: entry goes stale at epoch 4.
+        c.apply_policy_change(4, 5, |user| user == "bob");
+        // Later change affecting only alice: bob's entry must NOT be
+        // restamped to 6 — it still owes a revalidation.
+        c.apply_policy_change(5, 6, |user| user == "alice");
+        assert!(matches!(c.lookup("bob", fp, 1, 6), CacheOutcome::Stale { .. }));
     }
 
     #[test]
@@ -299,7 +570,14 @@ mod tests {
         // several.
         let c = ValidityCache::new();
         for i in 0..64u64 {
-            c.store(&format!("user{i}"), i.wrapping_mul(0x9E37_79B9_7F4A_7C15), 0, Verdict::Unconditional);
+            c.store(
+                &format!("user{i}"),
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                0,
+                0,
+                Verdict::Unconditional,
+                None,
+            );
         }
         let occupied = c.shards.iter().filter(|s| !s.lock().is_empty()).count();
         assert!(occupied >= SHARDS / 2, "only {occupied} shards occupied");

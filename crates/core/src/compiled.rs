@@ -333,6 +333,59 @@ impl CompiledPolicies {
         st.rel_ids = Arc::new(HashMap::new());
     }
 
+    /// The dependency-tracked policy-change sweep, run inside the
+    /// writer's critical section right after the epoch bump
+    /// `from_epoch → to_epoch`: drops only the snapshots of principals
+    /// the change affects and re-keys the table to the new epoch, so
+    /// unaffected principals keep their compiled caps across churn.
+    ///
+    /// Soundness: a snapshot is a pure function of the catalog and one
+    /// principal's effective grants. For an unaffected principal
+    /// neither input changed, so the retained snapshot equals what a
+    /// recompile at `to_epoch` would produce. A pure catalog extension
+    /// (CREATE TABLE) passes the new catalog so *future* compiles see
+    /// the new relation ids; retained snapshots keep their own embedded
+    /// `rel_ids` and simply miss (→ full prover) on the new table —
+    /// never a stale accept. Returns the number of snapshots dropped.
+    ///
+    /// If the table's epoch does not match `from_epoch` (possible only
+    /// if an invalidation was missed), everything is dropped — fail
+    /// closed, exactly like [`CompiledPolicies::invalidate`].
+    pub fn apply_policy_change<F>(
+        &self,
+        from_epoch: u64,
+        to_epoch: u64,
+        affects: F,
+        new_catalog: Option<&Catalog>,
+    ) -> usize
+    where
+        F: Fn(&str) -> bool,
+    {
+        let mut st = self.inner.lock();
+        match st.epoch {
+            // Nothing compiled yet: leave the table unkeyed — the first
+            // `principal()` call builds relation ids from the live
+            // catalog and keys the table in one step.
+            None => 0,
+            Some(e) if e == from_epoch => {
+                st.epoch = Some(to_epoch);
+                let before = st.principals.len();
+                st.principals.retain(|user, _| !affects(user));
+                if let Some(cat) = new_catalog {
+                    st.rel_ids = Arc::new(relation_ids(cat));
+                }
+                before - st.principals.len()
+            }
+            Some(_) => {
+                let dropped = st.principals.len();
+                st.epoch = None;
+                st.principals.clear();
+                st.rel_ids = Arc::new(HashMap::new());
+                dropped
+            }
+        }
+    }
+
     /// Number of principals with a live compiled snapshot (gauge).
     pub fn compiled_principals(&self) -> u64 {
         self.inner.lock().principals.len() as u64
@@ -601,6 +654,71 @@ mod tests {
         assert_eq!(caps.compiled_relations(), 0);
         assert_eq!(caps.residual_views(), 4);
         assert!(admit(&caps, &c, "select grade from grades where student_id = 'u'").is_none());
+    }
+
+    #[test]
+    fn sweep_retains_unaffected_principals() {
+        let mut c = catalog();
+        add_view(&mut c, "create authorization view g as select * from grades");
+        add_view(&mut c, "create authorization view s as select * from students");
+        let mut g = Grants::new();
+        g.grant_view("u", "g");
+        g.grant_view("w", "s");
+        let tables = CompiledPolicies::new();
+        let u1 = tables.principal(1, "u", &c, &g);
+        let _w1 = tables.principal(1, "w", &c, &g);
+        assert_eq!(tables.compiled_principals(), 2);
+        // A change affecting only "w" keeps "u"'s snapshot byte-for-byte.
+        g.revoke_view("w", &Ident::new("s"));
+        let dropped = tables.apply_policy_change(1, 2, |user| user == "w", None);
+        assert_eq!(dropped, 1);
+        assert_eq!(tables.compiled_principals(), 1);
+        let u2 = tables.principal(2, "u", &c, &g);
+        assert!(Arc::ptr_eq(&u1, &u2), "unaffected snapshot must survive");
+        // "w" recompiles against the post-revoke grants.
+        let w2 = tables.principal(2, "w", &c, &g);
+        assert_eq!(w2.compiled_relations(), 0);
+    }
+
+    #[test]
+    fn sweep_with_unexpected_epoch_fails_closed() {
+        let mut c = catalog();
+        add_view(&mut c, "create authorization view g as select * from grades");
+        let mut g = Grants::new();
+        g.grant_view("u", "g");
+        let tables = CompiledPolicies::new();
+        let _ = tables.principal(3, "u", &c, &g);
+        // from_epoch disagrees with the table's key: drop everything.
+        let dropped = tables.apply_policy_change(9, 10, |_| false, None);
+        assert_eq!(dropped, 1);
+        assert_eq!(tables.compiled_principals(), 0);
+    }
+
+    #[test]
+    fn new_table_sweep_rebuilds_relation_ids_for_future_compiles() {
+        let mut c = catalog();
+        add_view(&mut c, "create authorization view g as select * from grades");
+        let mut g = Grants::new();
+        g.grant_view("u", "g");
+        let tables = CompiledPolicies::new();
+        let before = tables.principal(1, "u", &c, &g);
+        // Pure catalog extension: "u" is unaffected and keeps its caps.
+        c.add_table(
+            "audit",
+            Schema::new(vec![Column::new("id", DataType::Str)]),
+            None,
+        )
+        .unwrap();
+        tables.apply_policy_change(1, 2, |_| false, Some(&c));
+        let after = tables.principal(2, "u", &c, &g);
+        assert!(Arc::ptr_eq(&before, &after));
+        // A fresh principal compiled after the sweep sees the new
+        // relation in its id space (full-width view over grades still
+        // admits; the new table simply has no coverage).
+        g.grant_view("v2", "g");
+        let fresh = tables.principal(2, "v2", &c, &g);
+        assert!(admit(&fresh, &c, "select grade from grades where course_id = 'x'").is_some());
+        assert!(admit(&fresh, &c, "select id from audit").is_none());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! [`Engine::sync`] / [`Engine::close`] at a boundary you choose.
 
 use crate::engine::Engine;
+use crate::invalidation::PolicyDelta;
 use fgac_sql::Statement;
 use fgac_storage::TableSnapshot;
 use fgac_types::{Error, Ident, Result};
@@ -147,10 +148,10 @@ impl Engine {
 
         // No verdict cached before the crash may survive it: the epoch
         // moves strictly past every epoch the crashed engine ever had a
-        // cache entry under, and both caches start cold.
-        engine.policy_epoch += 1;
-        engine.cache.clear();
-        engine.plan_cache.clear();
+        // cache entry under, and every cache — plans, verdicts, compiled
+        // caps — starts cold (a recovered engine has no certificates to
+        // revalidate against anyway).
+        engine.apply_change(crate::invalidation::PolicyDelta::Full);
         engine.attach(Durability {
             store: recovered.store,
             opts,
@@ -448,18 +449,25 @@ impl Engine {
                 Ok(())
             }
             WalRecord::GrantView { principal, view } => {
-                self.grants.grant_view(principal, view.as_str());
-                self.policy_change();
+                self.grants.grant_view(principal.clone(), view.as_str());
+                self.apply_change(PolicyDelta::GrantView {
+                    principal,
+                    view: Ident::new(view),
+                });
                 Ok(())
             }
             WalRecord::RevokeView { principal, view } => {
-                self.grants.revoke_view(&principal, &Ident::new(view));
-                self.policy_change();
+                let v = Ident::new(view);
+                self.grants.revoke_view(&principal, &v);
+                self.apply_change(PolicyDelta::RevokeView { principal, view: v });
                 Ok(())
             }
             WalRecord::GrantConstraint { principal, name } => {
-                self.grants.grant_constraint(principal, name.as_str());
-                self.policy_change();
+                self.grants.grant_constraint(principal.clone(), name.as_str());
+                self.apply_change(PolicyDelta::GrantConstraint {
+                    principal,
+                    name: Ident::new(name),
+                });
                 Ok(())
             }
             WalRecord::GrantUpdate { principal, sql } => match fgac_sql::parse_statement(&sql)? {
@@ -472,15 +480,18 @@ impl Engine {
                 ))),
             },
             WalRecord::AddRole { user, role } => {
-                self.grants.add_role(user, role);
-                self.policy_change();
+                self.grants.add_role(user.clone(), role);
+                self.apply_change(PolicyDelta::AddRole { user });
                 Ok(())
             }
             WalRecord::DelegateView { to, view, .. } => {
                 // Validation (delegator holds the view) passed at log
                 // time; replay applies the effect.
-                self.grants.grant_view(to, view.as_str());
-                self.policy_change();
+                self.grants.grant_view(to.clone(), view.as_str());
+                self.apply_change(PolicyDelta::GrantView {
+                    principal: to,
+                    view: Ident::new(view),
+                });
                 Ok(())
             }
         }

@@ -16,6 +16,7 @@
 use crate::cache::{CacheOutcome, ValidityCache};
 use crate::durability::Durability;
 use crate::grants::Grants;
+use crate::invalidation::PolicyDelta;
 use crate::nontruman::{CheckOptions, Validator, Verdict, ValidityReport};
 use crate::plancache::{CachedPlan, PlanCache};
 use crate::session::Session;
@@ -142,20 +143,50 @@ impl Engine {
         self.policy_epoch
     }
 
-    /// An authorization or view-definition change: cached verdicts are
-    /// no longer sound, and cached plans may embed stale view bodies.
-    pub(crate) fn policy_change(&mut self) {
+    /// Applies one policy/schema change to the admission caches:
+    /// dependency-tracked invalidation instead of the old global
+    /// cold-start. The epoch still bumps on every change (it remains
+    /// the version stamp certificates are minted under), but each cache
+    /// is swept with the delta:
+    ///
+    /// * validity cache — entries of unaffected principals are
+    ///   restamped to the new epoch; affected certificate-carrying
+    ///   accepts stay behind as *stale* (warm-revalidated on next
+    ///   lookup, see [`Engine::check_admitted_at`]); affected denials
+    ///   and certificate-less entries are dropped;
+    /// * plan cache — only DDL introducing a catalog name can change
+    ///   binding, so only entries depending on that name are dropped
+    ///   (grants/roles touch nothing);
+    /// * compiled caps — affected principals' snapshots are dropped,
+    ///   the rest survive; a CREATE TABLE also rebuilds the relation-id
+    ///   space for future compiles.
+    ///
+    /// Runs inside the writer's critical section (`&mut self`), so
+    /// under [`crate::SharedEngine`] no reader observes the new grants
+    /// with the old caches or vice versa.
+    pub(crate) fn apply_change(&mut self, delta: PolicyDelta) {
+        let from = self.policy_epoch;
         self.policy_epoch += 1;
-        self.cache.clear();
-        self.compiled.invalidate();
-    }
-
-    /// A pure catalog extension (new table): existing verdicts stay
-    /// sound — they quantify over the relations they mention — but
-    /// binding outcomes can change, so cached plans are retired.
-    pub(crate) fn schema_change(&mut self) {
-        self.policy_epoch += 1;
-        self.compiled.invalidate();
+        let to = self.policy_epoch;
+        crate::invalidation::note_policy_change();
+        if matches!(delta, PolicyDelta::Full) {
+            crate::invalidation::note_full_invalidation();
+            self.cache.clear();
+            self.plan_cache.clear();
+            self.compiled.invalidate();
+            return;
+        }
+        let grants = &self.grants;
+        let affects = |user: &str| delta.affects(grants, user);
+        self.cache.apply_policy_change(from, to, affects);
+        if let Some(name) = delta.introduced_name() {
+            self.plan_cache.invalidate_deps(std::slice::from_ref(name));
+        }
+        let new_catalog = match delta {
+            PolicyDelta::NewTable { .. } => Some(self.db.catalog()),
+            _ => None,
+        };
+        self.compiled.apply_policy_change(from, to, affects, new_catalog);
     }
 
     /// The compiled-policy store (fast-path capability snapshots).
@@ -245,7 +276,9 @@ impl Engine {
                         parent_columns: fk.parent_columns.clone(),
                     })?;
                 }
-                self.schema_change();
+                self.apply_change(PolicyDelta::NewTable {
+                    table: t.name.clone(),
+                });
                 Ok(())
             }
             Statement::CreateView(v) => {
@@ -254,7 +287,9 @@ impl Engine {
                     authorization: v.authorization,
                     query: v.query.clone(),
                 })?;
-                self.policy_change();
+                self.apply_change(PolicyDelta::NewView {
+                    view: v.name.clone(),
+                });
                 Ok(())
             }
             Statement::CreateInclusionDependency(d) => {
@@ -267,7 +302,9 @@ impl Engine {
                     dst_columns: d.dst_columns.clone(),
                     dst_filter: d.dst_filter.clone(),
                 })?;
-                self.policy_change();
+                self.apply_change(PolicyDelta::NewConstraint {
+                    name: d.name.clone(),
+                });
                 Ok(())
             }
             _ => Err(Error::Internal("apply_ddl called on non-DDL".into())),
@@ -366,7 +403,10 @@ impl Engine {
             view: view.into(),
         })?;
         self.grants.grant_view(principal, view);
-        self.policy_change();
+        self.apply_change(PolicyDelta::GrantView {
+            principal: principal.to_string(),
+            view: Ident::new(view),
+        });
         self.maybe_snapshot();
         Ok(())
     }
@@ -380,7 +420,10 @@ impl Engine {
             view: view.into(),
         })?;
         self.grants.revoke_view(principal, &Ident::new(view));
-        self.policy_change();
+        self.apply_change(PolicyDelta::RevokeView {
+            principal: principal.to_string(),
+            view: Ident::new(view),
+        });
         self.maybe_snapshot();
         Ok(())
     }
@@ -394,7 +437,10 @@ impl Engine {
             name: name.into(),
         })?;
         self.grants.grant_constraint(principal, name);
-        self.policy_change();
+        self.apply_change(PolicyDelta::GrantConstraint {
+            principal: principal.to_string(),
+            name: Ident::new(name),
+        });
         self.maybe_snapshot();
         Ok(())
     }
@@ -424,7 +470,9 @@ impl Engine {
             role: role.into(),
         })?;
         self.grants.add_role(user, role);
-        self.policy_change();
+        self.apply_change(PolicyDelta::AddRole {
+            user: user.to_string(),
+        });
         self.maybe_snapshot();
         Ok(())
     }
@@ -445,8 +493,11 @@ impl Engine {
             to: to.into(),
             view: view.into(),
         })?;
-        self.grants.grant_view(to, v);
-        self.policy_change();
+        self.grants.grant_view(to, v.clone());
+        self.apply_change(PolicyDelta::GrantView {
+            principal: to.to_string(),
+            view: v,
+        });
         self.maybe_snapshot();
         Ok(())
     }
@@ -482,7 +533,7 @@ impl Engine {
     ) -> Result<EngineResponse> {
         self.ensure_open()?;
         check_deadline(deadline)?;
-        if let Some(cached) = self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+        if let Some(cached) = self.plan_cache.get(sql, session.params()) {
             return self.execute_cached_query_at(session, &cached, deadline);
         }
         let stmt = fgac_sql::parse_statement(sql)?;
@@ -513,7 +564,7 @@ impl Engine {
         if let Err(e) = check_deadline(deadline) {
             return Some(Err(e));
         }
-        if let Some(cached) = self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+        if let Some(cached) = self.plan_cache.get(sql, session.params()) {
             return Some(self.execute_cached_query_at(session, &cached, deadline));
         }
         let stmt = match fgac_sql::parse_statement(sql) {
@@ -572,13 +623,18 @@ impl Engine {
         let bound = fgac_algebra::bind_query(self.db.catalog(), q, session.params())?;
         let normalized = fgac_algebra::normalize(&bound.plan);
         let validity_fp = ValidityCache::fingerprint_in_session(&normalized, session.params());
+        // The entry's read set, for dependency invalidation: every name
+        // binding resolved (views included, recursively) plus every base
+        // table the normalized plan scans.
+        let mut deps = crate::invalidation::query_dependencies(self.db.catalog(), q);
+        deps.extend(normalized.scanned_tables());
         let cached = Arc::new(CachedPlan {
             bound,
             normalized,
             validity_fp,
+            deps,
         });
-        self.plan_cache
-            .insert(self.policy_epoch, sql, session.params(), cached.clone());
+        self.plan_cache.insert(sql, session.params(), cached.clone());
         Ok(cached)
     }
 
@@ -838,7 +894,7 @@ impl Engine {
     /// would run at prepare time. Warms both the plan cache and the
     /// validity cache.
     pub fn check(&self, session: &Session, sql: &str) -> Result<ValidityReport> {
-        let cached = match self.plan_cache.get(self.policy_epoch, sql, session.params()) {
+        let cached = match self.plan_cache.get(sql, session.params()) {
             Some(c) => c,
             None => {
                 let q = fgac_sql::parse_query(sql)?;
@@ -872,21 +928,59 @@ impl Engine {
         deadline: Option<Instant>,
     ) -> Result<ValidityReport> {
         check_deadline(deadline)?;
-        if let CacheOutcome::Hit(verdict) = self.cache.lookup(session.user(), fp, self.data_version)
+        match self
+            .cache
+            .lookup(session.user(), fp, self.data_version, self.policy_epoch)
         {
-            return Ok(ValidityReport {
-                verdict,
-                rules: vec!["validity cache hit".into()],
-                reason: if verdict == Verdict::Invalid {
-                    Some("query rejected (cached verdict)".into())
-                } else {
-                    None
-                },
-                dag_stats: Default::default(),
-                views_considered: 0,
-                exhausted: None,
-                certificate: None,
-            });
+            CacheOutcome::Hit(verdict) => {
+                return Ok(ValidityReport {
+                    verdict,
+                    rules: vec!["validity cache hit".into()],
+                    reason: if verdict == Verdict::Invalid {
+                        Some("query rejected (cached verdict)".into())
+                    } else {
+                        None
+                    },
+                    dag_stats: Default::default(),
+                    views_considered: 0,
+                    exhausted: None,
+                    certificate: None,
+                });
+            }
+            // Computed under an older grant state but the accept carries
+            // its derivation: re-verify the certificate against the
+            // *current* grants (same independent checker, epoch pin
+            // lifted). Verification success means the derivation is
+            // valid under today's policy — serve the verdict and restamp
+            // without re-proving. ANY defect — failed step, revoked
+            // view, budget exhaustion — falls closed to the cold check.
+            CacheOutcome::Stale { verdict, cert } => {
+                let diags = fgac_analyze::revalidate_certificate(
+                    &cert,
+                    &self.certificate_policy(),
+                    &fgac_analyze::CheckerOptions {
+                        budget: self.options.budget.clone(),
+                    },
+                );
+                if diags.is_empty() {
+                    self.cache.revalidated(session.user(), fp, self.policy_epoch);
+                    return Ok(ValidityReport {
+                        verdict,
+                        rules: vec![
+                            "validity cache hit (certificate revalidated against current grants)"
+                                .into(),
+                        ],
+                        reason: None,
+                        dag_stats: Default::default(),
+                        views_considered: 0,
+                        exhausted: None,
+                        certificate: None,
+                    });
+                }
+                self.cache.evict_stale(session.user(), fp);
+                // Fall through to the cold check below.
+            }
+            CacheOutcome::Miss => {}
         }
         let mut options = self.options.clone();
         clamp_budget_deadline(&mut options, deadline);
@@ -949,8 +1043,18 @@ impl Engine {
             }
             Err(e) => return Err(e),
         };
-        self.cache
-            .store(session.user(), fp, self.data_version, report.verdict);
+        // Accepts keep their certificate alongside the verdict so a
+        // later policy change can warm-revalidate instead of dropping
+        // the entry; denials (and emission-off checks) store none.
+        let cert = report.certificate.clone().map(Arc::new);
+        self.cache.store(
+            session.user(),
+            fp,
+            self.data_version,
+            self.policy_epoch,
+            report.verdict,
+            cert,
+        );
         Ok(report)
     }
 

@@ -37,6 +37,7 @@ pub mod compiled;
 mod durability;
 mod engine;
 mod grants;
+pub mod invalidation;
 pub mod nontruman;
 mod plancache;
 mod prepared;
@@ -55,6 +56,7 @@ pub use fgac_analyze::{
 };
 pub use durability::{DurabilityOptions, RecoveryReport};
 pub use engine::{Engine, EngineResponse};
+pub use invalidation::PolicyDelta;
 pub use plancache::{CachedPlan, PlanCache};
 pub use grants::Grants;
 pub use prepared::Prepared;

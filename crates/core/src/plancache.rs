@@ -14,25 +14,29 @@
 //!
 //! Binding substitutes `$` session parameters into the plan, so a cached
 //! bound plan is only reusable when the parameter environment is
-//! identical: the key is `(policy epoch, SQL text, parameter
-//! fingerprint)`. The same SQL text issued by a different `$user_id`
-//! therefore occupies a different slot — plans never alias across
-//! sessions with different parameters.
+//! identical: the key is `(SQL text, parameter fingerprint)`. The same
+//! SQL text issued by a different `$user_id` therefore occupies a
+//! different slot — plans never alias across sessions with different
+//! parameters.
 //!
-//! The policy epoch is bumped by the engine on every catalog or
-//! authorization change (CREATE TABLE / CREATE [AUTHORIZATION] VIEW /
-//! inclusion dependencies / grants / revocations / role changes). Old
-//! entries become unreachable immediately — binding depends on the
-//! catalog, so a stale bound plan must never survive DDL — and are
-//! recycled by LRU eviction. DML does *not* bump the epoch: plans are
-//! data-independent, which is exactly what makes the steady state cheap
-//! (the data-version handling of conditional verdicts stays entirely
-//! inside the validity cache).
+//! Invalidation is **dependency-tracked**, not epoch-keyed: each cached
+//! plan records the catalog names its binding read (every FROM-clause
+//! table and view, recursing through view expansion — see
+//! [`crate::invalidation::query_dependencies`]). Grants and revocations
+//! never touch this cache: binding does not consult the grant tables,
+//! so an authorization change cannot change what a SQL text binds to.
+//! DDL invalidates only the entries whose dependency set intersects the
+//! introduced name ([`PlanCache::invalidate_deps`]) — in a live engine
+//! that set is empty (a CREATE of an existing name fails), so plans
+//! survive unrelated schema growth too. DML touches nothing here: plans
+//! are data-independent (the data-version handling of conditional
+//! verdicts stays entirely inside the validity cache).
 
 use fgac_algebra::{BoundQuery, ParamScope, Plan};
+use fgac_types::Ident;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,11 +57,15 @@ pub struct CachedPlan {
     /// [`crate::ValidityCache`] lookup key, precomputed so warm
     /// executions do not re-hash the plan.
     pub validity_fp: u64,
+    /// Catalog names binding read: FROM-clause tables and views
+    /// (recursively through view expansion) plus every base table the
+    /// normalized plan scans. DDL introducing any of these names
+    /// invalidates the entry.
+    pub deps: BTreeSet<Ident>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Key {
-    epoch: u64,
     params_fp: u64,
     sql: String,
 }
@@ -84,6 +92,9 @@ pub struct PlanCache {
     /// `hits << 32 | misses`, one relaxed fetch_add per lookup (see
     /// [`crate::cache::ValidityCache`] for the packing rationale).
     counters: AtomicU64,
+    /// Entries dropped by dependency invalidation and clears —
+    /// cumulative, like every cache counter.
+    invalidated: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -102,6 +113,7 @@ impl PlanCache {
             inner: Mutex::new(Inner::default()),
             capacity: capacity.max(1),
             counters: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -111,11 +123,10 @@ impl PlanCache {
         h.finish()
     }
 
-    /// Looks up the admitted plan for `sql` under the given policy epoch
-    /// and parameter environment.
-    pub fn get(&self, epoch: u64, sql: &str, params: &ParamScope) -> Option<Arc<CachedPlan>> {
+    /// Looks up the admitted plan for `sql` under the given parameter
+    /// environment.
+    pub fn get(&self, sql: &str, params: &ParamScope) -> Option<Arc<CachedPlan>> {
         let key = Key {
-            epoch,
             params_fp: Self::params_fp(params),
             sql: sql.to_string(),
         };
@@ -136,11 +147,9 @@ impl PlanCache {
     }
 
     /// Inserts an admitted plan, evicting the least-recently-used entry
-    /// when full. Entries from older epochs are evicted first — they can
-    /// never be hit again.
-    pub fn insert(&self, epoch: u64, sql: &str, params: &ParamScope, plan: Arc<CachedPlan>) {
+    /// when full.
+    pub fn insert(&self, sql: &str, params: &ParamScope, plan: Arc<CachedPlan>) {
         let key = Key {
-            epoch,
             params_fp: Self::params_fp(params),
             sql: sql.to_string(),
         };
@@ -148,11 +157,10 @@ impl PlanCache {
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            // Prefer dead epochs; otherwise plain LRU.
             let victim = inner
                 .map
                 .iter()
-                .min_by_key(|(k, slot)| (k.epoch == epoch, slot.last_used))
+                .min_by_key(|(_, slot)| slot.last_used)
                 .map(|(k, _)| k.clone());
             if let Some(v) = victim {
                 inner.map.remove(&v);
@@ -167,8 +175,31 @@ impl PlanCache {
         );
     }
 
+    /// Drops every entry whose dependency set intersects `names` (the
+    /// DDL sweep). Returns the number of entries dropped.
+    pub fn invalidate_deps(&self, names: &[Ident]) -> usize {
+        if names.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|_, slot| !names.iter().any(|n| slot.value.deps.contains(n)));
+        let dropped = before - inner.map.len();
+        if dropped > 0 {
+            self.invalidated.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        dropped
+    }
+
     pub fn clear(&self) {
-        self.inner.lock().map.clear();
+        let mut inner = self.inner.lock();
+        let dropped = inner.map.len() as u64;
+        inner.map.clear();
+        if dropped > 0 {
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -185,6 +216,11 @@ impl PlanCache {
         (packed >> 32, packed & 0xFFFF_FFFF)
     }
 
+    /// Entries dropped by dependency sweeps and clears, cumulative.
+    pub fn invalidated_entries(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
     /// Coherent counter + occupancy snapshot.
     pub fn snapshot(&self) -> CacheStats {
         let (hits, misses) = self.stats();
@@ -192,6 +228,8 @@ impl PlanCache {
             hits,
             misses,
             entries: self.len(),
+            invalidated: self.invalidated_entries(),
+            ..CacheStats::default()
         }
     }
 }
@@ -201,7 +239,7 @@ mod tests {
     use super::*;
     use fgac_types::Schema;
 
-    fn cached_plan() -> Arc<CachedPlan> {
+    fn cached_plan_deps(deps: &[&str]) -> Arc<CachedPlan> {
         let plan = Plan::scan("t", Schema::new(vec![]));
         Arc::new(CachedPlan {
             bound: BoundQuery {
@@ -212,62 +250,75 @@ mod tests {
             },
             normalized: plan,
             validity_fp: 7,
+            deps: deps.iter().map(Ident::new).collect(),
         })
+    }
+
+    fn cached_plan() -> Arc<CachedPlan> {
+        cached_plan_deps(&["t"])
     }
 
     #[test]
     fn hit_and_miss_accounting() {
         let c = PlanCache::new();
         let params = ParamScope::with_user("11");
-        assert!(c.get(0, "select 1", &params).is_none());
-        c.insert(0, "select 1", &params, cached_plan());
-        assert!(c.get(0, "select 1", &params).is_some());
+        assert!(c.get("select 1", &params).is_none());
+        c.insert("select 1", &params, cached_plan());
+        assert!(c.get("select 1", &params).is_some());
         let snap = c.snapshot();
         assert_eq!((snap.hits, snap.misses), (1, 1));
         assert_eq!(snap.entries, 1);
     }
 
     #[test]
-    fn epoch_bump_makes_entries_unreachable() {
+    fn dependency_invalidation_is_selective() {
         let c = PlanCache::new();
         let params = ParamScope::with_user("11");
-        c.insert(0, "q", &params, cached_plan());
-        assert!(c.get(1, "q", &params).is_none());
+        c.insert("qa", &params, cached_plan_deps(&["a", "shared"]));
+        c.insert("qb", &params, cached_plan_deps(&["b"]));
+        // An unrelated name drops nothing.
+        assert_eq!(c.invalidate_deps(&[Ident::new("zzz")]), 0);
+        assert_eq!(c.len(), 2);
+        // A name in qa's dependency set drops qa only.
+        assert_eq!(c.invalidate_deps(&[Ident::new("shared")]), 1);
+        assert!(c.get("qa", &params).is_none());
+        assert!(c.get("qb", &params).is_some());
+        assert_eq!(c.invalidated_entries(), 1);
     }
 
     #[test]
     fn params_key_plans_separately() {
         let c = PlanCache::new();
-        c.insert(0, "q", &ParamScope::with_user("11"), cached_plan());
-        assert!(c.get(0, "q", &ParamScope::with_user("12")).is_none());
-        assert!(c.get(0, "q", &ParamScope::with_user("11")).is_some());
+        c.insert("q", &ParamScope::with_user("11"), cached_plan());
+        assert!(c.get("q", &ParamScope::with_user("12")).is_none());
+        assert!(c.get("q", &ParamScope::with_user("11")).is_some());
     }
 
     #[test]
     fn lru_eviction_bounds_size() {
         let c = PlanCache::with_capacity(2);
         let params = ParamScope::new();
-        c.insert(0, "a", &params, cached_plan());
-        c.insert(0, "b", &params, cached_plan());
+        c.insert("a", &params, cached_plan());
+        c.insert("b", &params, cached_plan());
         // Touch "a" so "b" is the LRU victim.
-        assert!(c.get(0, "a", &params).is_some());
-        c.insert(0, "c", &params, cached_plan());
+        assert!(c.get("a", &params).is_some());
+        c.insert("c", &params, cached_plan());
         assert_eq!(c.len(), 2);
-        assert!(c.get(0, "a", &params).is_some());
-        assert!(c.get(0, "b", &params).is_none());
-        assert!(c.get(0, "c", &params).is_some());
+        assert!(c.get("a", &params).is_some());
+        assert!(c.get("b", &params).is_none());
+        assert!(c.get("c", &params).is_some());
     }
 
     #[test]
-    fn dead_epoch_entries_evicted_first() {
-        let c = PlanCache::with_capacity(2);
+    fn clear_keeps_cumulative_counters() {
+        let c = PlanCache::new();
         let params = ParamScope::new();
-        c.insert(0, "old", &params, cached_plan());
-        c.insert(1, "a", &params, cached_plan());
-        // "old" is from a dead epoch; though "a" is not more recent
-        // enough to matter, "old" must be the victim.
-        c.insert(1, "b", &params, cached_plan());
-        assert!(c.get(1, "a", &params).is_some());
-        assert!(c.get(1, "b", &params).is_some());
+        c.insert("q", &params, cached_plan());
+        assert!(c.get("q", &params).is_some());
+        c.clear();
+        assert!(c.is_empty());
+        let (hits, _) = c.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(c.invalidated_entries(), 1);
     }
 }

@@ -64,11 +64,7 @@ impl Engine {
             // plan cache, so a re-execution reuses the cached bound plan
             // (no re-bind) and its precomputed validity fingerprint.
             Statement::Query(q) => {
-                let cached = match self.plan_cache().get(
-                    self.policy_epoch(),
-                    &prepared.text,
-                    session.params(),
-                ) {
+                let cached = match self.plan_cache().get(&prepared.text, session.params()) {
                     Some(c) => c,
                     None => self.admit_query(session, &prepared.text, q)?,
                 };

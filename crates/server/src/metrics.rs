@@ -65,6 +65,22 @@ pub fn compiled_policy_rows(compiled_principals: u64) -> Vec<(&'static str, u64)
     ]
 }
 
+/// Churn-survival rows for the `METRICS` result set: how policy and
+/// schema changes were absorbed. Process-wide change counters plus the
+/// per-engine invalidation/revalidation gauges the caller reads under
+/// the engine lock.
+pub fn invalidation_rows(e: &fgac_core::Engine) -> Vec<(&'static str, u64)> {
+    let (reval_hits, reval_misses) = e.cache().revalidation_stats();
+    vec![
+        ("policy_changes", fgac_core::invalidation::policy_change_count()),
+        ("full_invalidations", fgac_core::invalidation::full_invalidation_count()),
+        ("validity_cache_invalidated", e.cache().invalidated_entries()),
+        ("validity_cache_revalidation_hits", reval_hits),
+        ("validity_cache_revalidation_misses", reval_misses),
+        ("plan_cache_invalidated", e.plan_cache().invalidated_entries()),
+    ]
+}
+
 impl Metrics {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);

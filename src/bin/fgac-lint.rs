@@ -349,6 +349,12 @@ fn lint_targets(root: &Path) -> Vec<PathBuf> {
         // The compiled fast path sits on the admission hot path: a panic
         // there takes down every connection's validity check.
         root.join("crates/core/src/compiled.rs"),
+        // Churn survival (PR-8): the invalidation sweep and the caches
+        // it restamps run inside the engine's writer critical section —
+        // a panic there poisons the lock for every connection.
+        root.join("crates/core/src/invalidation.rs"),
+        root.join("crates/core/src/cache.rs"),
+        root.join("crates/core/src/plancache.rs"),
         root.join("crates/algebra/src/implication.rs"),
         root.join("crates/analyze/src/cert.rs"),
         root.join("crates/analyze/src/certjson.rs"),

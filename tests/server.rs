@@ -404,6 +404,14 @@ fn metrics_expose_server_and_engine_counters() {
     assert!(metrics.contains_key("validity_cache_hits"));
     assert!(metrics.contains_key("policy_epoch"));
     assert!(metrics.contains_key("c3_probes"));
+    // Churn-survival counters (PR-8): change totals and how the sweep
+    // resolved cached entries.
+    assert!(metrics.contains_key("policy_changes"));
+    assert!(metrics.contains_key("full_invalidations"));
+    assert!(metrics.contains_key("validity_cache_invalidated"));
+    assert!(metrics.contains_key("validity_cache_revalidation_hits"));
+    assert!(metrics.contains_key("validity_cache_revalidation_misses"));
+    assert!(metrics.contains_key("plan_cache_invalidated"));
     server.finish().unwrap();
 }
 
