@@ -53,6 +53,29 @@ pub enum Code {
     /// a prover obligation that does not re-prove, or a recorded block
     /// that does not match the re-derived one.
     CertificateStepUnverified,
+    /// `F001`: composing granted views (joining them back together on
+    /// an exposed key) reveals a column combination over one relation
+    /// that no single grant exposes — transitive disclosure widening.
+    TransitiveDisclosureWidening,
+    /// `F002`: a constraint-visibility grant lets values of a protected
+    /// relation be inferred through an inclusion dependency whose
+    /// source side the principal can already read.
+    ConstraintInferenceChannel,
+    /// `F003`: a conditionally-valid (C3) view whose remainder probe
+    /// evaluates predicates over columns the principal cannot otherwise
+    /// see — each probe outcome leaks a bounded number of bits about
+    /// those cells (the Section 5.4 channel, statically bounded).
+    ProbeChannelExposure,
+    /// `F004`: the flow delta of a *proposed* grant — which cells of the
+    /// disclosure lattice it would newly make reachable, and which new
+    /// flow findings it would introduce. Informational by construction.
+    GrantFlowDiff,
+    /// A finding code this build does not know. Never emitted by the
+    /// analyzer; produced only by the wire parser so a newer writer's
+    /// output still loads (forward compatibility). Always carries
+    /// [`Severity::Unknown`]: an unrecognized finding is neither a
+    /// clean bill nor an error.
+    UnrecognizedFinding,
 }
 
 impl Code {
@@ -70,6 +93,11 @@ impl Code {
             Code::UnauthorizedProbe => "Q002",
             Code::StaleGrantEpoch => "Q003",
             Code::CertificateStepUnverified => "Q004",
+            Code::TransitiveDisclosureWidening => "F001",
+            Code::ConstraintInferenceChannel => "F002",
+            Code::ProbeChannelExposure => "F003",
+            Code::GrantFlowDiff => "F004",
+            Code::UnrecognizedFinding => "F???",
         }
     }
 
@@ -87,6 +115,11 @@ impl Code {
             Code::UnauthorizedProbe => "UnauthorizedProbe",
             Code::StaleGrantEpoch => "StaleGrantEpoch",
             Code::CertificateStepUnverified => "CertificateStepUnverified",
+            Code::TransitiveDisclosureWidening => "TransitiveDisclosureWidening",
+            Code::ConstraintInferenceChannel => "ConstraintInferenceChannel",
+            Code::ProbeChannelExposure => "ProbeChannelExposure",
+            Code::GrantFlowDiff => "GrantFlowDiff",
+            Code::UnrecognizedFinding => "UnrecognizedFinding",
         }
     }
 
@@ -104,6 +137,10 @@ impl Code {
             "Q002" => Code::UnauthorizedProbe,
             "Q003" => Code::StaleGrantEpoch,
             "Q004" => Code::CertificateStepUnverified,
+            "F001" => Code::TransitiveDisclosureWidening,
+            "F002" => Code::ConstraintInferenceChannel,
+            "F003" => Code::ProbeChannelExposure,
+            "F004" => Code::GrantFlowDiff,
             _ => return None,
         })
     }
@@ -119,10 +156,15 @@ impl Code {
             | Code::UncoveredRelation
             | Code::UnauthorizedProbe
             | Code::StaleGrantEpoch
-            | Code::CertificateStepUnverified => Severity::Error,
-            Code::RedundantGrant | Code::UnboundParameter | Code::CrossViewContradiction => {
-                Severity::Warning
-            }
+            | Code::CertificateStepUnverified
+            | Code::TransitiveDisclosureWidening
+            | Code::ConstraintInferenceChannel => Severity::Error,
+            Code::RedundantGrant
+            | Code::UnboundParameter
+            | Code::CrossViewContradiction
+            | Code::ProbeChannelExposure
+            | Code::GrantFlowDiff => Severity::Warning,
+            Code::UnrecognizedFinding => Severity::Unknown,
         }
     }
 }
@@ -289,7 +331,14 @@ fn parse_object(p: &mut JsonCursor) -> Option<Diagnostic> {
         p.skip_ws();
         let val = p.string()?;
         match key.as_str() {
-            "code" => code = Code::from_str_code(&val),
+            // Forward compatibility: a code this build does not know
+            // (a newer analyzer's finding) parses as
+            // [`Code::UnrecognizedFinding`] instead of rejecting the
+            // whole document. Structural strictness is unchanged — the
+            // key must still be present with a string value.
+            "code" => {
+                code = Some(Code::from_str_code(&val).unwrap_or(Code::UnrecognizedFinding));
+            }
             "severity" => severity = Severity::from_str_sev(&val),
             "principal" => principal = Some(val),
             "object" => object = Some(val),
@@ -304,9 +353,18 @@ fn parse_object(p: &mut JsonCursor) -> Option<Diagnostic> {
         p.eat('}')?;
         break;
     }
+    let code = code?;
+    // An unrecognized finding is neither clean nor an error: whatever
+    // severity the (newer) writer attached, this build cannot act on
+    // it, so it degrades to the fail-open level.
+    let severity = if code == Code::UnrecognizedFinding {
+        Severity::Unknown
+    } else {
+        severity?
+    };
     Some(Diagnostic {
-        code: code?,
-        severity: severity?,
+        code,
+        severity,
         principal: principal?,
         object: object?,
         message: message?,
@@ -402,10 +460,40 @@ mod tests {
             (Code::UnauthorizedProbe, "Q002"),
             (Code::StaleGrantEpoch, "Q003"),
             (Code::CertificateStepUnverified, "Q004"),
+            (Code::TransitiveDisclosureWidening, "F001"),
+            (Code::ConstraintInferenceChannel, "F002"),
+            (Code::ProbeChannelExposure, "F003"),
+            (Code::GrantFlowDiff, "F004"),
         ] {
             assert_eq!(code.as_str(), s);
             assert_eq!(Code::from_str_code(s), Some(code));
         }
+        // The forward-compat sentinel is parser-only: no short code maps
+        // to it, and its own spelling does not round-trip into a real code.
+        assert_eq!(Code::from_str_code("F???"), None);
+    }
+
+    #[test]
+    fn unknown_codes_parse_to_severity_unknown_not_error() {
+        // A newer analyzer emitted F009 with a severity this build has
+        // never heard of: the document still loads, the finding carries
+        // the fail-open severity, and known findings around it survive.
+        let json = r#"[
+  {"code":"F009","name":"FutureFinding","severity":"critical","principal":"11","object":"v","message":"from the future"},
+  {"code":"F001","name":"TransitiveDisclosureWidening","severity":"error","principal":"11","object":"w","message":"known"}
+]"#;
+        let back = diagnostics_from_json(json).expect("forward-compat parse");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].code, Code::UnrecognizedFinding);
+        assert_eq!(back[0].severity, Severity::Unknown);
+        assert_eq!(back[0].message, "from the future");
+        assert_eq!(back[1].code, Code::TransitiveDisclosureWidening);
+        assert_eq!(back[1].severity, Severity::Error);
+
+        // Structural strictness is unchanged: a known code with an
+        // unknown severity string is still rejected.
+        let bad = r#"[{"code":"F001","severity":"critical","principal":"","object":"","message":""}]"#;
+        assert_eq!(diagnostics_from_json(bad), None);
     }
 
     #[test]

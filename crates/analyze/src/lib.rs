@@ -28,6 +28,7 @@
 pub mod cert;
 pub mod certjson;
 pub mod diag;
+pub mod flow;
 pub mod policy;
 pub mod query;
 
@@ -37,5 +38,8 @@ pub use cert::{
 };
 pub use certjson::{certificate_from_json, certificate_to_json, Json};
 pub use diag::{diagnostics_from_json, diagnostics_to_json, Code, Diagnostic, Severity};
+pub use flow::{
+    analyze_flow_set, flow_diff_grant, flow_principals, FlowContext, PrincipalFlow, ProposedGrant,
+};
 pub use policy::{analyze_policy_set, AnalyzeOptions, PolicySet};
 pub use query::analyze_query;

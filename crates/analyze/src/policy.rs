@@ -34,30 +34,30 @@ pub struct AnalyzeOptions {
 }
 
 /// What one view definition looks like to the analyzer.
-struct ViewInfo {
-    exists: bool,
-    authorization: bool,
+pub(crate) struct ViewInfo {
+    pub(crate) exists: bool,
+    pub(crate) authorization: bool,
     /// Bind failure (unknown table/column) — the `P004` evidence.
-    bind_error: Option<String>,
+    pub(crate) bind_error: Option<String>,
     /// SPJ decomposition of the bound, normalized body, when it has
     /// that shape (aggregates/unions don't; predicate lints skip them).
-    block: Option<SpjBlock>,
+    pub(crate) block: Option<SpjBlock>,
     /// The source AST, for the syntactic parameter lint.
-    query: Option<Query>,
+    pub(crate) query: Option<Query>,
 }
 
 /// Budget-metered prover façade: after the first exhaustion every
 /// subsequent proof request reports [`Severity::Unknown`] (fail-open)
 /// instead of running.
-struct Prover {
-    meter: BudgetMeter,
-    exhausted: bool,
+pub(crate) struct Prover {
+    pub(crate) meter: BudgetMeter,
+    pub(crate) exhausted: bool,
 }
 
 impl Prover {
     /// `Some(answer)`, or `None` when the budget ran out (now or on an
     /// earlier call).
-    fn implies(&mut self, p: &[ScalarExpr], q: &[ScalarExpr], arity: usize) -> Option<bool> {
+    pub(crate) fn implies(&mut self, p: &[ScalarExpr], q: &[ScalarExpr], arity: usize) -> Option<bool> {
         if self.exhausted {
             return None;
         }
@@ -167,7 +167,7 @@ pub(crate) fn symbolize_params(q: &Query) -> Query {
 }
 
 /// Binds and decomposes one view definition against the catalog.
-fn inspect_view(catalog: &Catalog, name: &Ident) -> ViewInfo {
+pub(crate) fn inspect_view(catalog: &Catalog, name: &Ident) -> ViewInfo {
     let Some(def) = catalog.view(name) else {
         return ViewInfo {
             exists: false,
@@ -203,14 +203,14 @@ fn inspect_view(catalog: &Catalog, name: &Ident) -> ViewInfo {
 /// every role it belongs to. Maps each view to the grant entry that
 /// supplies it (the principal itself, or a role name), preferring the
 /// direct grant.
-fn effective_views(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
+pub(crate) fn effective_views(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
     effective_grants(set.view_grants, set.role_memberships, user)
 }
 
 /// The effective constraint-visibility set of a principal, with the
 /// same direct-grant-preferring source attribution as
 /// [`effective_views`].
-fn effective_constraints(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
+pub(crate) fn effective_constraints(set: &PolicySet, user: &str) -> BTreeMap<Ident, String> {
     effective_grants(set.constraint_grants, set.role_memberships, user)
 }
 

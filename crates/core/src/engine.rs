@@ -67,6 +67,9 @@ pub struct Engine {
     /// every policy/schema change and re-keyed lazily on lookup, so a
     /// revoke can never leave a stale mask serving accepts.
     compiled: crate::compiled::CompiledPolicies,
+    /// Epoch-stamped per-principal flow findings + shared view-summary
+    /// memo for incremental `ANALYZE FLOW` (see [`crate::flowcache`]).
+    flow: crate::flowcache::FlowAnalysisCache,
     options: CheckOptions,
     /// Bumped on every successful DML — versions conditional verdicts.
     pub(crate) data_version: u64,
@@ -90,6 +93,7 @@ impl Engine {
             cache: ValidityCache::new(),
             plan_cache: PlanCache::new(),
             compiled: crate::compiled::CompiledPolicies::new(),
+            flow: crate::flowcache::FlowAnalysisCache::new(),
             options: CheckOptions::default(),
             data_version: 0,
             policy_epoch: 0,
@@ -174,6 +178,7 @@ impl Engine {
             self.cache.clear();
             self.plan_cache.clear();
             self.compiled.invalidate();
+            self.flow.clear();
             return;
         }
         let grants = &self.grants;
@@ -182,6 +187,8 @@ impl Engine {
         if let Some(name) = delta.introduced_name() {
             self.plan_cache.invalidate_deps(std::slice::from_ref(name));
         }
+        self.flow
+            .apply_policy_change(from, to, affects, delta.introduced_name().is_some());
         let new_catalog = match delta {
             PolicyDelta::NewTable { .. } => Some(self.db.catalog()),
             _ => None,
@@ -234,6 +241,12 @@ impl Engine {
                 "ANALYZE POLICY returns rows: call Engine::analyze_policy for the \
                  whole-set report (sessions running it through execute see only \
                  their own grants)"
+                    .into(),
+            )),
+            Statement::AnalyzeFlow(_) => Err(Error::Unsupported(
+                "ANALYZE FLOW returns rows: call Engine::analyze_flow for the \
+                 whole-set report (sessions running it through execute see only \
+                 their own lattice)"
                     .into(),
             )),
             Statement::ExplainAuthorization(_) => Err(Error::Unsupported(
@@ -577,6 +590,7 @@ impl Engine {
                     .and_then(|cached| self.execute_cached_query_at(session, &cached, deadline)),
             ),
             Statement::AnalyzePolicy(a) => Some(self.analyze_policy_session(session, &a)),
+            Statement::AnalyzeFlow(a) => Some(self.analyze_flow_session(session, &a)),
             Statement::ExplainAuthorization(ex) => Some(
                 self.certify_query(session, &ex.query)
                     .map(|report| EngineResponse::Rows(explain_authorization_result(&report))),
@@ -608,6 +622,28 @@ impl Engine {
             }
         }
         let diags = self.analyze_policy(Some(session.user()));
+        Ok(EngineResponse::Rows(diagnostics_result(&diags)))
+    }
+
+    /// The session-scoped `ANALYZE FLOW` arm, shared by the `&mut`
+    /// statement path and the read path. Same disclosure discipline as
+    /// `ANALYZE POLICY`: a flow report names other principals' views
+    /// and lattice cells, so a session may analyze only its own.
+    fn analyze_flow_session(
+        &self,
+        session: &Session,
+        a: &fgac_sql::AnalyzeFlow,
+    ) -> Result<EngineResponse> {
+        if let Some(p) = a.principal.as_deref() {
+            if p != session.user() {
+                return Err(Error::Unauthorized(
+                    "ANALYZE FLOW FOR another principal is admin-only; \
+                     a session may analyze only its own disclosure lattice"
+                        .into(),
+                ));
+            }
+        }
+        let diags = self.analyze_flow(Some(session.user()));
         Ok(EngineResponse::Rows(diagnostics_result(&diags)))
     }
 
@@ -787,6 +823,7 @@ impl Engine {
                 Ok(EngineResponse::Affected(n))
             }
             Statement::AnalyzePolicy(a) => self.analyze_policy_session(session, a),
+            Statement::AnalyzeFlow(a) => self.analyze_flow_session(session, a),
             Statement::ExplainAuthorization(ex) => {
                 // Session-scoped by construction: the check runs against
                 // the session's own grants, so — unlike ANALYZE POLICY —
@@ -822,6 +859,53 @@ impl Engine {
             budget: self.options.budget.clone(),
         };
         fgac_analyze::analyze_policy_set(&set, principal, &opts)
+    }
+
+    /// Runs the whole-policy information-flow analysis (disclosure
+    /// lattices, F-codes — see `fgac_analyze::flow`) over the installed
+    /// policy set. `principal` restricts it to one principal's lattice.
+    ///
+    /// Whole-set runs are incremental: per-principal results are cached
+    /// under the policy epoch and swept by the same
+    /// [`crate::invalidation::PolicyDelta::affects`] predicate as the
+    /// admission caches, so a single grant re-analyzes only the
+    /// affected principals. Fails open like the policy lints.
+    pub fn analyze_flow(&self, principal: Option<&str>) -> Vec<Diagnostic> {
+        let set = fgac_analyze::PolicySet {
+            catalog: self.db.catalog(),
+            view_grants: self.grants.view_grants(),
+            constraint_grants: self.grants.constraint_grants(),
+            role_memberships: self.grants.role_memberships(),
+            revocations: self.grants.revoked_views(),
+        };
+        let opts = fgac_analyze::AnalyzeOptions {
+            budget: self.options.budget.clone(),
+        };
+        match principal {
+            Some(p) => self.flow.analyze_one(&set, p, &opts),
+            None => self.flow.analyze_full(&set, self.policy_epoch, &opts),
+        }
+    }
+
+    /// F004: what a proposed grant would newly disclose, computed
+    /// against the live policy set without applying the grant.
+    pub fn flow_diff_grant(&self, grant: &fgac_analyze::ProposedGrant) -> Vec<Diagnostic> {
+        let set = fgac_analyze::PolicySet {
+            catalog: self.db.catalog(),
+            view_grants: self.grants.view_grants(),
+            constraint_grants: self.grants.constraint_grants(),
+            role_memberships: self.grants.role_memberships(),
+            revocations: self.grants.revoked_views(),
+        };
+        let opts = fgac_analyze::AnalyzeOptions {
+            budget: self.options.budget.clone(),
+        };
+        fgac_analyze::flow_diff_grant(&set, grant, &opts)
+    }
+
+    /// (epoch-fresh flow entries, total flow entries) — metrics.
+    pub fn flow_cache_stats(&self) -> (usize, usize) {
+        self.flow.stats(self.policy_epoch)
     }
 
     /// The live policy in the shape the independent certificate checker

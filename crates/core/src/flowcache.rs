@@ -1,0 +1,174 @@
+//! Incremental whole-policy flow analysis.
+//!
+//! A full [`fgac_analyze::analyze_flow_set`] run over a 50k-view policy
+//! set re-summarizes every view and re-derives every principal's
+//! disclosure lattice. Policy churn makes that a recurring cost: one
+//! grant to one principal invalidates nothing about anybody else's
+//! lattice. This cache makes `ANALYZE FLOW` incremental the same way
+//! the admission caches survive churn (see [`crate::invalidation`]):
+//!
+//! * **View summaries** are a pure function of the catalog, so the
+//!   shared [`FlowContext`] memo survives every grant/revoke/role
+//!   change and is dropped only when DDL introduces a catalog name.
+//! * **Per-principal findings** are stamped with the policy epoch they
+//!   were computed under. The [`PolicyDelta::affects`] sweep — the
+//!   same predicate the validity cache uses — drops affected
+//!   principals' entries and restamps the rest, so a grant to one
+//!   principal re-analyzes only that principal (and role members
+//!   inheriting from it) on the next run.
+//!
+//! Cached entries hold the *whole-set* analysis (role-sourced findings
+//! deduplicated onto the role's pass). Single-principal runs
+//! (`ANALYZE FLOW FOR p`, the session statement) are computed fresh
+//! against the shared summary memo: their dedup context differs, and
+//! they are not the hot path the bench gates.
+//!
+//! The sweep runs inside the writer's critical section (`&mut Engine` /
+//! the [`crate::SharedEngine`] write lock) like every other cache
+//! sweep, so a reader never observes new grants with stale flow
+//! entries.
+
+use fgac_analyze::{AnalyzeOptions, Diagnostic, FlowContext, PolicySet};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// Process-wide observability, following the invalidation counter
+// pattern: monotone, relaxed, never a correctness input.
+static FLOW_ANALYSES: AtomicU64 = AtomicU64::new(0);
+static FLOW_PRINCIPALS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+static FLOW_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// `ANALYZE FLOW` runs served (all engines, cached or not).
+pub fn flow_analysis_count() -> u64 {
+    FLOW_ANALYSES.load(Ordering::Relaxed)
+}
+
+/// Per-principal lattices actually (re)computed.
+pub fn flow_principals_computed() -> u64 {
+    FLOW_PRINCIPALS_COMPUTED.load(Ordering::Relaxed)
+}
+
+/// Per-principal results served from the epoch-stamped cache.
+pub fn flow_cache_hits() -> u64 {
+    FLOW_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Shared view-summary memo (pure function of the catalog).
+    ctx: FlowContext,
+    /// principal → (policy epoch the findings were computed under,
+    /// whole-set findings attributed to that principal).
+    findings: BTreeMap<String, (u64, Vec<Diagnostic>)>,
+}
+
+/// Epoch-stamped per-principal flow findings plus the shared view
+/// summary memo, swept by [`crate::invalidation::PolicyDelta`].
+#[derive(Debug, Default)]
+pub struct FlowAnalysisCache {
+    inner: Mutex<Inner>,
+}
+
+impl FlowAnalysisCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops everything — the full-invalidation (recovery) path.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        inner.ctx.clear();
+        inner.findings.clear();
+    }
+
+    /// The dependency sweep: drops entries of principals the delta
+    /// `affects`, restamps the rest from `from` to `to`, and clears the
+    /// view-summary memo only when the change introduced a catalog name
+    /// (the only way an existing view body can re-bind differently).
+    pub fn apply_policy_change(
+        &self,
+        from: u64,
+        to: u64,
+        affects: impl Fn(&str) -> bool,
+        introduced_name: bool,
+    ) {
+        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        if introduced_name {
+            inner.ctx.clear();
+        }
+        inner.findings.retain(|p, entry| {
+            if affects(p) {
+                return false;
+            }
+            if entry.0 == from {
+                entry.0 = to;
+            }
+            // An entry stamped older than `from` was already stale;
+            // keep it stale so it recomputes on next use.
+            true
+        });
+    }
+
+    /// (epoch-fresh entries, total entries) — metrics surface.
+    pub fn stats(&self, epoch: u64) -> (usize, usize) {
+        let inner = self.inner.lock().expect("flow cache poisoned");
+        let fresh = inner.findings.values().filter(|e| e.0 == epoch).count();
+        (fresh, inner.findings.len())
+    }
+
+    /// The whole-set flow analysis at `epoch`, reusing every cached
+    /// per-principal result still stamped with `epoch` and recomputing
+    /// only the swept-out rest.
+    pub fn analyze_full(
+        &self,
+        set: &PolicySet,
+        epoch: u64,
+        opts: &AnalyzeOptions,
+    ) -> Vec<Diagnostic> {
+        FLOW_ANALYSES.fetch_add(1, Ordering::Relaxed);
+        let principals = fgac_analyze::flow_principals(set, None);
+        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        let inner = &mut *inner;
+        let mut out = Vec::new();
+        for p in &principals {
+            if let Some((stamp, diags)) = inner.findings.get(p) {
+                if *stamp == epoch {
+                    FLOW_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                    out.extend(diags.iter().cloned());
+                    continue;
+                }
+            }
+            FLOW_PRINCIPALS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+            let flow = inner.ctx.principal_flow(set, p, &principals, opts);
+            out.extend(flow.findings.iter().cloned());
+            inner.findings.insert(p.clone(), (epoch, flow.findings));
+        }
+        // Entries for principals no longer in the grant tables would
+        // never be swept by `affects` (revocation keeps a tombstone, so
+        // in practice principals rarely vanish); drop them here so the
+        // map tracks the live principal set.
+        inner.findings.retain(|p, _| principals.contains(p));
+        fgac_analyze::flow::sort_diags(&mut out);
+        out
+    }
+
+    /// A single-principal analysis (`ANALYZE FLOW FOR p`): computed
+    /// fresh — the dedup context (`analyzed = {p}`) differs from the
+    /// whole-set entries — but against the shared summary memo.
+    pub fn analyze_one(
+        &self,
+        set: &PolicySet,
+        principal: &str,
+        opts: &AnalyzeOptions,
+    ) -> Vec<Diagnostic> {
+        FLOW_ANALYSES.fetch_add(1, Ordering::Relaxed);
+        FLOW_PRINCIPALS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+        let analyzed = std::iter::once(principal.to_string()).collect();
+        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        inner
+            .ctx
+            .principal_flow(set, principal, &analyzed, opts)
+            .findings
+    }
+}

@@ -36,6 +36,7 @@ mod cache;
 pub mod compiled;
 mod durability;
 mod engine;
+pub mod flowcache;
 mod grants;
 pub mod invalidation;
 pub mod nontruman;

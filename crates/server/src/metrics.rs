@@ -81,6 +81,23 @@ pub fn invalidation_rows(e: &fgac_core::Engine) -> Vec<(&'static str, u64)> {
     ]
 }
 
+/// Flow-analysis rows for the `METRICS` result set: process-wide
+/// `ANALYZE FLOW` counters plus the per-engine cache gauges the caller
+/// reads under the engine lock.
+pub fn flow_rows(e: &fgac_core::Engine) -> Vec<(&'static str, u64)> {
+    let (fresh, total) = e.flow_cache_stats();
+    vec![
+        ("flow_analyses", fgac_core::flowcache::flow_analysis_count()),
+        (
+            "flow_principals_computed",
+            fgac_core::flowcache::flow_principals_computed(),
+        ),
+        ("flow_cache_hits", fgac_core::flowcache::flow_cache_hits()),
+        ("flow_cache_fresh", fresh as u64),
+        ("flow_cache_entries", total as u64),
+    ]
+}
+
 impl Metrics {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);

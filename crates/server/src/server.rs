@@ -570,6 +570,9 @@ fn metrics_response(shared: &Arc<Shared>) -> Response {
         for (k, v) in crate::metrics::invalidation_rows(e) {
             pairs.push((k.to_string(), v));
         }
+        for (k, v) in crate::metrics::flow_rows(e) {
+            pairs.push((k.to_string(), v));
+        }
     });
     pairs.push(("c3_probes".into(), fgac_core::nontruman::c3_probe_count()));
     let rows = pairs

@@ -36,6 +36,10 @@ pub enum Statement {
     /// static analyzer over the installed policy set and return its
     /// diagnostics as rows.
     AnalyzePolicy(AnalyzePolicy),
+    /// `ANALYZE FLOW [FOR principal]` — run the whole-policy
+    /// information-flow analysis (disclosure lattices, F-codes) and
+    /// return its findings as rows.
+    AnalyzeFlow(AnalyzeFlow),
     /// `EXPLAIN AUTHORIZATION <query>` — run the Non-Truman validity
     /// check with certificate emission, re-verify the certificate with
     /// the independent checker, and return the derivation steps as rows.
@@ -184,6 +188,14 @@ pub struct Grant {
 pub struct AnalyzePolicy {
     /// Restrict the analysis to one principal's effective grant set;
     /// `None` analyzes every principal in the grant tables.
+    pub principal: Option<String>,
+}
+
+/// `ANALYZE FLOW [FOR principal]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeFlow {
+    /// Restrict the flow analysis to one principal's disclosure
+    /// lattice; `None` analyzes every principal in the grant tables.
     pub principal: Option<String>,
 }
 

@@ -2,7 +2,7 @@
 
 use super::Parser;
 use crate::ast::{
-    AnalyzePolicy, Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView,
+    AnalyzeFlow, AnalyzePolicy, Authorize, ColumnDef, CreateInclusionDependency, CreateTable, CreateView,
     Delete, DmlAction, Expr, ExplainAuthorization, ForeignKeyDef, Grant, GrantKind, Insert,
     Statement, Update,
 };
@@ -69,6 +69,14 @@ impl Parser {
 
     fn analyze_policy(&mut self) -> Result<Statement> {
         self.expect_kw(Keyword::Analyze)?;
+        if self.eat_kw(Keyword::Flow) {
+            let principal = if self.eat_kw(Keyword::For) {
+                Some(self.principal()?)
+            } else {
+                None
+            };
+            return Ok(Statement::AnalyzeFlow(AnalyzeFlow { principal }));
+        }
         self.expect_kw(Keyword::Policy)?;
         let principal = if self.eat_kw(Keyword::For) {
             Some(self.principal()?)

@@ -106,6 +106,10 @@ pub fn print_statement(stmt: &Statement) -> String {
             Some(p) => format!("ANALYZE POLICY FOR {}", principal(p)),
             None => "ANALYZE POLICY".to_string(),
         },
+        Statement::AnalyzeFlow(a) => match &a.principal {
+            Some(p) => format!("ANALYZE FLOW FOR {}", principal(p)),
+            None => "ANALYZE FLOW".to_string(),
+        },
         Statement::ExplainAuthorization(e) => {
             format!("EXPLAIN AUTHORIZATION {}", print_query(&e.query))
         }

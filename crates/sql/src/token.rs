@@ -68,6 +68,7 @@ pub enum Keyword {
     Role,
     Constraint,
     Explain,
+    Flow,
 }
 
 impl Keyword {
@@ -133,6 +134,7 @@ impl Keyword {
             "ROLE" => Role,
             "CONSTRAINT" => Constraint,
             "EXPLAIN" => Explain,
+            "FLOW" => Flow,
             _ => return None,
         })
     }
@@ -152,6 +154,7 @@ impl Keyword {
             Role => "role",
             Constraint => "constraint",
             Explain => "explain",
+            Flow => "flow",
             _ => return None,
         })
     }

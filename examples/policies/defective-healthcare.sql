@@ -1,0 +1,42 @@
+-- A deliberately leaky variant of the healthcare policy set. Every
+-- grant below is clean under the per-grant lints (P-codes) — the leaks
+-- only appear when the *composition* of the granted set is analyzed.
+-- CI runs `fgac-analyze --flow examples/policies/defective-healthcare.sql`
+-- and requires it to FAIL (exit 1) with the seeded F-codes present.
+
+create table patients (
+  patient_id varchar not null,
+  name varchar not null,
+  diagnosis varchar not null,
+  ward integer not null,
+  primary key (patient_id));
+
+create table treatments (
+  patient_id varchar not null,
+  treatment_code varchar not null,
+  cost integer not null,
+  primary key (patient_id, treatment_code));
+
+-- F001 TransitiveDisclosureWidening: each view on its own is a
+-- reasonable de-identified slice — ward rosters with names, and
+-- per-patient diagnoses. But both project the primary key, so nurse
+-- '41' can join them back together and read (name, diagnosis) pairs,
+-- a column combination no single grant exposes.
+create authorization view WardRoster as
+  select patient_id, name, ward from patients;
+create authorization view CaseLoad as
+  select patient_id, diagnosis from patients;
+grant view WardRoster to '41';
+grant view CaseLoad to '41';
+
+-- F002 ConstraintInferenceChannel: billing clerk '42' holds no view
+-- over `patients` at all — but the visible inclusion dependency says
+-- every billed treatment's patient_id appears in `patients`, so the
+-- fully-disclosed billing feed lets admitted-patient identities be
+-- inferred through the dependency.
+create inclusion dependency billed_admitted
+  on treatments (patient_id) references patients (patient_id);
+create authorization view BillingFeed as
+  select * from treatments;
+grant view BillingFeed to '42';
+grant constraint billed_admitted to '42';

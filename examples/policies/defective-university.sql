@@ -68,3 +68,22 @@ create authorization view PartTimers as
   select * from students where type = 'PartTime';
 grant view FullTimers to '36';
 grant view PartTimers to '36';
+
+-- F001 TransitiveDisclosureWidening (flow analysis, `--flow`): each
+-- view alone is an innocuous keyed slice, but principal 37 can join
+-- them back on student_id and read (name, type) pairs no single grant
+-- exposes. Clean under the per-grant lints — the leak is compositional.
+create authorization view RosterNames as
+  select student_id, name from students;
+create authorization view RosterTypes as
+  select student_id, type from students;
+grant view RosterNames to '37';
+grant view RosterTypes to '37';
+
+-- F002 ConstraintInferenceChannel (flow analysis): principal 38 holds
+-- no view over `registered`, but the visible Example 5.1 dependency
+-- lets every disclosed student_id be inferred to appear there.
+create inclusion dependency all_registered
+  on students (student_id) references registered (student_id);
+grant view RosterNames to '38';
+grant constraint all_registered to '38';

@@ -1,0 +1,90 @@
+-- A healthcare policy corpus (ROADMAP item 5c): patients, physicians,
+-- treatments, and prescriptions, with attending-physician and
+-- patient-self authorization views.
+--
+-- This policy set is clean on both analyses: the grant-time lints
+-- (`fgac-analyze examples/policies/healthcare.sql`) and the
+-- whole-policy flow pass (`fgac-analyze --flow ...`) report no
+-- diagnostics, and CI keeps it that way. Note the constraint grant at
+-- the bottom: it is safe *only because* the destination columns are
+-- already disclosed to the role — the defective variant shows the same
+-- grant opening an F002 inference channel when they are not.
+
+create table patients (
+  patient_id varchar not null,
+  name varchar not null,
+  ward integer not null,
+  attending_id varchar not null,
+  primary key (patient_id));
+
+create table physicians (
+  physician_id varchar not null,
+  name varchar not null,
+  specialty varchar not null,
+  primary key (physician_id));
+
+create table treatments (
+  patient_id varchar not null,
+  physician_id varchar not null,
+  treatment_code varchar not null,
+  outcome varchar,
+  primary key (patient_id, treatment_code),
+  foreign key (patient_id) references patients (patient_id),
+  foreign key (physician_id) references physicians (physician_id));
+
+create table prescriptions (
+  patient_id varchar not null,
+  drug varchar not null,
+  dose integer not null,
+  prescriber_id varchar not null,
+  primary key (patient_id, drug),
+  foreign key (patient_id) references patients (patient_id),
+  foreign key (prescriber_id) references physicians (physician_id));
+
+-- A physician sees the patients they attend...
+create authorization view MyPatients as
+  select * from patients where attending_id = $user_id;
+
+-- ...the treatments they administered...
+create authorization view MyTreatments as
+  select * from treatments where physician_id = $user_id;
+
+-- ...the prescriptions they wrote themselves...
+create authorization view MyPrescribed as
+  select * from prescriptions where prescriber_id = $user_id;
+
+-- ...and the prescriptions of their own patients, whoever prescribed
+-- them. The conditional-validity probes for this view touch both
+-- relations, and the role covers each through MyPatients and
+-- MyPrescribed — so the probe neither fails closed (P005) nor leaks
+-- undisclosed cells (F003).
+create authorization view MyPatientMeds as
+  select prescriptions.* from prescriptions, patients
+  where patients.attending_id = $user_id
+    and prescriptions.patient_id = patients.patient_id;
+
+-- Every treatment names an admitted patient. Visible to physicians for
+-- U3a inference; flow-safe because MyPatients already discloses the
+-- destination columns (no new lattice cells — no F002).
+create inclusion dependency treated_admitted
+  on treatments (patient_id) references patients (patient_id);
+
+grant view MyPatients to physician;
+grant view MyTreatments to physician;
+grant view MyPrescribed to physician;
+grant view MyPatientMeds to physician;
+grant constraint treated_admitted to physician;
+grant role physician to 'dr_adams';
+grant role physician to 'dr_bell';
+
+-- A patient sees their own record and their own prescriptions.
+create authorization view MyRecord as
+  select * from patients where patient_id = $user_id;
+
+create authorization view MyMeds as
+  select * from prescriptions where patient_id = $user_id;
+
+grant view MyRecord to patient;
+grant view MyMeds to patient;
+grant role patient to 'p_garcia';
+grant role patient to 'p_hassan';

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! fgac-analyze [--json] [--for <principal>] [--query <sql>] <script.sql>...
+//! fgac-analyze --flow [--json] [--for <principal>] <script.sql>...
+//! fgac-analyze --diff-grant "GRANT VIEW v TO 'p'" [--json] <script.sql>...
 //! fgac-analyze --certify --for <principal> [--json] [--query <sql>]
 //!              [--workload <queries.sql>]... <script.sql>...
 //! ```
@@ -12,6 +14,15 @@
 //! a fresh engine with no access checks, exactly as a DBA would install
 //! it. The installed policy set is then analyzed and every diagnostic
 //! printed — human-readable by default, a JSON array with `--json`.
+//!
+//! With `--flow`, the whole-policy information-flow analysis
+//! (`fgac_analyze::flow`, codes `F001`–`F003`) runs instead of the
+//! policy lints: per-principal disclosure lattices, join-recombination
+//! widening, constraint-mediated inference channels, and the Section
+//! 5.4 probe-channel bound. With `--diff-grant <grant-sql>`, the given
+//! `GRANT` statement is *not* applied; the tool reports what it would
+//! newly disclose (`F004`) and any flow finding it would introduce —
+//! the grant-time gate.
 //!
 //! With `--certify`, the tool instead runs a certification workload:
 //! every `SELECT` in the `--workload` files (plus `--query`, if given)
@@ -32,6 +43,8 @@ use fgac::prelude::*;
 struct Args {
     json: bool,
     certify: bool,
+    flow: bool,
+    diff_grant: Option<String>,
     principal: Option<String>,
     query: Option<String>,
     workloads: Vec<String>,
@@ -40,8 +53,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fgac-analyze [--json] [--certify] [--for <principal>] [--query <sql>] \
-         [--workload <queries.sql>]... <script.sql>..."
+        "usage: fgac-analyze [--json] [--certify] [--flow] [--diff-grant <grant-sql>] \
+         [--for <principal>] [--query <sql>] [--workload <queries.sql>]... <script.sql>..."
     );
     std::process::exit(2);
 }
@@ -50,6 +63,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         json: false,
         certify: false,
+        flow: false,
+        diff_grant: None,
         principal: None,
         query: None,
         workloads: Vec::new(),
@@ -60,6 +75,11 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--json" => args.json = true,
             "--certify" => args.certify = true,
+            "--flow" => args.flow = true,
+            "--diff-grant" => match it.next() {
+                Some(g) => args.diff_grant = Some(g),
+                None => usage(),
+            },
             "--for" => match it.next() {
                 Some(p) => args.principal = Some(p),
                 None => usage(),
@@ -82,6 +102,10 @@ fn parse_args() -> Args {
     }
     if args.certify && args.principal.is_none() {
         eprintln!("fgac-analyze: --certify requires --for <principal>");
+        usage();
+    }
+    if args.certify && (args.flow || args.diff_grant.is_some()) {
+        eprintln!("fgac-analyze: --certify cannot combine with --flow/--diff-grant");
         usage();
     }
     args
@@ -186,6 +210,25 @@ fn run_certify(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Parses the `--diff-grant` operand: exactly one `GRANT` statement.
+fn parse_proposed_grant(sql: &str) -> fgac::analyze::ProposedGrant {
+    match fgac::sql::parse_statement(sql) {
+        Ok(fgac::sql::Statement::Grant(g)) => fgac::analyze::ProposedGrant {
+            kind: g.kind,
+            object: g.object,
+            principal: g.principal,
+        },
+        Ok(_) => {
+            eprintln!("fgac-analyze: --diff-grant takes a GRANT statement, got `{sql}`");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("fgac-analyze: --diff-grant does not parse: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.certify {
@@ -206,7 +249,13 @@ fn main() {
             eprintln!("fgac-analyze: {path} does not load: {e}");
             std::process::exit(2);
         }
-        diags.extend(engine.analyze_policy(args.principal.as_deref()));
+        if let Some(grant_sql) = &args.diff_grant {
+            diags.extend(engine.flow_diff_grant(&parse_proposed_grant(grant_sql)));
+        } else if args.flow {
+            diags.extend(engine.analyze_flow(args.principal.as_deref()));
+        } else {
+            diags.extend(engine.analyze_policy(args.principal.as_deref()));
+        }
         if let Some(q) = &args.query {
             diags.extend(fgac::analyze::analyze_query(
                 engine.database().catalog(),

@@ -340,6 +340,150 @@ fn find_violations(src: &str) -> Vec<Violation> {
     out
 }
 
+/// Epoch-discipline check (PR-8 invalidation contract): every policy or
+/// schema mutation funnels through `Engine::apply_change`, which bumps
+/// `policy_epoch` and sweeps all the admission caches with the delta.
+/// A direct `policy_epoch` assignment, or a `.clear()` /
+/// `.invalidate()` / `.apply_policy_change()` on one of the swept
+/// caches (`cache`, `plan_cache`, `compiled`, `flow`) anywhere else in
+/// the engine, bypasses that contract — a future PR could leave one
+/// cache stale while the others move. Scans `crates/core/src/engine.rs`
+/// only: the caches' own modules legitimately mutate themselves, and
+/// recovery (durability.rs) rebuilds from scratch.
+fn find_epoch_violations(src: &str) -> Vec<(usize, String)> {
+    let code = strip_noncode(src);
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+
+    // Track the enclosing function: (name, brace depth of its body).
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    let next_nonws = |code: &[(char, usize)], mut j: usize| {
+        while j < code.len() && code[j].0.is_whitespace() {
+            j += 1;
+        }
+        j
+    };
+
+    while i < code.len() {
+        let c = code[i].0;
+        if c == '{' {
+            depth += 1;
+            if let Some(name) = pending_fn.take() {
+                fn_stack.push((name, depth));
+            }
+            i += 1;
+            continue;
+        }
+        if c == '}' {
+            if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
+                fn_stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if c == ';' {
+            // Body-less declaration cancels a pending fn.
+            pending_fn = None;
+            i += 1;
+            continue;
+        }
+        if is_ident(c) && !c.is_ascii_digit() && !(i > 0 && is_ident(code[i - 1].0)) {
+            let start = i;
+            let mut j = i;
+            while j < code.len() && is_ident(code[j].0) {
+                j += 1;
+            }
+            let word: String = code[start..j].iter().map(|&(ch, _)| ch).collect();
+            let in_sweep = fn_stack.first().is_some_and(|(n, _)| n == "apply_change");
+            if word == "fn" {
+                let k = next_nonws(&code, j);
+                let mut m = k;
+                while m < code.len() && is_ident(code[m].0) {
+                    m += 1;
+                }
+                if m > k {
+                    pending_fn = Some(code[k..m].iter().map(|&(ch, _)| ch).collect());
+                }
+                i = m.max(j);
+                continue;
+            }
+            if word == "policy_epoch" && !in_sweep {
+                // Only the engine's own field counts: the receiver must
+                // be literally `self`. Certificates carry a
+                // `policy_epoch` field too, and stamping one
+                // (`cert.policy_epoch = ...`) is not an epoch mutation.
+                let mut b = start;
+                while b > 0 && code[b - 1].0.is_whitespace() {
+                    b -= 1;
+                }
+                let self_recv = b > 0 && code[b - 1].0 == '.' && {
+                    let mut r = b - 1;
+                    while r > 0 && code[r - 1].0.is_whitespace() {
+                        r -= 1;
+                    }
+                    let recv_end = r;
+                    while r > 0 && is_ident(code[r - 1].0) {
+                        r -= 1;
+                    }
+                    let recv: String = code[r..recv_end].iter().map(|&(ch, _)| ch).collect();
+                    recv == "self"
+                };
+                // Assignment: `= x` (not `==`), `+=`, `-=`.
+                let k = next_nonws(&code, j);
+                let assigns = match code.get(k).map(|&(ch, _)| ch) {
+                    Some('=') => code.get(k + 1).map(|&(ch, _)| ch) != Some('='),
+                    Some('+') | Some('-') => code.get(k + 1).map(|&(ch, _)| ch) == Some('='),
+                    _ => false,
+                };
+                if assigns && self_recv {
+                    out.push((
+                        code[start].1,
+                        "policy_epoch mutated outside Engine::apply_change".to_string(),
+                    ));
+                }
+                i = j;
+                continue;
+            }
+            // Receiver chain ending in a swept cache, then `.clear(` /
+            // `.invalidate(` / `.apply_policy_change(`.
+            if matches!(word.as_str(), "cache" | "plan_cache" | "compiled" | "flow")
+                && !in_sweep
+                && code.get(j).map(|&(ch, _)| ch) == Some('.')
+            {
+                let k = next_nonws(&code, j + 1);
+                let mut m = k;
+                while m < code.len() && is_ident(code[m].0) {
+                    m += 1;
+                }
+                let method: String = code[k..m].iter().map(|&(ch, _)| ch).collect();
+                let p = next_nonws(&code, m);
+                if matches!(method.as_str(), "clear" | "invalidate" | "apply_policy_change")
+                    && code.get(p).map(|&(ch, _)| ch) == Some('(')
+                {
+                    out.push((
+                        code[start].1,
+                        format!(
+                            "{word}.{method}() outside Engine::apply_change bypasses \
+                             the invalidation sweep"
+                        ),
+                    ));
+                }
+                i = m.max(j);
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
 /// The files whose non-test code must not panic. Directories are
 /// scanned for every `.rs` file so new modules are covered by default.
 fn lint_targets(root: &Path) -> Vec<PathBuf> {
@@ -397,10 +541,26 @@ fn main() {
             total += 1;
         }
     }
+    let engine_path = root.join("crates/core/src/engine.rs");
+    match std::fs::read_to_string(&engine_path) {
+        Ok(src) => {
+            scanned += 1;
+            for (line, msg) in find_epoch_violations(&src) {
+                println!("crates/core/src/engine.rs:line {line}: {msg}");
+                total += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("fgac-lint: cannot read {}: {e}", engine_path.display());
+            std::process::exit(2);
+        }
+    }
     if total > 0 {
         eprintln!(
-            "fgac-lint: {total} forbidden panic site(s) in commit/recovery/prover code \
-             (bubble a Result instead)"
+            "fgac-lint: {total} violation(s): forbidden panic sites in \
+             commit/recovery/prover code (bubble a Result instead) or \
+             epoch-discipline breaches (route policy mutations through \
+             Engine::apply_change)"
         );
         std::process::exit(1);
     }
@@ -541,6 +701,86 @@ fn prod() {}
         let vs = find_violations(&injected);
         assert_eq!(vs.len(), 1, "injected unwrap must be caught");
         assert_eq!(vs[0].method, "unwrap");
+    }
+
+    #[test]
+    fn epoch_mutations_outside_apply_change_are_flagged() {
+        let src = "
+impl Engine {
+    fn grant_fast(&mut self) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+        self.compiled.invalidate();
+    }
+}
+";
+        let vs = find_epoch_violations(src);
+        assert_eq!(vs.len(), 3, "got {vs:?}");
+        assert!(vs[0].1.contains("policy_epoch"));
+        assert!(vs[1].1.contains("cache.clear"));
+        assert!(vs[2].1.contains("compiled.invalidate"));
+    }
+
+    #[test]
+    fn epoch_mutations_inside_apply_change_are_allowed() {
+        let src = "
+impl Engine {
+    pub(crate) fn apply_change(&mut self, delta: PolicyDelta) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+        self.plan_cache.clear();
+        self.compiled.invalidate();
+        self.flow.apply_policy_change(from, to, affects, changed);
+    }
+}
+";
+        assert!(find_epoch_violations(src).is_empty());
+    }
+
+    #[test]
+    fn epoch_reads_and_comparisons_are_not_mutations() {
+        let src = "
+impl Engine {
+    fn ok(&self) -> bool {
+        let e = self.policy_epoch;
+        self.policy_epoch == other && entry.policy_epoch <= e
+    }
+    fn init() -> Engine {
+        Engine { policy_epoch: 0, cache: ValidityCache::new() }
+    }
+    fn sweep_helpers(&mut self) {
+        // invalidate_deps is a targeted eviction, not the full sweep.
+        self.plan_cache.invalidate_deps(&names);
+        self.plan_cache.stats();
+    }
+    fn certify(&self, cert: &mut Certificate) {
+        // Certificates carry their own policy_epoch stamp; writing it
+        // is not an engine-epoch mutation.
+        cert.policy_epoch = self.policy_epoch;
+        report.certificate.policy_epoch += 1;
+    }
+}
+";
+        assert!(
+            find_epoch_violations(src).is_empty(),
+            "got {:?}",
+            find_epoch_violations(src)
+        );
+    }
+
+    /// The acceptance check: the real engine honors the invalidation
+    /// contract today, and an injected bypass is caught.
+    #[test]
+    fn real_engine_honors_epoch_discipline_and_injection_is_caught() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let src = std::fs::read_to_string(root.join("crates/core/src/engine.rs"))
+            .expect("engine.rs readable");
+        let vs = find_epoch_violations(&src);
+        assert!(vs.is_empty(), "engine.rs epoch-discipline breaches: {vs:?}");
+        let injected =
+            format!("{src}\nimpl Engine {{ fn sneaky(&mut self) {{ self.policy_epoch = 0; }} }}\n");
+        let vs = find_epoch_violations(&injected);
+        assert_eq!(vs.len(), 1, "injected epoch bump must be caught: {vs:?}");
     }
 
     /// Every file the binary lints is clean in the working tree.

@@ -1,0 +1,348 @@
+//! Whole-policy information-flow analysis (`fgac_analyze::flow`) end to
+//! end: disclosure-lattice findings F001–F003 through the engine, the
+//! F004 grant diff, the `ANALYZE FLOW` statement surface and its
+//! session scoping, the incremental cache sweep, and the shipped policy
+//! corpora (clean sets stay clean, defective sets report exactly their
+//! seeded channels).
+
+use fgac::analyze::{Code, Diagnostic, ProposedGrant, Severity};
+use fgac::prelude::*;
+use fgac::sql::GrantKind;
+use std::path::PathBuf;
+
+const SCHEMA: &str = "
+create table students (
+  student_id varchar not null,
+  name varchar not null,
+  type varchar not null,
+  primary key (student_id));
+create table registered (
+  student_id varchar not null,
+  course_id varchar not null,
+  primary key (student_id, course_id));
+create table grades (
+  student_id varchar not null,
+  course_id varchar not null,
+  grade int,
+  primary key (student_id, course_id));
+";
+
+fn engine_with(extra: &str) -> Engine {
+    let mut e = Engine::new();
+    e.admin_script(SCHEMA).expect("schema loads");
+    e.admin_script(extra).expect("policy loads");
+    e
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn clean_policy_set_has_no_flow_findings() {
+    // The paper's running example: row-scoped slices plus the
+    // co-student join view. Every grant is keyed to $user_id, so no
+    // recombination widens any principal's lattice.
+    let e = engine_with(
+        "
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        create authorization view MyRegistrations as
+          select * from registered where student_id = $user_id;
+        create authorization view CoStudentGrades as
+          select grades.* from grades, registered
+          where registered.student_id = $user_id
+            and grades.course_id = registered.course_id;
+        grant view MyGrades to student;
+        grant view MyRegistrations to student;
+        grant view CoStudentGrades to student;
+        grant role student to '11';
+        ",
+    );
+    assert_eq!(e.analyze_flow(None), vec![]);
+    assert_eq!(e.analyze_flow(Some("11")), vec![]);
+}
+
+#[test]
+fn f001_key_joinable_slices_widen_disclosure() {
+    // Each grant alone is a defensible vertical slice — and each is
+    // P-clean (distinct projections, so neither subsumes the other).
+    // But both project the key, so '11' joins them back together.
+    let e = engine_with(
+        "
+        create authorization view Names as
+          select student_id, name from students;
+        create authorization view Types as
+          select student_id, type from students;
+        grant view Names to '11';
+        grant view Types to '11';
+        ",
+    );
+    assert_eq!(e.analyze_policy(Some("11")), vec![], "slices are P-clean");
+    let d = e.analyze_flow(Some("11"));
+    assert_eq!(codes(&d), vec![Code::TransitiveDisclosureWidening]);
+    assert_eq!(d[0].principal, "11");
+    assert_eq!(d[0].object, "students");
+    assert!(
+        d[0].message.contains("name") && d[0].message.contains("type"),
+        "message names the recombined columns: {}",
+        d[0].message
+    );
+}
+
+#[test]
+fn f002_visible_constraint_opens_inference_channel() {
+    // '12' holds no view over `students` — but the granted inclusion
+    // dependency says every registration's student_id appears there,
+    // so the fully-disclosed feed leaks membership through it.
+    let e = engine_with(
+        "
+        create inclusion dependency all_registered
+          on registered (student_id) references students (student_id);
+        create authorization view Feed as
+          select * from registered;
+        grant view Feed to '12';
+        grant constraint all_registered to '12';
+        ",
+    );
+    assert_eq!(e.analyze_policy(Some("12")), vec![], "grants are P-clean");
+    let d = e.analyze_flow(Some("12"));
+    assert_eq!(codes(&d), vec![Code::ConstraintInferenceChannel]);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert_eq!(d[0].object, "all_registered");
+}
+
+#[test]
+fn f003_probe_over_undisclosed_columns_is_flagged() {
+    // CoStudentGrades probes `registered` on (student_id, course_id),
+    // but the principal's only direct view of `registered` projects
+    // just student_id — the probe answers questions about course_id
+    // cells outside the lattice (the Section 5.4 channel), without
+    // tripping the per-grant P005 fail-closed lint.
+    let e = engine_with(
+        "
+        create authorization view CoStudentGrades as
+          select grades.* from grades, registered
+          where registered.student_id = $user_id
+            and grades.course_id = registered.course_id;
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        create authorization view WhoRegistered as
+          select student_id from registered;
+        grant view CoStudentGrades to '13';
+        grant view MyGrades to '13';
+        grant view WhoRegistered to '13';
+        ",
+    );
+    let d = e.analyze_flow(Some("13"));
+    assert_eq!(codes(&d), vec![Code::ProbeChannelExposure]);
+    assert_eq!(d[0].severity, Severity::Warning);
+    assert_eq!(d[0].object, "costudentgrades");
+    assert!(d[0].message.contains("registered"), "{}", d[0].message);
+}
+
+#[test]
+fn f004_diff_reports_the_grant_without_applying_it() {
+    let e = engine_with(
+        "
+        create authorization view Names as
+          select student_id, name from students;
+        create authorization view Types as
+          select student_id, type from students;
+        grant view Names to '11';
+        ",
+    );
+    assert_eq!(e.analyze_flow(None), vec![], "installed set is clean");
+
+    let d = e.flow_diff_grant(&ProposedGrant {
+        kind: GrantKind::View,
+        object: Ident::new("types"),
+        principal: "11".to_string(),
+    });
+    // Everything in a diff carries the F004 code; an introduced finding
+    // keeps its own severity and names its code in the message, so the
+    // gate (`fgac-analyze --diff-grant`) exits non-zero on it.
+    assert_eq!(codes(&d), vec![Code::GrantFlowDiff, Code::GrantFlowDiff]);
+    assert_eq!(d[0].severity, Severity::Error);
+    assert!(
+        d[0].message.contains("introduces F001"),
+        "diff surfaces the finding the grant would introduce: {}",
+        d[0].message
+    );
+    assert_eq!(d[1].severity, Severity::Warning);
+    assert!(
+        d[1].message.contains("newly discloses"),
+        "diff reports the new cells: {}",
+        d[1].message
+    );
+    // The diff is hypothetical: nothing was installed.
+    assert_eq!(e.analyze_flow(None), vec![]);
+
+    // A grant that only re-discloses already-reachable cells diffs to
+    // nothing.
+    let d = e.flow_diff_grant(&ProposedGrant {
+        kind: GrantKind::View,
+        object: Ident::new("names"),
+        principal: "11".to_string(),
+    });
+    assert_eq!(d, vec![]);
+}
+
+#[test]
+fn analyze_flow_statement_returns_rows() {
+    let mut e = engine_with(
+        "
+        create authorization view Names as
+          select student_id, name from students;
+        create authorization view Types as
+          select student_id, type from students;
+        grant view Names to '11';
+        grant view Types to '11';
+        ",
+    );
+    let session = Session::new("11");
+    let resp = e
+        .execute(&session, "analyze flow for '11'")
+        .expect("statement executes");
+    let rows = resp.rows().expect("ANALYZE FLOW returns rows");
+    assert_eq!(
+        rows.names,
+        vec![
+            Ident::new("code"),
+            Ident::new("severity"),
+            Ident::new("principal"),
+            Ident::new("object"),
+            Ident::new("message"),
+        ]
+    );
+    assert_eq!(rows.rows.len(), 1);
+    assert_eq!(rows.rows[0].0[0], Value::from("F001"));
+}
+
+#[test]
+fn analyze_flow_statement_is_scoped_to_the_session_principal() {
+    let mut e = engine_with(
+        "
+        create authorization view Names as
+          select student_id, name from students;
+        create authorization view Types as
+          select student_id, type from students;
+        grant view Names to '21';
+        grant view Types to '21';
+        grant view Names to '22';
+        ",
+    );
+
+    // FOR another principal: denied — a lattice is policy metadata
+    // about someone else's reachable cells.
+    let session = Session::new("22");
+    let err = e
+        .execute(&session, "analyze flow for '21'")
+        .expect_err("cross-principal flow analysis is admin-only");
+    assert!(
+        matches!(err, Error::Unauthorized(_)),
+        "expected Unauthorized, got {err:?}"
+    );
+
+    // The bare form means "my own lattice": 21's F001 must not leak
+    // into 22's clean report.
+    let resp = e.execute(&session, "analyze flow").expect("executes");
+    assert_eq!(resp.rows().expect("rows").rows.len(), 0);
+
+    let session = Session::new("21");
+    let resp = e.execute(&session, "analyze flow").expect("executes");
+    let rows = resp.rows().expect("rows");
+    assert_eq!(rows.rows.len(), 1);
+    assert_eq!(rows.rows[0].0[2], Value::from("21"));
+
+    // The admin API still sees the whole set.
+    assert_eq!(
+        codes(&e.analyze_flow(None)),
+        vec![Code::TransitiveDisclosureWidening]
+    );
+}
+
+#[test]
+fn whole_set_analysis_is_cached_and_swept_per_principal() {
+    let mut e = engine_with(
+        "
+        create authorization view Names as
+          select student_id, name from students;
+        create authorization view MyGrades as
+          select * from grades where student_id = $user_id;
+        grant view Names to 'a';
+        grant view MyGrades to 'b';
+        ",
+    );
+    assert_eq!(e.analyze_flow(None), vec![]);
+    assert_eq!(e.flow_cache_stats(), (2, 2), "both principals cached");
+
+    // A grant to 'a' sweeps only 'a': 'b' stays cached at the new
+    // epoch, and re-analysis recomputes the single affected lattice.
+    e.admin_script(
+        "
+        create authorization view Types as
+          select student_id, type from students;
+        ",
+    )
+    .expect("view loads");
+    e.grant_view("a", "types").expect("grant");
+    assert_eq!(e.flow_cache_stats(), (1, 1), "only 'b' survives the sweep");
+
+    let d = e.analyze_flow(None);
+    assert_eq!(codes(&d), vec![Code::TransitiveDisclosureWidening]);
+    assert_eq!(d[0].principal, "a");
+    assert_eq!(e.flow_cache_stats(), (2, 2), "both cached again");
+
+    // Re-running without any policy change is a pure cache hit.
+    let again = e.analyze_flow(None);
+    assert_eq!(d, again);
+}
+
+/// The shipped corpora behave as documented: clean sets are flow-clean,
+/// defective sets report exactly their seeded channels — findings the
+/// per-grant lints cannot see.
+#[test]
+fn policy_corpora_match_their_seeded_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/policies");
+    let load = |name: &str| {
+        let sql = std::fs::read_to_string(root.join(name)).expect("corpus readable");
+        let mut e = Engine::new();
+        e.admin_script(&sql).expect("corpus loads");
+        e
+    };
+
+    for clean in ["university.sql", "bank.sql", "healthcare.sql"] {
+        let e = load(clean);
+        assert_eq!(e.analyze_flow(None), vec![], "{clean} must be flow-clean");
+    }
+
+    let d = load("defective-university.sql").analyze_flow(None);
+    let flow: Vec<&Diagnostic> = d
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.code,
+                Code::TransitiveDisclosureWidening | Code::ConstraintInferenceChannel
+            )
+        })
+        .collect();
+    assert_eq!(flow.len(), 2, "seeded F001 + F002: {d:?}");
+    assert!(flow.iter().any(|d| d.principal == "37"));
+    assert!(flow.iter().any(|d| d.principal == "38"));
+
+    let d = load("defective-healthcare.sql").analyze_flow(None);
+    assert_eq!(
+        codes(&d),
+        vec![
+            Code::TransitiveDisclosureWidening,
+            Code::ConstraintInferenceChannel
+        ],
+        "every grant is P-clean, the leaks are compositional: {d:?}"
+    );
+    assert_eq!(
+        load("defective-healthcare.sql").analyze_policy(None),
+        vec![],
+        "the healthcare leaks must be invisible to the per-grant lints"
+    );
+}

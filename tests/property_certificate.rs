@@ -253,6 +253,14 @@ fn code() -> impl Strategy<Value = Code> {
         Just(Code::UnauthorizedProbe),
         Just(Code::StaleGrantEpoch),
         Just(Code::CertificateStepUnverified),
+        Just(Code::TransitiveDisclosureWidening),
+        Just(Code::ConstraintInferenceChannel),
+        Just(Code::ProbeChannelExposure),
+        Just(Code::GrantFlowDiff),
+        // Code::UnrecognizedFinding is deliberately absent: it is the
+        // parser's forward-compat placeholder, never emitted, and its
+        // wire form does not round-trip (severity is forced to
+        // `unknown` on parse — see the pins below).
     ]
 }
 
@@ -312,6 +320,27 @@ proptest! {
             .unwrap_or_else(|| panic!("round-trip parse failed:\n{json}"));
         prop_assert_eq!(diags, back);
     }
+
+    /// Forward compatibility under fuzzing: a wire document carrying a
+    /// finding code this build has never heard of still loads, and the
+    /// unknown finding degrades to `Severity::Unknown` — never to an
+    /// error, never to a rejected document.
+    #[test]
+    fn unknown_wire_codes_degrade_to_unknown_severity(
+        tag in "[A-Z][0-9]{3}",
+        msg in wire_string(),
+    ) {
+        prop_assume!(Code::from_str_code(&tag).is_none());
+        let known = Diagnostic::new(Code::GrantFlowDiff, "p", "o", msg.clone());
+        let json = diagnostics_to_json(&[known])
+            .replace("\"code\":\"F004\"", &format!("\"code\":\"{tag}\""));
+        let back = diagnostics_from_json(&json)
+            .unwrap_or_else(|| panic!("forward-compat parse failed:\n{json}"));
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].code, Code::UnrecognizedFinding);
+        prop_assert_eq!(back[0].severity, Severity::Unknown);
+        prop_assert_eq!(&back[0].message, &msg);
+    }
 }
 
 /// Corrupting any single byte of a valid certificate document must
@@ -347,4 +376,60 @@ fn single_byte_corruption_never_parses_to_the_same_certificate() {
         silently_equal, 0,
         "corrupted documents parsed back to the original"
     );
+}
+
+/// The diagnostics wire form under the same single-byte-corruption
+/// sweep: a flipped byte is either rejected, parses to a *different*
+/// finding list, or hit one of the format's two non-semantic regions —
+/// inter-token whitespace, or the derived `name` value, which the
+/// parser deliberately ignores (the name re-derives from the code).
+/// Nothing semantic — code, severity, principal, object, message — can
+/// be corrupted silently.
+#[test]
+fn single_byte_corruption_of_diagnostics_is_never_semantically_silent() {
+    let diags = vec![
+        Diagnostic::new(
+            Code::TransitiveDisclosureWidening,
+            "11",
+            "students",
+            "join recombination widens disclosure",
+        ),
+        Diagnostic::new(Code::GrantFlowDiff, "12", "types", "newly discloses type"),
+    ];
+    let json = diagnostics_to_json(&diags);
+    let bytes = json.as_bytes();
+
+    let mut nonsemantic = vec![false; bytes.len()];
+    for (i, &b) in bytes.iter().enumerate() {
+        nonsemantic[i] = (b as char).is_whitespace();
+    }
+    // The whole pair is ignorable, key text included: corrupting `name`
+    // into an unknown key makes the parser skip the pair, which is
+    // exactly what it does with the intact derived pair.
+    let needle = "\"name\":\"";
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(needle) {
+        let start = from + pos;
+        let value = start + needle.len();
+        let end = value + json[value..].find('"').expect("name value closes");
+        nonsemantic[start..end].fill(true);
+        from = end;
+    }
+
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.to_vec();
+        corrupted[i] = corrupted[i].wrapping_add(1);
+        let Ok(s) = String::from_utf8(corrupted) else {
+            continue;
+        };
+        if let Some(back) = diagnostics_from_json(&s) {
+            if back == diags {
+                assert!(
+                    nonsemantic[i],
+                    "semantic byte {i} ({:?}) corrupted silently",
+                    bytes[i] as char
+                );
+            }
+        }
+    }
 }
