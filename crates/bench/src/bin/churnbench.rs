@@ -144,7 +144,10 @@ fn main() {
         let flips = Arc::clone(&flips);
         std::thread::spawn(move || {
             let mut held = true;
-            while !stop.load(Ordering::Relaxed) {
+            // Acquire pairs with the Release store below: the loop exit
+            // decision synchronizes with the measuring thread's state
+            // (L002 — a Relaxed load must not feed a branch).
+            while !stop.load(Ordering::Acquire) {
                 for p in 0..PRINCIPALS {
                     let user = format!("u{p}");
                     shared
@@ -178,7 +181,7 @@ fn main() {
     for _ in 0..rounds {
         measure_round(&shared, &sessions, &mut churn);
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     writer.join().expect("writer thread");
     let p99_churn = p99(&mut churn);
     let total_flips = flips.load(Ordering::Relaxed);

@@ -29,9 +29,9 @@
 //! entries.
 
 use fgac_analyze::{AnalyzeOptions, Diagnostic, FlowContext, PolicySet};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 // Process-wide observability, following the invalidation counter
 // pattern: monotone, relaxed, never a correctness input.
@@ -77,7 +77,7 @@ impl FlowAnalysisCache {
 
     /// Drops everything — the full-invalidation (recovery) path.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        let mut inner = self.inner.lock();
         inner.ctx.clear();
         inner.findings.clear();
     }
@@ -93,7 +93,7 @@ impl FlowAnalysisCache {
         affects: impl Fn(&str) -> bool,
         introduced_name: bool,
     ) {
-        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        let mut inner = self.inner.lock();
         if introduced_name {
             inner.ctx.clear();
         }
@@ -112,7 +112,7 @@ impl FlowAnalysisCache {
 
     /// (epoch-fresh entries, total entries) — metrics surface.
     pub fn stats(&self, epoch: u64) -> (usize, usize) {
-        let inner = self.inner.lock().expect("flow cache poisoned");
+        let inner = self.inner.lock();
         let fresh = inner.findings.values().filter(|e| e.0 == epoch).count();
         (fresh, inner.findings.len())
     }
@@ -128,7 +128,7 @@ impl FlowAnalysisCache {
     ) -> Vec<Diagnostic> {
         FLOW_ANALYSES.fetch_add(1, Ordering::Relaxed);
         let principals = fgac_analyze::flow_principals(set, None);
-        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let mut out = Vec::new();
         for p in &principals {
@@ -165,7 +165,7 @@ impl FlowAnalysisCache {
         FLOW_ANALYSES.fetch_add(1, Ordering::Relaxed);
         FLOW_PRINCIPALS_COMPUTED.fetch_add(1, Ordering::Relaxed);
         let analyzed = std::iter::once(principal.to_string()).collect();
-        let mut inner = self.inner.lock().expect("flow cache poisoned");
+        let mut inner = self.inner.lock();
         inner
             .ctx
             .principal_flow(set, principal, &analyzed, opts)

@@ -1,0 +1,66 @@
+//! The pass registry.
+//!
+//! A pass is a pure function from (scoped file set, config) to
+//! findings. The engine, not the pass, applies scope restriction and
+//! the `[[allow]]` list, so every pass stays honest: it reports what it
+//! sees, and silencing is centralized, configuration-driven, and
+//! audited for staleness.
+//!
+//! Adding a pass (see DESIGN.md §4l): pick the next `L###` code in
+//! `report.rs`, implement [`Pass`] in a new module here, append it to
+//! [`registry`], plant its violation class in
+//! `tests/fixtures/seeded/`, and add the injection test proving the
+//! pass fires there and stays quiet on the clean fixture tree.
+
+pub mod error_path;
+pub mod lock_order;
+pub mod mutation;
+pub mod panic_sites;
+pub mod relaxed;
+pub mod wire_arith;
+
+use crate::config::Config;
+use crate::report::{Finding, PassCode};
+use crate::source::{lex, Tok};
+
+/// One workspace source file: relative path + non-test token stream.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub toks: Vec<Tok>,
+}
+
+impl SourceFile {
+    pub fn from_source(path: impl Into<String>, src: &str) -> SourceFile {
+        SourceFile {
+            path: path.into(),
+            toks: lex(src),
+        }
+    }
+
+    /// The file stem (`engine` for `crates/core/src/engine.rs`) — used
+    /// by L003 to qualify lock identities.
+    pub fn stem(&self) -> &str {
+        let base = self.path.rsplit('/').next().unwrap_or(&self.path);
+        base.strip_suffix(".rs").unwrap_or(base)
+    }
+}
+
+pub trait Pass {
+    fn code(&self) -> PassCode;
+    /// Analyzes `files` (already restricted to this pass's scope).
+    fn run(&self, files: &[&SourceFile], cfg: &Config) -> Vec<Finding>;
+}
+
+/// Every shipped pass, in code order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(mutation::MutationOutsideWriter),
+        Box::new(relaxed::RelaxedSyncDecision),
+        Box::new(lock_order::LockOrderInversion),
+        Box::new(error_path::ErrorPathMustDeny),
+        Box::new(wire_arith::UncheckedWireArithmetic),
+        Box::new(panic_sites::PanicSite),
+    ]
+}

@@ -1,0 +1,183 @@
+//! L001 MutationOutsideWriter.
+//!
+//! DESIGN.md §4j's invalidation contract: the four epoch-swept
+//! structures (validity cache, plan cache, compiled capabilities, flow
+//! cache) and the policy epoch itself are mutated only inside
+//! `Engine::apply_change`, under the writer half of the
+//! `SharedEngine` RwLock. A sweep call anywhere else can race an
+//! in-flight admission and serve a verdict from the policy that was
+//! just revoked. PR 9 checked this for the epoch counter alone; this
+//! pass covers every swept structure.
+//!
+//! Approximation: receivers are matched by field name (`cache`,
+//! `plan_cache`, `compiled`, `flow`), not type — a local variable
+//! shadowing one of those names over a non-swept value is a false
+//! positive to be allowlisted, and a swept structure bound to a
+//! differently-named local is a miss. Both have been absent from the
+//! real tree so far; the names are load-bearing vocabulary.
+
+use super::{Pass, SourceFile};
+use crate::config::Config;
+use crate::report::{Finding, PassCode};
+use crate::source::{receiver_before, FnWalker};
+
+/// Field names of the swept structures on `Engine`.
+const SWEPT: &[&str] = &["cache", "plan_cache", "compiled", "flow"];
+
+/// Methods that sweep/invalidate. Plain reads and verdict inserts are
+/// the admission path's business, and `invalidate_deps` is a targeted
+/// eviction (not the full sweep), so those stay unrestricted — same
+/// line the PR-9 scanner drew.
+const SWEEP_METHODS: &[&str] = &["clear", "invalidate", "apply_policy_change"];
+
+/// The one function allowed to mutate swept state.
+const WRITER: &str = "apply_change";
+
+pub struct MutationOutsideWriter;
+
+impl Pass for MutationOutsideWriter {
+    fn code(&self) -> PassCode {
+        PassCode::MutationOutsideWriter
+    }
+
+    fn run(&self, files: &[&SourceFile], _cfg: &Config) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            let toks = &file.toks;
+            let mut walker = FnWalker::new();
+            for i in 0..toks.len() {
+                walker.step(toks, i);
+                // Inside the writer (or a helper nested in it, by
+                // outermost-fn attribution) everything is permitted.
+                let in_writer = walker.outermost() == Some(WRITER);
+
+                // Epoch mutation: `self.policy_epoch = / += / -= ...`.
+                // The `self` receiver requirement exempts certificate
+                // stamping (`cert.policy_epoch = ...`), which copies the
+                // epoch rather than advancing it.
+                if toks[i].is("policy_epoch")
+                    && i >= 2
+                    && toks[i - 1].is(".")
+                    && toks[i - 2].is("self")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|t| t.is("=") || t.is("+=") || t.is("-="))
+                    && !in_writer
+                {
+                    out.push(Finding::new(
+                        PassCode::MutationOutsideWriter,
+                        file.path.clone(),
+                        toks[i].line,
+                        format!(
+                            "policy epoch mutated in `{}` — only `Engine::{WRITER}` may \
+                             advance the epoch",
+                            walker.outermost().unwrap_or("<top level>"),
+                        ),
+                    ));
+                }
+
+                // Sweep-method call on a swept structure.
+                if toks[i].is(".")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|t| SWEEP_METHODS.contains(&t.text.as_str()))
+                    && toks.get(i + 2).is_some_and(|t| t.is("("))
+                    && !in_writer
+                {
+                    if let Some(recv) = receiver_before(toks, i) {
+                        if SWEPT.contains(&recv) {
+                            let method = &toks[i + 1].text;
+                            out.push(Finding::new(
+                                PassCode::MutationOutsideWriter,
+                                file.path.clone(),
+                                toks[i + 1].line,
+                                format!(
+                                    "`{recv}.{method}()` in `{}` mutates swept state outside \
+                                     the writer critical section — move it into \
+                                     `Engine::{WRITER}`",
+                                    walker.outermost().unwrap_or("<top level>"),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        MutationOutsideWriter.run(&[&f], &Config::default())
+    }
+
+    #[test]
+    fn writer_fn_is_exempt_others_are_not() {
+        let src = r#"
+impl Engine {
+    pub fn apply_change(&mut self, delta: PolicyDelta) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+        self.compiled.apply_policy_change(&delta);
+        self.flow.clear();
+    }
+    pub fn sneaky(&mut self) {
+        self.cache.clear();
+    }
+    pub fn evict(&mut self, name: &str) {
+        // Targeted eviction stays legal outside the writer.
+        self.plan_cache.invalidate_deps(name);
+    }
+}
+"#;
+        let found = run_on(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("sneaky"));
+        assert_eq!(found[0].line, 10);
+    }
+
+    #[test]
+    fn epoch_mutation_outside_writer_fires_cert_stamping_does_not() {
+        let src = r#"
+fn admit(&mut self, cert: &mut Certificate) {
+    cert.policy_epoch = self.policy_epoch;
+}
+fn rogue(&mut self) {
+    self.policy_epoch += 1;
+}
+"#;
+        let found = run_on(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("rogue"));
+    }
+
+    #[test]
+    fn helpers_nested_inside_the_writer_are_attributed_to_it() {
+        let src = r#"
+fn apply_change(&mut self) {
+    let sweep = || {
+        self.flow.clear();
+    };
+    sweep();
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn reads_and_inserts_stay_unrestricted() {
+        let src = r#"
+fn admit(&self) {
+    if let Some(v) = self.cache.get(&key) { return v; }
+    self.cache.insert(key, verdict);
+    let plan = self.plan_cache.lookup(name);
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! L006 PanicSite.
+//!
+//! The PR-4/5 panic-freedom scan as a pass: `.unwrap()` / `.expect()`
+//! calls and `panic!` / `unreachable!` / `todo!` invocations in code
+//! whose no-panic discipline is an invariant — the WAL, the durability
+//! layer, the DML commit path, the prover, the Non-Truman validator,
+//! the certificate checker, the server loop (scope set in `lint.toml`).
+//! Lookalikes (`unwrap_or_default`, `expect_err`, `my_panic!`) and
+//! `assert!`/`debug_assert!` (whose failure is a caught programming
+//! error, not a data-dependent path) stay allowed, exactly as before.
+
+use super::{Pass, SourceFile};
+use crate::config::Config;
+use crate::report::{Finding, PassCode};
+
+pub struct PanicSite;
+
+impl Pass for PanicSite {
+    fn code(&self) -> PassCode {
+        PassCode::PanicSite
+    }
+
+    fn run(&self, files: &[&SourceFile], _cfg: &Config) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            let toks = &file.toks;
+            for i in 0..toks.len() {
+                let t = &toks[i];
+                // `.unwrap(` / `.expect(` — the tokenizer already keeps
+                // `unwrap_or_default` etc. as single identifiers, so
+                // exact match is exact.
+                if t.is(".")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|m| m.is("unwrap") || m.is("expect"))
+                    && toks.get(i + 2).is_some_and(|p| p.is("("))
+                {
+                    let method = &toks[i + 1].text;
+                    out.push(Finding::new(
+                        PassCode::PanicSite,
+                        file.path.clone(),
+                        toks[i + 1].line,
+                        format!(".{method}() is forbidden here — bubble a Result instead"),
+                    ));
+                    continue;
+                }
+                // `panic!(` / `unreachable!(` / `todo!(` — whole
+                // identifier, not a method position, any delimiter.
+                if t.is_ident
+                    && matches!(t.text.as_str(), "panic" | "unreachable" | "todo")
+                    && (i == 0 || !toks[i - 1].is("."))
+                    && toks.get(i + 1).is_some_and(|b| b.is("!"))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|d| d.is("(") || d.is("[") || d.is("{"))
+                {
+                    out.push(Finding::new(
+                        PassCode::PanicSite,
+                        file.path.clone(),
+                        t.line,
+                        format!("{}!(..) is forbidden here — bubble a Result instead", t.text),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<usize> {
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        PanicSite
+            .run(&[&f], &Config::default())
+            .into_iter()
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn plain_calls_are_found_with_correct_lines() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n";
+        assert_eq!(lines(src), vec![2, 3]);
+    }
+
+    #[test]
+    fn lookalike_methods_do_not_match() {
+        let src =
+            "fn f() { a.unwrap_or_default(); b.unwrap_or(0); c.expect_err(\"e\"); d.expect_end(); }\n";
+        assert!(lines(src).is_empty());
+    }
+
+    #[test]
+    fn spaced_calls_still_match() {
+        let src = "fn f() { a . unwrap (); b.\n    expect(\"m\"); }\n";
+        assert_eq!(lines(src).len(), 2);
+    }
+
+    #[test]
+    fn panic_macros_are_found() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    unreachable!();\n    todo!()\n}\n";
+        // `todo!()` with no delimiter after `!`? It has `(` — all three.
+        assert_eq!(lines(src), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panic_macro_lookalikes_do_not_match() {
+        let src = "fn f() {\n\
+            debug_assert!(x);\n\
+            assert!(y);\n\
+            my_panic!(1);\n\
+            let panic = 3; panic + 1;\n\
+            s.panic!();\n\
+            // panic!(\"in a comment\")\n\
+            let t = \"panic!(in a string)\";\n\
+        }\n";
+        assert!(lines(src).is_empty(), "got {:?}", lines(src));
+    }
+
+    #[test]
+    fn cfg_test_exempts_everything() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"fine\"); x.unwrap(); }\n}\nfn prod() { unreachable!(); }\n";
+        assert_eq!(lines(src).len(), 1);
+    }
+
+    #[test]
+    fn panic_followed_by_not_equals_is_not_a_macro() {
+        // `panic != x` merges `!=`; must not read as `panic!` + `= x`.
+        let src = "fn f(panic: u8, x: u8) -> bool { panic != x }\n";
+        assert!(lines(src).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! L002 RelaxedSyncDecision.
+//!
+//! `Ordering::Relaxed` is fine for a statistics counter and wrong for a
+//! decision: a relaxed load carries no happens-before edge, so a branch
+//! on it — return a verdict, serve a cache entry, gate a lock — can act
+//! on state the writer has already swept. The pass flags `Relaxed`
+//! tokens in *decision position*: inside an `if`/`while` condition or
+//! `match` scrutinee, or a `load(..Relaxed)` whose result is
+//! immediately compared. (Condition extent = tokens up to the first
+//! `{` at delimiter depth 0 — sound because Rust forbids struct
+//! literals in condition position.)
+//!
+//! The pass also enforces the workspace's Relaxed audit: every file
+//! with `Ordering::Relaxed` in non-test code must have a `[[relaxed]]`
+//! entry in `lint.toml` whose `sites` count matches and whose `reason`
+//! says why relaxed ordering is correct there. A missing entry, a stale
+//! count, and an entry pointing at nothing are each findings — the
+//! ledger cannot drift silently in either direction.
+
+use super::{Pass, SourceFile};
+use crate::config::Config;
+use crate::report::{Finding, PassCode};
+use crate::source::{matching_close, Tok};
+use std::collections::BTreeMap;
+
+pub struct RelaxedSyncDecision;
+
+const COMPARISONS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
+
+/// Marks token indices lying in an `if`/`while` condition or `match`
+/// scrutinee. The scan for the opening `{` stops at `;` or an
+/// enclosing close brace as a safety bound (malformed or macro-heavy
+/// code degrades to "no decision range", never to a runaway).
+fn decision_positions(toks: &[Tok]) -> Vec<bool> {
+    let mut marked = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if !(toks[i].is("if") || toks[i].is("while") || toks[i].is("match")) {
+            continue;
+        }
+        let mut depth = 0i64;
+        for j in i + 1..toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" => break,
+                "}" if depth <= 0 => break,
+                _ => {}
+            }
+            marked[j] = true;
+        }
+    }
+    marked
+}
+
+impl Pass for RelaxedSyncDecision {
+    fn code(&self) -> PassCode {
+        PassCode::RelaxedSyncDecision
+    }
+
+    fn run(&self, files: &[&SourceFile], cfg: &Config) -> Vec<Finding> {
+        let mut out = Vec::new();
+        // file path -> (site count, first site line)
+        let mut sites: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+
+        for file in files {
+            let toks = &file.toks;
+            let decision = decision_positions(toks);
+            for i in 0..toks.len() {
+                if !toks[i].is("Relaxed") {
+                    continue;
+                }
+                let entry = sites.entry(file.path.as_str()).or_insert((0, toks[i].line));
+                entry.0 += 1;
+
+                let mut decides = decision.get(i).copied().unwrap_or(false);
+                // `x.load(Ordering::Relaxed) == other` outside a
+                // condition: the comparison result *is* a decision.
+                if !decides {
+                    if let Some(open) = (0..i).rev().find(|&k| {
+                        toks[k].is("(") && matching_close(toks, k).is_some_and(|c| c > i)
+                    }) {
+                        let close = matching_close(toks, open).unwrap();
+                        let is_load_call = open >= 1 && toks[open - 1].is("load");
+                        let compared = toks
+                            .get(close + 1)
+                            .is_some_and(|t| COMPARISONS.contains(&t.text.as_str()));
+                        decides = is_load_call && compared;
+                    }
+                }
+                if decides {
+                    out.push(Finding::new(
+                        PassCode::RelaxedSyncDecision,
+                        file.path.clone(),
+                        toks[i].line,
+                        "Ordering::Relaxed in decision position — a relaxed load carries no \
+                         happens-before edge, so this branch can act on swept state; use \
+                         Acquire (and Release on the store side)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+
+        // Audit ledger enforcement, both directions.
+        for (path, (count, first_line)) in &sites {
+            match cfg.relaxed.iter().find(|r| r.file == *path) {
+                None => out.push(Finding::new(
+                    PassCode::RelaxedSyncDecision,
+                    (*path).to_string(),
+                    *first_line,
+                    format!(
+                        "{count} Ordering::Relaxed site(s) with no [[relaxed]] audit entry in \
+                         lint.toml — add one with a justification, or fix the ordering"
+                    ),
+                )),
+                Some(r) if r.sites != *count => out.push(Finding::new(
+                    PassCode::RelaxedSyncDecision,
+                    (*path).to_string(),
+                    *first_line,
+                    format!(
+                        "[[relaxed]] audit entry records {} site(s) but the file has {count} — \
+                         re-audit and update the ledger",
+                        r.sites
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+        for r in &cfg.relaxed {
+            if !sites.contains_key(r.file.as_str()) {
+                out.push(Finding::new(
+                    PassCode::RelaxedSyncDecision,
+                    r.file.clone(),
+                    1,
+                    "[[relaxed]] audit entry is stale: the file has no Ordering::Relaxed \
+                     sites in scope — remove the entry"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RelaxedAudit;
+
+    fn audited(path: &str, sites: usize) -> Config {
+        let mut cfg = Config::default();
+        cfg.relaxed.push(RelaxedAudit {
+            file: path.into(),
+            sites,
+            reason: "test ledger".into(),
+        });
+        cfg
+    }
+
+    #[test]
+    fn relaxed_in_condition_fires() {
+        let src = r#"
+fn pump(stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        step();
+    }
+    if flag.load(Ordering::Relaxed) { serve_cached(); }
+}
+"#;
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        let found = RelaxedSyncDecision.run(&[&f], &audited("crates/x/src/a.rs", 2));
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[1].line, 6);
+    }
+
+    #[test]
+    fn comparison_fed_load_fires_counter_bump_does_not() {
+        let src = r#"
+fn check(&self) -> bool {
+    let fresh = self.epoch.load(Ordering::Relaxed) == self.snapshot;
+    self.hits.fetch_add(1, Ordering::Relaxed);
+    fresh
+}
+"#;
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        let found = RelaxedSyncDecision.run(&[&f], &audited("crates/x/src/a.rs", 2));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn match_scrutinee_counts_as_decision() {
+        let src = "fn f() { match state.load(Ordering::Relaxed) { 0 => a(), _ => b(), } }";
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        let found = RelaxedSyncDecision.run(&[&f], &audited("crates/x/src/a.rs", 1));
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn audit_ledger_catches_missing_stale_and_dangling_entries() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+
+        // No entry at all.
+        let found = RelaxedSyncDecision.run(&[&f], &Config::default());
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("no [[relaxed]] audit entry"));
+
+        // Entry with the wrong count.
+        let found = RelaxedSyncDecision.run(&[&f], &audited("crates/x/src/a.rs", 7));
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("records 7 site(s)"));
+
+        // Entry pointing at a file with no sites.
+        let clean = SourceFile::from_source("crates/x/src/b.rs", "fn g() {}");
+        let found = RelaxedSyncDecision.run(&[&clean], &audited("crates/x/src/b.rs", 1));
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("stale"));
+
+        // Correct ledger: quiet.
+        let found = RelaxedSyncDecision.run(&[&f], &audited("crates/x/src/a.rs", 1));
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn relaxed_in_test_code_is_invisible() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.load(Ordering::Relaxed); } }\n";
+        let f = SourceFile::from_source("crates/x/src/a.rs", src);
+        assert!(RelaxedSyncDecision.run(&[&f], &Config::default()).is_empty());
+    }
+}

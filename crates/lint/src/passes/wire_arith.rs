@@ -1,0 +1,265 @@
+//! L005 UncheckedWireArithmetic.
+//!
+//! In frame/wire parsing code, a length or offset is attacker- (or
+//! corruption-) controlled input. Unchecked `+`/`*` on such a value
+//! can wrap and turn a corrupt length field into a mis-bounded slice
+//! instead of `Error::Corrupt`; a narrowing `as` cast silently
+//! truncates an oversized length into a plausible small one. The pass
+//! is scoped (via `lint.toml`) to the wire-parsing files — WAL
+//! framing, server framing, the wire reader — where this class of
+//! arithmetic is load-bearing.
+//!
+//! What counts:
+//! - binary `+` / `*` where an operand is a *len-ish* identifier
+//!   (contains `len`, `pos`, `offset`, `size`, or `count`), outside
+//!   `checked_*`/`saturating_*`/`wrapping_*` and capacity-hint calls
+//!   (`with_capacity`, `reserve`) — those are already deliberate;
+//! - `as u8` / `as u16` / `as u32` narrowing of a len-ish value;
+//!   widening (`as usize`, `as u64`) cannot lose bits and is exempt,
+//!   as are SCREAMING_CASE constants (compile-time known, not input).
+//!
+//! `+=` is out of scope: it tokenizes as its own operator and the
+//! accumulate-in-place sites are loop cursors whose bounds are checked
+//! by the loop condition.
+
+use super::{Pass, SourceFile};
+use crate::config::Config;
+use crate::report::{Finding, PassCode};
+use crate::source::{matching_close, Tok};
+
+pub struct UncheckedWireArithmetic;
+
+/// Calls whose argument lists are exempt: the arithmetic inside is
+/// either already overflow-aware or a capacity hint.
+const EXEMPT_CALLS: &[&str] = &[
+    "checked_add",
+    "checked_mul",
+    "checked_sub",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "wrapping_add",
+    "wrapping_mul",
+    "with_capacity",
+    "reserve",
+    "min",
+    "max",
+];
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32"];
+
+fn lenish(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    ["len", "pos", "offset", "size", "count"]
+        .iter()
+        .any(|k| lower.contains(k))
+}
+
+fn screaming_const(name: &str) -> bool {
+    name.chars().any(|c| c.is_ascii_uppercase()) && !name.chars().any(|c| c.is_ascii_lowercase())
+}
+
+/// Token ranges inside exempt call argument lists.
+fn exempt_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident
+            && EXEMPT_CALLS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is("("))
+        {
+            if let Some(close) = matching_close(toks, i + 1) {
+                out.push((i + 1, close));
+            }
+        }
+    }
+    out
+}
+
+/// The identifier an operand expression ends with, looking left from
+/// `i` (exclusive): walks back over one `(..)`/`[..]` group so
+/// `payload.len()` and `bytes[pos]` resolve to `len` / `pos`.
+fn operand_ident_left(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut j = i.checked_sub(1)?;
+    for (open, close) in [("(", ")"), ("[", "]")] {
+        if toks[j].is(close) {
+            let mut depth = 1usize;
+            while depth > 0 {
+                j = j.checked_sub(1)?;
+                if toks[j].is(close) {
+                    depth += 1;
+                } else if toks[j].is(open) {
+                    depth -= 1;
+                }
+            }
+            j = j.checked_sub(1)?;
+            break;
+        }
+    }
+    toks[j].is_ident.then(|| toks[j].text.as_str())
+}
+
+/// The identifier an operand expression starts with, looking right
+/// from `i` (exclusive), skipping `self .` prefixes.
+fn operand_ident_right(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut j = i + 1;
+    while toks.get(j).is_some_and(|t| t.is("self")) && toks.get(j + 1).is_some_and(|t| t.is(".")) {
+        j += 2;
+    }
+    let t = toks.get(j)?;
+    t.is_ident.then_some(t.text.as_str())
+}
+
+impl Pass for UncheckedWireArithmetic {
+    fn code(&self) -> PassCode {
+        PassCode::UncheckedWireArithmetic
+    }
+
+    fn run(&self, files: &[&SourceFile], _cfg: &Config) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in files {
+            let toks = &file.toks;
+            let exempt = exempt_ranges(toks);
+            let is_exempt = |i: usize| exempt.iter().any(|&(a, b)| a < i && i < b);
+
+            for i in 0..toks.len() {
+                // Narrowing cast of a len-ish value.
+                if toks[i].is("as")
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|t| NARROW_TARGETS.contains(&t.text.as_str()))
+                    && !is_exempt(i)
+                {
+                    if let Some(name) = operand_ident_left(toks, i) {
+                        if lenish(name) && !screaming_const(name) {
+                            out.push(Finding::new(
+                                PassCode::UncheckedWireArithmetic,
+                                file.path.clone(),
+                                toks[i].line,
+                                format!(
+                                    "`{name} as {}` silently truncates an oversized value — \
+                                     use `{}::try_from` and surface the error",
+                                    toks[i + 1].text,
+                                    toks[i + 1].text
+                                ),
+                            ));
+                        }
+                    }
+                    continue;
+                }
+
+                // Unchecked + / * with a len-ish operand.
+                if !(toks[i].is("+") || toks[i].is("*")) || is_exempt(i) {
+                    continue;
+                }
+                // `*` must be binary: the left neighbor ends an
+                // expression (ident or close delimiter), not an
+                // operator — otherwise it's a deref or a type.
+                let left_closes = i > 0
+                    && (toks[i - 1].is_ident || toks[i - 1].is(")") || toks[i - 1].is("]"));
+                if !left_closes {
+                    continue;
+                }
+                let left = operand_ident_left(toks, i);
+                let right = operand_ident_right(toks, i);
+                let culprit = [left, right]
+                    .into_iter()
+                    .flatten()
+                    .find(|n| lenish(n) && !screaming_const(n))
+                    // A SCREAMING const operand still taints the sum if
+                    // the *other* side is len-ish; a pair of consts or
+                    // non-len identifiers does not.
+                    ;
+                if let Some(name) = culprit {
+                    let op = &toks[i].text;
+                    out.push(Finding::new(
+                        PassCode::UncheckedWireArithmetic,
+                        file.path.clone(),
+                        toks[i].line,
+                        format!(
+                            "unchecked `{op}` on length/offset value `{name}` — use \
+                             checked_{} and map overflow to a corruption error",
+                            if op == "+" { "add" } else { "mul" }
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source("crates/wal/src/log.rs", src);
+        UncheckedWireArithmetic.run(&[&f], &Config::default())
+    }
+
+    #[test]
+    fn unchecked_add_on_offsets_fires() {
+        let src = r#"
+fn recover(bytes: &[u8], pos: usize, plen: usize) {
+    let end = pos + HEADER + plen;
+    let frame = &bytes[pos + HEADER..end];
+}
+"#;
+        let found = run_on(src);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("checked_add")));
+    }
+
+    #[test]
+    fn checked_and_capacity_calls_are_exempt() {
+        let src = r#"
+fn recover(pos: usize, plen: usize) -> Option<usize> {
+    let end = pos.checked_add(plen)?;
+    let buf = Vec::with_capacity(plen * 2);
+    sizes.reserve(count + 1);
+    Some(end)
+}
+"#;
+        let found = run_on(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn narrowing_cast_fires_widening_does_not() {
+        let src = r#"
+fn frame(payload: &[u8]) {
+    let len32 = payload.len() as u32;
+    let wide = payload.len() as u64;
+    let idx = pos as usize;
+}
+"#;
+        let found = run_on(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("try_from"));
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn screaming_consts_and_non_len_math_are_quiet() {
+        let src = r#"
+fn f(x: usize, y: usize) {
+    let a = MAX_PAYLOAD + HEADER_LEN;
+    let b = x + y;
+    let c = shards * 2;
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn deref_and_compound_assign_are_not_binary_mul() {
+        let src = r#"
+fn f(p: &usize, pos: &mut usize) {
+    let v = *p;
+    *pos += 1;
+    let ty: *const u8 = q;
+}
+"#;
+        assert!(run_on(src).is_empty());
+    }
+}

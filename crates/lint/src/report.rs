@@ -1,0 +1,580 @@
+//! Lint findings and the JSON report wire form.
+//!
+//! The wire shape follows `crates/analyze/src/diag.rs`: objects with
+//! string values in a fixed key order, a strict hand-rolled parser for
+//! *our own* output (so CI and tests can prove round-trips), and
+//! forward compatibility at the code level — a pass code this build
+//! does not know parses to [`PassCode::Unrecognized`] with
+//! [`Severity::Unknown`] instead of rejecting the document, so an older
+//! reader still loads a newer linter's report.
+
+use std::fmt;
+
+/// Stable pass codes. Append-only: a code, once published, never
+/// changes meaning — allowlists and CI configurations key on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PassCode {
+    /// `L001`: swept admission state (validity cache, plan cache,
+    /// compiled capabilities, flow cache, the policy epoch itself)
+    /// mutated outside `Engine::apply_change` — the writer-critical-
+    /// section invalidation contract of DESIGN.md §4j.
+    MutationOutsideWriter,
+    /// `L002`: a `Relaxed` atomic operation feeding a branch — a
+    /// verdict, a cache-serve decision, a lock-acquisition gate. Stats
+    /// counters are fine under `Relaxed`; decisions are not. Also
+    /// enforces the `[[relaxed]]` audit in `lint.toml`: every file with
+    /// `Ordering::Relaxed` in non-test code must carry a justification
+    /// with an accurate site count.
+    RelaxedSyncDecision,
+    /// `L003`: the static lock-acquisition graph has a cycle, or a
+    /// function upgrades a `read()` to a `write()` on the same
+    /// `RwLock` while the read guard may still be live.
+    LockOrderInversion,
+    /// `L004`: an error arm in an admission/validator/server decision
+    /// path produces an accept-like outcome, caches a verdict, or
+    /// swallows the error — fail-closed means every `Err` path must
+    /// deny, uncached.
+    ErrorPathMustDeny,
+    /// `L005`: unchecked `+`/`*` or a narrowing `as` cast on
+    /// length/offset values in wire-parsing code (WAL frames, server
+    /// frames, the wire reader) — overflow there turns a corrupt length
+    /// field into a mis-bounded read instead of `Error::Corrupt`.
+    UncheckedWireArithmetic,
+    /// `L006`: `.unwrap()` / `.expect()` / `panic!` / `unreachable!` /
+    /// `todo!` in code whose panic-freedom is an invariant (the PR-4/5
+    /// scanner, now a pass).
+    PanicSite,
+    /// A pass code this build does not know. Never emitted by the
+    /// analyzer; produced only by the wire parser so a newer writer's
+    /// report still loads. Always [`Severity::Unknown`].
+    Unrecognized,
+}
+
+pub const ALL_CODES: &[PassCode] = &[
+    PassCode::MutationOutsideWriter,
+    PassCode::RelaxedSyncDecision,
+    PassCode::LockOrderInversion,
+    PassCode::ErrorPathMustDeny,
+    PassCode::UncheckedWireArithmetic,
+    PassCode::PanicSite,
+];
+
+impl PassCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PassCode::MutationOutsideWriter => "L001",
+            PassCode::RelaxedSyncDecision => "L002",
+            PassCode::LockOrderInversion => "L003",
+            PassCode::ErrorPathMustDeny => "L004",
+            PassCode::UncheckedWireArithmetic => "L005",
+            PassCode::PanicSite => "L006",
+            PassCode::Unrecognized => "L???",
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PassCode::MutationOutsideWriter => "MutationOutsideWriter",
+            PassCode::RelaxedSyncDecision => "RelaxedSyncDecision",
+            PassCode::LockOrderInversion => "LockOrderInversion",
+            PassCode::ErrorPathMustDeny => "ErrorPathMustDeny",
+            PassCode::UncheckedWireArithmetic => "UncheckedWireArithmetic",
+            PassCode::PanicSite => "PanicSite",
+            PassCode::Unrecognized => "Unrecognized",
+        }
+    }
+
+    pub fn from_str_code(s: &str) -> Option<PassCode> {
+        Some(match s {
+            "L001" => PassCode::MutationOutsideWriter,
+            "L002" => PassCode::RelaxedSyncDecision,
+            "L003" => PassCode::LockOrderInversion,
+            "L004" => PassCode::ErrorPathMustDeny,
+            "L005" => PassCode::UncheckedWireArithmetic,
+            "L006" => PassCode::PanicSite,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PassCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Finding severity. Every L-code defaults to `Error` — these passes
+/// check invariants, not style. `Unknown` exists only for
+/// forward-compat parsing, mirroring `fgac_analyze::Severity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+    Unknown,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Unknown => "unknown",
+        }
+    }
+
+    pub fn from_str_sev(s: &str) -> Option<Severity> {
+        Some(match s {
+            "error" => Severity::Error,
+            "warning" => Severity::Warning,
+            "unknown" => Severity::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+/// One finding of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub code: PassCode,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line in the original source.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        code: PassCode,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            code,
+            severity: Severity::Error,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// One JSON object, keys in fixed order, string values only (the
+    /// line number is carried as a decimal string, like the epoch
+    /// fields in `certjson.rs`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":{},\"name\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(self.code.as_str()),
+            json_str(self.code.name()),
+            json_str(self.severity.as_str()),
+            json_str(&self.file),
+            json_str(&self.line.to_string()),
+            json_str(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.code,
+            self.message
+        )
+    }
+}
+
+/// Per-pass tallies for the report header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSummary {
+    pub code: String,
+    pub name: String,
+    pub findings: usize,
+    pub ms: u128,
+}
+
+/// The whole lint run: header + findings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    pub elapsed_ms: u128,
+    pub files_scanned: usize,
+    pub passes: Vec<PassSummary>,
+    /// Allowlist entries that matched nothing — drift in `lint.toml`.
+    pub unused_allows: Vec<String>,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The machine form CI consumes and archives (`lint-report.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\":\"fgac-lint\",\n  \"schema\":\"1\",\n");
+        out.push_str(&format!(
+            "  \"elapsed_ms\":{},\n  \"files_scanned\":{},\n",
+            json_str(&self.elapsed_ms.to_string()),
+            json_str(&self.files_scanned.to_string()),
+        ));
+        out.push_str("  \"passes\":[");
+        let passes: Vec<String> = self
+            .passes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"code\":{},\"name\":{},\"findings\":{},\"ms\":{}}}",
+                    json_str(&p.code),
+                    json_str(&p.name),
+                    json_str(&p.findings.to_string()),
+                    json_str(&p.ms.to_string()),
+                )
+            })
+            .collect();
+        out.push_str(&passes.join(","));
+        out.push_str("],\n");
+        out.push_str("  \"unused_allows\":[");
+        let allows: Vec<String> = self.unused_allows.iter().map(|a| json_str(a)).collect();
+        out.push_str(&allows.join(","));
+        out.push_str("],\n");
+        out.push_str("  \"findings\":[");
+        if !self.findings.is_empty() {
+            out.push('\n');
+            let body: Vec<String> = self
+                .findings
+                .iter()
+                .map(|d| format!("    {}", d.to_json()))
+                .collect();
+            out.push_str(&body.join(",\n"));
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+/// Parses a report previously produced by [`Report::to_json`]. Strict
+/// on structure, lenient on unknown keys (additive evolution) and
+/// unknown pass codes (forward compatibility).
+pub fn report_from_json(input: &str) -> Option<Report> {
+    let mut p = JsonCursor::new(input);
+    p.skip_ws();
+    p.eat('{')?;
+    let mut report = Report::default();
+    let mut saw_findings = false;
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.eat(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "elapsed_ms" => report.elapsed_ms = p.string()?.parse().ok()?,
+            "files_scanned" => report.files_scanned = p.string()?.parse().ok()?,
+            "passes" => {
+                for obj in p.object_array()? {
+                    report.passes.push(PassSummary {
+                        code: obj.get("code")?.clone(),
+                        name: obj.get("name")?.clone(),
+                        findings: obj.get("findings")?.parse().ok()?,
+                        ms: obj.get("ms")?.parse().ok()?,
+                    });
+                }
+            }
+            "unused_allows" => report.unused_allows = p.string_array()?,
+            "findings" => {
+                saw_findings = true;
+                for obj in p.object_array()? {
+                    report.findings.push(parse_finding(&obj)?);
+                }
+            }
+            // "tool", "schema", "name" and future additive keys.
+            _ => {
+                p.skip_value()?;
+            }
+        }
+        p.skip_ws();
+        if p.eat(',').is_some() {
+            continue;
+        }
+        p.eat('}')?;
+        break;
+    }
+    if saw_findings {
+        Some(report)
+    } else {
+        None
+    }
+}
+
+/// Parses a single finding object's key/value map.
+fn parse_finding(obj: &KvMap) -> Option<Finding> {
+    let code_s = obj.get("code")?;
+    let code = PassCode::from_str_code(code_s).unwrap_or(PassCode::Unrecognized);
+    // An unrecognized finding is neither clean nor an error: whatever
+    // severity the (newer) writer attached, this build cannot act on it.
+    let severity = if code == PassCode::Unrecognized {
+        Severity::Unknown
+    } else {
+        Severity::from_str_sev(obj.get("severity")?)?
+    };
+    Some(Finding {
+        code,
+        severity,
+        file: obj.get("file")?.clone(),
+        line: obj.get("line")?.parse().ok()?,
+        message: obj.get("message")?.clone(),
+    })
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Ordered string→string map for one parsed JSON object.
+struct KvMap(Vec<(String, String)>);
+
+impl KvMap {
+    fn get(&self, key: &str) -> Option<&String> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+struct JsonCursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> Option<()> {
+        if self.chars.peek() == Some(&want) {
+            self.chars.next();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            v = v * 16 + self.chars.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// An array of flat string-valued objects.
+    fn object_array(&mut self) -> Option<Vec<KvMap>> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(']').is_some() {
+            return Some(out);
+        }
+        loop {
+            self.skip_ws();
+            self.eat('{')?;
+            let mut kvs = Vec::new();
+            loop {
+                self.skip_ws();
+                let k = self.string()?;
+                self.skip_ws();
+                self.eat(':')?;
+                self.skip_ws();
+                let v = self.string()?;
+                kvs.push((k, v));
+                self.skip_ws();
+                if self.eat(',').is_some() {
+                    continue;
+                }
+                self.eat('}')?;
+                break;
+            }
+            out.push(KvMap(kvs));
+            self.skip_ws();
+            if self.eat(',').is_some() {
+                continue;
+            }
+            self.eat(']')?;
+            return Some(out);
+        }
+    }
+
+    fn string_array(&mut self) -> Option<Vec<String>> {
+        self.eat('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(']').is_some() {
+            return Some(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.string()?);
+            self.skip_ws();
+            if self.eat(',').is_some() {
+                continue;
+            }
+            self.eat(']')?;
+            return Some(out);
+        }
+    }
+
+    /// Skips one value of any supported shape (string, array of strings
+    /// or flat objects) — used for unknown additive keys.
+    fn skip_value(&mut self) -> Option<()> {
+        self.skip_ws();
+        match self.chars.peek()? {
+            '"' => self.string().map(|_| ()),
+            '[' => {
+                // Try objects first, then strings; an empty array parses
+                // either way.
+                let rest: String = self.chars.clone().collect();
+                let mut probe = JsonCursor::new(&rest);
+                if probe.object_array().is_some() {
+                    self.object_array().map(|_| ())
+                } else {
+                    self.string_array().map(|_| ())
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            elapsed_ms: 42,
+            files_scanned: 87,
+            passes: vec![
+                PassSummary {
+                    code: "L001".into(),
+                    name: "MutationOutsideWriter".into(),
+                    findings: 1,
+                    ms: 3,
+                },
+                PassSummary {
+                    code: "L005".into(),
+                    name: "UncheckedWireArithmetic".into(),
+                    findings: 0,
+                    ms: 1,
+                },
+            ],
+            unused_allows: vec!["L002 crates/x.rs \"old reason\"".into()],
+            findings: vec![Finding::new(
+                PassCode::MutationOutsideWriter,
+                "crates/core/src/engine.rs",
+                171,
+                "weird \"quotes\"\nand\tlines",
+            )],
+        }
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        for (code, s) in [
+            (PassCode::MutationOutsideWriter, "L001"),
+            (PassCode::RelaxedSyncDecision, "L002"),
+            (PassCode::LockOrderInversion, "L003"),
+            (PassCode::ErrorPathMustDeny, "L004"),
+            (PassCode::UncheckedWireArithmetic, "L005"),
+            (PassCode::PanicSite, "L006"),
+        ] {
+            assert_eq!(code.as_str(), s);
+            assert_eq!(PassCode::from_str_code(s), Some(code));
+        }
+        // The forward-compat sentinel is parser-only.
+        assert_eq!(PassCode::from_str_code("L???"), None);
+    }
+
+    #[test]
+    fn report_round_trips_including_escapes() {
+        let r = sample();
+        let back = report_from_json(&r.to_json()).expect("round-trip parses");
+        assert_eq!(r, back);
+        let empty = Report::default();
+        assert_eq!(report_from_json(&empty.to_json()), Some(empty));
+    }
+
+    #[test]
+    fn unknown_pass_codes_parse_to_unrecognized_unknown() {
+        let json = r#"{
+  "tool":"fgac-lint","schema":"1","elapsed_ms":"1","files_scanned":"2",
+  "passes":[],"unused_allows":[],
+  "findings":[
+    {"code":"L099","name":"FuturePass","severity":"critical","file":"a.rs","line":"7","message":"from the future"},
+    {"code":"L002","name":"RelaxedSyncDecision","severity":"error","file":"b.rs","line":"9","message":"known"}
+  ]
+}"#;
+        let r = report_from_json(json).expect("forward-compat parse");
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.findings[0].code, PassCode::Unrecognized);
+        assert_eq!(r.findings[0].severity, Severity::Unknown);
+        assert_eq!(r.findings[1].code, PassCode::RelaxedSyncDecision);
+        assert_eq!(r.findings[1].severity, Severity::Error);
+        // Structural strictness is unchanged: a known code with an
+        // unknown severity string is still rejected.
+        let bad = json.replace("\"error\"", "\"critical\"");
+        assert_eq!(report_from_json(&bad), None);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in ["", "{", "nonsense", "{\"findings\":[{]}", "{\"elapsed_ms\":\"x\"}"] {
+            assert!(report_from_json(bad).is_none(), "input {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded violation corpus for L001 MutationOutsideWriter.
+//!
+//! `grant_view_fast` advances the policy epoch and sweeps the validity
+//! cache outside `Engine::apply_change` — exactly the shortcut that
+//! lets a reader observe new grants with stale verdicts.
+
+pub struct ValidityCache;
+
+impl ValidityCache {
+    pub fn clear(&mut self) {}
+}
+
+pub struct Engine {
+    cache: ValidityCache,
+    policy_epoch: u64,
+}
+
+impl Engine {
+    /// The one legal writer: sweeps run inside the critical section.
+    pub fn apply_change(&mut self) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+    }
+
+    /// SEEDED: a "fast" grant that bumps the epoch and sweeps the cache
+    /// directly. Both lines must be findings.
+    pub fn grant_view_fast(&mut self) {
+        self.policy_epoch += 1;
+        self.cache.clear();
+    }
+}

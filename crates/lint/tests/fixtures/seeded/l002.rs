@@ -1,0 +1,17 @@
+//! Seeded violation corpus for L002 RelaxedSyncDecision.
+//!
+//! The drain loop exits on a `Relaxed` load: no happens-before edge
+//! with the thread that stored the flag, so the loop can keep serving
+//! after shutdown began. The counter bump below is the legal pattern.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static STOP: AtomicBool = AtomicBool::new(false);
+pub static SERVED: AtomicU64 = AtomicU64::new(0);
+
+pub fn drain() {
+    // SEEDED: Relaxed load gating the loop exit — a decision position.
+    while !STOP.load(Ordering::Relaxed) {
+        SERVED.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded violation corpus for L003 LockOrderInversion.
+//!
+//! `forward` takes alpha then beta; `backward` takes beta then alpha —
+//! a two-lock cycle, the classic AB/BA deadlock. `upgrade` re-enters
+//! the same `RwLock` for a write while its read guard is live.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Shards {
+    pub alpha: Mutex<u64>,
+    pub beta: Mutex<u64>,
+}
+
+pub fn forward(s: &Shards) -> u64 {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    *a.unwrap_or_default() + *b.unwrap_or_default()
+}
+
+/// SEEDED: acquisition order inverted relative to `forward`.
+pub fn backward(s: &Shards) -> u64 {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    *a.unwrap_or_default() + *b.unwrap_or_default()
+}
+
+/// SEEDED: read guard still live when the write is requested —
+/// self-deadlock on a non-reentrant lock.
+pub fn upgrade(state: &RwLock<u64>) -> u64 {
+    let r = state.read();
+    let w = state.write();
+    *r.unwrap_or_default() + *w.unwrap_or_default()
+}

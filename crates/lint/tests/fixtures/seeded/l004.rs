@@ -1,0 +1,25 @@
+//! Seeded violation corpus for L004 ErrorPathMustDeny.
+//!
+//! Two fail-open error paths: an `Err` arm that returns an accept, and
+//! an `unwrap_or(true)` that turns every validator failure into a
+//! grant. Fail-closed means both must deny.
+
+pub fn validate(q: &str) -> Result<bool, String> {
+    if q.is_empty() {
+        return Err("empty query".into());
+    }
+    Ok(true)
+}
+
+pub fn admit(q: &str) -> bool {
+    match validate(q) {
+        Ok(v) => v,
+        // SEEDED: error path accepts.
+        Err(_) => true,
+    }
+}
+
+pub fn admit_lenient(q: &str) -> bool {
+    // SEEDED: validator failure defaults to accept.
+    validate(q).unwrap_or(true)
+}

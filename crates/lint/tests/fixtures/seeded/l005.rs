@@ -1,0 +1,15 @@
+//! Seeded violation corpus for L005 UncheckedWireArithmetic.
+//!
+//! A frame encoder that truncates the length field with `as u32` and a
+//! scanner that computes the payload end with unchecked addition — the
+//! two shapes that turn a hostile length into a mis-bounded read.
+
+pub fn encode_len(payload_len: usize) -> [u8; 4] {
+    // SEEDED: narrowing cast on a length.
+    (payload_len as u32).to_le_bytes()
+}
+
+pub fn payload_end(pos: usize, header_len: usize) -> usize {
+    // SEEDED: unchecked offset addition.
+    pos + header_len
+}

@@ -1,0 +1,15 @@
+//! Seeded violation corpus for L006 PanicSite.
+//!
+//! An unwrap and a panic in straight-line decode code — in the
+//! no-panic set, both become availability bugs a hostile frame can
+//! trigger at will.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // SEEDED: unwrap in no-panic code.
+    let first = *bytes.first().unwrap();
+    if first == 0 {
+        // SEEDED: reachable panic in no-panic code.
+        panic!("zero class byte");
+    }
+    first
+}

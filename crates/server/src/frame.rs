@@ -51,8 +51,12 @@ pub fn encode_frame(kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
             payload.len()
         )));
     }
+    // The MAX_PAYLOAD guard above keeps the length within u32 range;
+    // try_from makes that dependency explicit rather than truncating.
+    let len = u32::try_from(payload.len())
+        .map_err(|_| Error::Execution("frame payload length exceeds u32".into()))?;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.push(kind);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     let header_crc = crc32(&out[..9]);

@@ -214,12 +214,15 @@ impl WalStore {
             // state and a rerun sees the same bytes.
             #[cfg(feature = "fault-injection")]
             fgac_types::faults::hit("wal::recover")?;
-            if pos + FRAME_HEADER_LEN > bytes.len() {
+            let header_end = match pos.checked_add(FRAME_HEADER_LEN) {
+                Some(e) if e <= bytes.len() => e,
                 // Not even a full frame header: torn tail.
-                truncate_at = Some(pos);
-                break;
-            }
-            let header = &bytes[pos..pos + FRAME_HEADER_LEN];
+                _ => {
+                    truncate_at = Some(pos);
+                    break;
+                }
+            };
+            let header = &bytes[pos..header_end];
             let plen = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let class = header[4];
             let stored_pcrc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
@@ -239,13 +242,16 @@ impl WalStore {
                     "wal record {lsn}: unknown frame class {class:#x}"
                 )));
             }
-            let end = pos + FRAME_HEADER_LEN + plen;
-            if plen > bytes.len() || end > bytes.len() {
-                // Valid header, payload runs past EOF: torn tail.
-                truncate_at = Some(pos);
-                break;
-            }
-            let payload = &bytes[pos + FRAME_HEADER_LEN..end];
+            let end = match header_end.checked_add(plen) {
+                Some(e) if e <= bytes.len() => e,
+                // Valid header, payload runs past EOF (or a hostile
+                // `len` would overflow the offset): torn tail.
+                _ => {
+                    truncate_at = Some(pos);
+                    break;
+                }
+            };
+            let payload = &bytes[header_end..end];
             if crc32(payload) != stored_pcrc {
                 let is_final = end == bytes.len();
                 if is_final && class == CLASS_DATA {
@@ -345,7 +351,7 @@ impl WalStore {
         #[cfg(feature = "fault-injection")]
         fgac_types::faults::hit("wal::append")?;
         let payload = record.to_bytes();
-        let framed = frame(&payload, record.class());
+        let framed = frame(&payload, record.class())?;
 
         #[cfg(feature = "fault-injection")]
         if let Err(e) = fgac_types::faults::hit("wal::append_torn") {
@@ -429,7 +435,7 @@ impl WalStore {
         let payload = state.to_bytes();
         let mut doc = Vec::with_capacity(8 + FRAME_HEADER_LEN + payload.len());
         doc.extend_from_slice(SNAP_MAGIC);
-        doc.extend_from_slice(&frame(&payload, CLASS_POLICY));
+        doc.extend_from_slice(&frame(&payload, CLASS_POLICY)?);
 
         let tmp = self.dir.join("snapshot.tmp");
         let final_path = snapshot_path(&self.dir);
@@ -512,7 +518,7 @@ fn load_snapshot(dir: &Path) -> Result<Option<SnapshotState>> {
     if class != CLASS_POLICY {
         return Err(corrupt("frame class is not policy"));
     }
-    if bytes.len() != header_len + plen {
+    if bytes.len().checked_sub(header_len) != Some(plen) {
         return Err(corrupt("length mismatch"));
     }
     let payload = &bytes[header_len..];
@@ -619,7 +625,7 @@ mod tests {
         store.append(&rec(0), true).unwrap();
         drop(store);
         let path = wal_path(&dir);
-        let framed = frame(&rec(1).to_bytes(), CLASS_POLICY);
+        let framed = frame(&rec(1).to_bytes(), CLASS_POLICY).unwrap();
         let cut = FRAME_HEADER_LEN + 2; // header + 2 payload bytes
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&framed[..cut]).unwrap();
@@ -759,7 +765,7 @@ mod tests {
         let payload = state.to_bytes();
         let mut doc = Vec::new();
         doc.extend_from_slice(SNAP_MAGIC);
-        doc.extend_from_slice(&frame(&payload, CLASS_POLICY));
+        doc.extend_from_slice(&frame(&payload, CLASS_POLICY).unwrap());
         std::fs::write(snapshot_path(&dir), &doc).unwrap();
         drop(store);
         let recovered = WalStore::recover(&dir).unwrap();
@@ -817,7 +823,7 @@ mod tests {
         drop(store);
         let mut doc = Vec::new();
         doc.extend_from_slice(SNAP_MAGIC);
-        doc.extend_from_slice(&frame(&snap(1).to_bytes(), CLASS_POLICY));
+        doc.extend_from_slice(&frame(&snap(1).to_bytes(), CLASS_POLICY).unwrap());
         std::fs::write(snapshot_path(&dir), &doc).unwrap();
         let err = WalStore::recover(&dir).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");

@@ -178,15 +178,25 @@ impl WireDecode for WalRecord {
 /// a payload-checksum failure at the tail may be treated as a torn
 /// write, so it must be trustworthy even when the payload is not —
 /// `hcrc` gives it (and `len`) integrity independent of the payload.
-pub fn frame(payload: &[u8], class: u8) -> Vec<u8> {
+///
+/// Fails if the payload exceeds the u32 length field — a silently
+/// truncated `len` would make the frame unrecoverable (the payload CRC
+/// would cover bytes the header does not admit to).
+pub fn frame(payload: &[u8], class: u8) -> Result<Vec<u8>> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        Error::Execution(format!(
+            "wal frame: payload of {} bytes exceeds the u32 length field",
+            payload.len()
+        ))
+    })?;
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.push(class);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     let hcrc = crc32(&out[..9]);
     out.extend_from_slice(&hcrc.to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -248,7 +258,7 @@ mod tests {
     #[test]
     fn frame_carries_checksummed_header_and_payload() {
         let payload = WalRecord::Dml { deltas: vec![] }.to_bytes();
-        let f = frame(&payload, CLASS_DATA);
+        let f = frame(&payload, CLASS_DATA).unwrap();
         assert_eq!(
             u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize,
             payload.len()
@@ -271,7 +281,7 @@ mod tests {
             role: "student".into(),
         }
         .to_bytes();
-        let mut f = frame(&payload, CLASS_POLICY);
+        let mut f = frame(&payload, CLASS_POLICY).unwrap();
         f[4] = CLASS_DATA;
         let hcrc = u32::from_le_bytes([f[9], f[10], f[11], f[12]]);
         assert_ne!(crc32(&f[..9]), hcrc);

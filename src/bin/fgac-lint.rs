@@ -1,798 +1,149 @@
-//! Panic-freedom lint for the commit/recovery/prover paths.
+//! fgac-lint CLI: runs the `crates/lint` multi-pass engine over the
+//! workspace and reports findings.
 //!
-//! Scans the modules whose no-panic discipline is an invariant — the
-//! WAL crate, the durability layer, the DML commit path, the
-//! implication prover, the Non-Truman validator, and the certificate
-//! checker — for `.unwrap(` / `.expect(` calls and `panic!` /
-//! `unreachable!` / `todo!` macro invocations in non-test code, and
-//! fails with exit status 1 if any are found. Runs in CI as a cheap,
-//! toolchain-independent complement to the `clippy::disallowed_methods`
-//! deny (clippy.toml).
+//! ```text
+//! fgac-lint [--json] [--out FILE] [--root DIR] [--max-ms N]
+//! ```
 //!
-//! Unlike the grep it replaces, the scan is token-aware: occurrences
-//! inside line/block comments (nested), string / raw-string / byte /
-//! char literals, and `#[cfg(test)]`-gated items are not violations,
-//! `.unwrap_or_default(` / `.expect_err(` do not match, and
-//! `debug_assert!` / `assert!` (whose failure is a caught programming
-//! error, not a data-dependent path) remain allowed.
+//! - `--json` — emit the machine report (`lint-report.json` shape)
+//!   to stdout instead of human-readable lines
+//! - `--out FILE` — also write the JSON report to FILE
+//! - `--root DIR` — workspace root (default: this package's manifest dir)
+//! - `--max-ms N` — fail if the whole run took longer than N ms — CI's
+//!   guarantee that the analyzer never becomes the slow step
+//!
+//! Exit codes: 0 clean, 1 findings / stale allowlist entries / runtime
+//! gate exceeded, 2 usage or I/O error. Configuration (scope, per-pass
+//! settings, allowlists, the Relaxed audit ledger) lives in `lint.toml`
+//! at the workspace root.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-/// One `.unwrap(`/`.expect(` call or `panic!`/`unreachable!`/`todo!`
-/// invocation found in non-test code. `method` values ending in `!`
-/// denote macros.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    line: usize,
-    method: &'static str,
+struct Args {
+    json: bool,
+    out: Option<PathBuf>,
+    root: PathBuf,
+    max_ms: Option<u128>,
 }
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.method.ends_with('!') {
-            write!(f, "line {}: {}(..) is forbidden here", self.line, self.method)
-        } else {
-            write!(f, "line {}: .{}() is forbidden here", self.line, self.method)
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        out: None,
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")),
+        max_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(v);
+            }
+            "--max-ms" => {
+                let v = it.next().ok_or("--max-ms needs a number")?;
+                let n: u128 = v
+                    .parse()
+                    .map_err(|_| format!("--max-ms: `{v}` is not a number"))?;
+                args.max_ms = Some(n);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    Ok(args)
 }
 
-/// The source text reduced to code: comments and literal *contents*
-/// blanked out (replaced by spaces), line structure preserved so
-/// reported line numbers match the original file.
-fn strip_noncode(src: &str) -> Vec<(char, usize)> {
-    let chars: Vec<char> = src.chars().collect();
-    let mut out: Vec<(char, usize)> = Vec::with_capacity(chars.len());
-    let mut line = 1usize;
-    let mut i = 0usize;
-
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            out.push(('\n', line));
-            line += 1;
-            i += 1;
-            continue;
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fgac-lint: {e}");
+            return ExitCode::from(2);
         }
-        // Line comment.
-        if c == '/' && chars.get(i + 1) == Some(&'/') {
-            while i < chars.len() && chars[i] != '\n' {
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment — Rust block comments nest.
-        if c == '/' && chars.get(i + 1) == Some(&'*') {
-            let mut depth = 1usize;
-            i += 2;
-            while i < chars.len() && depth > 0 {
-                if chars[i] == '\n' {
-                    out.push(('\n', line));
-                    line += 1;
-                    i += 1;
-                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    i += 2;
-                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (byte) string: r"...", r#"..."#, br##"..."##. Only when
-        // the r/b starts an identifier-like token of its own.
-        let prev_ident = i > 0 && is_ident(chars[i - 1]);
-        if !prev_ident && (c == 'r' || c == 'b') {
-            let mut j = i;
-            if c == 'b' && chars.get(j + 1) == Some(&'r') {
-                j += 1;
-            }
-            if c == 'r' || j > i {
-                let mut hashes = 0usize;
-                let mut k = j + 1;
-                while chars.get(k) == Some(&'#') {
-                    hashes += 1;
-                    k += 1;
-                }
-                if chars.get(k) == Some(&'"') {
-                    // Scan for the closing quote + same number of '#'.
-                    out.push((' ', line));
-                    i = k + 1;
-                    'raw: while i < chars.len() {
-                        if chars[i] == '\n' {
-                            out.push(('\n', line));
-                            line += 1;
-                            i += 1;
-                            continue;
-                        }
-                        if chars[i] == '"' {
-                            let mut h = 0usize;
-                            while chars.get(i + 1 + h) == Some(&'#') {
-                                h += 1;
-                            }
-                            if h >= hashes {
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        i += 1;
-                    }
-                    continue;
-                }
-            }
-        }
-        // Plain (or byte) string literal with escapes.
-        if c == '"' || (c == 'b' && !prev_ident && chars.get(i + 1) == Some(&'"')) {
-            out.push((' ', line));
-            i += if c == 'b' { 2 } else { 1 };
-            while i < chars.len() {
-                match chars[i] {
-                    '\\' => i += 2,
-                    '\n' => {
-                        out.push(('\n', line));
-                        line += 1;
-                        i += 1;
-                    }
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
-                    _ => i += 1,
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: 'x' / '\n' are literals; 'a in a
-        // generic position has no closing quote within two chars.
-        if c == '\'' {
-            if chars.get(i + 1) == Some(&'\\') {
-                // Escaped char literal: skip to closing quote.
-                out.push((' ', line));
-                i += 2;
-                while i < chars.len() && chars[i] != '\'' {
-                    i += 1;
-                }
-                i += 1;
-                continue;
-            }
-            if chars.get(i + 2) == Some(&'\'') {
-                out.push((' ', line));
-                i += 3;
-                continue;
-            }
-            // Lifetime: keep the tick so tokens don't fuse.
-            out.push(('\'', line));
-            i += 1;
-            continue;
-        }
-        out.push((c, line));
-        i += 1;
-    }
-    out
-}
-
-/// Whether `code[i..]` starts the attribute `#[cfg(test)]` (whitespace
-/// insensitive). Returns the index just past the closing `]`.
-fn cfg_test_attr(code: &[(char, usize)], i: usize) -> Option<usize> {
-    if code[i].0 != '#' {
-        return None;
-    }
-    let mut j = i + 1;
-    while j < code.len() && code[j].0.is_whitespace() {
-        j += 1;
-    }
-    if j >= code.len() || code[j].0 != '[' {
-        return None;
-    }
-    let mut body = String::new();
-    let mut depth = 1usize;
-    j += 1;
-    while j < code.len() && depth > 0 {
-        match code[j].0 {
-            '[' => depth += 1,
-            ']' => depth -= 1,
-            ch if !ch.is_whitespace() && depth >= 1 => body.push(ch),
-            _ => {}
-        }
-        j += 1;
-    }
-    // The final ']' was pushed before depth hit 0? No: the match arm
-    // above only pushes when the char is not '[' / ']'.
-    if body == "cfg(test)" {
-        Some(j)
-    } else {
-        None
-    }
-}
-
-/// Skips the item a `#[cfg(test)]` attribute gates: everything through
-/// the matching close brace of the item's body, or through the first
-/// `;` for body-less items (`#[cfg(test)] use ...;`).
-fn skip_gated_item(code: &[(char, usize)], mut i: usize) -> usize {
-    while i < code.len() {
-        match code[i].0 {
-            '{' => {
-                let mut depth = 1usize;
-                i += 1;
-                while i < code.len() && depth > 0 {
-                    match code[i].0 {
-                        '{' => depth += 1,
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                    i += 1;
-                }
-                return i;
-            }
-            ';' => return i + 1,
-            // A stacked attribute (`#[cfg(test)] #[derive(..)] struct S;`)
-            // — step over it without treating its `[]` as the body.
-            '#' => {
-                i += 1;
-                while i < code.len() && code[i].0.is_whitespace() {
-                    i += 1;
-                }
-                if i < code.len() && code[i].0 == '[' {
-                    let mut depth = 1usize;
-                    i += 1;
-                    while i < code.len() && depth > 0 {
-                        match code[i].0 {
-                            '[' => depth += 1,
-                            ']' => depth -= 1,
-                            _ => {}
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-/// Scans one file's source for forbidden calls in non-test code.
-fn find_violations(src: &str) -> Vec<Violation> {
-    let code = strip_noncode(src);
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-
-    while i < code.len() {
-        if let Some(after) = cfg_test_attr(&code, i) {
-            i = skip_gated_item(&code, after);
-            continue;
-        }
-        if code[i].0 == '.' {
-            let mut j = i + 1;
-            while j < code.len() && code[j].0.is_whitespace() {
-                j += 1;
-            }
-            let start = j;
-            while j < code.len() && is_ident(code[j].0) {
-                j += 1;
-            }
-            let name: String = code[start..j].iter().map(|&(c, _)| c).collect();
-            if name == "unwrap" || name == "expect" {
-                let mut k = j;
-                while k < code.len() && code[k].0.is_whitespace() {
-                    k += 1;
-                }
-                if k < code.len() && code[k].0 == '(' {
-                    out.push(Violation {
-                        line: code[start].1,
-                        method: if name == "unwrap" { "unwrap" } else { "expect" },
-                    });
-                }
-            }
-            i = j.max(i + 1);
-            continue;
-        }
-        // A bare identifier: check for the forbidden panic macros. Only
-        // a whole identifier counts (`my_panic!` does not), and only
-        // when followed by `!` and an opening delimiter.
-        if is_ident(code[i].0) && !code[i].0.is_ascii_digit() {
-            let prev_is_ident = i > 0 && is_ident(code[i - 1].0);
-            let prev_is_dot = i > 0 && code[i - 1].0 == '.';
-            let start = i;
-            let mut j = i;
-            while j < code.len() && is_ident(code[j].0) {
-                j += 1;
-            }
-            if !prev_is_ident && !prev_is_dot {
-                let name: String = code[start..j].iter().map(|&(c, _)| c).collect();
-                let mac: Option<&'static str> = match name.as_str() {
-                    "panic" => Some("panic!"),
-                    "unreachable" => Some("unreachable!"),
-                    "todo" => Some("todo!"),
-                    _ => None,
-                };
-                if let Some(mac) = mac {
-                    let mut k = j;
-                    while k < code.len() && code[k].0.is_whitespace() {
-                        k += 1;
-                    }
-                    if k < code.len() && code[k].0 == '!' {
-                        k += 1;
-                        while k < code.len() && code[k].0.is_whitespace() {
-                            k += 1;
-                        }
-                        if k < code.len() && matches!(code[k].0, '(' | '[' | '{') {
-                            out.push(Violation {
-                                line: code[start].1,
-                                method: mac,
-                            });
-                        }
-                    }
-                }
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// Epoch-discipline check (PR-8 invalidation contract): every policy or
-/// schema mutation funnels through `Engine::apply_change`, which bumps
-/// `policy_epoch` and sweeps all the admission caches with the delta.
-/// A direct `policy_epoch` assignment, or a `.clear()` /
-/// `.invalidate()` / `.apply_policy_change()` on one of the swept
-/// caches (`cache`, `plan_cache`, `compiled`, `flow`) anywhere else in
-/// the engine, bypasses that contract — a future PR could leave one
-/// cache stale while the others move. Scans `crates/core/src/engine.rs`
-/// only: the caches' own modules legitimately mutate themselves, and
-/// recovery (durability.rs) rebuilds from scratch.
-fn find_epoch_violations(src: &str) -> Vec<(usize, String)> {
-    let code = strip_noncode(src);
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    let mut out = Vec::new();
-
-    // Track the enclosing function: (name, brace depth of its body).
-    let mut fn_stack: Vec<(String, usize)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-    let mut depth = 0usize;
-    let mut i = 0usize;
-
-    let next_nonws = |code: &[(char, usize)], mut j: usize| {
-        while j < code.len() && code[j].0.is_whitespace() {
-            j += 1;
-        }
-        j
     };
 
-    while i < code.len() {
-        let c = code[i].0;
-        if c == '{' {
-            depth += 1;
-            if let Some(name) = pending_fn.take() {
-                fn_stack.push((name, depth));
-            }
-            i += 1;
-            continue;
-        }
-        if c == '}' {
-            if fn_stack.last().is_some_and(|(_, d)| *d == depth) {
-                fn_stack.pop();
-            }
-            depth = depth.saturating_sub(1);
-            i += 1;
-            continue;
-        }
-        if c == ';' {
-            // Body-less declaration cancels a pending fn.
-            pending_fn = None;
-            i += 1;
-            continue;
-        }
-        if is_ident(c) && !c.is_ascii_digit() && !(i > 0 && is_ident(code[i - 1].0)) {
-            let start = i;
-            let mut j = i;
-            while j < code.len() && is_ident(code[j].0) {
-                j += 1;
-            }
-            let word: String = code[start..j].iter().map(|&(ch, _)| ch).collect();
-            let in_sweep = fn_stack.first().is_some_and(|(n, _)| n == "apply_change");
-            if word == "fn" {
-                let k = next_nonws(&code, j);
-                let mut m = k;
-                while m < code.len() && is_ident(code[m].0) {
-                    m += 1;
-                }
-                if m > k {
-                    pending_fn = Some(code[k..m].iter().map(|&(ch, _)| ch).collect());
-                }
-                i = m.max(j);
-                continue;
-            }
-            if word == "policy_epoch" && !in_sweep {
-                // Only the engine's own field counts: the receiver must
-                // be literally `self`. Certificates carry a
-                // `policy_epoch` field too, and stamping one
-                // (`cert.policy_epoch = ...`) is not an epoch mutation.
-                let mut b = start;
-                while b > 0 && code[b - 1].0.is_whitespace() {
-                    b -= 1;
-                }
-                let self_recv = b > 0 && code[b - 1].0 == '.' && {
-                    let mut r = b - 1;
-                    while r > 0 && code[r - 1].0.is_whitespace() {
-                        r -= 1;
-                    }
-                    let recv_end = r;
-                    while r > 0 && is_ident(code[r - 1].0) {
-                        r -= 1;
-                    }
-                    let recv: String = code[r..recv_end].iter().map(|&(ch, _)| ch).collect();
-                    recv == "self"
-                };
-                // Assignment: `= x` (not `==`), `+=`, `-=`.
-                let k = next_nonws(&code, j);
-                let assigns = match code.get(k).map(|&(ch, _)| ch) {
-                    Some('=') => code.get(k + 1).map(|&(ch, _)| ch) != Some('='),
-                    Some('+') | Some('-') => code.get(k + 1).map(|&(ch, _)| ch) == Some('='),
-                    _ => false,
-                };
-                if assigns && self_recv {
-                    out.push((
-                        code[start].1,
-                        "policy_epoch mutated outside Engine::apply_change".to_string(),
-                    ));
-                }
-                i = j;
-                continue;
-            }
-            // Receiver chain ending in a swept cache, then `.clear(` /
-            // `.invalidate(` / `.apply_policy_change(`.
-            if matches!(word.as_str(), "cache" | "plan_cache" | "compiled" | "flow")
-                && !in_sweep
-                && code.get(j).map(|&(ch, _)| ch) == Some('.')
-            {
-                let k = next_nonws(&code, j + 1);
-                let mut m = k;
-                while m < code.len() && is_ident(code[m].0) {
-                    m += 1;
-                }
-                let method: String = code[k..m].iter().map(|&(ch, _)| ch).collect();
-                let p = next_nonws(&code, m);
-                if matches!(method.as_str(), "clear" | "invalidate" | "apply_policy_change")
-                    && code.get(p).map(|&(ch, _)| ch) == Some('(')
-                {
-                    out.push((
-                        code[start].1,
-                        format!(
-                            "{word}.{method}() outside Engine::apply_change bypasses \
-                             the invalidation sweep"
-                        ),
-                    ));
-                }
-                i = m.max(j);
-                continue;
-            }
-            i = j;
-            continue;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// The files whose non-test code must not panic. Directories are
-/// scanned for every `.rs` file so new modules are covered by default.
-fn lint_targets(root: &Path) -> Vec<PathBuf> {
-    let mut files = vec![
-        root.join("crates/exec/src/dml.rs"),
-        root.join("crates/core/src/durability.rs"),
-        // The compiled fast path sits on the admission hot path: a panic
-        // there takes down every connection's validity check.
-        root.join("crates/core/src/compiled.rs"),
-        // Churn survival (PR-8): the invalidation sweep and the caches
-        // it restamps run inside the engine's writer critical section —
-        // a panic there poisons the lock for every connection.
-        root.join("crates/core/src/invalidation.rs"),
-        root.join("crates/core/src/cache.rs"),
-        root.join("crates/core/src/plancache.rs"),
-        root.join("crates/algebra/src/implication.rs"),
-        root.join("crates/analyze/src/cert.rs"),
-        root.join("crates/analyze/src/certjson.rs"),
-    ];
-    for dir in [
-        "crates/wal/src",
-        "crates/core/src/nontruman",
-        "crates/server/src",
-        "src/bin",
-    ] {
-        if let Ok(entries) = std::fs::read_dir(root.join(dir)) {
-            for entry in entries.flatten() {
-                let p = entry.path();
-                if p.extension().is_some_and(|e| e == "rs") {
-                    files.push(p);
-                }
-            }
-        }
-    }
-    files.sort();
-    files
-}
-
-fn main() {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let mut total = 0usize;
-    let mut scanned = 0usize;
-    for path in lint_targets(&root) {
-        let src = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("fgac-lint: cannot read {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        };
-        scanned += 1;
-        for v in find_violations(&src) {
-            let rel = path.strip_prefix(&root).unwrap_or(&path);
-            println!("{}:{}", rel.display(), v);
-            total += 1;
-        }
-    }
-    let engine_path = root.join("crates/core/src/engine.rs");
-    match std::fs::read_to_string(&engine_path) {
-        Ok(src) => {
-            scanned += 1;
-            for (line, msg) in find_epoch_violations(&src) {
-                println!("crates/core/src/engine.rs:line {line}: {msg}");
-                total += 1;
-            }
-        }
+    let config_path = args.root.join("lint.toml");
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("fgac-lint: cannot read {}: {e}", engine_path.display());
-            std::process::exit(2);
+            eprintln!("fgac-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match fgac_lint::config::Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fgac-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match fgac_lint::run(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fgac-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("fgac-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
         }
     }
-    if total > 0 {
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for a in &report.unused_allows {
+            println!("lint.toml: unused allowlist entry: {a}");
+        }
+        println!(
+            "fgac-lint: {} file(s), {} pass(es), {} finding(s), {} ms",
+            report.files_scanned,
+            report.passes.len(),
+            report.findings.len(),
+            report.elapsed_ms
+        );
+    }
+
+    let mut failed = false;
+    if !report.findings.is_empty() {
         eprintln!(
-            "fgac-lint: {total} violation(s): forbidden panic sites in \
-             commit/recovery/prover code (bubble a Result instead) or \
-             epoch-discipline breaches (route policy mutations through \
-             Engine::apply_change)"
+            "fgac-lint: {} finding(s) — fix them or add a justified [[allow]] to lint.toml",
+            report.findings.len()
         );
-        std::process::exit(1);
+        failed = true;
     }
-    println!("fgac-lint: {scanned} files clean");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lines(src: &str) -> Vec<usize> {
-        find_violations(src).into_iter().map(|v| v.line).collect()
-    }
-
-    #[test]
-    fn plain_calls_are_found_with_correct_lines() {
-        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n}\n";
-        let vs = find_violations(src);
-        assert_eq!(vs.len(), 2);
-        assert_eq!(vs[0], Violation { line: 2, method: "unwrap" });
-        assert_eq!(vs[1], Violation { line: 3, method: "expect" });
-    }
-
-    #[test]
-    fn comments_and_strings_do_not_match() {
-        let src = r#"
-fn f() {
-    // x.unwrap() in a line comment
-    /* y.expect("..") in a block /* nested .unwrap() */ comment */
-    let s = "call .unwrap() maybe";
-    let r = r#who; // lifetime-free identifier noise
-    let raw = r"\.unwrap()";
-    let c = '"'; // a quote char literal must not open a string
-    let after = x.ok(); // .expect("..") would be here
-}
-"#;
-        assert!(lines(src).is_empty(), "got {:?}", find_violations(src));
-    }
-
-    #[test]
-    fn raw_strings_with_hashes_and_byte_strings_are_skipped() {
-        let src = "fn f() { let a = r#\"x.unwrap()\"#; let b = b\"y.expect(\"; }\n";
-        assert!(lines(src).is_empty());
-    }
-
-    #[test]
-    fn lookalike_methods_do_not_match() {
-        let src = "fn f() { a.unwrap_or_default(); b.unwrap_or(0); c.expect_err(\"e\"); d.expect_end(); }\n";
-        assert!(lines(src).is_empty());
-    }
-
-    #[test]
-    fn spaced_calls_still_match() {
-        let src = "fn f() { a . unwrap (); b.\n    expect(\"m\"); }\n";
-        assert_eq!(find_violations(src).len(), 2);
-    }
-
-    #[test]
-    fn cfg_test_modules_are_exempt() {
-        let src = r#"
-fn prod() { x.ok(); }
-
-#[cfg(test)]
-mod tests {
-    fn t() { x.unwrap(); y.expect("fine in tests"); }
-}
-
-fn prod2() { z.unwrap(); }
-"#;
-        let vs = find_violations(src);
-        assert_eq!(vs.len(), 1, "got {vs:?}");
-        assert_eq!(vs[0].method, "unwrap");
-        assert_eq!(vs[0].line, 9);
-    }
-
-    #[test]
-    fn cfg_test_with_stacked_attributes_and_semicolon_items() {
-        let src = "
-#[cfg(test)]
-#[derive(Debug)]
-struct T { x: u8 }
-
-#[cfg(test)]
-use helpers::unwrap_all;
-
-fn prod() {}
-";
-        assert!(lines(src).is_empty());
-        // cfg(not(test)) and cfg_attr must NOT be treated as exempt.
-        let src2 = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
-        assert_eq!(find_violations(src2).len(), 1);
-    }
-
-    #[test]
-    fn panic_macros_are_found() {
-        let src = "fn f() {\n    panic!(\"boom\");\n    unreachable!();\n    todo!()\n}\n";
-        let vs = find_violations(src);
-        assert_eq!(vs.len(), 3, "got {vs:?}");
-        assert_eq!(vs[0], Violation { line: 2, method: "panic!" });
-        assert_eq!(vs[1], Violation { line: 3, method: "unreachable!" });
-        assert_eq!(vs[2], Violation { line: 4, method: "todo!" });
-    }
-
-    #[test]
-    fn panic_macro_lookalikes_do_not_match() {
-        let src = "fn f() {\n\
-            debug_assert!(x);\n\
-            assert!(y);\n\
-            my_panic!(1);\n\
-            let panic = 3; panic + 1;\n\
-            s.panic!();\n\
-            // panic!(\"in a comment\")\n\
-            let t = \"panic!(in a string)\";\n\
-        }\n";
-        assert!(lines(src).is_empty(), "got {:?}", find_violations(src));
-    }
-
-    #[test]
-    fn cfg_test_exempts_panic_macros_too() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"fine\"); }\n}\nfn prod() { unreachable!(); }\n";
-        let vs = find_violations(src);
-        assert_eq!(vs.len(), 1, "got {vs:?}");
-        assert_eq!(vs[0].method, "unreachable!");
-    }
-
-    /// The acceptance check: the real durability module is clean today,
-    /// and injecting an unwrap into it is caught.
-    #[test]
-    fn real_durability_module_is_clean_and_injection_is_caught() {
-        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        let path = root.join("crates/core/src/durability.rs");
-        let src = std::fs::read_to_string(&path).expect("durability.rs readable");
-        assert!(
-            find_violations(&src).is_empty(),
-            "durability.rs has non-test panic sites"
+    if !report.unused_allows.is_empty() {
+        eprintln!(
+            "fgac-lint: {} unused allowlist entr(ies) in lint.toml — remove the stale entries",
+            report.unused_allows.len()
         );
-        let injected = format!("{src}\nfn _torn() {{ let o: Option<u8> = None; o.unwrap(); }}\n");
-        let vs = find_violations(&injected);
-        assert_eq!(vs.len(), 1, "injected unwrap must be caught");
-        assert_eq!(vs[0].method, "unwrap");
+        failed = true;
     }
-
-    #[test]
-    fn epoch_mutations_outside_apply_change_are_flagged() {
-        let src = "
-impl Engine {
-    fn grant_fast(&mut self) {
-        self.policy_epoch += 1;
-        self.cache.clear();
-        self.compiled.invalidate();
-    }
-}
-";
-        let vs = find_epoch_violations(src);
-        assert_eq!(vs.len(), 3, "got {vs:?}");
-        assert!(vs[0].1.contains("policy_epoch"));
-        assert!(vs[1].1.contains("cache.clear"));
-        assert!(vs[2].1.contains("compiled.invalidate"));
-    }
-
-    #[test]
-    fn epoch_mutations_inside_apply_change_are_allowed() {
-        let src = "
-impl Engine {
-    pub(crate) fn apply_change(&mut self, delta: PolicyDelta) {
-        self.policy_epoch += 1;
-        self.cache.clear();
-        self.plan_cache.clear();
-        self.compiled.invalidate();
-        self.flow.apply_policy_change(from, to, affects, changed);
-    }
-}
-";
-        assert!(find_epoch_violations(src).is_empty());
-    }
-
-    #[test]
-    fn epoch_reads_and_comparisons_are_not_mutations() {
-        let src = "
-impl Engine {
-    fn ok(&self) -> bool {
-        let e = self.policy_epoch;
-        self.policy_epoch == other && entry.policy_epoch <= e
-    }
-    fn init() -> Engine {
-        Engine { policy_epoch: 0, cache: ValidityCache::new() }
-    }
-    fn sweep_helpers(&mut self) {
-        // invalidate_deps is a targeted eviction, not the full sweep.
-        self.plan_cache.invalidate_deps(&names);
-        self.plan_cache.stats();
-    }
-    fn certify(&self, cert: &mut Certificate) {
-        // Certificates carry their own policy_epoch stamp; writing it
-        // is not an engine-epoch mutation.
-        cert.policy_epoch = self.policy_epoch;
-        report.certificate.policy_epoch += 1;
-    }
-}
-";
-        assert!(
-            find_epoch_violations(src).is_empty(),
-            "got {:?}",
-            find_epoch_violations(src)
-        );
-    }
-
-    /// The acceptance check: the real engine honors the invalidation
-    /// contract today, and an injected bypass is caught.
-    #[test]
-    fn real_engine_honors_epoch_discipline_and_injection_is_caught() {
-        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        let src = std::fs::read_to_string(root.join("crates/core/src/engine.rs"))
-            .expect("engine.rs readable");
-        let vs = find_epoch_violations(&src);
-        assert!(vs.is_empty(), "engine.rs epoch-discipline breaches: {vs:?}");
-        let injected =
-            format!("{src}\nimpl Engine {{ fn sneaky(&mut self) {{ self.policy_epoch = 0; }} }}\n");
-        let vs = find_epoch_violations(&injected);
-        assert_eq!(vs.len(), 1, "injected epoch bump must be caught: {vs:?}");
-    }
-
-    /// Every file the binary lints is clean in the working tree.
-    #[test]
-    fn whole_target_set_is_clean() {
-        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        let targets = lint_targets(&root);
-        assert!(targets.len() >= 8, "expected wal + nontruman modules, got {targets:?}");
-        for path in targets {
-            let src = std::fs::read_to_string(&path).expect("lint target readable");
-            let vs = find_violations(&src);
-            assert!(vs.is_empty(), "{}: {vs:?}", path.display());
+    if let Some(max) = args.max_ms {
+        if report.elapsed_ms > max {
+            eprintln!(
+                "fgac-lint: run took {} ms, over the {max} ms budget — the analyzer must \
+                 not become the slow step",
+                report.elapsed_ms
+            );
+            failed = true;
         }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
